@@ -1,0 +1,608 @@
+//! Scheduler configuration: the compiled form and the JSON interface of
+//! the paper's Listing 2.
+//!
+//! Two interfaces exist, mirroring the paper:
+//!
+//! * **JSON** ([`SchedulerConfig::from_json`]) — static, per-dimension
+//!   strategies (cost functions, custom constraints, fusion control,
+//!   directives);
+//! * **programmatic** (the [`Strategy`](crate::Strategy) trait) — dynamic
+//!   strategies that inspect the partial schedule, the Rust analogue of
+//!   the paper's C++ interface (Listing 3).
+
+use serde::Deserialize;
+
+use crate::error::ScheduleError;
+
+/// A predefined or user-defined cost function (paper §III-A1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CostFn {
+    /// Pluto's dependence-distance bound `u·N + w` (temporal locality +
+    /// outer parallelism).
+    Proximity,
+    /// Feautrier's satisfied-dependency maximization (inner parallelism).
+    Feautrier,
+    /// Tensor-scheduler-style spatial locality (stride-based interchange).
+    Contiguity,
+    /// Schedule the largest loops outermost (paper's BLF).
+    BigLoopsFirst,
+    /// A user variable declared in `new_variables`, minimized as-is.
+    UserVar(String),
+}
+
+impl CostFn {
+    fn parse(name: &str, user_vars: &[String]) -> Result<CostFn, ScheduleError> {
+        match name {
+            "proximity" => Ok(CostFn::Proximity),
+            "feautrier" => Ok(CostFn::Feautrier),
+            "contiguity" => Ok(CostFn::Contiguity),
+            "bigLoopsFirst" | "big_loops_first" | "blf" => Ok(CostFn::BigLoopsFirst),
+            other if user_vars.iter().any(|v| v == other) => {
+                Ok(CostFn::UserVar(other.to_string()))
+            }
+            other => Err(ScheduleError::Config {
+                detail: format!("unknown cost function `{other}`"),
+            }),
+        }
+    }
+}
+
+/// Directive kind (paper §III-B1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectiveKind {
+    /// Prefer this loop outermost and parallel.
+    Parallelize,
+    /// Schedule this loop innermost, unfused, for vectorization.
+    Vectorize,
+    /// Keep this loop sequential (never mark parallel).
+    Sequential,
+}
+
+/// A scheduling directive: a suggestion the scheduler satisfies unless it
+/// would break legality (then it is discarded, per the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// What to do.
+    pub kind: DirectiveKind,
+    /// Target statements (`None` = all statements).
+    pub stmts: Option<Vec<usize>>,
+    /// Target iterator index (original loop nesting, outermost = 0).
+    pub iterator: usize,
+}
+
+/// Explicit fusion/distribution control for one scheduling dimension
+/// (paper §III-A3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusionControl {
+    /// Scheduling dimension where the distribution is forced.
+    pub dimension: usize,
+    /// Distribute every statement (groups ignored).
+    pub total_distribution: bool,
+    /// Ordered fusion groups: statements in one group stay fused, groups
+    /// are distributed in the given order.
+    pub groups: Vec<Vec<usize>>,
+}
+
+/// Automatic fusion heuristic used between SCCs when distribution is
+/// forced by the algorithm (not by the user).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FusionHeuristic {
+    /// Cut between SCCs of different loop dimensionality (Pluto's
+    /// `smartfuse`, the paper's default).
+    #[default]
+    SmartFuse,
+    /// Never cut unless forced (isl-style maximal fusion).
+    MaxFuse,
+    /// Cut between all SCCs.
+    NoFuse,
+}
+
+/// Per-dimension override map: a default value plus exceptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimMap<T> {
+    default: T,
+    overrides: Vec<(usize, T)>,
+}
+
+impl<T> DimMap<T> {
+    /// Creates a map with only a default.
+    pub fn uniform(default: T) -> DimMap<T> {
+        DimMap {
+            default,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Sets the value for a specific dimension.
+    pub fn set(&mut self, dim: usize, value: T) {
+        if let Some(e) = self.overrides.iter_mut().find(|(d, _)| *d == dim) {
+            e.1 = value;
+        } else {
+            self.overrides.push((dim, value));
+        }
+    }
+
+    /// Replaces the default.
+    pub fn set_default(&mut self, value: T) {
+        self.default = value;
+    }
+
+    /// Looks up the value for `dim`.
+    pub fn get(&self, dim: usize) -> &T {
+        self.overrides
+            .iter()
+            .find(|(d, _)| *d == dim)
+            .map(|(_, v)| v)
+            .unwrap_or(&self.default)
+    }
+}
+
+/// Post-processing options (paper Fig. 1's post-processing block).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PostProcess {
+    /// Tile sizes per band depth; empty disables tiling. The paper is
+    /// explicit that tile-size *decisions* are external to the scheduler.
+    pub tile_sizes: Vec<i64>,
+    /// Skew tile loops into a wavefront when the outer band dimension is
+    /// not parallel but an inner one is (Pluto §5.3).
+    pub wavefront: bool,
+    /// Reorder intra-tile loops to move a vectorizable loop innermost.
+    pub intra_tile_vectorize: bool,
+}
+
+impl Default for PostProcess {
+    fn default() -> PostProcess {
+        PostProcess {
+            tile_sizes: Vec::new(),
+            wavefront: false,
+            intra_tile_vectorize: false,
+        }
+    }
+}
+
+/// Complete scheduler configuration (compiled form).
+///
+/// Build one by hand, from a preset ([`crate::presets`]) or from JSON
+/// ([`SchedulerConfig::from_json`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerConfig {
+    /// User-declared ILP variables (usable in constraints and costs).
+    pub new_variables: Vec<String>,
+    /// Cost functions per scheduling dimension, in lexicographic priority
+    /// order (leftmost minimized first).
+    pub cost_functions: DimMap<Vec<CostFn>>,
+    /// Custom constraint strings per dimension (parsed against the ILP
+    /// space of each dimension; see [`crate::constraints`] for syntax).
+    pub custom_constraints: DimMap<Vec<String>>,
+    /// Explicit fusion/distribution controls.
+    pub fusion: Vec<FusionControl>,
+    /// Directives.
+    pub directives: Vec<Directive>,
+    /// Enable the auto-vectorization heuristic (paper §III-B2).
+    pub auto_vectorize: bool,
+    /// Fusion heuristic for algorithm-driven SCC cuts.
+    pub fusion_heuristic: FusionHeuristic,
+    /// Allow negative schedule coefficients (Pluto+).
+    pub negative_coefficients: bool,
+    /// Allow parameter coefficients in schedules (parametric shifting,
+    /// Pluto+).
+    pub parametric_shift: bool,
+    /// Use the isl strategy: recompute a dimension with Feautrier's cost
+    /// when the proximity solution is not parallel.
+    pub isl_fallback: bool,
+    /// Box bound on iterator coefficients.
+    pub coefficient_bound: i64,
+    /// Box bound on schedule constants.
+    pub constant_bound: i64,
+    /// Box bound on the proximity `u`/`w` variables.
+    pub bound_bound: i64,
+    /// Parameter value estimate for extent-based heuristics (BLF).
+    pub parameter_estimate: i64,
+    /// Post-processing controls.
+    pub post: PostProcess,
+}
+
+impl Default for SchedulerConfig {
+    /// The pluto-style default: proximity cost, smartfuse, positive
+    /// coefficients.
+    fn default() -> SchedulerConfig {
+        SchedulerConfig {
+            new_variables: Vec::new(),
+            cost_functions: DimMap::uniform(vec![CostFn::Proximity]),
+            custom_constraints: DimMap::uniform(Vec::new()),
+            fusion: Vec::new(),
+            directives: Vec::new(),
+            auto_vectorize: false,
+            fusion_heuristic: FusionHeuristic::SmartFuse,
+            negative_coefficients: false,
+            parametric_shift: false,
+            isl_fallback: false,
+            coefficient_bound: 4,
+            constant_bound: 16,
+            bound_bound: 32,
+            parameter_estimate: 64,
+            post: PostProcess::default(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON interface (paper Listing 2).
+// ---------------------------------------------------------------------
+
+#[derive(Deserialize)]
+struct JsonRoot {
+    scheduling_strategy: JsonStrategy,
+}
+
+#[derive(Deserialize, Default)]
+#[serde(deny_unknown_fields)]
+struct JsonStrategy {
+    #[serde(default)]
+    new_variables: Vec<String>,
+    #[serde(rename = "ILP_construction", default)]
+    ilp_construction: Vec<JsonIlpDim>,
+    #[serde(default)]
+    custom_constraints: Vec<JsonConstraints>,
+    #[serde(default)]
+    fusion: Vec<JsonFusion>,
+    #[serde(default)]
+    directives: Vec<JsonDirective>,
+    // --- extensions beyond Listing 2 (documented in the crate docs) ---
+    #[serde(default)]
+    auto_vectorize: Option<bool>,
+    #[serde(default)]
+    fusion_heuristic: Option<String>,
+    #[serde(default)]
+    negative_coefficients: Option<bool>,
+    #[serde(default)]
+    parametric_shift: Option<bool>,
+    #[serde(default)]
+    isl_fallback: Option<bool>,
+    #[serde(default)]
+    coefficient_bound: Option<i64>,
+    #[serde(default)]
+    parameter_estimate: Option<i64>,
+    #[serde(default)]
+    tile_sizes: Option<Vec<i64>>,
+    #[serde(default)]
+    wavefront: Option<bool>,
+    #[serde(default)]
+    intra_tile_vectorize: Option<bool>,
+}
+
+#[derive(Deserialize)]
+#[serde(untagged)]
+enum JsonDim {
+    Index(usize),
+    Name(String),
+}
+
+#[derive(Deserialize)]
+struct JsonIlpDim {
+    scheduling_dimension: JsonDim,
+    #[serde(default)]
+    cost_functions: Vec<String>,
+    /// Listing 5 (right) also allows constraints in ILP entries.
+    #[serde(default)]
+    constraints: Vec<String>,
+}
+
+#[derive(Deserialize)]
+struct JsonConstraints {
+    scheduling_dimension: JsonDim,
+    constraints: Vec<String>,
+}
+
+#[derive(Deserialize)]
+struct JsonFusion {
+    scheduling_dimension: usize,
+    #[serde(default)]
+    total_distribution: bool,
+    #[serde(default)]
+    stmts_fusion: Vec<Vec<String>>,
+}
+
+#[derive(Deserialize)]
+struct JsonDirective {
+    #[serde(rename = "type")]
+    kind: String,
+    #[serde(default)]
+    stmts: Option<String>,
+    #[serde(default)]
+    iterator: String,
+}
+
+impl SchedulerConfig {
+    /// Parses the paper's JSON configuration format (Listing 2), plus the
+    /// documented extension keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::Config`] on malformed JSON, unknown cost
+    /// functions, or unparsable numbers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use polytops::SchedulerConfig;
+    ///
+    /// let cfg = SchedulerConfig::from_json(r#"{
+    ///   "scheduling_strategy": {
+    ///     "ILP_construction": [
+    ///       { "scheduling_dimension": "default",
+    ///         "cost_functions": ["contiguity", "proximity"],
+    ///         "constraints": ["no-skewing"] }
+    ///     ]
+    ///   }
+    /// }"#).unwrap();
+    /// assert!(!cfg.auto_vectorize);
+    /// ```
+    pub fn from_json(text: &str) -> Result<SchedulerConfig, ScheduleError> {
+        let root: JsonRoot =
+            serde_json::from_str(text).map_err(|e| ScheduleError::Config {
+                detail: e.to_string(),
+            })?;
+        let js = root.scheduling_strategy;
+        let mut cfg = SchedulerConfig {
+            new_variables: js.new_variables.clone(),
+            ..SchedulerConfig::default()
+        };
+        for entry in &js.ilp_construction {
+            let costs: Result<Vec<CostFn>, ScheduleError> = entry
+                .cost_functions
+                .iter()
+                .map(|n| CostFn::parse(n, &js.new_variables))
+                .collect();
+            let costs = costs?;
+            match &entry.scheduling_dimension {
+                JsonDim::Name(n) if n == "default" => {
+                    cfg.cost_functions.set_default(costs);
+                    if !entry.constraints.is_empty() {
+                        let mut cur = cfg.custom_constraints.get(usize::MAX).clone();
+                        cur.extend(entry.constraints.iter().cloned());
+                        cfg.custom_constraints.set_default(cur);
+                    }
+                }
+                JsonDim::Index(d) => {
+                    cfg.cost_functions.set(*d, costs);
+                    if !entry.constraints.is_empty() {
+                        cfg.custom_constraints.set(*d, entry.constraints.clone());
+                    }
+                }
+                JsonDim::Name(other) => {
+                    return Err(ScheduleError::Config {
+                        detail: format!("bad scheduling_dimension `{other}`"),
+                    })
+                }
+            }
+        }
+        for entry in &js.custom_constraints {
+            match &entry.scheduling_dimension {
+                JsonDim::Name(n) if n == "default" => {
+                    let mut cur = cfg.custom_constraints.get(usize::MAX).clone();
+                    cur.extend(entry.constraints.iter().cloned());
+                    cfg.custom_constraints.set_default(cur);
+                }
+                JsonDim::Index(d) => {
+                    cfg.custom_constraints.set(*d, entry.constraints.clone());
+                }
+                JsonDim::Name(other) => {
+                    return Err(ScheduleError::Config {
+                        detail: format!("bad scheduling_dimension `{other}`"),
+                    })
+                }
+            }
+        }
+        for f in &js.fusion {
+            let groups: Result<Vec<Vec<usize>>, ScheduleError> = f
+                .stmts_fusion
+                .iter()
+                .map(|g| {
+                    g.iter()
+                        .map(|s| {
+                            s.parse::<usize>().map_err(|_| ScheduleError::Config {
+                                detail: format!("bad statement id `{s}` in fusion"),
+                            })
+                        })
+                        .collect()
+                })
+                .collect();
+            cfg.fusion.push(FusionControl {
+                dimension: f.scheduling_dimension,
+                total_distribution: f.total_distribution,
+                groups: groups?,
+            });
+        }
+        for d in &js.directives {
+            let kind = match d.kind.as_str() {
+                "vectorize" => DirectiveKind::Vectorize,
+                "parallelize" | "parallel" => DirectiveKind::Parallelize,
+                "sequential" => DirectiveKind::Sequential,
+                other => {
+                    return Err(ScheduleError::Config {
+                        detail: format!("unknown directive type `{other}`"),
+                    })
+                }
+            };
+            let stmts = match d.stmts.as_deref() {
+                None | Some("all") => None,
+                Some(list) => {
+                    let ids: Result<Vec<usize>, ScheduleError> = list
+                        .split(',')
+                        .map(|s| {
+                            s.trim().parse::<usize>().map_err(|_| ScheduleError::Config {
+                                detail: format!("bad statement id `{s}` in directive"),
+                            })
+                        })
+                        .collect();
+                    Some(ids?)
+                }
+            };
+            let iterator = d.iterator.trim().parse::<usize>().map_err(|_| {
+                ScheduleError::Config {
+                    detail: format!("bad iterator `{}` in directive", d.iterator),
+                }
+            })?;
+            cfg.directives.push(Directive {
+                kind,
+                stmts,
+                iterator,
+            });
+        }
+        if let Some(v) = js.auto_vectorize {
+            cfg.auto_vectorize = v;
+        }
+        if let Some(h) = &js.fusion_heuristic {
+            cfg.fusion_heuristic = match h.as_str() {
+                "smartfuse" => FusionHeuristic::SmartFuse,
+                "maxfuse" => FusionHeuristic::MaxFuse,
+                "nofuse" => FusionHeuristic::NoFuse,
+                other => {
+                    return Err(ScheduleError::Config {
+                        detail: format!("unknown fusion heuristic `{other}`"),
+                    })
+                }
+            };
+        }
+        if let Some(v) = js.negative_coefficients {
+            cfg.negative_coefficients = v;
+        }
+        if let Some(v) = js.parametric_shift {
+            cfg.parametric_shift = v;
+        }
+        if let Some(v) = js.isl_fallback {
+            cfg.isl_fallback = v;
+        }
+        if let Some(v) = js.coefficient_bound {
+            cfg.coefficient_bound = v;
+        }
+        if let Some(v) = js.parameter_estimate {
+            cfg.parameter_estimate = v;
+        }
+        if let Some(v) = js.tile_sizes {
+            cfg.post.tile_sizes = v;
+        }
+        if let Some(v) = js.wavefront {
+            cfg.post.wavefront = v;
+        }
+        if let Some(v) = js.intra_tile_vectorize {
+            cfg.post.intra_tile_vectorize = v;
+        }
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing2_parses() {
+        let cfg = SchedulerConfig::from_json(
+            r#"{
+          "scheduling_strategy": {
+            "new_variables": ["x"],
+            "ILP_construction": [
+              { "scheduling_dimension": "default",
+                "cost_functions": ["contiguity", "proximity", "x"] }
+            ],
+            "custom_constraints": [
+              { "scheduling_dimension": "default",
+                "constraints": ["x - Si_it_i >= 0"] }
+            ],
+            "fusion": [
+              { "scheduling_dimension": 0,
+                "total_distribution": false,
+                "stmts_fusion": [["0", "1"], ["2"]] }
+            ],
+            "directives": [
+              { "type": "vectorize", "stmts": "0", "iterator": "1" }
+            ]
+          }
+        }"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.new_variables, vec!["x"]);
+        assert_eq!(
+            cfg.cost_functions.get(3),
+            &vec![
+                CostFn::Contiguity,
+                CostFn::Proximity,
+                CostFn::UserVar("x".into())
+            ]
+        );
+        assert_eq!(cfg.custom_constraints.get(1), &vec!["x - Si_it_i >= 0".to_string()]);
+        assert_eq!(cfg.fusion.len(), 1);
+        assert_eq!(cfg.fusion[0].groups, vec![vec![0, 1], vec![2]]);
+        assert_eq!(cfg.directives.len(), 1);
+        assert_eq!(cfg.directives[0].kind, DirectiveKind::Vectorize);
+        assert_eq!(cfg.directives[0].stmts, Some(vec![0]));
+        assert_eq!(cfg.directives[0].iterator, 1);
+    }
+
+    #[test]
+    fn per_dimension_overrides() {
+        let cfg = SchedulerConfig::from_json(
+            r#"{
+          "scheduling_strategy": {
+            "ILP_construction": [
+              { "scheduling_dimension": "default", "cost_functions": ["proximity"] },
+              { "scheduling_dimension": 0, "cost_functions": ["feautrier"] }
+            ]
+          }
+        }"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.cost_functions.get(0), &vec![CostFn::Feautrier]);
+        assert_eq!(cfg.cost_functions.get(1), &vec![CostFn::Proximity]);
+    }
+
+    #[test]
+    fn unknown_cost_function_rejected() {
+        let err = SchedulerConfig::from_json(
+            r#"{"scheduling_strategy": {"ILP_construction": [
+                {"scheduling_dimension": "default", "cost_functions": ["zzz"]}]}}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("zzz"));
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        let err = SchedulerConfig::from_json(
+            r#"{"scheduling_strategy": {"directives": [
+                {"type": "frobnicate", "stmts": "0", "iterator": "0"}]}}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn extensions_parse() {
+        let cfg = SchedulerConfig::from_json(
+            r#"{"scheduling_strategy": {
+                "auto_vectorize": true,
+                "fusion_heuristic": "maxfuse",
+                "negative_coefficients": true,
+                "tile_sizes": [32, 32],
+                "wavefront": true }}"#,
+        )
+        .unwrap();
+        assert!(cfg.auto_vectorize);
+        assert_eq!(cfg.fusion_heuristic, FusionHeuristic::MaxFuse);
+        assert!(cfg.negative_coefficients);
+        assert_eq!(cfg.post.tile_sizes, vec![32, 32]);
+        assert!(cfg.post.wavefront);
+    }
+
+    #[test]
+    fn dimmap_lookup() {
+        let mut m = DimMap::uniform(1);
+        m.set(2, 42);
+        assert_eq!(*m.get(0), 1);
+        assert_eq!(*m.get(2), 42);
+        m.set(2, 43);
+        assert_eq!(*m.get(2), 43);
+    }
+}

@@ -1,0 +1,399 @@
+//! Cost function construction (paper §III-A1) and the Farkas templates
+//! shared by validity and cost constraints.
+
+use polytops_deps::Dependence;
+use polytops_ir::{Scop, Statement, Subscript};
+use polytops_math::{farkas_nonneg, ConstraintSystem, RowKind};
+
+use crate::config::CostFn;
+use crate::error::ScheduleError;
+use crate::space::IlpSpace;
+
+/// Everything a set of cost functions contributes to one dimension's ILP.
+#[derive(Debug, Clone, Default)]
+pub struct CostBuild {
+    /// Extra constraint rows over the ILP space.
+    pub rows: Vec<(RowKind, Vec<i64>)>,
+    /// Lexicographic objective rows (leftmost = highest priority).
+    pub objectives: Vec<Vec<i64>>,
+}
+
+/// Builds the template matrix of `Δ = φ_dst − φ_src` over a dependence's
+/// `(it_src, it_dst, params, 1)` space: one row per `z` variable plus one
+/// constant row, each expressing the coefficient as an affine function of
+/// the ILP variables.
+pub fn delta_template(dep: &Dependence, space: &IlpSpace) -> Vec<Vec<i64>> {
+    let ds = dep.src_depth;
+    let dr = dep.dst_depth;
+    let np = space.nparams;
+    let s = dep.src.0;
+    let r = dep.dst.0;
+    let width = space.total() + 1;
+    let mut rows: Vec<Vec<i64>> = Vec::with_capacity(ds + dr + np + 1);
+    for k in 0..ds {
+        let mut row = vec![0i64; width];
+        space.add_iter_coeff(&mut row, s, k, -1);
+        rows.push(row);
+    }
+    for k in 0..dr {
+        let mut row = vec![0i64; width];
+        space.add_iter_coeff(&mut row, r, k, 1);
+        rows.push(row);
+    }
+    for j in 0..np {
+        let mut row = vec![0i64; width];
+        space.add_param_coeff(&mut row, r, j, 1);
+        space.add_param_coeff(&mut row, s, j, -1);
+        rows.push(row);
+    }
+    let mut row = vec![0i64; width];
+    space.add_const_coeff(&mut row, r, 1);
+    space.add_const_coeff(&mut row, s, -1);
+    rows.push(row);
+    rows
+}
+
+/// Farkas-linearized validity constraints `Δ ≥ 0` for one dependence
+/// (Eq. 2 of the paper).
+///
+/// # Errors
+///
+/// Propagates arithmetic overflow from the elimination.
+pub fn validity_rows(
+    dep: &Dependence,
+    space: &IlpSpace,
+) -> Result<ConstraintSystem, ScheduleError> {
+    let template = delta_template(dep, space);
+    Ok(farkas_nonneg(&dep.poly, &template, space.total())?)
+}
+
+/// Proximity constraints `Δ ≤ u·N + w` for one dependence (Eq. 4),
+/// linearized with Farkas.
+///
+/// # Errors
+///
+/// Propagates arithmetic overflow from the elimination.
+pub fn proximity_rows(
+    dep: &Dependence,
+    space: &IlpSpace,
+) -> Result<ConstraintSystem, ScheduleError> {
+    // e = u·N + w − Δ ≥ 0.
+    let mut template = delta_template(dep, space);
+    for row in &mut template {
+        for v in row.iter_mut() {
+            *v = -*v;
+        }
+    }
+    let ds = dep.src_depth;
+    let dr = dep.dst_depth;
+    for j in 0..space.nparams {
+        template[ds + dr + j][space.u(j)] += 1;
+    }
+    let last = template.len() - 1;
+    template[last][space.w()] += 1;
+    Ok(farkas_nonneg(&dep.poly, &template, space.total())?)
+}
+
+/// Feautrier constraints `Δ ≥ x_e` with `0 ≤ x_e ≤ 1` for dependence
+/// index `e` in the live set; maximizing `Σ x_e` maximizes the number of
+/// strongly satisfied dependences.
+///
+/// # Errors
+///
+/// Propagates arithmetic overflow from the elimination.
+pub fn feautrier_rows(
+    dep: &Dependence,
+    dep_index: usize,
+    space: &IlpSpace,
+) -> Result<ConstraintSystem, ScheduleError> {
+    // e = Δ − x_e ≥ 0.
+    let mut template = delta_template(dep, space);
+    let last = template.len() - 1;
+    template[last][space.dep_var(dep_index)] -= 1;
+    Ok(farkas_nonneg(&dep.poly, &template, space.total())?)
+}
+
+/// Per-iterator contiguity support coefficients `c_{S,i}` (Eq. 5).
+///
+/// Iterators whose uses are stride-1 (appearing with ±1 in the **last**
+/// subscript of accesses) receive a *high* coefficient so that
+/// minimization schedules them last (innermost) — exactly the paper's
+/// Listing 1 example where `c_{S0} = (10, 1)` forces the interchange.
+pub fn contiguity_coeffs(stmt: &Statement) -> Vec<i64> {
+    let d = stmt.depth();
+    let mut desire = vec![0i64; d]; // how much we want the iterator innermost
+    for acc in &stmt.accesses {
+        let n = acc.subscripts.len();
+        for (pos, sub) in acc.subscripts.iter().enumerate() {
+            let e = match sub {
+                Subscript::Aff(e) => e,
+                // div/mod subscripts still reference the expression.
+                Subscript::FloorDiv(e, _) | Subscript::Mod(e, _) => e,
+            };
+            for (k, &c) in e.iter_coeffs().iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if pos == n - 1 && c.abs() == 1 && sub.is_affine() {
+                    desire[k] += 10; // stride-1 use
+                } else {
+                    desire[k] += 1; // strided / outer-dimension use
+                }
+            }
+        }
+    }
+    // Map desire to cost: most-desired-innermost gets the largest cost.
+    desire.iter().map(|&w| 1 + w).collect()
+}
+
+/// Per-iterator BigLoopsFirst coefficients: larger iteration extents get
+/// smaller costs so they are scheduled outermost.
+pub fn big_loops_first_coeffs(scop: &Scop, stmt: &Statement, param_estimate: i64) -> Vec<i64> {
+    let d = stmt.depth();
+    let np = scop.nparams();
+    let params = vec![param_estimate; np];
+    let mut extents = vec![1i64; d];
+    for k in 0..d {
+        // Min/max of iterator k over the domain with params fixed.
+        let mut sys = stmt.domain.clone();
+        // Fix parameters.
+        for (j, &pv) in params.iter().enumerate() {
+            let mut row = vec![0i64; sys.num_vars() + 1];
+            row[d + j] = 1;
+            row[sys.num_vars()] = -pv;
+            sys.add_eq(row);
+        }
+        let mut obj = vec![0i64; sys.num_vars()];
+        obj[k] = 1;
+        let lo = match polytops_math::ilp_minimize(&sys, &obj) {
+            polytops_math::IlpOutcome::Optimal { value, .. } => value,
+            _ => 0,
+        };
+        obj[k] = -1;
+        let hi = match polytops_math::ilp_minimize(&sys, &obj) {
+            polytops_math::IlpOutcome::Optimal { value, .. } => -value,
+            _ => param_estimate,
+        };
+        extents[k] = (hi - lo + 1).max(1);
+    }
+    // Rank extents: biggest extent -> cost 1, next -> 2, ...
+    let mut order: Vec<usize> = (0..d).collect();
+    order.sort_by_key(|&k| std::cmp::Reverse(extents[k]));
+    let mut cost = vec![1i64; d];
+    for (rank, &k) in order.iter().enumerate() {
+        cost[k] = 1 + rank as i64;
+    }
+    cost
+}
+
+/// Builds the constraint rows and objective sequence for a dimension's
+/// configured cost functions, in priority order.
+///
+/// `live` holds the live dependences (in the order matching the space's
+/// dependence variables).
+///
+/// # Errors
+///
+/// Propagates arithmetic overflow and unknown user variables.
+pub fn build_costs(
+    scop: &Scop,
+    space: &IlpSpace,
+    live: &[&Dependence],
+    costs: &[CostFn],
+    param_estimate: i64,
+) -> Result<CostBuild, ScheduleError> {
+    let mut out = CostBuild::default();
+    for cost in costs {
+        match cost {
+            CostFn::Proximity => {
+                for dep in live {
+                    let sys = proximity_rows(dep, space)?;
+                    for (kind, row) in sys.iter() {
+                        out.rows.push((kind, row.to_vec()));
+                    }
+                }
+                // Objectives: Σ u_j first, then w (Pluto's lexmin order).
+                let mut urow = vec![0i64; space.total()];
+                for j in 0..space.nparams {
+                    urow[space.u(j)] = 1;
+                }
+                out.objectives.push(urow);
+                let mut wrow = vec![0i64; space.total()];
+                wrow[space.w()] = 1;
+                out.objectives.push(wrow);
+            }
+            CostFn::Feautrier => {
+                for (e, dep) in live.iter().enumerate() {
+                    let sys = feautrier_rows(dep, e, space)?;
+                    for (kind, row) in sys.iter() {
+                        out.rows.push((kind, row.to_vec()));
+                    }
+                    // 0 <= x_e <= 1.
+                    let mut lo = vec![0i64; space.total() + 1];
+                    lo[space.dep_var(e)] = 1;
+                    out.rows.push((RowKind::Ineq, lo));
+                    let mut hi = vec![0i64; space.total() + 1];
+                    hi[space.dep_var(e)] = -1;
+                    hi[space.total()] = 1;
+                    out.rows.push((RowKind::Ineq, hi));
+                }
+                // Maximize Σ x_e  ⇔  minimize −Σ x_e.
+                let mut row = vec![0i64; space.total()];
+                for e in 0..live.len() {
+                    row[space.dep_var(e)] = -1;
+                }
+                out.objectives.push(row);
+            }
+            CostFn::Contiguity => {
+                let mut row = vec![0i64; space.total() + 1];
+                for (sid, stmt) in scop.statements.iter().enumerate() {
+                    let coeffs = contiguity_coeffs(stmt);
+                    for (k, &c) in coeffs.iter().enumerate() {
+                        space.add_iter_coeff(&mut row, sid, k, c);
+                    }
+                }
+                row.pop();
+                out.objectives.push(row);
+            }
+            CostFn::BigLoopsFirst => {
+                let mut row = vec![0i64; space.total() + 1];
+                for (sid, stmt) in scop.statements.iter().enumerate() {
+                    let coeffs = big_loops_first_coeffs(scop, stmt, param_estimate);
+                    for (k, &c) in coeffs.iter().enumerate() {
+                        space.add_iter_coeff(&mut row, sid, k, c);
+                    }
+                }
+                row.pop();
+                out.objectives.push(row);
+            }
+            CostFn::UserVar(name) => {
+                let v = space.user(name).ok_or_else(|| ScheduleError::Config {
+                    detail: format!("cost function references unknown variable `{name}`"),
+                })?;
+                let mut row = vec![0i64; space.total()];
+                row[v] = 1;
+                out.objectives.push(row);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polytops_deps::analyze;
+    use polytops_ir::{Aff, ScopBuilder};
+
+    fn chain() -> (Scop, Vec<Dependence>) {
+        let mut b = ScopBuilder::new("chain");
+        let n = b.param("N");
+        let a = b.array("A", &[n.clone()], 8);
+        b.open_loop("i", Aff::val(1), n - 1);
+        b.stmt("S0")
+            .read(a, &[Aff::var("i") - 1])
+            .write(a, &[Aff::var("i")])
+            .add(&mut b);
+        b.close_loop();
+        let scop = b.build().unwrap();
+        let deps = analyze(&scop);
+        (scop, deps)
+    }
+
+    #[test]
+    fn validity_accepts_forward_rejects_backward() {
+        let (scop, deps) = chain();
+        let space = IlpSpace::new(&scop, vec![], deps.len(), false, false);
+        let sys = validity_rows(&deps[0], &space).unwrap();
+        // φ = i: T_it = 1, T_cst = 0 -> legal.
+        let mut p = vec![0i64; space.total()];
+        let b = space.stmts[0].offset;
+        p[b] = 1;
+        assert!(sys.contains_point(&p));
+        // φ = -i illegal (negative split disabled, so emulate via raw -1).
+        p[b] = -1;
+        assert!(!sys.contains_point(&p));
+    }
+
+    #[test]
+    fn proximity_bounds_distance() {
+        let (scop, deps) = chain();
+        let space = IlpSpace::new(&scop, vec![], deps.len(), false, false);
+        let sys = proximity_rows(&deps[0], &space).unwrap();
+        let b = space.stmts[0].offset;
+        // φ = i: Δ = 1; u = 0, w = 1 satisfies Δ <= w.
+        let mut p = vec![0i64; space.total()];
+        p[b] = 1;
+        p[space.w()] = 1;
+        assert!(sys.contains_point(&p));
+        // w = 0 does not bound Δ = 1.
+        p[space.w()] = 0;
+        assert!(!sys.contains_point(&p));
+    }
+
+    #[test]
+    fn feautrier_var_forces_satisfaction() {
+        let (scop, deps) = chain();
+        let space = IlpSpace::new(&scop, vec![], deps.len(), false, false);
+        let sys = feautrier_rows(&deps[0], 0, &space).unwrap();
+        let b = space.stmts[0].offset;
+        let x = space.dep_var(0);
+        // φ = i with x_e = 1: Δ = 1 >= 1 ok.
+        let mut p = vec![0i64; space.total()];
+        p[b] = 1;
+        p[x] = 1;
+        assert!(sys.contains_point(&p));
+        // φ = 0 with x_e = 1: Δ = 0 < 1 violates.
+        p[b] = 0;
+        assert!(!sys.contains_point(&p));
+        // φ = 0 with x_e = 0 is fine.
+        p[x] = 0;
+        assert!(sys.contains_point(&p));
+    }
+
+    #[test]
+    fn contiguity_matches_listing1() {
+        // Listing 1: S0 accesses c[j][i], a[j][i]; S1 accesses d[i][j], e[i][j].
+        let mut b = ScopBuilder::new("listing1");
+        let a = b.array("a", &[Aff::val(10), Aff::val(100)], 8);
+        let c = b.array("c", &[Aff::val(10), Aff::val(100)], 8);
+        let e = b.array("e", &[Aff::val(100), Aff::val(10)], 8);
+        let d = b.array("d", &[Aff::val(100), Aff::val(10)], 8);
+        b.open_loop("i", Aff::val(0), Aff::val(99));
+        b.open_loop("j", Aff::val(0), Aff::val(9));
+        b.stmt("S0")
+            .read(a, &[Aff::var("j"), Aff::var("i")])
+            .write(c, &[Aff::var("j"), Aff::var("i")])
+            .add(&mut b);
+        b.stmt("S1")
+            .read(e, &[Aff::var("i"), Aff::var("j")])
+            .write(d, &[Aff::var("i"), Aff::var("j")])
+            .add(&mut b);
+        b.close_loop();
+        b.close_loop();
+        let scop = b.build().unwrap();
+        let c0 = contiguity_coeffs(&scop.statements[0]);
+        let c1 = contiguity_coeffs(&scop.statements[1]);
+        // S0: i is stride-1 (last subscript) -> larger cost than j.
+        assert!(c0[0] > c0[1], "S0 coeffs {c0:?}");
+        // S1: j is stride-1 -> larger cost than i.
+        assert!(c1[1] > c1[0], "S1 coeffs {c1:?}");
+    }
+
+    #[test]
+    fn blf_ranks_extents() {
+        // for i in 0..100, j in 0..10: i has the bigger extent -> cost 1.
+        let mut b = ScopBuilder::new("blf");
+        let a = b.array("A", &[Aff::val(100), Aff::val(10)], 8);
+        b.open_loop("i", Aff::val(0), Aff::val(99));
+        b.open_loop("j", Aff::val(0), Aff::val(9));
+        b.stmt("S0")
+            .write(a, &[Aff::var("i"), Aff::var("j")])
+            .add(&mut b);
+        b.close_loop();
+        b.close_loop();
+        let scop = b.build().unwrap();
+        let c = big_loops_first_coeffs(&scop, &scop.statements[0], 64);
+        assert_eq!(c, vec![1, 2]);
+    }
+}

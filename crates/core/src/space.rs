@@ -1,0 +1,292 @@
+//! The ILP variable space for one scheduling dimension.
+//!
+//! Column layout (one instance per dimension being solved):
+//!
+//! ```text
+//! [ u_0 .. u_{np-1} | w | user vars | dep vars x_e | stmt_0 block | stmt_1 block | … ]
+//! ```
+//!
+//! Each statement block holds the transformation coefficients `T_{S,i}` of
+//! Eq. (1): iterator coefficients, parameter coefficients and the constant
+//! term. When negative coefficients are enabled (Pluto+ preset), every
+//! coefficient `c` is represented as `c⁺ − c⁻` with both parts ≥ 0, so a
+//! block doubles in size.
+
+use polytops_ir::Scop;
+
+/// Per-statement variable offsets inside the ILP space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StmtBlock {
+    /// Offset of the block's first variable.
+    pub offset: usize,
+    /// Statement iterator count.
+    pub depth: usize,
+}
+
+/// Variable layout for one scheduling dimension's ILP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IlpSpace {
+    /// Number of SCoP parameters.
+    pub nparams: usize,
+    /// Offset of the proximity bound coefficients `u` (length `nparams`).
+    pub u_offset: usize,
+    /// Offset of the proximity bound constant `w`.
+    pub w_offset: usize,
+    /// Offset and names of user-declared variables.
+    pub user_offset: usize,
+    /// Names of user variables (config `new_variables`).
+    pub user_names: Vec<String>,
+    /// Offset of the per-dependence satisfaction variables `x_e`
+    /// (Feautrier cost function); one per *live* dependence.
+    pub dep_offset: usize,
+    /// Number of dependence variables.
+    pub num_deps: usize,
+    /// Per-statement coefficient blocks.
+    pub stmts: Vec<StmtBlock>,
+    /// Whether coefficients are split into ± parts.
+    pub negative: bool,
+    /// Whether parameter coefficients exist (parametric shifting); when
+    /// `false`, `T_par ≡ 0` and the blocks omit those columns.
+    pub parametric_shift: bool,
+    total: usize,
+}
+
+impl IlpSpace {
+    /// Builds the layout for `scop` with `num_deps` live dependences.
+    pub fn new(
+        scop: &Scop,
+        user_names: Vec<String>,
+        num_deps: usize,
+        negative: bool,
+        parametric_shift: bool,
+    ) -> IlpSpace {
+        let np = scop.nparams();
+        let u_offset = 0;
+        let w_offset = np;
+        let user_offset = np + 1;
+        let dep_offset = user_offset + user_names.len();
+        let mut next = dep_offset + num_deps;
+        let mult = if negative { 2 } else { 1 };
+        let mut stmts = Vec::with_capacity(scop.statements.len());
+        for s in &scop.statements {
+            let d = s.depth();
+            stmts.push(StmtBlock { offset: next, depth: d });
+            let par_cols = if parametric_shift { np } else { 0 };
+            next += mult * (d + par_cols + 1);
+        }
+        IlpSpace {
+            nparams: np,
+            u_offset,
+            w_offset,
+            user_offset,
+            user_names,
+            dep_offset,
+            num_deps,
+            stmts,
+            negative,
+            parametric_shift,
+            total: next,
+        }
+    }
+
+    /// Total number of ILP variables.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Index of `u_j`.
+    pub fn u(&self, j: usize) -> usize {
+        debug_assert!(j < self.nparams);
+        self.u_offset + j
+    }
+
+    /// Index of `w`.
+    pub fn w(&self) -> usize {
+        self.w_offset
+    }
+
+    /// Index of a user variable by name.
+    pub fn user(&self, name: &str) -> Option<usize> {
+        self.user_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.user_offset + i)
+    }
+
+    /// Index of the dependence variable `x_e`.
+    pub fn dep_var(&self, e: usize) -> usize {
+        debug_assert!(e < self.num_deps);
+        self.dep_offset + e
+    }
+
+    fn block_width(&self, depth: usize) -> usize {
+        let par = if self.parametric_shift { self.nparams } else { 0 };
+        let mult = if self.negative { 2 } else { 1 };
+        mult * (depth + par + 1)
+    }
+
+    /// Adds `k * T_{stmt,it[i]}` to an accumulator row over `total() + 1`
+    /// columns (the trailing column is the constant and is never touched
+    /// here). Handles the ± split transparently.
+    pub fn add_iter_coeff(&self, row: &mut [i64], stmt: usize, i: usize, k: i64) {
+        let b = &self.stmts[stmt];
+        debug_assert!(i < b.depth);
+        if self.negative {
+            row[b.offset + 2 * i] += k;
+            row[b.offset + 2 * i + 1] -= k;
+        } else {
+            row[b.offset + i] += k;
+        }
+    }
+
+    /// Adds `k * T_{stmt,par[j]}` (no-op when parametric shifting is off).
+    pub fn add_param_coeff(&self, row: &mut [i64], stmt: usize, j: usize, k: i64) {
+        if !self.parametric_shift {
+            return;
+        }
+        let b = &self.stmts[stmt];
+        let mult = if self.negative { 2 } else { 1 };
+        let base = b.offset + mult * b.depth;
+        if self.negative {
+            row[base + 2 * j] += k;
+            row[base + 2 * j + 1] -= k;
+        } else {
+            row[base + j] += k;
+        }
+    }
+
+    /// Adds `k * T_{stmt,const}`.
+    pub fn add_const_coeff(&self, row: &mut [i64], stmt: usize, k: i64) {
+        let b = &self.stmts[stmt];
+        let mult = if self.negative { 2 } else { 1 };
+        let par = if self.parametric_shift { self.nparams } else { 0 };
+        let base = b.offset + mult * (b.depth + par);
+        if self.negative {
+            row[base] += k;
+            row[base + 1] -= k;
+        } else {
+            row[base] += k;
+        }
+    }
+
+    /// Recovers the statement's schedule row `[T_it, T_par, T_cst]`
+    /// (over `(iters, params, 1)`) from an ILP solution point.
+    pub fn extract_row(&self, point: &[i64], stmt: usize) -> Vec<i64> {
+        let b = &self.stmts[stmt];
+        let mut row = Vec::with_capacity(b.depth + self.nparams + 1);
+        let mult = if self.negative { 2 } else { 1 };
+        for i in 0..b.depth {
+            let v = if self.negative {
+                point[b.offset + 2 * i] - point[b.offset + 2 * i + 1]
+            } else {
+                point[b.offset + i]
+            };
+            row.push(v);
+        }
+        let base = b.offset + mult * b.depth;
+        for j in 0..self.nparams {
+            if self.parametric_shift {
+                let v = if self.negative {
+                    point[base + 2 * j] - point[base + 2 * j + 1]
+                } else {
+                    point[base + j]
+                };
+                row.push(v);
+            } else {
+                row.push(0);
+            }
+        }
+        let par = if self.parametric_shift { self.nparams } else { 0 };
+        let cbase = b.offset + mult * (b.depth + par);
+        let c = if self.negative {
+            point[cbase] - point[cbase + 1]
+        } else {
+            point[cbase]
+        };
+        row.push(c);
+        row
+    }
+
+    /// Iterates over all raw variable indices of a statement block.
+    pub fn stmt_vars(&self, stmt: usize) -> std::ops::Range<usize> {
+        let b = &self.stmts[stmt];
+        b.offset..b.offset + self.block_width(b.depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polytops_ir::{Aff, ScopBuilder};
+
+    fn scop2() -> Scop {
+        let mut b = ScopBuilder::new("two");
+        let n = b.param("N");
+        let a = b.array("A", &[n.clone()], 8);
+        b.open_loop("i", Aff::val(0), n.clone() - 1);
+        b.stmt("S0").write(a, &[Aff::var("i")]).add(&mut b);
+        b.open_loop("j", Aff::val(0), n - 1);
+        b.stmt("S1").write(a, &[Aff::var("j")]).add(&mut b);
+        b.close_loop();
+        b.close_loop();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn layout_without_extras() {
+        let scop = scop2();
+        let sp = IlpSpace::new(&scop, vec![], 0, false, false);
+        // u(1) + w(1) + S0 (1 it + 1 cst) + S1 (2 it + 1 cst).
+        assert_eq!(sp.total(), 2 + 2 + 3);
+        assert_eq!(sp.u(0), 0);
+        assert_eq!(sp.w(), 1);
+        assert_eq!(sp.stmts[0].offset, 2);
+        assert_eq!(sp.stmts[1].offset, 4);
+    }
+
+    #[test]
+    fn extract_row_round_trips() {
+        let scop = scop2();
+        let sp = IlpSpace::new(&scop, vec!["x".into()], 2, false, true);
+        let mut point = vec![0i64; sp.total()];
+        // S1: T_it = (2, 3), T_par = (1), T_cst = 5.
+        let mut row = vec![0i64; sp.total() + 1];
+        sp.add_iter_coeff(&mut row, 1, 0, 1);
+        let idx = row.iter().position(|&v| v == 1).unwrap();
+        point[idx] = 2;
+        let mut row = vec![0i64; sp.total() + 1];
+        sp.add_iter_coeff(&mut row, 1, 1, 1);
+        let idx = row.iter().position(|&v| v == 1).unwrap();
+        point[idx] = 3;
+        let mut row = vec![0i64; sp.total() + 1];
+        sp.add_param_coeff(&mut row, 1, 0, 1);
+        let idx = row.iter().position(|&v| v == 1).unwrap();
+        point[idx] = 1;
+        let mut row = vec![0i64; sp.total() + 1];
+        sp.add_const_coeff(&mut row, 1, 1);
+        let idx = row.iter().position(|&v| v == 1).unwrap();
+        point[idx] = 5;
+        assert_eq!(sp.extract_row(&point, 1), vec![2, 3, 1, 5]);
+    }
+
+    #[test]
+    fn negative_split_extracts_net_value() {
+        let scop = scop2();
+        let sp = IlpSpace::new(&scop, vec![], 0, true, false);
+        let mut point = vec![0i64; sp.total()];
+        // S0 iter coeff: plus = 1, minus = 3 => net -2.
+        let b = sp.stmts[0].offset;
+        point[b] = 1;
+        point[b + 1] = 3;
+        assert_eq!(sp.extract_row(&point, 0), vec![-2, 0, 0]);
+    }
+
+    #[test]
+    fn user_vars_are_addressable() {
+        let scop = scop2();
+        let sp = IlpSpace::new(&scop, vec!["x".into(), "y".into()], 0, false, false);
+        assert_eq!(sp.user("x"), Some(sp.user_offset));
+        assert_eq!(sp.user("y"), Some(sp.user_offset + 1));
+        assert_eq!(sp.user("z"), None);
+    }
+}

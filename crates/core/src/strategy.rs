@@ -1,0 +1,221 @@
+//! Dynamic scheduling strategies — the Rust analogue of the paper's C++
+//! configuration interface (Listing 3).
+//!
+//! A [`Strategy`] is consulted before each scheduling dimension
+//! ([`Strategy::plan`]) and after each solution ([`Strategy::react`]),
+//! with full access to the partial schedule. The isl behaviour —
+//! Pluto-style proximity with a Feautrier recomputation when the solution
+//! is not parallel — is eight lines of [`react`](Strategy::react), just
+//! like the paper's listing.
+
+use crate::config::{CostFn, SchedulerConfig};
+
+/// What the strategy wants for the next scheduling dimension.
+#[derive(Debug, Clone, Default)]
+pub struct DimensionPlan {
+    /// Force a distribution: ordered fusion groups of statement ids.
+    /// `Some` short-circuits the ILP for this dimension.
+    pub distribute: Option<Vec<Vec<usize>>>,
+    /// Cost functions in lexicographic priority order.
+    pub cost_functions: Vec<CostFn>,
+    /// Extra constraint strings (custom-constraint mini-language).
+    pub extra_constraints: Vec<String>,
+}
+
+/// A found dimension, as shown to [`Strategy::react`].
+#[derive(Debug, Clone)]
+pub struct DimSolution {
+    /// Per-statement schedule rows `[T_it, T_par, T_cst]`.
+    pub rows: Vec<Vec<i64>>,
+    /// Whether the dimension is parallel (carries no live dependence).
+    pub parallel: bool,
+    /// Whether the dimension is a constant (splitting) level.
+    pub constant: bool,
+}
+
+/// Reaction to a found dimension.
+#[derive(Debug, Clone)]
+pub enum Reaction {
+    /// Keep the dimension and move on.
+    Accept,
+    /// Discard the dimension and solve again with a new plan (at most a
+    /// bounded number of times per dimension).
+    Recompute(DimensionPlan),
+}
+
+/// Read-only scheduler state exposed to strategies.
+#[derive(Debug)]
+pub struct StrategyState<'a> {
+    /// Index of the dimension being planned (0-based).
+    pub dimension: usize,
+    /// Current band id.
+    pub band: usize,
+    /// Rows found so far: `rows_so_far[stmt][dim]`.
+    pub rows_so_far: &'a [Vec<Vec<i64>>],
+    /// Parallel flag of each emitted dimension.
+    pub parallel_so_far: &'a [bool],
+    /// Number of live (not yet carried) dependences.
+    pub live_deps: usize,
+    /// Per-statement progression rank (rows spanning the iteration
+    /// space); a statement is *complete* when its rank equals its depth.
+    pub ranks: &'a [usize],
+    /// How many times this dimension has been recomputed already.
+    pub recompute_count: usize,
+}
+
+/// A dynamic scheduling strategy (paper §III-C2).
+pub trait Strategy {
+    /// Plans the next dimension.
+    fn plan(&mut self, state: &StrategyState<'_>) -> DimensionPlan;
+
+    /// Reacts to a found dimension (default: accept).
+    fn react(&mut self, _state: &StrategyState<'_>, _solution: &DimSolution) -> Reaction {
+        Reaction::Accept
+    }
+
+    /// Strategy name for diagnostics.
+    fn name(&self) -> &str {
+        "custom"
+    }
+}
+
+/// The static strategy induced by a [`SchedulerConfig`] (the JSON
+/// interface): per-dimension cost functions and constraints, user fusion
+/// controls, and optionally the isl-style Feautrier fallback.
+#[derive(Debug, Clone)]
+pub struct ConfigStrategy {
+    config: SchedulerConfig,
+}
+
+impl ConfigStrategy {
+    /// Wraps a configuration.
+    pub fn new(config: SchedulerConfig) -> ConfigStrategy {
+        ConfigStrategy { config }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+}
+
+impl Strategy for ConfigStrategy {
+    fn plan(&mut self, state: &StrategyState<'_>) -> DimensionPlan {
+        let dim = state.dimension;
+        let distribute = self
+            .config
+            .fusion
+            .iter()
+            .find(|f| f.dimension == dim)
+            .map(|f| {
+                if f.total_distribution {
+                    Vec::new() // empty = engine distributes every statement
+                } else {
+                    f.groups.clone()
+                }
+            });
+        DimensionPlan {
+            distribute,
+            cost_functions: self.config.cost_functions.get(dim).clone(),
+            extra_constraints: self.config.custom_constraints.get(dim).clone(),
+        }
+    }
+
+    fn react(&mut self, state: &StrategyState<'_>, solution: &DimSolution) -> Reaction {
+        // Listing 3: isl style — when the proximity solution is not
+        // parallel and we have not recomputed yet, retry the dimension
+        // with Feautrier's cost function.
+        if self.config.isl_fallback
+            && !solution.parallel
+            && !solution.constant
+            && state.recompute_count == 0
+            && state.live_deps > 0
+        {
+            return Reaction::Recompute(DimensionPlan {
+                distribute: None,
+                cost_functions: vec![CostFn::Feautrier],
+                extra_constraints: self.config.custom_constraints.get(state.dimension).clone(),
+            });
+        }
+        Reaction::Accept
+    }
+
+    fn name(&self) -> &str {
+        if self.config.isl_fallback {
+            "isl-style"
+        } else {
+            "config"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FusionControl;
+
+    fn state<'a>(
+        rows: &'a [Vec<Vec<i64>>],
+        parallel: &'a [bool],
+        ranks: &'a [usize],
+        recompute_count: usize,
+    ) -> StrategyState<'a> {
+        StrategyState {
+            dimension: 0,
+            band: 0,
+            rows_so_far: rows,
+            parallel_so_far: parallel,
+            live_deps: 3,
+            ranks,
+            recompute_count,
+        }
+    }
+
+    #[test]
+    fn config_strategy_exposes_fusion() {
+        let mut cfg = SchedulerConfig::default();
+        cfg.fusion.push(FusionControl {
+            dimension: 0,
+            total_distribution: false,
+            groups: vec![vec![0, 1], vec![2]],
+        });
+        let mut s = ConfigStrategy::new(cfg);
+        let plan = s.plan(&state(&[], &[], &[], 0));
+        assert_eq!(plan.distribute, Some(vec![vec![0, 1], vec![2]]));
+    }
+
+    #[test]
+    fn isl_fallback_recomputes_once() {
+        let cfg = SchedulerConfig {
+            isl_fallback: true,
+            ..SchedulerConfig::default()
+        };
+        let mut s = ConfigStrategy::new(cfg);
+        let sol = DimSolution {
+            rows: vec![],
+            parallel: false,
+            constant: false,
+        };
+        match s.react(&state(&[], &[], &[], 0), &sol) {
+            Reaction::Recompute(plan) => {
+                assert_eq!(plan.cost_functions, vec![CostFn::Feautrier]);
+            }
+            Reaction::Accept => panic!("expected recompute"),
+        }
+        // Second time: accept.
+        assert!(matches!(
+            s.react(&state(&[], &[], &[], 1), &sol),
+            Reaction::Accept
+        ));
+        // Parallel solutions are accepted directly.
+        let par = DimSolution {
+            rows: vec![],
+            parallel: true,
+            constant: false,
+        };
+        assert!(matches!(
+            s.react(&state(&[], &[], &[], 0), &par),
+            Reaction::Accept
+        ));
+    }
+}

@@ -1,0 +1,421 @@
+//! Candl-style dependence analysis: one convex dependence polyhedron per
+//! access pair and per dependence level.
+
+use polytops_math::{ilp_feasible, ConstraintSystem};
+use polytops_ir::{AccessKind, ArrayId, Scop, Statement, StmtId, Subscript};
+
+/// Dependence class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Read after write (true/flow dependence).
+    Flow,
+    /// Write after read (anti dependence).
+    Anti,
+    /// Write after write (output dependence).
+    Output,
+}
+
+/// A dependence `src → dst`: instances of `src` must execute before the
+/// related instances of `dst`.
+///
+/// The polyhedron lives in the combined space
+/// `(it_src, it_dst, params, 1)` and is guaranteed non-empty (empty
+/// candidates are filtered during analysis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dependence {
+    /// Source statement (executes first).
+    pub src: StmtId,
+    /// Destination statement (executes second).
+    pub dst: StmtId,
+    /// Flow, anti or output.
+    pub kind: DepKind,
+    /// The array inducing the dependence.
+    pub array: ArrayId,
+    /// Dependence polyhedron over `(it_src, it_dst, params, 1)`.
+    pub poly: ConstraintSystem,
+    /// Candl-style level: `1..=common` means carried by that common loop;
+    /// `common + 1` means loop-independent (textual order).
+    pub level: usize,
+    /// `false` when a non-affine subscript forced a conservative
+    /// over-approximation (the subscript equality was dropped).
+    pub exact: bool,
+    /// Iterator count of the source statement (cached from the scop).
+    pub src_depth: usize,
+    /// Iterator count of the destination statement (cached from the scop).
+    pub dst_depth: usize,
+}
+
+/// Number of common (shared) loops of two statements, derived from their
+/// β prefixes: loops are the same source loop iff every enclosing β
+/// position matches.
+pub fn common_loops(s: &Statement, r: &Statement) -> usize {
+    let max = s.depth().min(r.depth());
+    let mut common = 0;
+    for k in 0..max {
+        if s.beta[k] == r.beta[k] {
+            common += 1;
+        } else {
+            break;
+        }
+    }
+    common
+}
+
+/// Whether `s` textually precedes `r` once they share `common` loops.
+fn textually_before(s: &Statement, r: &Statement, common: usize) -> bool {
+    let sb = s.beta.get(common).copied().unwrap_or(i64::MIN);
+    let rb = r.beta.get(common).copied().unwrap_or(i64::MIN);
+    sb < rb
+}
+
+/// Computes all dependences of a SCoP.
+///
+/// For every ordered statement pair `(S, R)` (including `S == R`), every
+/// conflicting access pair (same array, at least one write) and every
+/// dependence level, a candidate polyhedron is built from:
+///
+/// * both iteration domains,
+/// * the parameter context,
+/// * subscript equalities (skipped, conservatively, for div/mod
+///   subscripts),
+/// * the level's precedence constraint.
+///
+/// Candidates with no integer point are discarded (exact ILP test).
+///
+/// # Examples
+///
+/// ```
+/// use polytops_ir::{Aff, ScopBuilder};
+/// use polytops_deps::{analyze, DepKind};
+///
+/// // for (i = 1; i < N; i++) A[i] = A[i-1];  -- loop-carried flow dep.
+/// let mut b = ScopBuilder::new("chain");
+/// let n = b.param("N");
+/// let a = b.array("A", &[n.clone()], 8);
+/// b.open_loop("i", Aff::val(1), n - 1);
+/// b.stmt("S0")
+///     .read(a, &[Aff::var("i") - 1])
+///     .write(a, &[Aff::var("i")])
+///     .add(&mut b);
+/// b.close_loop();
+/// let scop = b.build().unwrap();
+/// let deps = analyze(&scop);
+/// assert!(deps.iter().any(|d| d.kind == DepKind::Flow && d.level == 1));
+/// ```
+pub fn analyze(scop: &Scop) -> Vec<Dependence> {
+    let mut out = Vec::new();
+    let np = scop.nparams();
+    for s in &scop.statements {
+        for r in &scop.statements {
+            let common = common_loops(s, r);
+            for a in &s.accesses {
+                for b in &r.accesses {
+                    if a.array != b.array {
+                        continue;
+                    }
+                    let kind = match (a.kind, b.kind) {
+                        (AccessKind::Write, AccessKind::Read) => DepKind::Flow,
+                        (AccessKind::Read, AccessKind::Write) => DepKind::Anti,
+                        (AccessKind::Write, AccessKind::Write) => DepKind::Output,
+                        (AccessKind::Read, AccessKind::Read) => continue,
+                    };
+                    // Same-statement pairs are only related across
+                    // *distinct* instances, which carried levels enforce
+                    // (loop-independent self-pairs are skipped below).
+                    // Carried levels.
+                    for level in 1..=common {
+                        if let Some(dep) =
+                            build_dep(scop, s, r, a, b, kind, level, common, np)
+                        {
+                            out.push(dep);
+                        }
+                    }
+                    // Loop-independent level.
+                    if s.id != r.id && textually_before(s, r, common) {
+                        if let Some(dep) =
+                            build_dep(scop, s, r, a, b, kind, common + 1, common, np)
+                        {
+                            out.push(dep);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_dep(
+    scop: &Scop,
+    s: &Statement,
+    r: &Statement,
+    a: &polytops_ir::Access,
+    b: &polytops_ir::Access,
+    kind: DepKind,
+    level: usize,
+    common: usize,
+    np: usize,
+) -> Option<Dependence> {
+    let ds = s.depth();
+    let dr = r.depth();
+    let nv = ds + dr + np;
+    let mut poly = ConstraintSystem::new(nv);
+
+    // Embed source domain: columns (it_s, params) -> (0..ds, ds+dr..).
+    for (dkind, row) in s.domain.iter() {
+        let mut nr = vec![0i64; nv + 1];
+        nr[..ds].copy_from_slice(&row[..ds]);
+        nr[ds + dr..ds + dr + np].copy_from_slice(&row[ds..ds + np]);
+        nr[nv] = row[ds + np];
+        match dkind {
+            polytops_math::RowKind::Eq => poly.add_eq(nr),
+            polytops_math::RowKind::Ineq => poly.add_ineq(nr),
+        }
+    }
+    // Embed destination domain: columns (it_r, params).
+    for (dkind, row) in r.domain.iter() {
+        let mut nr = vec![0i64; nv + 1];
+        nr[ds..ds + dr].copy_from_slice(&row[..dr]);
+        nr[ds + dr..ds + dr + np].copy_from_slice(&row[dr..dr + np]);
+        nr[nv] = row[dr + np];
+        match dkind {
+            polytops_math::RowKind::Eq => poly.add_eq(nr),
+            polytops_math::RowKind::Ineq => poly.add_ineq(nr),
+        }
+    }
+    // Context over params.
+    for (ckind, row) in scop.context.iter() {
+        let mut nr = vec![0i64; nv + 1];
+        nr[ds + dr..ds + dr + np].copy_from_slice(&row[..np]);
+        nr[nv] = row[np];
+        match ckind {
+            polytops_math::RowKind::Eq => poly.add_eq(nr),
+            polytops_math::RowKind::Ineq => poly.add_ineq(nr),
+        }
+    }
+    // Subscript equality per dimension; non-affine dims are skipped.
+    let mut exact = true;
+    for (sa, sb) in a.subscripts.iter().zip(&b.subscripts) {
+        match (sa, sb) {
+            (Subscript::Aff(ea), Subscript::Aff(eb)) => {
+                let mut nr = vec![0i64; nv + 1];
+                for (k, &c) in ea.iter_coeffs().iter().enumerate() {
+                    nr[k] += c;
+                }
+                for (k, &c) in eb.iter_coeffs().iter().enumerate() {
+                    nr[ds + k] -= c;
+                }
+                for (k, &c) in ea.param_coeffs().iter().enumerate() {
+                    nr[ds + dr + k] += c;
+                }
+                for (k, &c) in eb.param_coeffs().iter().enumerate() {
+                    nr[ds + dr + k] -= c;
+                }
+                nr[nv] = ea.constant_term() - eb.constant_term();
+                poly.add_eq(nr);
+            }
+            _ => {
+                exact = false;
+            }
+        }
+    }
+    // Precedence at `level`.
+    if level <= common {
+        for k in 0..level - 1 {
+            let mut nr = vec![0i64; nv + 1];
+            nr[k] = 1;
+            nr[ds + k] = -1;
+            poly.add_eq(nr);
+        }
+        // it_r[level-1] - it_s[level-1] - 1 >= 0.
+        let mut nr = vec![0i64; nv + 1];
+        nr[level - 1] = -1;
+        nr[ds + level - 1] = 1;
+        nr[nv] = -1;
+        poly.add_ineq(nr);
+    } else {
+        // Loop independent: all common iterators equal.
+        for k in 0..common {
+            let mut nr = vec![0i64; nv + 1];
+            nr[k] = 1;
+            nr[ds + k] = -1;
+            poly.add_eq(nr);
+        }
+    }
+
+    if !poly.normalize() {
+        return None;
+    }
+    if !ilp_feasible(&poly) {
+        return None;
+    }
+    Some(Dependence {
+        src: s.id,
+        dst: r.id,
+        kind,
+        array: a.array,
+        poly,
+        level,
+        exact,
+        src_depth: ds,
+        dst_depth: dr,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polytops_ir::{Aff, ScopBuilder};
+
+    fn chain_scop() -> Scop {
+        // for (i = 1; i < N; i++) A[i] = A[i-1];
+        let mut b = ScopBuilder::new("chain");
+        let n = b.param("N");
+        let a = b.array("A", &[n.clone()], 8);
+        b.open_loop("i", Aff::val(1), n - 1);
+        b.stmt("S0")
+            .read(a, &[Aff::var("i") - 1])
+            .write(a, &[Aff::var("i")])
+            .add(&mut b);
+        b.close_loop();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn flow_dep_on_chain() {
+        let deps = analyze(&chain_scop());
+        let flows: Vec<_> = deps.iter().filter(|d| d.kind == DepKind::Flow).collect();
+        assert_eq!(flows.len(), 1);
+        let d = flows[0];
+        assert_eq!(d.level, 1);
+        assert_eq!(d.src, StmtId(0));
+        assert_eq!(d.dst, StmtId(0));
+        // (i_s, i_r, N) with i_r = i_s + 1 is in the polyhedron.
+        assert!(d.poly.contains_point(&[1, 2, 3]));
+        assert!(!d.poly.contains_point(&[2, 1, 3]));
+        // The flow dep is the *only* dependence: every cell is written
+        // once (no output dep) and each read happens after the write of
+        // its cell (no anti dep).
+        assert_eq!(deps.len(), 1);
+    }
+
+    #[test]
+    fn independent_arrays_have_no_deps() {
+        // Listing 1: two statements on disjoint arrays.
+        let mut b = ScopBuilder::new("listing1");
+        let a = b.array("a", &[Aff::val(10), Aff::val(100)], 8);
+        let c = b.array("c", &[Aff::val(10), Aff::val(100)], 8);
+        let e = b.array("e", &[Aff::val(100), Aff::val(10)], 8);
+        let d = b.array("d", &[Aff::val(100), Aff::val(10)], 8);
+        b.open_loop("i", Aff::val(0), Aff::val(99));
+        b.open_loop("j", Aff::val(0), Aff::val(9));
+        b.stmt("S0")
+            .read(a, &[Aff::var("j"), Aff::var("i")])
+            .write(c, &[Aff::var("j"), Aff::var("i")])
+            .add(&mut b);
+        b.stmt("S1")
+            .read(e, &[Aff::var("i"), Aff::var("j")])
+            .write(d, &[Aff::var("i"), Aff::var("j")])
+            .add(&mut b);
+        b.close_loop();
+        b.close_loop();
+        let scop = b.build().unwrap();
+        assert!(analyze(&scop).is_empty());
+    }
+
+    #[test]
+    fn scalar_reduction_serializes() {
+        // for i { x = x + A[i] }: output + flow + anti self-deps on x.
+        let mut b = ScopBuilder::new("red");
+        let n = b.param("N");
+        let a = b.array("A", &[n.clone()], 8);
+        let x = b.array("x", &[], 8);
+        b.open_loop("i", Aff::val(0), n - 1);
+        b.stmt("S0")
+            .read(x, &[])
+            .read(a, &[Aff::var("i")])
+            .write(x, &[])
+            .add(&mut b);
+        b.close_loop();
+        let scop = b.build().unwrap();
+        let deps = analyze(&scop);
+        assert!(deps.iter().any(|d| d.kind == DepKind::Flow));
+        assert!(deps.iter().any(|d| d.kind == DepKind::Anti));
+        assert!(deps.iter().any(|d| d.kind == DepKind::Output));
+    }
+
+    #[test]
+    fn loop_independent_dep_between_statements() {
+        // for i { S0: B[i] = A[i]; S1: C[i] = B[i]; } — flow at level 2.
+        let mut b = ScopBuilder::new("pipe");
+        let n = b.param("N");
+        let a = b.array("A", &[n.clone()], 8);
+        let bb = b.array("B", &[n.clone()], 8);
+        let c = b.array("C", &[n.clone()], 8);
+        b.open_loop("i", Aff::val(0), n - 1);
+        b.stmt("S0")
+            .read(a, &[Aff::var("i")])
+            .write(bb, &[Aff::var("i")])
+            .add(&mut b);
+        b.stmt("S1")
+            .read(bb, &[Aff::var("i")])
+            .write(c, &[Aff::var("i")])
+            .add(&mut b);
+        b.close_loop();
+        let scop = b.build().unwrap();
+        let deps = analyze(&scop);
+        let flows: Vec<_> = deps
+            .iter()
+            .filter(|d| d.kind == DepKind::Flow && d.src == StmtId(0))
+            .collect();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].level, 2); // loop-independent (common = 1)
+        // No reverse dependence S1 -> S0.
+        assert!(!deps.iter().any(|d| d.src == StmtId(1) && d.dst == StmtId(0)));
+    }
+
+    #[test]
+    fn stencil_has_bidirectional_carried_deps() {
+        // for t { for i { A[i] = A[i-1] + A[i] + A[i+1] } }
+        let mut b = ScopBuilder::new("jac");
+        let n = b.param("N");
+        let t = b.param("T");
+        let a = b.array("A", &[n.clone()], 8);
+        b.open_loop("t", Aff::val(0), t - 1);
+        b.open_loop("i", Aff::val(1), n - 2);
+        b.stmt("S0")
+            .read(a, &[Aff::var("i") - 1])
+            .read(a, &[Aff::var("i")])
+            .read(a, &[Aff::var("i") + 1])
+            .write(a, &[Aff::var("i")])
+            .add(&mut b);
+        b.close_loop();
+        b.close_loop();
+        let scop = b.build().unwrap();
+        let deps = analyze(&scop);
+        // Carried flow deps at level 1 (time loop) and level 2 (space).
+        assert!(deps.iter().any(|d| d.kind == DepKind::Flow && d.level == 1));
+        assert!(deps.iter().any(|d| d.kind == DepKind::Flow && d.level == 2));
+    }
+
+    #[test]
+    fn divmod_access_is_conservative() {
+        let mut b = ScopBuilder::new("pyr");
+        let n = b.param("N");
+        let a = b.array("A", &[n.clone()], 8);
+        let c = b.array("C", &[n.clone()], 8);
+        b.open_loop("i", Aff::val(0), n - 1);
+        b.stmt("S0")
+            .read_subs(a, vec![polytops_ir::SubSpec::FloorDiv(Aff::var("i"), 2)])
+            .write(c, &[Aff::var("i")])
+            .add(&mut b);
+        b.stmt("S1")
+            .write_subs(a, vec![polytops_ir::SubSpec::Mod(Aff::var("i"), 4)])
+            .add(&mut b);
+        b.close_loop();
+        let scop = b.build().unwrap();
+        let deps = analyze(&scop);
+        assert!(deps.iter().any(|d| !d.exact));
+    }
+}

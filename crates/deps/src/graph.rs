@@ -1,0 +1,150 @@
+//! Dependence graphs and strongly connected components.
+//!
+//! Loop distribution (the `UnfuseSCCs` fallback of the paper's
+//! Algorithm 1, lines 32–36) splits statements by the SCCs of the live
+//! dependence graph, emitted in topological order.
+
+use crate::analysis::Dependence;
+
+/// Computes the strongly connected components of the dependence graph
+/// over `num_stmts` statements, returned in a topological order of the
+/// condensation (sources first). Statement ids inside each SCC are
+/// sorted.
+///
+/// Uses Tarjan's algorithm (iterative), which conveniently emits SCCs in
+/// reverse topological order.
+///
+/// # Examples
+///
+/// ```
+/// use polytops_deps::sccs_topological;
+///
+/// // 0 -> 1, 1 -> 2, 2 -> 1 (cycle {1,2})
+/// let edges = vec![(0, 1), (1, 2), (2, 1)];
+/// let comps = sccs_topological(3, edges.iter().copied());
+/// assert_eq!(comps, vec![vec![0], vec![1, 2]]);
+/// ```
+pub fn sccs_topological(
+    num_stmts: usize,
+    edges: impl Iterator<Item = (usize, usize)>,
+) -> Vec<Vec<usize>> {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); num_stmts];
+    for (a, b) in edges {
+        if a < num_stmts && b < num_stmts && a != b {
+            adj[a].push(b);
+        }
+    }
+    // Iterative Tarjan.
+    #[derive(Clone, Copy)]
+    struct NodeState {
+        index: i64,
+        lowlink: i64,
+        on_stack: bool,
+    }
+    let mut state = vec![
+        NodeState {
+            index: -1,
+            lowlink: -1,
+            on_stack: false,
+        };
+        num_stmts
+    ];
+    let mut next_index: i64 = 0;
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs_rev: Vec<Vec<usize>> = Vec::new();
+
+    for root in 0..num_stmts {
+        if state[root].index != -1 {
+            continue;
+        }
+        // Work stack of (node, next child position).
+        let mut work: Vec<(usize, usize)> = vec![(root, 0)];
+        state[root].index = next_index;
+        state[root].lowlink = next_index;
+        next_index += 1;
+        stack.push(root);
+        state[root].on_stack = true;
+        while let Some(&mut (v, ref mut ci)) = work.last_mut() {
+            if *ci < adj[v].len() {
+                let w = adj[v][*ci];
+                *ci += 1;
+                if state[w].index == -1 {
+                    state[w].index = next_index;
+                    state[w].lowlink = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    state[w].on_stack = true;
+                    work.push((w, 0));
+                } else if state[w].on_stack {
+                    state[v].lowlink = state[v].lowlink.min(state[w].index);
+                }
+            } else {
+                work.pop();
+                if let Some(&mut (p, _)) = work.last_mut() {
+                    state[p].lowlink = state[p].lowlink.min(state[v].lowlink);
+                }
+                if state[v].lowlink == state[v].index {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        state[w].on_stack = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    sccs_rev.push(comp);
+                }
+            }
+        }
+    }
+    sccs_rev.reverse();
+    sccs_rev
+}
+
+/// SCCs of the live dependence set (convenience wrapper over
+/// [`sccs_topological`]).
+pub fn dependence_sccs(num_stmts: usize, deps: &[Dependence]) -> Vec<Vec<usize>> {
+    sccs_topological(num_stmts, deps.iter().map(|d| (d.src.0, d.dst.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_nodes_each_own_scc() {
+        let comps = sccs_topological(3, std::iter::empty());
+        assert_eq!(comps.len(), 3);
+    }
+
+    #[test]
+    fn chain_is_topologically_ordered() {
+        let comps = sccs_topological(3, [(2, 1), (1, 0)].iter().copied());
+        assert_eq!(comps, vec![vec![2], vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn cycle_collapses() {
+        let comps = sccs_topological(4, [(0, 1), (1, 2), (2, 0), (2, 3)].iter().copied());
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let comps = sccs_topological(2, [(0, 0), (0, 1)].iter().copied());
+        assert_eq!(comps, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn diamond_topological_order_is_valid() {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
+        let comps = sccs_topological(4, [(0, 1), (0, 2), (1, 3), (2, 3)].iter().copied());
+        let pos = |x: usize| comps.iter().position(|c| c.contains(&x)).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(0) < pos(2));
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(3));
+    }
+}

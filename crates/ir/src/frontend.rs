@@ -1,0 +1,883 @@
+//! A miniature Clan: extracts a [`Scop`] from a restricted affine C
+//! subset.
+//!
+//! Supported constructs (enough for every kernel in this repository):
+//!
+//! * array/scalar declarations: `double A[N][M]; float x;`
+//! * `for (i = lb; i < ub; i++)` / `<=` loops with affine bounds;
+//! * `if (affine-cond && ...)` guards;
+//! * assignments `lv = expr;` and `lv += / -= / *= expr;` whose reads are
+//!   arbitrary arithmetic over affine array references;
+//! * subscripts may end in `/ c` or `% c` (PolyMage-style), producing
+//!   non-affine [`Subscript`](crate::Subscript) local dimensions;
+//! * an optional `#pragma scop` / `#pragma endscop` region.
+//!
+//! Free identifiers are treated as parameters, exactly like Clan.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::builder::{ScopBuilder, SubSpec};
+use crate::expr::Aff;
+use crate::scop::{ArrayId, Scop};
+
+/// Errors from [`parse_c`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontendError {
+    line: usize,
+    message: String,
+}
+
+impl FrontendError {
+    fn new(line: usize, message: impl Into<String>) -> FrontendError {
+        FrontendError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C frontend error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for FrontendError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Sym(&'static str),
+}
+
+struct Lexer {
+    toks: Vec<(usize, Tok)>,
+}
+
+fn lex(src: &str) -> Result<Lexer, FrontendError> {
+    let mut toks = Vec::new();
+    let mut chars = src.char_indices().peekable();
+    let mut line = 1usize;
+    let bytes = src.as_bytes();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '\n' => line += 1,
+            c if c.is_whitespace() => {}
+            '/' if matches!(chars.peek(), Some((_, '/'))) => {
+                for (_, c2) in chars.by_ref() {
+                    if c2 == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '/' if matches!(chars.peek(), Some((_, '*'))) => {
+                chars.next();
+                let mut prev = ' ';
+                for (_, c2) in chars.by_ref() {
+                    if c2 == '\n' {
+                        line += 1;
+                    }
+                    if prev == '*' && c2 == '/' {
+                        break;
+                    }
+                    prev = c2;
+                }
+            }
+            '#' => {
+                // Preprocessor line: keep `#pragma scop` / `endscop`.
+                let mut text = String::from("#");
+                while let Some((_, c2)) = chars.peek().copied() {
+                    if c2 == '\n' {
+                        break;
+                    }
+                    text.push(c2);
+                    chars.next();
+                }
+                let t = text.split_whitespace().collect::<Vec<_>>().join(" ");
+                if t == "#pragma scop" {
+                    toks.push((line, Tok::Sym("#scop")));
+                } else if t == "#pragma endscop" {
+                    toks.push((line, Tok::Sym("#endscop")));
+                }
+                // Other preprocessor lines are ignored.
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut end = i + c.len_utf8();
+                while let Some((j, c2)) = chars.peek().copied() {
+                    if c2.is_ascii_alphanumeric() || c2 == '_' {
+                        end = j + c2.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push((line, Tok::Ident(src[start..end].to_string())));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut end = i + 1;
+                while let Some((j, c2)) = chars.peek().copied() {
+                    if c2.is_ascii_digit() {
+                        end = j + 1;
+                        chars.next();
+                    } else if c2 == '.' || c2 == 'f' || c2 == 'e' {
+                        // Floating literal: consume and treat as value 1
+                        // (cost counting only; affine contexts reject it).
+                        end = j + 1;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let text = &src[start..end];
+                match text.parse::<i64>() {
+                    Ok(v) => toks.push((line, Tok::Int(v))),
+                    Err(_) => toks.push((line, Tok::Sym("fliteral"))),
+                }
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2.min(src.len() - i)]
+                } else {
+                    ""
+                };
+                let sym2 = match two {
+                    "++" | "--" | "+=" | "-=" | "*=" | "/=" | "<=" | ">=" | "==" | "!=" | "&&"
+                    | "||" => Some(two),
+                    _ => None,
+                };
+                if let Some(s2) = sym2 {
+                    chars.next();
+                    let stat: &'static str = match s2 {
+                        "++" => "++",
+                        "--" => "--",
+                        "+=" => "+=",
+                        "-=" => "-=",
+                        "*=" => "*=",
+                        "/=" => "/=",
+                        "<=" => "<=",
+                        ">=" => ">=",
+                        "==" => "==",
+                        "!=" => "!=",
+                        "&&" => "&&",
+                        "||" => "||",
+                        _ => unreachable!(),
+                    };
+                    toks.push((line, Tok::Sym(stat)));
+                } else {
+                    let stat: &'static str = match c {
+                        '(' => "(",
+                        ')' => ")",
+                        '[' => "[",
+                        ']' => "]",
+                        '{' => "{",
+                        '}' => "}",
+                        ';' => ";",
+                        ',' => ",",
+                        '=' => "=",
+                        '<' => "<",
+                        '>' => ">",
+                        '+' => "+",
+                        '-' => "-",
+                        '*' => "*",
+                        '/' => "/",
+                        '%' => "%",
+                        _ => {
+                            return Err(FrontendError::new(
+                                line,
+                                format!("unexpected character `{c}`"),
+                            ))
+                        }
+                    };
+                    toks.push((line, Tok::Sym(stat)));
+                }
+            }
+        }
+    }
+    Ok(Lexer { toks })
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    builder: ScopBuilder,
+    arrays: Vec<(String, ArrayId, usize)>, // name, id, ndims
+    scalars: Vec<String>,
+    iter_stack: Vec<String>,
+    guard_stack: Vec<Aff>,
+    stmt_count: usize,
+    known_params: Vec<String>,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |(l, _)| *l)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> FrontendError {
+        FrontendError::new(self.line(), msg)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|(_, t)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if self.peek() == Some(&Tok::Sym(unsafe_static(s))) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<(), FrontendError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, FrontendError> {
+        match self.bump() {
+            Some(Tok::Ident(n)) => Ok(n),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn is_type_name(name: &str) -> bool {
+        matches!(name, "double" | "float" | "int" | "long" | "char" | "short" | "unsigned")
+    }
+
+    fn lookup_array(&self, name: &str) -> Option<(ArrayId, usize)> {
+        self.arrays
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, id, nd)| (*id, *nd))
+    }
+
+    /// Ensures `name` is registered as a parameter if it is not an
+    /// iterator, array or scalar.
+    fn note_param(&mut self, name: &str) {
+        if self.iter_stack.iter().any(|n| n == name) {
+            return;
+        }
+        if self.arrays.iter().any(|(n, _, _)| n == name) {
+            return;
+        }
+        if self.scalars.iter().any(|n| n == name) {
+            return;
+        }
+        if !self.known_params.contains(&name.to_string()) {
+            self.known_params.push(name.to_string());
+            self.builder.param(name);
+        }
+    }
+
+    fn parse_decl(&mut self) -> Result<(), FrontendError> {
+        // type ident ([expr])* (, ident ([expr])*)* ;
+        let _ty = self.expect_ident()?;
+        loop {
+            let name = self.expect_ident()?;
+            let mut dims: Vec<Aff> = Vec::new();
+            while self.eat_sym("[") {
+                let e = self.parse_affine()?;
+                self.expect_sym("]")?;
+                dims.push(e);
+            }
+            if dims.is_empty() {
+                self.scalars.push(name.clone());
+                let id = self.builder.array(&name, &[], 8);
+                self.arrays.push((name, id, 0));
+            } else {
+                for d in &dims {
+                    for (n, _) in d.terms() {
+                        self.note_param(n);
+                    }
+                }
+                let id = self.builder.array(&name, &dims, 8);
+                self.arrays.push((name, id, dims.len()));
+            }
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_sym(";")?;
+        Ok(())
+    }
+
+    /// Parses an affine expression (sums of products of constants and
+    /// identifiers).
+    fn parse_affine(&mut self) -> Result<Aff, FrontendError> {
+        let mut acc = self.parse_affine_term()?;
+        loop {
+            if self.eat_sym("+") {
+                let t = self.parse_affine_term()?;
+                acc = acc + t;
+            } else if self.eat_sym("-") {
+                let t = self.parse_affine_term()?;
+                acc = acc - t;
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn parse_affine_term(&mut self) -> Result<Aff, FrontendError> {
+        let mut factor = self.parse_affine_atom()?;
+        while self.eat_sym("*") {
+            let rhs = self.parse_affine_atom()?;
+            // One side must be constant.
+            if rhs.terms().is_empty() {
+                factor = factor * rhs.constant_term();
+            } else if factor.terms().is_empty() {
+                let c = factor.constant_term();
+                factor = rhs * c;
+            } else {
+                return Err(self.err("non-affine product of two variables"));
+            }
+        }
+        Ok(factor)
+    }
+
+    fn parse_affine_atom(&mut self) -> Result<Aff, FrontendError> {
+        if self.eat_sym("(") {
+            let e = self.parse_affine()?;
+            self.expect_sym(")")?;
+            return Ok(e);
+        }
+        if self.eat_sym("-") {
+            let e = self.parse_affine_atom()?;
+            return Ok(-e);
+        }
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(Aff::val(v)),
+            Some(Tok::Ident(n)) => {
+                self.note_param(&n);
+                Ok(Aff::var(&n))
+            }
+            other => Err(self.err(format!("expected affine atom, found {other:?}"))),
+        }
+    }
+
+    /// Parses one subscript: affine expression optionally followed by
+    /// `/ const` or `% const` at top level.
+    fn parse_subscript(&mut self) -> Result<SubSpec, FrontendError> {
+        let e = self.parse_affine()?;
+        if self.eat_sym("/") {
+            match self.bump() {
+                Some(Tok::Int(k)) if k > 0 => Ok(SubSpec::FloorDiv(e, k)),
+                other => Err(self.err(format!("expected positive divisor, found {other:?}"))),
+            }
+        } else if self.eat_sym("%") {
+            match self.bump() {
+                Some(Tok::Int(k)) if k > 0 => Ok(SubSpec::Mod(e, k)),
+                other => Err(self.err(format!("expected positive modulus, found {other:?}"))),
+            }
+        } else {
+            Ok(SubSpec::Aff(e))
+        }
+    }
+
+    fn parse_for(&mut self) -> Result<(), FrontendError> {
+        self.expect_sym("(")?;
+        // Optional `int` in the init.
+        if let Some(Tok::Ident(n)) = self.peek() {
+            if Self::is_type_name(n) {
+                self.bump();
+            }
+        }
+        let iter = self.expect_ident()?;
+        self.expect_sym("=")?;
+        let lb = self.parse_affine()?;
+        self.expect_sym(";")?;
+        let cond_iter = self.expect_ident()?;
+        if cond_iter != iter {
+            return Err(self.err("loop condition must test the loop iterator"));
+        }
+        let strict = if self.eat_sym("<") {
+            true
+        } else if self.eat_sym("<=") {
+            false
+        } else {
+            return Err(self.err("expected `<` or `<=` in loop condition"));
+        };
+        let ub_raw = self.parse_affine()?;
+        let ub = if strict { ub_raw - 1 } else { ub_raw };
+        self.expect_sym(";")?;
+        // Increment: i++ or i = i + 1 or i += 1.
+        let inc_iter = self.expect_ident()?;
+        if inc_iter != iter {
+            return Err(self.err("loop increment must update the loop iterator"));
+        }
+        if self.eat_sym("++") {
+        } else if self.eat_sym("+=") {
+            match self.bump() {
+                Some(Tok::Int(1)) => {}
+                _ => return Err(self.err("only unit stride loops are supported")),
+            }
+        } else if self.eat_sym("=") {
+            let e = self.parse_affine()?;
+            let expect = Aff::var(&iter) + 1;
+            if e != expect {
+                return Err(self.err("only unit stride loops are supported"));
+            }
+        } else {
+            return Err(self.err("unsupported loop increment"));
+        }
+        self.expect_sym(")")?;
+        self.builder.open_loop(&iter, lb, ub);
+        self.iter_stack.push(iter);
+        self.parse_body()?;
+        self.iter_stack.pop();
+        self.builder.close_loop();
+        Ok(())
+    }
+
+    fn parse_if(&mut self) -> Result<(), FrontendError> {
+        self.expect_sym("(")?;
+        let mut guards: Vec<Aff> = Vec::new();
+        loop {
+            let lhs = self.parse_affine()?;
+            let op = match self.bump() {
+                Some(Tok::Sym(s)) => s,
+                other => return Err(self.err(format!("expected comparison, found {other:?}"))),
+            };
+            let rhs = self.parse_affine()?;
+            match op {
+                "<" => guards.push(rhs - lhs - 1),
+                "<=" => guards.push(rhs - lhs),
+                ">" => guards.push(lhs - rhs - 1),
+                ">=" => guards.push(lhs - rhs),
+                "==" => {
+                    guards.push(lhs.clone() - rhs.clone());
+                    guards.push(rhs - lhs);
+                }
+                other => return Err(self.err(format!("unsupported comparison `{other}`"))),
+            }
+            if !self.eat_sym("&&") {
+                break;
+            }
+        }
+        self.expect_sym(")")?;
+        let added = guards.len();
+        self.guard_stack.extend(guards);
+        self.parse_body()?;
+        for _ in 0..added {
+            self.guard_stack.pop();
+        }
+        Ok(())
+    }
+
+    fn parse_body(&mut self) -> Result<(), FrontendError> {
+        if self.eat_sym("{") {
+            while !self.eat_sym("}") {
+                self.parse_item()?;
+            }
+            Ok(())
+        } else {
+            self.parse_item()
+        }
+    }
+
+    /// Parses an arbitrary arithmetic RHS, collecting reads and counting
+    /// operators.
+    fn parse_rhs(&mut self, reads: &mut Vec<(ArrayId, Vec<SubSpec>)>, ops: &mut u32) -> Result<(), FrontendError> {
+        self.parse_rhs_term(reads, ops)?;
+        loop {
+            if self.eat_sym("+") || self.eat_sym("-") {
+                *ops += 1;
+                self.parse_rhs_term(reads, ops)?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_rhs_term(&mut self, reads: &mut Vec<(ArrayId, Vec<SubSpec>)>, ops: &mut u32) -> Result<(), FrontendError> {
+        self.parse_rhs_atom(reads, ops)?;
+        loop {
+            if self.eat_sym("*") || self.eat_sym("/") || self.eat_sym("%") {
+                *ops += 1;
+                self.parse_rhs_atom(reads, ops)?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_rhs_atom(&mut self, reads: &mut Vec<(ArrayId, Vec<SubSpec>)>, ops: &mut u32) -> Result<(), FrontendError> {
+        if self.eat_sym("(") {
+            self.parse_rhs(reads, ops)?;
+            self.expect_sym(")")?;
+            return Ok(());
+        }
+        if self.eat_sym("-") {
+            return self.parse_rhs_atom(reads, ops);
+        }
+        match self.bump() {
+            Some(Tok::Int(_)) | Some(Tok::Sym("fliteral")) => Ok(()),
+            Some(Tok::Ident(name)) => {
+                if self.peek() == Some(&Tok::Sym("(")) {
+                    // Function call (e.g. sqrt): parse args as reads.
+                    self.bump();
+                    *ops += 1;
+                    if self.peek() != Some(&Tok::Sym(")")) {
+                        loop {
+                            self.parse_rhs(reads, ops)?;
+                            if !self.eat_sym(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_sym(")")?;
+                    return Ok(());
+                }
+                if self.peek() == Some(&Tok::Sym("[")) {
+                    let (id, nd) = self
+                        .lookup_array(&name)
+                        .ok_or_else(|| self.err(format!("undeclared array `{name}`")))?;
+                    let mut subs = Vec::new();
+                    while self.eat_sym("[") {
+                        subs.push(self.parse_subscript()?);
+                        self.expect_sym("]")?;
+                    }
+                    if subs.len() != nd {
+                        return Err(self.err(format!(
+                            "array `{name}` used with {} subscripts, declared with {nd}",
+                            subs.len()
+                        )));
+                    }
+                    reads.push((id, subs));
+                    return Ok(());
+                }
+                // Bare identifier: scalar read, iterator or parameter.
+                if let Some((id, 0)) = self.lookup_array(&name) {
+                    reads.push((id, Vec::new()));
+                } else {
+                    self.note_param(&name);
+                }
+                Ok(())
+            }
+            other => Err(self.err(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+
+    fn parse_assignment(&mut self) -> Result<(), FrontendError> {
+        let start_line = self.line();
+        let name = self.expect_ident()?;
+        // Lvalue.
+        let (array, nd) = match self.lookup_array(&name) {
+            Some(x) => x,
+            None => {
+                // Auto-declare a scalar on first write.
+                self.scalars.push(name.clone());
+                let id = self.builder.array(&name, &[], 8);
+                self.arrays.push((name.clone(), id, 0));
+                (id, 0)
+            }
+        };
+        let mut lsubs: Vec<SubSpec> = Vec::new();
+        while self.eat_sym("[") {
+            lsubs.push(self.parse_subscript()?);
+            self.expect_sym("]")?;
+        }
+        if lsubs.len() != nd {
+            return Err(self.err(format!(
+                "array `{name}` used with {} subscripts, declared with {nd}",
+                lsubs.len()
+            )));
+        }
+        let mut reads: Vec<(ArrayId, Vec<SubSpec>)> = Vec::new();
+        let mut ops: u32 = 0;
+        let compound = if self.eat_sym("=") {
+            false
+        } else if self.eat_sym("+=") || self.eat_sym("-=") || self.eat_sym("*=") || self.eat_sym("/=") {
+            ops += 1;
+            true
+        } else {
+            return Err(self.err("expected assignment operator"));
+        };
+        if compound {
+            reads.push((array, lsubs.clone()));
+        }
+        self.parse_rhs(&mut reads, &mut ops)?;
+        self.expect_sym(";")?;
+        let mut spec = self
+            .builder
+            .stmt(&format!("S{}", self.stmt_count))
+            .write_subs(array, lsubs)
+            .ops(ops.max(1))
+            .text(&format!("line {start_line}"));
+        self.stmt_count += 1;
+        for (id, subs) in reads {
+            spec = spec.read_subs(id, subs);
+        }
+        for g in self.guard_stack.clone() {
+            spec = spec.guard(g);
+        }
+        spec.try_add(&mut self.builder)
+            .map_err(|e| self.err(e.to_string()))
+    }
+
+    fn parse_item(&mut self) -> Result<(), FrontendError> {
+        match self.peek() {
+            Some(Tok::Ident(n)) if n == "for" => {
+                self.bump();
+                self.parse_for()
+            }
+            Some(Tok::Ident(n)) if n == "if" => {
+                self.bump();
+                self.parse_if()
+            }
+            Some(Tok::Ident(n)) if Self::is_type_name(n) && matches!(self.peek2(), Some(Tok::Ident(_))) => {
+                self.parse_decl()
+            }
+            Some(Tok::Ident(_)) => self.parse_assignment(),
+            Some(Tok::Sym("{")) => self.parse_body(),
+            other => Err(self.err(format!("unexpected {other:?}"))),
+        }
+    }
+}
+
+fn unsafe_static(s: &str) -> &'static str {
+    // Interns the small fixed set of symbols used by `eat_sym`.
+    match s {
+        "(" => "(",
+        ")" => ")",
+        "[" => "[",
+        "]" => "]",
+        "{" => "{",
+        "}" => "}",
+        ";" => ";",
+        "," => ",",
+        "=" => "=",
+        "<" => "<",
+        ">" => ">",
+        "+" => "+",
+        "-" => "-",
+        "*" => "*",
+        "/" => "/",
+        "%" => "%",
+        "++" => "++",
+        "--" => "--",
+        "+=" => "+=",
+        "-=" => "-=",
+        "*=" => "*=",
+        "/=" => "/=",
+        "<=" => "<=",
+        ">=" => ">=",
+        "==" => "==",
+        "!=" => "!=",
+        "&&" => "&&",
+        "||" => "||",
+        "#scop" => "#scop",
+        "#endscop" => "#endscop",
+        _ => panic!("unknown symbol `{s}`"),
+    }
+}
+
+/// Parses a restricted affine C subset into a [`Scop`] named `name`.
+///
+/// # Errors
+///
+/// Returns [`FrontendError`] with a line number for unsupported or
+/// malformed constructs.
+///
+/// # Examples
+///
+/// ```
+/// let src = r#"
+///     double A[N][N];
+///     double B[N][N];
+///     #pragma scop
+///     for (i = 0; i < N; i++)
+///         for (j = 0; j < N; j++)
+///             B[i][j] = A[i][j] * 2.0;
+///     #pragma endscop
+/// "#;
+/// let scop = polytops_ir::frontend::parse_c("scale", src).unwrap();
+/// assert_eq!(scop.statements.len(), 1);
+/// assert_eq!(scop.params, vec!["N".to_string()]);
+/// ```
+pub fn parse_c(name: &str, src: &str) -> Result<Scop, FrontendError> {
+    let lexer = lex(src)?;
+    let mut p = Parser {
+        toks: lexer.toks,
+        pos: 0,
+        builder: ScopBuilder::new(name),
+        arrays: Vec::new(),
+        scalars: Vec::new(),
+        iter_stack: Vec::new(),
+        guard_stack: Vec::new(),
+        stmt_count: 0,
+        known_params: Vec::new(),
+    };
+    // Declarations may appear before the pragma region.
+    let mut in_scop = !p.toks.iter().any(|(_, t)| *t == Tok::Sym("#scop"));
+    while p.pos < p.toks.len() {
+        match p.peek() {
+            Some(Tok::Sym("#scop")) => {
+                p.bump();
+                in_scop = true;
+            }
+            Some(Tok::Sym("#endscop")) => {
+                p.bump();
+                in_scop = false;
+            }
+            Some(Tok::Ident(n))
+                if Parser::is_type_name(n) && matches!(p.peek2(), Some(Tok::Ident(_))) =>
+            {
+                p.parse_decl()?;
+            }
+            _ if in_scop => p.parse_item()?,
+            _ => {
+                p.bump(); // skip tokens outside the scop region
+            }
+        }
+    }
+    p.builder.build().map_err(|e| FrontendError::new(0, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scop::AccessKind;
+
+    #[test]
+    fn parses_gemm_shape() {
+        let src = r#"
+            double A[N][K]; double B[K][M]; double C[N][M];
+            for (i = 0; i < N; i++)
+                for (j = 0; j < M; j++) {
+                    C[i][j] *= beta;
+                    for (k = 0; k < K; k++)
+                        C[i][j] += alpha * A[i][k] * B[k][j];
+                }
+        "#;
+        let scop = parse_c("gemm", src).unwrap();
+        assert_eq!(scop.statements.len(), 2);
+        assert_eq!(scop.statements[0].depth(), 2);
+        assert_eq!(scop.statements[1].depth(), 3);
+        // alpha/beta became parameters alongside N, M, K.
+        assert!(scop.params.contains(&"alpha".to_string()));
+        // S1 sits in loop i (pos 0), loop j (pos 0), loop k (second item
+        // of j's body, pos 1), first statement of k's body.
+        assert_eq!(scop.statements[1].beta, vec![0, 0, 1, 0]);
+        // C[i][j] += ... has both read and write of C.
+        let s1 = &scop.statements[1];
+        let c_reads = s1
+            .accesses
+            .iter()
+            .filter(|a| a.kind == AccessKind::Read && scop.array(a.array).name == "C")
+            .count();
+        assert_eq!(c_reads, 1);
+    }
+
+    #[test]
+    fn triangular_loop_bounds() {
+        let src = r#"
+            double L[N][N]; double x[N]; double b[N];
+            for (i = 0; i < N; i++)
+                for (j = 0; j <= i - 1; j++)
+                    b[i] -= L[i][j] * x[j];
+        "#;
+        let scop = parse_c("trisolv_part", src).unwrap();
+        let d = &scop.statements[0].domain;
+        // (i, j, N): j <= i - 1.
+        assert!(d.contains_point(&[2, 1, 5]));
+        assert!(!d.contains_point(&[2, 2, 5]));
+    }
+
+    #[test]
+    fn if_guard_becomes_domain_constraint() {
+        let src = r#"
+            double A[N];
+            for (i = 0; i < N; i++)
+                if (i >= 2)
+                    A[i] = A[i - 2];
+        "#;
+        let scop = parse_c("guarded", src).unwrap();
+        let d = &scop.statements[0].domain;
+        assert!(d.contains_point(&[2, 5]));
+        assert!(!d.contains_point(&[1, 5]));
+    }
+
+    #[test]
+    fn divmod_subscripts_flagged_non_affine() {
+        let src = r#"
+            double in[N]; double out[N];
+            for (i = 0; i < N; i++)
+                out[i / 2] = in[i % 4];
+        "#;
+        let scop = parse_c("pyr", src).unwrap();
+        assert!(!scop.is_fully_affine());
+    }
+
+    #[test]
+    fn rejects_nonaffine_bound() {
+        let src = r#"
+            double A[N];
+            for (i = 0; i < N * N; i++)
+                A[0] = A[0] + 1;
+        "#;
+        // N*N is a product of two variables: rejected.
+        assert!(parse_c("bad", src).is_err());
+    }
+
+    #[test]
+    fn rejects_non_unit_stride() {
+        let src = r#"
+            double A[N];
+            for (i = 0; i < N; i += 2)
+                A[i] = 0.0;
+        "#;
+        assert!(parse_c("bad", src).is_err());
+    }
+
+    #[test]
+    fn pragma_region_limits_extraction() {
+        let src = r#"
+            double A[N];
+            int unrelated;
+            unrelated = 3;
+            #pragma scop
+            for (i = 0; i < N; i++)
+                A[i] = 0.0;
+            #pragma endscop
+            unrelated = 4;
+        "#;
+        let scop = parse_c("region", src).unwrap();
+        assert_eq!(scop.statements.len(), 1);
+    }
+
+    #[test]
+    fn function_calls_counted_as_ops() {
+        let src = r#"
+            double A[N]; double B[N];
+            for (i = 0; i < N; i++)
+                B[i] = sqrt(A[i]);
+        "#;
+        let scop = parse_c("calls", src).unwrap();
+        assert_eq!(scop.statements.len(), 1);
+        assert!(scop.statements[0].compute_ops >= 1);
+        assert_eq!(scop.statements[0].reads().count(), 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! Polyhedral intermediate representation for the PolyTOPS scheduler.
+//!
+//! A kernel is modelled as a [`Scop`] (static control part): statements
+//! with polyhedral iteration domains, affine (or PolyMage-style div/mod)
+//! array accesses, and 2d+1 textual positions. Three front doors produce
+//! SCoPs:
+//!
+//! * [`ScopBuilder`] — programmatic construction mirroring source nesting;
+//! * [`parse_scop`] / [`print_scop`] — a textual exchange format in the
+//!   spirit of OpenScop;
+//! * [`frontend::parse_c`] — a miniature Clan extracting SCoPs from a
+//!   restricted affine C subset.
+//!
+//! Scheduling results are represented by [`Schedule`] (per-statement
+//! affine rows plus band/parallelism metadata), shared by the scheduler,
+//! the code generator and the machine models.
+//!
+//! # Example
+//!
+//! ```
+//! use polytops_ir::{Aff, Schedule, ScopBuilder, StmtId};
+//!
+//! // for (i = 0; i < N; i++) A[i] = A[i] + 1;
+//! let mut b = ScopBuilder::new("inc");
+//! let n = b.param("N");
+//! let a = b.array("A", &[n.clone()], 8);
+//! b.open_loop("i", Aff::val(0), n - 1);
+//! b.stmt("S0")
+//!     .read(a, &[Aff::var("i")])
+//!     .write(a, &[Aff::var("i")])
+//!     .add(&mut b);
+//! b.close_loop();
+//! let scop = b.build().unwrap();
+//!
+//! let sched = Schedule::identity_2dp1(&scop);
+//! assert_eq!(sched.timestamp(StmtId(0), &[5], &[10]), vec![0, 5, 0]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod builder;
+mod expr;
+pub mod frontend;
+mod openscop;
+mod schedule;
+mod scop;
+
+pub use builder::{BuildError, ScopBuilder, StmtSpec, SubSpec};
+pub use expr::{Aff, AffineExpr};
+pub use openscop::{parse_scop, print_scop, ParseScopError};
+pub use schedule::{Schedule, StmtSchedule};
+pub use scop::{
+    Access, AccessKind, ArrayId, ArrayInfo, Scop, Statement, StmtId, Subscript,
+};

@@ -1,0 +1,367 @@
+//! Multidimensional affine schedules (the scheduler's output).
+
+use std::fmt;
+
+use crate::expr::AffineExpr;
+use crate::scop::{Scop, StmtId};
+
+/// The schedule of one statement: one affine row per scheduling dimension,
+/// each over the statement's `(iters, params, 1)` columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StmtSchedule {
+    depth: usize,
+    nparams: usize,
+    rows: Vec<Vec<i64>>,
+}
+
+impl StmtSchedule {
+    /// Creates an empty schedule for a statement with the given space.
+    pub fn new(depth: usize, nparams: usize) -> StmtSchedule {
+        StmtSchedule {
+            depth,
+            nparams,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Statement iterator count.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Parameter count.
+    pub fn nparams(&self) -> usize {
+        self.nparams
+    }
+
+    /// Number of scheduling dimensions so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no dimension has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a scheduling row `[iter coeffs, param coeffs, const]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has the wrong length.
+    pub fn push_row(&mut self, row: Vec<i64>) {
+        assert_eq!(row.len(), self.depth + self.nparams + 1, "row length");
+        self.rows.push(row);
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Vec<i64>] {
+        &self.rows
+    }
+
+    /// Row `i` as an affine expression.
+    pub fn row_expr(&self, i: usize) -> AffineExpr {
+        AffineExpr::from_row(&self.rows[i], self.depth, self.nparams)
+    }
+
+    /// Whether row `i` has no iterator coefficients (a splitting level).
+    pub fn row_is_constant(&self, i: usize) -> bool {
+        self.rows[i][..self.depth].iter().all(|&c| c == 0)
+    }
+
+    /// Evaluates the full timestamp at a concrete point.
+    pub fn eval(&self, iters: &[i64], params: &[i64]) -> Vec<i64> {
+        self.rows
+            .iter()
+            .map(|r| AffineExpr::from_row(r, self.depth, self.nparams).eval(iters, params))
+            .collect()
+    }
+
+    /// The iterator-coefficient submatrix (rows × depth), used for rank /
+    /// bijectivity checks and inversion during code generation.
+    pub fn iter_matrix(&self) -> polytops_math::IntMatrix {
+        let mut m = polytops_math::IntMatrix::zeros(0, self.depth);
+        for r in &self.rows {
+            m.push_row(r[..self.depth].to_vec());
+        }
+        m
+    }
+}
+
+/// A complete schedule for a [`Scop`]: per-statement rows plus band and
+/// parallelism metadata produced by the scheduler (paper Algorithm 1's
+/// `Bands` and `ParallelDimension` outputs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    per_stmt: Vec<StmtSchedule>,
+    /// Band id of each scheduling dimension; consecutive equal ids form a
+    /// permutable (tilable) band.
+    bands: Vec<usize>,
+    /// Whether each scheduling dimension is parallel.
+    parallel: Vec<bool>,
+    /// Per statement: the scheduling dimension marked for vectorization
+    /// (`None` when the statement has no vectorizable innermost loop).
+    vector_dims: Vec<Option<usize>>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule shaped for `scop`.
+    pub fn empty(scop: &Scop) -> Schedule {
+        Schedule {
+            per_stmt: scop
+                .statements
+                .iter()
+                .map(|s| StmtSchedule::new(s.depth(), scop.nparams()))
+                .collect(),
+            bands: Vec::new(),
+            parallel: Vec::new(),
+            vector_dims: vec![None; scop.statements.len()],
+        }
+    }
+
+    /// The classic 2d+1 identity schedule: interleaves β positions and
+    /// iterators, padding shallower statements so all timestamps have
+    /// equal length.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use polytops_ir::{Aff, Schedule, ScopBuilder, StmtId};
+    ///
+    /// let mut b = ScopBuilder::new("k");
+    /// let n = b.param("N");
+    /// let a = b.array("A", &[n.clone()], 8);
+    /// b.open_loop("i", Aff::val(0), n - 1);
+    /// b.stmt("S0").write(a, &[Aff::var("i")]).add(&mut b);
+    /// b.close_loop();
+    /// let scop = b.build().unwrap();
+    /// let sched = Schedule::identity_2dp1(&scop);
+    /// // Timestamp of S0(i = 3) with N = 10: (beta0, i, beta1) = (0, 3, 0).
+    /// assert_eq!(sched.timestamp(StmtId(0), &[3], &[10]), vec![0, 3, 0]);
+    /// ```
+    pub fn identity_2dp1(scop: &Scop) -> Schedule {
+        let max_depth = scop.max_depth();
+        let nrows = 2 * max_depth + 1;
+        let np = scop.nparams();
+        let mut per_stmt = Vec::with_capacity(scop.statements.len());
+        for s in &scop.statements {
+            let d = s.depth();
+            let mut ss = StmtSchedule::new(d, np);
+            for level in 0..=max_depth {
+                // β row.
+                let beta = s.beta.get(level).copied().unwrap_or(0);
+                let mut row = vec![0i64; d + np + 1];
+                row[d + np] = beta;
+                ss.push_row(row);
+                // Iterator row.
+                if level < max_depth {
+                    let mut row = vec![0i64; d + np + 1];
+                    if level < d {
+                        row[level] = 1;
+                    }
+                    ss.push_row(row);
+                }
+            }
+            debug_assert_eq!(ss.len(), nrows);
+            per_stmt.push(ss);
+        }
+        // Bands: every loop level is its own band in the 2d+1 form.
+        let bands = (0..nrows).collect();
+        let parallel = vec![false; nrows];
+        let nstmts = per_stmt.len();
+        Schedule {
+            per_stmt,
+            bands,
+            parallel,
+            vector_dims: vec![None; nstmts],
+        }
+    }
+
+    /// Builds a schedule from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if metadata lengths disagree with the row count.
+    pub fn from_parts(per_stmt: Vec<StmtSchedule>, bands: Vec<usize>, parallel: Vec<bool>) -> Schedule {
+        let dims = per_stmt.first().map_or(0, StmtSchedule::len);
+        for ss in &per_stmt {
+            assert_eq!(ss.len(), dims, "ragged schedule");
+        }
+        assert_eq!(bands.len(), dims, "bands length");
+        assert_eq!(parallel.len(), dims, "parallel length");
+        let nstmts = per_stmt.len();
+        Schedule {
+            per_stmt,
+            bands,
+            parallel,
+            vector_dims: vec![None; nstmts],
+        }
+    }
+
+    /// The dimension marked for vectorization for each statement.
+    pub fn vector_dims(&self) -> &[Option<usize>] {
+        &self.vector_dims
+    }
+
+    /// Marks a statement's vector dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn set_vector_dim(&mut self, id: StmtId, dim: Option<usize>) {
+        self.vector_dims[id.0] = dim;
+    }
+
+    /// Number of scheduling dimensions (equal across statements).
+    pub fn dims(&self) -> usize {
+        self.bands.len()
+    }
+
+    /// Number of statements.
+    pub fn num_statements(&self) -> usize {
+        self.per_stmt.len()
+    }
+
+    /// The per-statement schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn stmt(&self, id: StmtId) -> &StmtSchedule {
+        &self.per_stmt[id.0]
+    }
+
+    /// Mutable access (used by post-processing passes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn stmt_mut(&mut self, id: StmtId) -> &mut StmtSchedule {
+        &mut self.per_stmt[id.0]
+    }
+
+    /// Band ids per dimension.
+    pub fn bands(&self) -> &[usize] {
+        &self.bands
+    }
+
+    /// Parallel flags per dimension.
+    pub fn parallel(&self) -> &[bool] {
+        &self.parallel
+    }
+
+    /// Mutable parallel flags (post-processing).
+    pub fn parallel_mut(&mut self) -> &mut Vec<bool> {
+        &mut self.parallel
+    }
+
+    /// Timestamp of a statement instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or arities mismatch.
+    pub fn timestamp(&self, id: StmtId, iters: &[i64], params: &[i64]) -> Vec<i64> {
+        self.per_stmt[id.0].eval(iters, params)
+    }
+
+    /// Maximal permutable bands as `(start_dim, end_dim_exclusive)` ranges.
+    pub fn band_ranges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.bands.len() {
+            let b = self.bands[i];
+            let mut j = i + 1;
+            while j < self.bands.len() && self.bands[j] == b {
+                j += 1;
+            }
+            out.push((i, j));
+            i = j;
+        }
+        out
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (sid, ss) in self.per_stmt.iter().enumerate() {
+            writeln!(f, "S{sid}:")?;
+            for (d, row) in ss.rows().iter().enumerate() {
+                let e = AffineExpr::from_row(row, ss.depth(), ss.nparams());
+                writeln!(
+                    f,
+                    "  t{d} = {:?}{}{}",
+                    e,
+                    if self.parallel.get(d).copied().unwrap_or(false) {
+                        "  [parallel]"
+                    } else {
+                        ""
+                    },
+                    if d > 0 && self.bands.get(d) == self.bands.get(d - 1) {
+                        "  (same band)"
+                    } else {
+                        ""
+                    },
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ScopBuilder;
+    use crate::expr::Aff;
+
+    fn two_stmt_scop() -> Scop {
+        // for i { S0; for j { S1 } }
+        let mut b = ScopBuilder::new("k");
+        let n = b.param("N");
+        let a = b.array("A", &[n.clone(), n.clone()], 8);
+        b.open_loop("i", Aff::val(0), n.clone() - 1);
+        b.stmt("S0").write(a, &[Aff::var("i"), Aff::val(0)]).add(&mut b);
+        b.open_loop("j", Aff::val(0), n - 1);
+        b.stmt("S1")
+            .write(a, &[Aff::var("i"), Aff::var("j")])
+            .add(&mut b);
+        b.close_loop();
+        b.close_loop();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identity_orders_textually() {
+        let scop = two_stmt_scop();
+        let sched = Schedule::identity_2dp1(&scop);
+        assert_eq!(sched.dims(), 5); // 2*2+1
+        // S0(i=1) happens before S1(i=1, j=0): compare timestamps.
+        let t0 = sched.timestamp(StmtId(0), &[1], &[4]);
+        let t1 = sched.timestamp(StmtId(1), &[1, 0], &[4]);
+        assert!(t0 < t1, "{t0:?} < {t1:?}");
+        // S1(i=0, *) before S0(i=1).
+        let t1 = sched.timestamp(StmtId(1), &[0, 3], &[4]);
+        let t0 = sched.timestamp(StmtId(0), &[1], &[4]);
+        assert!(t1 < t0);
+    }
+
+    #[test]
+    fn band_ranges_group_consecutive() {
+        let scop = two_stmt_scop();
+        let mut sched = Schedule::identity_2dp1(&scop);
+        assert_eq!(sched.band_ranges().len(), 5);
+        // Pretend the first two dims form one band.
+        sched.bands = vec![0, 0, 1, 2, 3];
+        assert_eq!(sched.band_ranges(), vec![(0, 2), (2, 3), (3, 4), (4, 5)]);
+    }
+
+    #[test]
+    fn iter_matrix_extracts_coefficients() {
+        let scop = two_stmt_scop();
+        let sched = Schedule::identity_2dp1(&scop);
+        let m = sched.stmt(StmtId(1)).iter_matrix();
+        assert_eq!(m.rows(), 5);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.rank(), 2); // covers both iterators
+    }
+}

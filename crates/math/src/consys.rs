@@ -1,0 +1,532 @@
+//! Affine constraint systems over integer variables, with exact
+//! Fourier–Motzkin elimination.
+//!
+//! A [`ConstraintSystem`] stores rows `a·x + c (>= | ==) 0` over a fixed
+//! number of variables. The final column of every row is the constant term.
+//! This is the workhorse representation shared by iteration domains,
+//! dependence polyhedra and scheduler ILP systems.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::error::Result;
+use crate::num::{floor_div, gcd_slice, narrow};
+
+/// Whether a row is an equality or an inequality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowKind {
+    /// `a·x + c == 0`
+    Eq,
+    /// `a·x + c >= 0`
+    Ineq,
+}
+
+/// A conjunction of affine equalities and inequalities over `num_vars`
+/// integer variables.
+///
+/// # Examples
+///
+/// ```
+/// use polytops_math::ConstraintSystem;
+///
+/// // { (i, j) | 0 <= i <= 9, i <= j }
+/// let mut cs = ConstraintSystem::new(2);
+/// cs.add_ineq(vec![1, 0, 0]);    // i >= 0
+/// cs.add_ineq(vec![-1, 0, 9]);   // -i + 9 >= 0
+/// cs.add_ineq(vec![-1, 1, 0]);   // j - i >= 0
+/// assert_eq!(cs.num_vars(), 2);
+/// assert!(cs.contains_point(&[3, 5]));
+/// assert!(!cs.contains_point(&[5, 3]));
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct ConstraintSystem {
+    num_vars: usize,
+    rows: Vec<(RowKind, Vec<i64>)>,
+}
+
+impl ConstraintSystem {
+    /// Creates an unconstrained system over `num_vars` variables.
+    pub fn new(num_vars: usize) -> ConstraintSystem {
+        ConstraintSystem {
+            num_vars,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of variables (excluding the constant column).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of constraint rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the system has no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Adds `row`, interpreted as `a·x + c >= 0` (`row.len() == num_vars + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has the wrong length.
+    pub fn add_ineq(&mut self, row: Vec<i64>) {
+        assert_eq!(row.len(), self.num_vars + 1, "row length mismatch");
+        self.rows.push((RowKind::Ineq, row));
+    }
+
+    /// Adds `row`, interpreted as `a·x + c == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has the wrong length.
+    pub fn add_eq(&mut self, row: Vec<i64>) {
+        assert_eq!(row.len(), self.num_vars + 1, "row length mismatch");
+        self.rows.push((RowKind::Eq, row));
+    }
+
+    /// Adds every row of `other` (same variable space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if variable counts differ.
+    pub fn extend(&mut self, other: &ConstraintSystem) {
+        assert_eq!(self.num_vars, other.num_vars, "variable count mismatch");
+        self.rows.extend(other.rows.iter().cloned());
+    }
+
+    /// Iterates over `(kind, row)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RowKind, &[i64])> {
+        self.rows.iter().map(|(k, r)| (*k, r.as_slice()))
+    }
+
+    /// The rows as `(kind, coefficients-with-constant)` tuples.
+    pub fn rows(&self) -> &[(RowKind, Vec<i64>)] {
+        &self.rows
+    }
+
+    /// Evaluates row `r` at an integer point (without the constant column
+    /// in `point`).
+    fn eval_row(row: &[i64], point: &[i64]) -> i128 {
+        let n = row.len() - 1;
+        let mut acc = i128::from(row[n]);
+        for i in 0..n {
+            acc += i128::from(row[i]) * i128::from(point[i]);
+        }
+        acc
+    }
+
+    /// Whether the integer point satisfies every constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != num_vars`.
+    pub fn contains_point(&self, point: &[i64]) -> bool {
+        assert_eq!(point.len(), self.num_vars, "point dimension mismatch");
+        self.rows.iter().all(|(kind, row)| {
+            let v = Self::eval_row(row, point);
+            match kind {
+                RowKind::Eq => v == 0,
+                RowKind::Ineq => v >= 0,
+            }
+        })
+    }
+
+    /// Inserts `count` fresh unconstrained variables at position `at`
+    /// (existing rows get zero coefficients there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > num_vars`.
+    pub fn insert_vars(&mut self, at: usize, count: usize) {
+        assert!(at <= self.num_vars);
+        for (_, row) in &mut self.rows {
+            for _ in 0..count {
+                row.insert(at, 0);
+            }
+        }
+        self.num_vars += count;
+    }
+
+    /// Appends `count` fresh unconstrained variables (before the constant).
+    pub fn append_vars(&mut self, count: usize) {
+        self.insert_vars(self.num_vars, count);
+    }
+
+    /// Normalizes every row assuming **integer** variables: divides by the
+    /// gcd of the coefficients (tightening inequality constants), removes
+    /// duplicates and trivially-true rows, and detects equalities with no
+    /// integer solution.
+    ///
+    /// Returns `false` if a trivially *infeasible* row was found (e.g.
+    /// `0 >= 1`), in which case the system is left holding that witness.
+    pub fn normalize(&mut self) -> bool {
+        self.normalize_impl(true)
+    }
+
+    /// Normalizes every row assuming **rational** variables: divides by
+    /// the gcd of all entries (including the constant), never tightens.
+    /// Use this wherever variables may take fractional values, e.g.
+    /// Farkas multipliers.
+    ///
+    /// Returns `false` on a trivially infeasible constant row.
+    pub fn normalize_rational(&mut self) -> bool {
+        self.normalize_impl(false)
+    }
+
+    fn normalize_impl(&mut self, tighten: bool) -> bool {
+        let mut seen: HashSet<(RowKind, Vec<i64>)> = HashSet::new();
+        let mut out: Vec<(RowKind, Vec<i64>)> = Vec::with_capacity(self.rows.len());
+        let n = self.num_vars;
+        for (kind, mut row) in std::mem::take(&mut self.rows) {
+            let g = gcd_slice(&row[..n]);
+            if g == 0 {
+                // Constant row.
+                match kind {
+                    RowKind::Eq if row[n] != 0 => {
+                        self.rows = vec![(kind, row)];
+                        return false;
+                    }
+                    RowKind::Ineq if row[n] < 0 => {
+                        self.rows = vec![(kind, row)];
+                        return false;
+                    }
+                    _ => continue, // trivially true
+                }
+            }
+            if g > 1 {
+                match (kind, tighten) {
+                    (RowKind::Eq, true) => {
+                        if row[n] % g != 0 {
+                            // gcd of coefficients does not divide the
+                            // constant: no integer solutions.
+                            self.rows = vec![(kind, row)];
+                            return false;
+                        }
+                        for v in &mut row {
+                            *v /= g;
+                        }
+                    }
+                    (RowKind::Ineq, true) => {
+                        for v in row[..n].iter_mut() {
+                            *v /= g;
+                        }
+                        // a·x >= -c  =>  (a/g)·x >= ceil(-c/g), i.e. the
+                        // constant becomes floor(c/g).
+                        row[n] = floor_div(row[n], g);
+                    }
+                    (_, false) => {
+                        // Rational semantics: only divide when exact.
+                        if row[n] % g == 0 {
+                            for v in &mut row {
+                                *v /= g;
+                            }
+                        }
+                    }
+                }
+            }
+            if seen.insert((kind, row.clone())) {
+                out.push((kind, row));
+            }
+        }
+        // Subsumption: for identical inequality coefficients keep the
+        // tightest constant (the smallest one).
+        let mut best: Vec<(RowKind, Vec<i64>)> = Vec::with_capacity(out.len());
+        'next: for (kind, row) in out {
+            if kind == RowKind::Ineq {
+                for (bk, brow) in &mut best {
+                    if *bk == RowKind::Ineq && brow[..n] == row[..n] {
+                        if row[n] < brow[n] {
+                            brow[n] = row[n];
+                        }
+                        continue 'next;
+                    }
+                }
+            }
+            best.push((kind, row));
+        }
+        self.rows = best;
+        true
+    }
+
+    /// Eliminates variable `var` by exact Fourier–Motzkin (using an
+    /// equality pivot when available), producing a system over one fewer
+    /// variable. The result is normalized with **integer** tightening —
+    /// use [`ConstraintSystem::eliminate_var_rational`] when any remaining
+    /// variable may be fractional.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::Overflow`](crate::MathError::Overflow) when combined rows overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn eliminate_var(&self, var: usize) -> Result<ConstraintSystem> {
+        self.eliminate_impl(var, true)
+    }
+
+    /// Fourier–Motzkin elimination with rational semantics (no integer
+    /// tightening). Sound when the variables are rational, e.g. Farkas
+    /// multipliers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::Overflow`](crate::MathError::Overflow) when combined rows overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn eliminate_var_rational(&self, var: usize) -> Result<ConstraintSystem> {
+        self.eliminate_impl(var, false)
+    }
+
+    fn eliminate_impl(&self, var: usize, tighten: bool) -> Result<ConstraintSystem> {
+        assert!(var < self.num_vars);
+        let n = self.num_vars;
+        let mut out = ConstraintSystem::new(n - 1);
+
+        let drop_col = |row: &[i64]| -> Vec<i64> {
+            let mut r: Vec<i64> = Vec::with_capacity(row.len() - 1);
+            r.extend_from_slice(&row[..var]);
+            r.extend_from_slice(&row[var + 1..]);
+            r
+        };
+
+        // Prefer an equality pivot: exact substitution, no blowup.
+        if let Some(pivot_idx) = self
+            .rows
+            .iter()
+            .position(|(k, r)| *k == RowKind::Eq && r[var] != 0)
+        {
+            let (_, pivot) = &self.rows[pivot_idx];
+            let a = pivot[var];
+            for (i, (kind, row)) in self.rows.iter().enumerate() {
+                if i == pivot_idx {
+                    continue;
+                }
+                let b = row[var];
+                if b == 0 {
+                    out.rows.push((*kind, drop_col(row)));
+                    continue;
+                }
+                // new_row = a * row - b * pivot, scaled so the inequality
+                // direction is preserved (multiply by sign(a)).
+                let s: i128 = if a > 0 { 1 } else { -1 };
+                let mut nr: Vec<i64> = Vec::with_capacity(n);
+                for c in 0..=n {
+                    if c == var {
+                        continue;
+                    }
+                    let v = s * (i128::from(a) * i128::from(row[c])
+                        - i128::from(b) * i128::from(pivot[c]));
+                    nr.push(narrow(v)?);
+                }
+                out.rows.push((*kind, nr));
+            }
+            out.normalize_impl(tighten);
+            return Ok(out);
+        }
+
+        // Plain Fourier–Motzkin on inequalities. Equalities not involving
+        // `var` pass through; equalities involving `var` were handled above.
+        let mut pos: Vec<&Vec<i64>> = Vec::new();
+        let mut neg: Vec<&Vec<i64>> = Vec::new();
+        for (kind, row) in &self.rows {
+            match (kind, row[var].signum()) {
+                (_, 0) => out.rows.push((*kind, drop_col(row))),
+                (RowKind::Ineq, 1) => pos.push(row),
+                (RowKind::Ineq, -1) => neg.push(row),
+                (RowKind::Eq, _) => unreachable!("equality pivot handled above"),
+                _ => unreachable!(),
+            }
+        }
+        for p in &pos {
+            for q in &neg {
+                // p: a x_var + ... >= 0 (a > 0), q: -b x_var + ... >= 0 (b > 0)
+                // combine: b * p + a * q
+                let a = i128::from(p[var]);
+                let b = i128::from(-q[var]);
+                let mut nr: Vec<i64> = Vec::with_capacity(n);
+                for c in 0..=n {
+                    if c == var {
+                        continue;
+                    }
+                    let v = b * i128::from(p[c]) + a * i128::from(q[c]);
+                    nr.push(narrow(v)?);
+                }
+                out.rows.push((RowKind::Ineq, nr));
+            }
+        }
+        out.normalize_impl(tighten);
+        Ok(out)
+    }
+
+    /// Eliminates the trailing `count` variables (one at a time, last
+    /// first) with integer tightening.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::Overflow`](crate::MathError::Overflow) when combined rows overflow.
+    pub fn eliminate_last_vars(&self, count: usize) -> Result<ConstraintSystem> {
+        let mut cur = self.clone();
+        for _ in 0..count {
+            cur = cur.eliminate_var(cur.num_vars - 1)?;
+        }
+        Ok(cur)
+    }
+
+    /// Eliminates the trailing `count` variables with rational semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::Overflow`](crate::MathError::Overflow) when combined rows overflow.
+    pub fn eliminate_last_vars_rational(&self, count: usize) -> Result<ConstraintSystem> {
+        let mut cur = self.clone();
+        for _ in 0..count {
+            cur = cur.eliminate_var_rational(cur.num_vars - 1)?;
+        }
+        Ok(cur)
+    }
+
+    /// Whether normalization exposes a trivially infeasible row.
+    pub fn is_trivially_infeasible(&self) -> bool {
+        let mut c = self.clone();
+        !c.normalize()
+    }
+}
+
+impl fmt::Debug for ConstraintSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ConstraintSystem({} vars) {{", self.num_vars)?;
+        for (kind, row) in &self.rows {
+            let op = match kind {
+                RowKind::Eq => "==",
+                RowKind::Ineq => ">=",
+            };
+            let mut terms: Vec<String> = Vec::new();
+            for (i, &c) in row[..self.num_vars].iter().enumerate() {
+                if c != 0 {
+                    terms.push(format!("{c}*x{i}"));
+                }
+            }
+            let cst = row[self.num_vars];
+            if cst != 0 || terms.is_empty() {
+                terms.push(cst.to_string());
+            }
+            writeln!(f, "  {} {} 0", terms.join(" + "), op)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn box2d() -> ConstraintSystem {
+        // 0 <= x <= 4, 0 <= y <= 3
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_ineq(vec![1, 0, 0]);
+        cs.add_ineq(vec![-1, 0, 4]);
+        cs.add_ineq(vec![0, 1, 0]);
+        cs.add_ineq(vec![0, -1, 3]);
+        cs
+    }
+
+    #[test]
+    fn contains_point_checks_all_rows() {
+        let cs = box2d();
+        assert!(cs.contains_point(&[0, 0]));
+        assert!(cs.contains_point(&[4, 3]));
+        assert!(!cs.contains_point(&[5, 0]));
+        assert!(!cs.contains_point(&[0, -1]));
+    }
+
+    #[test]
+    fn normalize_divides_by_gcd_and_tightens() {
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_ineq(vec![2, 3]); // 2x + 3 >= 0  =>  x >= -3/2  =>  x + 1 >= 0
+        assert!(cs.normalize());
+        assert_eq!(cs.rows()[0].1, vec![1, 1]);
+    }
+
+    #[test]
+    fn normalize_detects_infeasible_constant() {
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_ineq(vec![0, -1]); // -1 >= 0
+        assert!(!cs.normalize());
+    }
+
+    #[test]
+    fn normalize_detects_non_integral_equality() {
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_eq(vec![2, 1]); // 2x + 1 == 0 has no integer solution
+        assert!(!cs.normalize());
+    }
+
+    #[test]
+    fn normalize_dedups_and_subsumes() {
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_ineq(vec![1, 5]);
+        cs.add_ineq(vec![1, 3]); // tighter
+        cs.add_ineq(vec![1, 3]); // duplicate
+        assert!(cs.normalize());
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs.rows()[0].1, vec![1, 3]);
+    }
+
+    #[test]
+    fn eliminate_projects_box() {
+        let cs = box2d();
+        let proj = cs.eliminate_var(1).unwrap(); // drop y
+        assert_eq!(proj.num_vars(), 1);
+        assert!(proj.contains_point(&[0]));
+        assert!(proj.contains_point(&[4]));
+        assert!(!proj.contains_point(&[5]));
+        assert!(!proj.contains_point(&[-1]));
+    }
+
+    #[test]
+    fn eliminate_uses_equality_pivot() {
+        // x == y, 0 <= x <= 4; eliminating y keeps 0 <= x <= 4.
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_eq(vec![1, -1, 0]);
+        cs.add_ineq(vec![1, 0, 0]);
+        cs.add_ineq(vec![-1, 0, 4]);
+        let proj = cs.eliminate_var(1).unwrap();
+        assert!(proj.contains_point(&[0]));
+        assert!(proj.contains_point(&[4]));
+        assert!(!proj.contains_point(&[5]));
+    }
+
+    #[test]
+    fn eliminate_couples_pos_neg() {
+        // x <= y <= x + 2, 1 <= y <= 3; eliminating y: x >= -1 and x <= 2... wait
+        // y >= x  ->  -x + y >= 0 ; y <= x+2 -> x - y + 2 >= 0; y>=1; y<=3
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_ineq(vec![-1, 1, 0]);
+        cs.add_ineq(vec![1, -1, 2]);
+        cs.add_ineq(vec![0, 1, -1]);
+        cs.add_ineq(vec![0, -1, 3]);
+        let proj = cs.eliminate_var(1).unwrap();
+        // Feasible x: y in [max(x,1), min(x+2,3)] nonempty => x <= 3 and x >= -1.
+        assert!(proj.contains_point(&[-1]));
+        assert!(proj.contains_point(&[3]));
+        assert!(!proj.contains_point(&[4]));
+        assert!(!proj.contains_point(&[-2]));
+    }
+
+    #[test]
+    fn insert_vars_shifts_columns() {
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_ineq(vec![1, -2]); // x >= 2
+        cs.insert_vars(0, 1);
+        assert_eq!(cs.num_vars(), 2);
+        assert!(cs.contains_point(&[99, 2]));
+        assert!(!cs.contains_point(&[0, 1]));
+    }
+}

@@ -1,0 +1,45 @@
+//! Error types for the math crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by exact arithmetic and polyhedral operations.
+///
+/// All operations in this crate are exact; the only failure modes are
+/// arithmetic overflow of the fixed-width integer representation and
+/// structural misuse (dimension mismatches, singular matrices).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MathError {
+    /// An intermediate value exceeded the `i64`/`i128` representation.
+    Overflow,
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Dimension expected by the operation.
+        expected: usize,
+        /// Dimension actually provided.
+        found: usize,
+    },
+    /// A matrix inversion was requested for a singular matrix.
+    SingularMatrix,
+    /// Division by zero in rational arithmetic.
+    DivisionByZero,
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::Overflow => write!(f, "integer overflow in exact arithmetic"),
+            MathError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            MathError::SingularMatrix => write!(f, "matrix is singular"),
+            MathError::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl Error for MathError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, MathError>;

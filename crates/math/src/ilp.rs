@@ -1,0 +1,325 @@
+//! Branch-and-bound integer linear programming on top of the exact
+//! rational simplex, including the lexicographic minimization the
+//! iterative scheduler relies on (Pluto/PIP-style `lexmin`).
+
+use crate::consys::ConstraintSystem;
+use crate::rat::Rat;
+use crate::simplex::{lp_minimize, LpOutcome};
+
+/// Result of an integer linear program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IlpOutcome {
+    /// No integer point satisfies the constraints.
+    Infeasible,
+    /// The relaxation is unbounded in the objective direction.
+    Unbounded,
+    /// Proven integer optimum.
+    Optimal {
+        /// Minimal objective value.
+        value: i64,
+        /// An integer point attaining it.
+        point: Vec<i64>,
+    },
+    /// The node budget was exhausted before optimality was proven; the
+    /// best incumbent found (if any) is reported.
+    NodeLimit {
+        /// Best integer solution discovered before truncation.
+        best: Option<(i64, Vec<i64>)>,
+    },
+}
+
+/// Default branch-and-bound node budget.
+const MAX_NODES: usize = 50_000;
+
+/// Minimizes an integer objective `obj · x` over the integer points of
+/// `cs` by depth-first branch and bound.
+///
+/// # Examples
+///
+/// ```
+/// use polytops_math::{ilp_minimize, ConstraintSystem, IlpOutcome};
+///
+/// // minimize x subject to 2x >= 3 (integer): x = 2.
+/// let mut cs = ConstraintSystem::new(1);
+/// cs.add_ineq(vec![2, -3]);
+/// match ilp_minimize(&cs, &[1]) {
+///     IlpOutcome::Optimal { value, point } => {
+///         assert_eq!(value, 2);
+///         assert_eq!(point, vec![2]);
+///     }
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// ```
+pub fn ilp_minimize(cs: &ConstraintSystem, obj: &[i64]) -> IlpOutcome {
+    assert_eq!(obj.len(), cs.num_vars(), "objective length mismatch");
+    let mut root = cs.clone();
+    if !root.normalize() {
+        return IlpOutcome::Infeasible;
+    }
+    let mut nodes = 0usize;
+    let mut incumbent: Option<(i64, Vec<i64>)> = None;
+    let zero_obj = obj.iter().all(|&c| c == 0);
+    let mut stack: Vec<ConstraintSystem> = vec![root];
+    while let Some(node) = stack.pop() {
+        nodes += 1;
+        if nodes > MAX_NODES {
+            return IlpOutcome::NodeLimit { best: incumbent };
+        }
+        match lp_minimize(&node, obj) {
+            LpOutcome::Infeasible => continue,
+            LpOutcome::Unbounded => {
+                // The relaxation is unbounded. If we have not yet committed
+                // to an incumbent this propagates out; bounded scheduler
+                // problems never hit this.
+                return IlpOutcome::Unbounded;
+            }
+            LpOutcome::Optimal { value, point } => {
+                // Bound pruning: integer objective values are integers.
+                if let Some((inc, _)) = &incumbent {
+                    if value.ceil() >= i128::from(*inc) {
+                        continue;
+                    }
+                }
+                match first_fractional(&point) {
+                    None => {
+                        let ipoint: Vec<i64> =
+                            point.iter().map(|v| v.numer() as i64).collect();
+                        let ival = value
+                            .to_integer()
+                            .expect("integral point yields integral objective")
+                            as i64;
+                        let better = incumbent
+                            .as_ref()
+                            .map_or(true, |(inc, _)| ival < *inc);
+                        if better {
+                            incumbent = Some((ival, ipoint));
+                            if zero_obj {
+                                break; // any integer point is optimal
+                            }
+                        }
+                    }
+                    Some((j, v)) => {
+                        // Branch x_j <= floor(v) and x_j >= ceil(v);
+                        // explore the floor branch first (DFS pops last).
+                        let mut up = node.clone();
+                        let mut row = vec![0i64; up.num_vars() + 1];
+                        row[j] = 1;
+                        row[up.num_vars()] = -(v.ceil() as i64);
+                        up.add_ineq(row);
+                        let mut down = node;
+                        let mut row = vec![0i64; down.num_vars() + 1];
+                        row[j] = -1;
+                        row[down.num_vars()] = v.floor() as i64;
+                        down.add_ineq(row);
+                        stack.push(up);
+                        stack.push(down);
+                    }
+                }
+            }
+        }
+    }
+    match incumbent {
+        Some((value, point)) => IlpOutcome::Optimal { value, point },
+        None => IlpOutcome::Infeasible,
+    }
+}
+
+fn first_fractional(point: &[Rat]) -> Option<(usize, Rat)> {
+    point
+        .iter()
+        .enumerate()
+        .find(|(_, v)| !v.is_integer())
+        .map(|(j, v)| (j, *v))
+}
+
+/// Finds any integer point of `cs`, or `None` when the system has no
+/// integer solutions (or the node budget runs out — treated as empty,
+/// which is the conservative answer for dependence tests).
+pub fn ilp_feasible_point(cs: &ConstraintSystem) -> Option<Vec<i64>> {
+    let zeros = vec![0i64; cs.num_vars()];
+    match ilp_minimize(cs, &zeros) {
+        IlpOutcome::Optimal { point, .. } => Some(point),
+        IlpOutcome::NodeLimit { best } => best.map(|(_, p)| p),
+        _ => None,
+    }
+}
+
+/// Whether `cs` contains at least one integer point.
+pub fn ilp_feasible(cs: &ConstraintSystem) -> bool {
+    ilp_feasible_point(cs).is_some()
+}
+
+/// Lexicographic minimization: minimizes each objective in turn, fixing
+/// its optimal value as an equality before moving to the next, and
+/// returns the final integer point.
+///
+/// This mirrors how Pluto (via PIP) selects schedule coefficients: the
+/// objective sequence is typically `(u, w, Σ coeffs, coeff₀, coeff₁, …)`.
+///
+/// Returns `None` when the system is infeasible or some objective is
+/// unbounded below (callers bound their variables, so unboundedness
+/// signals a modeling error upstream).
+///
+/// # Examples
+///
+/// ```
+/// use polytops_math::{ilp_lexmin, ConstraintSystem};
+///
+/// // 0 <= x, y <= 3, x + y >= 3: lexmin (x, then y) = (0, 3).
+/// let mut cs = ConstraintSystem::new(2);
+/// cs.add_ineq(vec![1, 0, 0]);
+/// cs.add_ineq(vec![-1, 0, 3]);
+/// cs.add_ineq(vec![0, 1, 0]);
+/// cs.add_ineq(vec![0, -1, 3]);
+/// cs.add_ineq(vec![1, 1, -3]);
+/// let point = ilp_lexmin(&cs, &[vec![1, 0], vec![0, 1]]).unwrap();
+/// assert_eq!(point, vec![0, 3]);
+/// ```
+pub fn ilp_lexmin(cs: &ConstraintSystem, objectives: &[Vec<i64>]) -> Option<Vec<i64>> {
+    let n = cs.num_vars();
+    let mut cur = cs.clone();
+    let mut last_point: Option<Vec<i64>> = None;
+    for obj in objectives {
+        assert_eq!(obj.len(), n, "objective length mismatch");
+        match ilp_minimize(&cur, obj) {
+            IlpOutcome::Optimal { value, point } => {
+                // Pin the objective at its optimum and continue.
+                let mut row = obj.clone();
+                row.push(-value);
+                cur.add_eq(row);
+                last_point = Some(point);
+            }
+            IlpOutcome::NodeLimit { best: Some((value, point)) } => {
+                // Best-effort: accept the incumbent (still a legal point).
+                let mut row = obj.clone();
+                row.push(-value);
+                cur.add_eq(row);
+                last_point = Some(point);
+            }
+            _ => return None,
+        }
+    }
+    match last_point {
+        Some(p) => Some(p),
+        None => ilp_feasible_point(&cur),
+    }
+}
+
+/// Conservatively decides whether `row` (an inequality `a·x + c >= 0`) is
+/// implied by `cs` over the rationals. Used for pruning redundant guards
+/// during code generation; a `false` answer merely keeps a guard.
+pub fn ineq_implied(cs: &ConstraintSystem, row: &[i64]) -> bool {
+    assert_eq!(row.len(), cs.num_vars() + 1, "row length mismatch");
+    let n = cs.num_vars();
+    match lp_minimize(cs, &row[..n]) {
+        LpOutcome::Optimal { value, .. } => value + Rat::from(row[n]) >= Rat::ZERO,
+        LpOutcome::Infeasible => true, // empty set implies everything
+        LpOutcome::Unbounded => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_rounding_up() {
+        // 3x >= 7 -> x >= 3 (integer).
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_ineq(vec![3, -7]);
+        match ilp_minimize(&cs, &[1]) {
+            IlpOutcome::Optimal { value, .. } => assert_eq!(value, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_gap() {
+        // 2 < 2x < 4 has the single integer... x in (1,2): empty.
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_ineq(vec![2, -3]); // 2x >= 3
+        cs.add_ineq(vec![-2, 3]); // 2x <= 3
+        assert_eq!(ilp_minimize(&cs, &[1]), IlpOutcome::Infeasible);
+        assert!(!ilp_feasible(&cs));
+    }
+
+    #[test]
+    fn feasible_point_on_diagonal() {
+        // x == y, 5 <= x <= 6.
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_eq(vec![1, -1, 0]);
+        cs.add_ineq(vec![1, 0, -5]);
+        cs.add_ineq(vec![-1, 0, 6]);
+        let p = ilp_feasible_point(&cs).unwrap();
+        assert_eq!(p[0], p[1]);
+        assert!((5..=6).contains(&p[0]));
+    }
+
+    #[test]
+    fn branching_two_dims() {
+        // minimize x + y with 2x + 3y >= 7, x, y >= 0 (integers).
+        // LP optimum fractional; integer optimum value 3 (e.g. x=2,y=1).
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_ineq(vec![2, 3, -7]);
+        cs.add_ineq(vec![1, 0, 0]);
+        cs.add_ineq(vec![0, 1, 0]);
+        match ilp_minimize(&cs, &[1, 1]) {
+            IlpOutcome::Optimal { value, point } => {
+                assert_eq!(value, 3);
+                assert!(2 * point[0] + 3 * point[1] >= 7);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lexmin_prefers_earlier_objectives() {
+        // Box [0,2]^2 with x + y >= 2; lexmin (x, y) = (0, 2), not (1, 1).
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_ineq(vec![1, 0, 0]);
+        cs.add_ineq(vec![-1, 0, 2]);
+        cs.add_ineq(vec![0, 1, 0]);
+        cs.add_ineq(vec![0, -1, 2]);
+        cs.add_ineq(vec![1, 1, -2]);
+        let p = ilp_lexmin(&cs, &[vec![1, 0], vec![0, 1]]).unwrap();
+        assert_eq!(p, vec![0, 2]);
+    }
+
+    #[test]
+    fn lexmin_composite_objective() {
+        // Minimize x + y first, then x: picks (0, 1) among {(0,1),(1,0)}.
+        let mut cs = ConstraintSystem::new(2);
+        for r in [vec![1, 0, 0], vec![-1, 0, 5], vec![0, 1, 0], vec![0, -1, 5]] {
+            cs.add_ineq(r);
+        }
+        cs.add_ineq(vec![1, 1, -1]); // x + y >= 1
+        let p = ilp_lexmin(&cs, &[vec![1, 1], vec![1, 0]]).unwrap();
+        assert_eq!(p, vec![0, 1]);
+    }
+
+    #[test]
+    fn lexmin_infeasible_is_none() {
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_ineq(vec![1, -5]);
+        cs.add_ineq(vec![-1, 2]);
+        assert_eq!(ilp_lexmin(&cs, &[vec![1]]), None);
+    }
+
+    #[test]
+    fn implied_inequality() {
+        // x >= 3 implies x >= 1 but not x >= 4.
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_ineq(vec![1, -3]);
+        cs.add_ineq(vec![-1, 10]);
+        assert!(ineq_implied(&cs, &[1, -1]));
+        assert!(!ineq_implied(&cs, &[1, -4]));
+    }
+
+    #[test]
+    fn equality_only_integer_check() {
+        // 2x == 3 has a rational but no integer solution.
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_eq(vec![2, -3]);
+        assert!(!ilp_feasible(&cs));
+    }
+}

@@ -1,0 +1,67 @@
+//! Exact mathematical foundations for the PolyTOPS polyhedral scheduler.
+//!
+//! This crate provides everything the scheduler stack needs and nothing
+//! more, implemented from scratch with **exact** arithmetic:
+//!
+//! * [`Rat`] — rational numbers over `i128`;
+//! * [`IntMatrix`] / [`RatMatrix`] — dense matrices with rank, inversion,
+//!   Hermite normal form and the Pluto-style
+//!   [`orthogonal_complement`] used by the progression constraint;
+//! * [`ConstraintSystem`] — affine equality/inequality systems with exact
+//!   Fourier–Motzkin elimination (integer-tightening and rational
+//!   variants);
+//! * [`lp_minimize`] — exact two-phase rational simplex;
+//! * [`ilp_minimize`] / [`ilp_lexmin`] / [`ilp_feasible`] — branch-and-
+//!   bound ILP with the lexicographic minimization that drives schedule
+//!   coefficient selection;
+//! * [`farkas_nonneg`] — the affine form of Farkas' lemma, which turns
+//!   "this affine form is non-negative on that dependence polyhedron"
+//!   into linear constraints over schedule coefficients.
+//!
+//! # Example: a miniature scheduling legality check
+//!
+//! ```
+//! use polytops_math::{farkas_nonneg, ilp_lexmin, ConstraintSystem};
+//!
+//! // Dependence polyhedron for S(i) -> R(i), 0 <= i <= 9 (same i).
+//! let mut dep = ConstraintSystem::new(2); // (i_S, i_R)
+//! dep.add_eq(vec![1, -1, 0]);
+//! dep.add_ineq(vec![1, 0, 0]);
+//! dep.add_ineq(vec![-1, 0, 9]);
+//!
+//! // Schedule coefficients y = (t_S, t_R): require t_R*i_R - t_S*i_S >= 0.
+//! let template = vec![
+//!     vec![-1, 0, 0], // coeff of i_S: -t_S
+//!     vec![0, 1, 0],  // coeff of i_R:  t_R
+//!     vec![0, 0, 0],  // constant: 0
+//! ];
+//! let mut legal = farkas_nonneg(&dep, &template, 2).unwrap();
+//! // Bound the coefficients and ask for the lexicographically smallest
+//! // non-trivial solution.
+//! legal.add_ineq(vec![1, 0, 0]);  // t_S >= 0
+//! legal.add_ineq(vec![0, 1, 0]);  // t_R >= 0
+//! legal.add_ineq(vec![1, 1, -1]); // t_S + t_R >= 1
+//! let sol = ilp_lexmin(&legal, &[vec![1, 1], vec![1, 0]]).unwrap();
+//! assert_eq!(sol, vec![0, 1]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod consys;
+mod error;
+mod farkas;
+mod ilp;
+mod matrix;
+mod num;
+mod rat;
+mod simplex;
+
+pub use consys::{ConstraintSystem, RowKind};
+pub use error::{MathError, Result};
+pub use farkas::farkas_nonneg;
+pub use ilp::{ilp_feasible, ilp_feasible_point, ilp_lexmin, ilp_minimize, ineq_implied, IlpOutcome};
+pub use matrix::{orthogonal_complement, primitive, IntMatrix, RatMatrix};
+pub use num::{ceil_div, floor_div, gcd, gcd_slice, lcm, modulo, narrow};
+pub use rat::Rat;
+pub use simplex::{lp_feasible, lp_minimize, LpOutcome};

@@ -1,0 +1,362 @@
+//! Exact two-phase primal simplex over the rationals.
+//!
+//! Variables are unrestricted in sign (the standard-form translation
+//! `x = x⁺ − x⁻` happens internally); constraints come from a
+//! [`ConstraintSystem`]. The solver is exact — no floating point — so
+//! feasibility and optimality answers are decisions, not approximations.
+
+use crate::consys::{ConstraintSystem, RowKind};
+use crate::rat::Rat;
+
+/// Result of a linear program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpOutcome {
+    /// No rational point satisfies the constraints.
+    Infeasible,
+    /// The objective decreases without bound on the feasible region.
+    Unbounded,
+    /// An optimal vertex was found.
+    Optimal {
+        /// Minimal objective value.
+        value: Rat,
+        /// A point attaining it (one value per original variable).
+        point: Vec<Rat>,
+    },
+}
+
+/// Minimizes `objective · x` over the rational points of `cs`.
+///
+/// The objective has one coefficient per variable of `cs` (no constant
+/// term — add constants outside). Uses Dantzig pricing with an automatic
+/// switch to Bland's rule to guarantee termination.
+///
+/// # Examples
+///
+/// ```
+/// use polytops_math::{lp_minimize, ConstraintSystem, LpOutcome, Rat};
+///
+/// // minimize x subject to x >= 3
+/// let mut cs = ConstraintSystem::new(1);
+/// cs.add_ineq(vec![1, -3]);
+/// match lp_minimize(&cs, &[1]) {
+///     LpOutcome::Optimal { value, .. } => assert_eq!(value, Rat::from(3)),
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// ```
+pub fn lp_minimize(cs: &ConstraintSystem, objective: &[i64]) -> LpOutcome {
+    assert_eq!(objective.len(), cs.num_vars(), "objective length mismatch");
+    Tableau::build(cs).solve(objective)
+}
+
+/// Whether `cs` admits any rational solution.
+pub fn lp_feasible(cs: &ConstraintSystem) -> bool {
+    let zeros = vec![0i64; cs.num_vars()];
+    !matches!(lp_minimize(cs, &zeros), LpOutcome::Infeasible)
+}
+
+/// Dense simplex tableau in standard form `A z = b, z >= 0`.
+///
+/// Column layout: `[x⁺ (n), x⁻ (n), slacks (m_ineq), artificials (m)]`.
+struct Tableau {
+    n: usize,          // original variables
+    ncols: usize,      // structural + slack columns (no artificials)
+    nart: usize,       // artificial columns
+    rows: Vec<Vec<Rat>>, // m rows of length ncols + nart, plus rhs column appended
+    rhs: Vec<Rat>,
+    basis: Vec<usize>, // basic column per row
+}
+
+impl Tableau {
+    fn build(cs: &ConstraintSystem) -> Tableau {
+        let n = cs.num_vars();
+        let m = cs.len();
+        let num_ineq = cs.iter().filter(|(k, _)| *k == RowKind::Ineq).count();
+        let ncols = 2 * n + num_ineq;
+        let nart = m;
+        let mut rows: Vec<Vec<Rat>> = Vec::with_capacity(m);
+        let mut rhs: Vec<Rat> = Vec::with_capacity(m);
+        let mut basis: Vec<usize> = Vec::with_capacity(m);
+        let mut slack_idx = 0usize;
+        for (ri, (kind, row)) in cs.iter().enumerate() {
+            // Row semantics: a·x + c (>=|==) 0  =>  a·x (>=|==) -c.
+            let mut r = vec![Rat::ZERO; ncols + nart];
+            let mut b = Rat::from(-row[n]);
+            let mut sign = Rat::ONE;
+            if b.is_negative() {
+                sign = -Rat::ONE;
+                b = -b;
+            }
+            for j in 0..n {
+                let a = sign * Rat::from(row[j]);
+                r[j] = a;
+                r[n + j] = -a;
+            }
+            if kind == RowKind::Ineq {
+                // a·x - s = -c with s >= 0 (after sign normalization the
+                // slack coefficient is -sign).
+                r[2 * n + slack_idx] = -sign;
+                slack_idx += 1;
+            }
+            // Artificial variable for this row.
+            r[ncols + ri] = Rat::ONE;
+            basis.push(ncols + ri);
+            rows.push(r);
+            rhs.push(b);
+        }
+        Tableau {
+            n,
+            ncols,
+            nart,
+            rows,
+            rhs,
+            basis,
+        }
+    }
+
+    fn solve(mut self, objective: &[i64]) -> LpOutcome {
+        // Phase 1: minimize the sum of artificials.
+        let mut cost1 = vec![Rat::ZERO; self.ncols + self.nart];
+        for j in self.ncols..self.ncols + self.nart {
+            cost1[j] = Rat::ONE;
+        }
+        let (z1, _) = match self.optimize(&cost1, /*restrict_arts=*/ false) {
+            Some(v) => v,
+            None => return LpOutcome::Unbounded, // cannot happen: phase 1 bounded
+        };
+        if z1.is_positive() {
+            return LpOutcome::Infeasible;
+        }
+        // Drive any remaining artificial variables out of the basis.
+        self.expel_artificials();
+
+        // Phase 2: original objective on x⁺/x⁻ columns.
+        let mut cost2 = vec![Rat::ZERO; self.ncols + self.nart];
+        for j in 0..self.n {
+            cost2[j] = Rat::from(objective[j]);
+            cost2[self.n + j] = -Rat::from(objective[j]);
+        }
+        match self.optimize(&cost2, /*restrict_arts=*/ true) {
+            None => LpOutcome::Unbounded,
+            Some((value, point)) => LpOutcome::Optimal { value, point },
+        }
+    }
+
+    /// Runs the simplex loop for the given cost vector. Returns
+    /// `(objective value, original-variable point)` or `None` if unbounded.
+    fn optimize(&mut self, cost: &[Rat], restrict_arts: bool) -> Option<(Rat, Vec<Rat>)> {
+        let total_cols = self.ncols + self.nart;
+        // Reduced costs are computed on demand: c_j - c_B · B⁻¹ A_j. Since we
+        // keep the tableau fully updated (rows are B⁻¹ A), the reduced cost
+        // is c_j - sum_i c_{basis[i]} * rows[i][j].
+        let mut iters = 0usize;
+        let max_dantzig = 4 * (total_cols + self.rows.len());
+        loop {
+            iters += 1;
+            let bland = iters > max_dantzig;
+            // Compute multipliers y_i = cost of basic var in row i.
+            let cb: Vec<Rat> = self.basis.iter().map(|&j| cost[j]).collect();
+            // Entering column: negative reduced cost.
+            let mut enter: Option<(usize, Rat)> = None;
+            for j in 0..total_cols {
+                if restrict_arts && j >= self.ncols {
+                    continue; // artificials stay out in phase 2
+                }
+                if self.basis.contains(&j) {
+                    continue;
+                }
+                let mut red = cost[j];
+                for (i, r) in self.rows.iter().enumerate() {
+                    if !cb[i].is_zero() && !r[j].is_zero() {
+                        red -= cb[i] * r[j];
+                    }
+                }
+                if red.is_negative() {
+                    if bland {
+                        enter = Some((j, red));
+                        break;
+                    }
+                    match &enter {
+                        None => enter = Some((j, red)),
+                        Some((_, best)) if red < *best => enter = Some((j, red)),
+                        _ => {}
+                    }
+                }
+            }
+            let Some((je, _)) = enter else {
+                // Optimal: compute value and point.
+                let mut point = vec![Rat::ZERO; self.n];
+                for (i, &bj) in self.basis.iter().enumerate() {
+                    if bj < self.n {
+                        point[bj] += self.rhs[i];
+                    } else if bj < 2 * self.n {
+                        point[bj - self.n] -= self.rhs[i];
+                    }
+                }
+                let mut value = Rat::ZERO;
+                for (i, &bj) in self.basis.iter().enumerate() {
+                    if !cost[bj].is_zero() {
+                        value += cost[bj] * self.rhs[i];
+                    }
+                }
+                return Some((value, point));
+            };
+            // Ratio test (Bland tie-break on basis index).
+            let mut leave: Option<(usize, Rat)> = None;
+            for i in 0..self.rows.len() {
+                let a = self.rows[i][je];
+                if a.is_positive() {
+                    let ratio = self.rhs[i] / a;
+                    match &leave {
+                        None => leave = Some((i, ratio)),
+                        Some((li, best)) => {
+                            if ratio < *best
+                                || (ratio == *best && self.basis[i] < self.basis[*li])
+                            {
+                                leave = Some((i, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((li, _)) = leave else {
+                return None; // unbounded
+            };
+            self.pivot(li, je);
+        }
+    }
+
+    fn pivot(&mut self, li: usize, je: usize) {
+        let p = self.rows[li][je];
+        let inv = p.recip();
+        for v in &mut self.rows[li] {
+            *v *= inv;
+        }
+        self.rhs[li] *= inv;
+        let pivot_row = self.rows[li].clone();
+        let pivot_rhs = self.rhs[li];
+        for i in 0..self.rows.len() {
+            if i == li {
+                continue;
+            }
+            let f = self.rows[i][je];
+            if f.is_zero() {
+                continue;
+            }
+            for (v, pv) in self.rows[i].iter_mut().zip(&pivot_row) {
+                if !pv.is_zero() {
+                    let s = f * *pv;
+                    *v -= s;
+                }
+            }
+            let s = f * pivot_rhs;
+            self.rhs[i] -= s;
+        }
+        self.basis[li] = je;
+    }
+
+    /// After phase 1, pivots remaining artificial basics to structural
+    /// columns (or leaves degenerate zero rows harmlessly basic).
+    fn expel_artificials(&mut self) {
+        for i in 0..self.rows.len() {
+            if self.basis[i] >= self.ncols {
+                // Find a structural column with nonzero entry to pivot in.
+                if let Some(j) = (0..self.ncols).find(|&j| !self.rows[i][j].is_zero()) {
+                    self.pivot(i, j);
+                }
+                // Otherwise the row is all-zero over structurals (redundant
+                // constraint); its rhs must be zero after a feasible phase 1.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimal(cs: &ConstraintSystem, obj: &[i64]) -> (Rat, Vec<Rat>) {
+        match lp_minimize(cs, obj) {
+            LpOutcome::Optimal { value, point } => (value, point),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minimize_over_interval() {
+        // 2 <= x <= 5, minimize x -> 2; minimize -x -> -5.
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_ineq(vec![1, -2]);
+        cs.add_ineq(vec![-1, 5]);
+        assert_eq!(optimal(&cs, &[1]).0, Rat::from(2));
+        assert_eq!(optimal(&cs, &[-1]).0, Rat::from(-5));
+    }
+
+    #[test]
+    fn negative_region() {
+        // -7 <= x <= -3, minimize x.
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_ineq(vec![1, 7]);
+        cs.add_ineq(vec![-1, -3]);
+        let (v, p) = optimal(&cs, &[1]);
+        assert_eq!(v, Rat::from(-7));
+        assert_eq!(p[0], Rat::from(-7));
+    }
+
+    #[test]
+    fn two_dims_vertex() {
+        // x + y >= 2, x >= 0, y >= 0, minimize 2x + y.
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_ineq(vec![1, 1, -2]);
+        cs.add_ineq(vec![1, 0, 0]);
+        cs.add_ineq(vec![0, 1, 0]);
+        let (v, p) = optimal(&cs, &[2, 1]);
+        assert_eq!(v, Rat::from(2));
+        assert_eq!(p, vec![Rat::from(0), Rat::from(2)]);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // x + y == 4, x - y == 0 -> x = y = 2.
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_eq(vec![1, 1, -4]);
+        cs.add_eq(vec![1, -1, 0]);
+        let (_, p) = optimal(&cs, &[0, 0]);
+        assert_eq!(p, vec![Rat::from(2), Rat::from(2)]);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_ineq(vec![1, -5]); // x >= 5
+        cs.add_ineq(vec![-1, 2]); // x <= 2
+        assert_eq!(lp_minimize(&cs, &[1]), LpOutcome::Infeasible);
+        assert!(!lp_feasible(&cs));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_ineq(vec![1, 0]); // x >= 0
+        assert_eq!(lp_minimize(&cs, &[-1]), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn fractional_vertex() {
+        // 2x >= 1, minimize x -> 1/2.
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_ineq(vec![2, -1]);
+        assert_eq!(optimal(&cs, &[1]).0, Rat::new(1, 2));
+    }
+
+    #[test]
+    fn degenerate_redundant_rows() {
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_ineq(vec![1, 0, 0]);
+        cs.add_ineq(vec![1, 0, 0]); // duplicate
+        cs.add_eq(vec![1, -1, 0]);
+        cs.add_eq(vec![2, -2, 0]); // redundant equality
+        cs.add_ineq(vec![-1, 0, 3]);
+        let (v, _) = optimal(&cs, &[1, 1]);
+        assert_eq!(v, Rat::from(0));
+    }
+}

@@ -1,0 +1,1 @@
+//! Umbrella crate re-exporting the PolyTOPS public API.
