@@ -1,1 +1,24 @@
-fn main() {}
+//! Full-pipeline benchmark: dependence analysis, scheduling and legality
+//! verification end to end on each reference kernel.
+
+use polytops_bench::bench_fn;
+use polytops_core::SchedulerConfig;
+use polytops_deps::{analyze, schedule_respects_dependence};
+
+fn main() {
+    let cfg = SchedulerConfig::default();
+    for (kernel, scop) in polytops_workloads::all_kernels() {
+        bench_fn(&format!("pipeline/{kernel}"), || {
+            let deps = analyze(&scop);
+            let sched = polytops_core::schedule(&scop, &cfg).expect("kernel schedules");
+            for dep in &deps {
+                assert!(schedule_respects_dependence(
+                    dep,
+                    sched.stmt(dep.src).rows(),
+                    sched.stmt(dep.dst).rows(),
+                ));
+            }
+            sched
+        });
+    }
+}

@@ -1,1 +1,19 @@
-fn main() {}
+//! Scheduling-only benchmark: `polytops_core::schedule` on each
+//! reference kernel under the Pluto-like and Feautrier-like presets.
+
+use polytops_bench::bench_fn;
+use polytops_core::presets;
+
+fn main() {
+    let configs = [
+        ("pluto", presets::pluto()),
+        ("feautrier", presets::feautrier()),
+    ];
+    for (kernel, scop) in polytops_workloads::all_kernels() {
+        for (cname, cfg) in &configs {
+            bench_fn(&format!("schedule/{kernel}/{cname}"), || {
+                polytops_core::schedule(&scop, cfg).expect("kernel schedules")
+            });
+        }
+    }
+}

@@ -10,9 +10,8 @@
 //!   strategies that inspect the partial schedule, the Rust analogue of
 //!   the paper's C++ interface (Listing 3).
 
-use serde::Deserialize;
-
 use crate::error::ScheduleError;
+use crate::json::{self, Json};
 
 /// A predefined or user-defined cost function (paper §III-A1).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,9 +36,7 @@ impl CostFn {
             "feautrier" => Ok(CostFn::Feautrier),
             "contiguity" => Ok(CostFn::Contiguity),
             "bigLoopsFirst" | "big_loops_first" | "blf" => Ok(CostFn::BigLoopsFirst),
-            other if user_vars.iter().any(|v| v == other) => {
-                Ok(CostFn::UserVar(other.to_string()))
-            }
+            other if user_vars.iter().any(|v| v == other) => Ok(CostFn::UserVar(other.to_string())),
             other => Err(ScheduleError::Config {
                 detail: format!("unknown cost function `{other}`"),
             }),
@@ -138,7 +135,7 @@ impl<T> DimMap<T> {
 }
 
 /// Post-processing options (paper Fig. 1's post-processing block).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct PostProcess {
     /// Tile sizes per band depth; empty disables tiling. The paper is
     /// explicit that tile-size *decisions* are external to the scheduler.
@@ -148,16 +145,6 @@ pub struct PostProcess {
     pub wavefront: bool,
     /// Reorder intra-tile loops to move a vectorizable loop innermost.
     pub intra_tile_vectorize: bool,
-}
-
-impl Default for PostProcess {
-    fn default() -> PostProcess {
-        PostProcess {
-            tile_sizes: Vec::new(),
-            wavefront: false,
-            intra_tile_vectorize: false,
-        }
-    }
 }
 
 /// Complete scheduler configuration (compiled form).
@@ -227,90 +214,76 @@ impl Default for SchedulerConfig {
 }
 
 // ---------------------------------------------------------------------
-// JSON interface (paper Listing 2).
+// JSON interface (paper Listing 2), deserialized by hand from the
+// in-tree parser (crate::json) — the build environment has no registry
+// access for serde.
 // ---------------------------------------------------------------------
 
-#[derive(Deserialize)]
-struct JsonRoot {
-    scheduling_strategy: JsonStrategy,
-}
-
-#[derive(Deserialize, Default)]
-#[serde(deny_unknown_fields)]
-struct JsonStrategy {
-    #[serde(default)]
-    new_variables: Vec<String>,
-    #[serde(rename = "ILP_construction", default)]
-    ilp_construction: Vec<JsonIlpDim>,
-    #[serde(default)]
-    custom_constraints: Vec<JsonConstraints>,
-    #[serde(default)]
-    fusion: Vec<JsonFusion>,
-    #[serde(default)]
-    directives: Vec<JsonDirective>,
-    // --- extensions beyond Listing 2 (documented in the crate docs) ---
-    #[serde(default)]
-    auto_vectorize: Option<bool>,
-    #[serde(default)]
-    fusion_heuristic: Option<String>,
-    #[serde(default)]
-    negative_coefficients: Option<bool>,
-    #[serde(default)]
-    parametric_shift: Option<bool>,
-    #[serde(default)]
-    isl_fallback: Option<bool>,
-    #[serde(default)]
-    coefficient_bound: Option<i64>,
-    #[serde(default)]
-    parameter_estimate: Option<i64>,
-    #[serde(default)]
-    tile_sizes: Option<Vec<i64>>,
-    #[serde(default)]
-    wavefront: Option<bool>,
-    #[serde(default)]
-    intra_tile_vectorize: Option<bool>,
-}
-
-#[derive(Deserialize)]
-#[serde(untagged)]
+/// `scheduling_dimension`: a concrete index or a name (only `"default"`
+/// is meaningful).
 enum JsonDim {
     Index(usize),
     Name(String),
 }
 
-#[derive(Deserialize)]
-struct JsonIlpDim {
-    scheduling_dimension: JsonDim,
-    #[serde(default)]
-    cost_functions: Vec<String>,
-    /// Listing 5 (right) also allows constraints in ILP entries.
-    #[serde(default)]
-    constraints: Vec<String>,
+fn cfg_err(detail: impl Into<String>) -> ScheduleError {
+    ScheduleError::Config {
+        detail: detail.into(),
+    }
 }
 
-#[derive(Deserialize)]
-struct JsonConstraints {
-    scheduling_dimension: JsonDim,
-    constraints: Vec<String>,
+fn want_str(v: &Json, what: &str) -> Result<String, ScheduleError> {
+    v.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| cfg_err(format!("`{what}` must be a string")))
 }
 
-#[derive(Deserialize)]
-struct JsonFusion {
-    scheduling_dimension: usize,
-    #[serde(default)]
-    total_distribution: bool,
-    #[serde(default)]
-    stmts_fusion: Vec<Vec<String>>,
+fn want_bool(v: &Json, what: &str) -> Result<bool, ScheduleError> {
+    v.as_bool()
+        .ok_or_else(|| cfg_err(format!("`{what}` must be a boolean")))
 }
 
-#[derive(Deserialize)]
-struct JsonDirective {
-    #[serde(rename = "type")]
-    kind: String,
-    #[serde(default)]
-    stmts: Option<String>,
-    #[serde(default)]
-    iterator: String,
+fn want_int(v: &Json, what: &str) -> Result<i64, ScheduleError> {
+    v.as_int()
+        .ok_or_else(|| cfg_err(format!("`{what}` must be an integer")))
+}
+
+fn want_usize(v: &Json, what: &str) -> Result<usize, ScheduleError> {
+    usize::try_from(want_int(v, what)?)
+        .map_err(|_| cfg_err(format!("`{what}` must be non-negative")))
+}
+
+fn want_array<'a>(v: &'a Json, what: &str) -> Result<&'a [Json], ScheduleError> {
+    v.as_array()
+        .ok_or_else(|| cfg_err(format!("`{what}` must be an array")))
+}
+
+fn str_list(v: &Json, what: &str) -> Result<Vec<String>, ScheduleError> {
+    want_array(v, what)?
+        .iter()
+        .map(|e| want_str(e, what))
+        .collect()
+}
+
+fn int_list(v: &Json, what: &str) -> Result<Vec<i64>, ScheduleError> {
+    want_array(v, what)?
+        .iter()
+        .map(|e| want_int(e, what))
+        .collect()
+}
+
+fn want_dim(v: &Json) -> Result<JsonDim, ScheduleError> {
+    match v {
+        Json::Int(_) => Ok(JsonDim::Index(want_usize(v, "scheduling_dimension")?)),
+        Json::Str(s) => Ok(JsonDim::Name(s.clone())),
+        _ => Err(cfg_err("`scheduling_dimension` must be an index or a name")),
+    }
+}
+
+fn parse_stmt_id(s: &str, context: &str) -> Result<usize, ScheduleError> {
+    s.trim()
+        .parse::<usize>()
+        .map_err(|_| cfg_err(format!("bad statement id `{s}` in {context}")))
 }
 
 impl SchedulerConfig {
@@ -325,7 +298,7 @@ impl SchedulerConfig {
     /// # Examples
     ///
     /// ```
-    /// use polytops::SchedulerConfig;
+    /// use polytops_core::SchedulerConfig;
     ///
     /// let cfg = SchedulerConfig::from_json(r#"{
     ///   "scheduling_strategy": {
@@ -339,155 +312,236 @@ impl SchedulerConfig {
     /// assert!(!cfg.auto_vectorize);
     /// ```
     pub fn from_json(text: &str) -> Result<SchedulerConfig, ScheduleError> {
-        let root: JsonRoot =
-            serde_json::from_str(text).map_err(|e| ScheduleError::Config {
-                detail: e.to_string(),
-            })?;
-        let js = root.scheduling_strategy;
+        let root = json::parse(text).map_err(cfg_err)?;
+        let root = root
+            .as_object()
+            .ok_or_else(|| cfg_err("top level must be an object"))?;
+        let js = root
+            .get("scheduling_strategy")
+            .ok_or_else(|| cfg_err("missing `scheduling_strategy`"))?
+            .as_object()
+            .ok_or_else(|| cfg_err("`scheduling_strategy` must be an object"))?;
+        // The serde original used `deny_unknown_fields`; keep that.
+        const KNOWN_KEYS: &[&str] = &[
+            "new_variables",
+            "ILP_construction",
+            "custom_constraints",
+            "fusion",
+            "directives",
+            "auto_vectorize",
+            "fusion_heuristic",
+            "negative_coefficients",
+            "parametric_shift",
+            "isl_fallback",
+            "coefficient_bound",
+            "parameter_estimate",
+            "tile_sizes",
+            "wavefront",
+            "intra_tile_vectorize",
+        ];
+        if let Some(unknown) = js.keys().find(|k| !KNOWN_KEYS.contains(&k.as_str())) {
+            return Err(cfg_err(format!(
+                "unknown field `{unknown}` in scheduling_strategy"
+            )));
+        }
+        let new_variables = match js.get("new_variables") {
+            Some(v) => str_list(v, "new_variables")?,
+            None => Vec::new(),
+        };
         let mut cfg = SchedulerConfig {
-            new_variables: js.new_variables.clone(),
+            new_variables: new_variables.clone(),
             ..SchedulerConfig::default()
         };
-        for entry in &js.ilp_construction {
-            let costs: Result<Vec<CostFn>, ScheduleError> = entry
-                .cost_functions
-                .iter()
-                .map(|n| CostFn::parse(n, &js.new_variables))
-                .collect();
-            let costs = costs?;
-            match &entry.scheduling_dimension {
+        let empty: &[Json] = &[];
+        let entries = match js.get("ILP_construction") {
+            Some(v) => want_array(v, "ILP_construction")?,
+            None => empty,
+        };
+        for entry in entries {
+            let obj = entry
+                .as_object()
+                .ok_or_else(|| cfg_err("ILP_construction entries must be objects"))?;
+            let dim = want_dim(obj.get("scheduling_dimension").ok_or_else(|| {
+                cfg_err("ILP_construction entry missing `scheduling_dimension`")
+            })?)?;
+            let names = match obj.get("cost_functions") {
+                Some(v) => str_list(v, "cost_functions")?,
+                None => Vec::new(),
+            };
+            let mut costs = Vec::with_capacity(names.len());
+            for n in &names {
+                costs.push(CostFn::parse(n, &new_variables)?);
+            }
+            // Listing 5 (right) also allows constraints in ILP entries.
+            let constraints = match obj.get("constraints") {
+                Some(v) => str_list(v, "constraints")?,
+                None => Vec::new(),
+            };
+            match dim {
                 JsonDim::Name(n) if n == "default" => {
                     cfg.cost_functions.set_default(costs);
-                    if !entry.constraints.is_empty() {
+                    if !constraints.is_empty() {
                         let mut cur = cfg.custom_constraints.get(usize::MAX).clone();
-                        cur.extend(entry.constraints.iter().cloned());
+                        cur.extend(constraints);
                         cfg.custom_constraints.set_default(cur);
                     }
                 }
                 JsonDim::Index(d) => {
-                    cfg.cost_functions.set(*d, costs);
-                    if !entry.constraints.is_empty() {
-                        cfg.custom_constraints.set(*d, entry.constraints.clone());
+                    cfg.cost_functions.set(d, costs);
+                    if !constraints.is_empty() {
+                        cfg.custom_constraints.set(d, constraints);
                     }
                 }
                 JsonDim::Name(other) => {
-                    return Err(ScheduleError::Config {
-                        detail: format!("bad scheduling_dimension `{other}`"),
-                    })
+                    return Err(cfg_err(format!("bad scheduling_dimension `{other}`")))
                 }
             }
         }
-        for entry in &js.custom_constraints {
-            match &entry.scheduling_dimension {
+        let entries = match js.get("custom_constraints") {
+            Some(v) => want_array(v, "custom_constraints")?,
+            None => empty,
+        };
+        for entry in entries {
+            let obj = entry
+                .as_object()
+                .ok_or_else(|| cfg_err("custom_constraints entries must be objects"))?;
+            let dim = want_dim(obj.get("scheduling_dimension").ok_or_else(|| {
+                cfg_err("custom_constraints entry missing `scheduling_dimension`")
+            })?)?;
+            let constraints = str_list(
+                obj.get("constraints")
+                    .ok_or_else(|| cfg_err("custom_constraints entry missing `constraints`"))?,
+                "constraints",
+            )?;
+            match dim {
                 JsonDim::Name(n) if n == "default" => {
                     let mut cur = cfg.custom_constraints.get(usize::MAX).clone();
-                    cur.extend(entry.constraints.iter().cloned());
+                    cur.extend(constraints);
                     cfg.custom_constraints.set_default(cur);
                 }
                 JsonDim::Index(d) => {
-                    cfg.custom_constraints.set(*d, entry.constraints.clone());
+                    cfg.custom_constraints.set(d, constraints);
                 }
                 JsonDim::Name(other) => {
-                    return Err(ScheduleError::Config {
-                        detail: format!("bad scheduling_dimension `{other}`"),
-                    })
+                    return Err(cfg_err(format!("bad scheduling_dimension `{other}`")))
                 }
             }
         }
-        for f in &js.fusion {
-            let groups: Result<Vec<Vec<usize>>, ScheduleError> = f
-                .stmts_fusion
-                .iter()
-                .map(|g| {
-                    g.iter()
-                        .map(|s| {
-                            s.parse::<usize>().map_err(|_| ScheduleError::Config {
-                                detail: format!("bad statement id `{s}` in fusion"),
-                            })
-                        })
-                        .collect()
-                })
-                .collect();
+        let entries = match js.get("fusion") {
+            Some(v) => want_array(v, "fusion")?,
+            None => empty,
+        };
+        for entry in entries {
+            let obj = entry
+                .as_object()
+                .ok_or_else(|| cfg_err("fusion entries must be objects"))?;
+            let dimension = want_usize(
+                obj.get("scheduling_dimension")
+                    .ok_or_else(|| cfg_err("fusion entry missing `scheduling_dimension`"))?,
+                "scheduling_dimension",
+            )?;
+            let total_distribution = match obj.get("total_distribution") {
+                Some(v) => want_bool(v, "total_distribution")?,
+                None => false,
+            };
+            let mut groups = Vec::new();
+            if let Some(v) = obj.get("stmts_fusion") {
+                for g in want_array(v, "stmts_fusion")? {
+                    let names = str_list(g, "stmts_fusion")?;
+                    let mut ids = Vec::with_capacity(names.len());
+                    for s in &names {
+                        ids.push(parse_stmt_id(s, "fusion")?);
+                    }
+                    groups.push(ids);
+                }
+            }
             cfg.fusion.push(FusionControl {
-                dimension: f.scheduling_dimension,
-                total_distribution: f.total_distribution,
-                groups: groups?,
+                dimension,
+                total_distribution,
+                groups,
             });
         }
-        for d in &js.directives {
-            let kind = match d.kind.as_str() {
+        let entries = match js.get("directives") {
+            Some(v) => want_array(v, "directives")?,
+            None => empty,
+        };
+        for entry in entries {
+            let obj = entry
+                .as_object()
+                .ok_or_else(|| cfg_err("directive entries must be objects"))?;
+            let kind_name = want_str(
+                obj.get("type")
+                    .ok_or_else(|| cfg_err("directive missing `type`"))?,
+                "type",
+            )?;
+            let kind = match kind_name.as_str() {
                 "vectorize" => DirectiveKind::Vectorize,
                 "parallelize" | "parallel" => DirectiveKind::Parallelize,
                 "sequential" => DirectiveKind::Sequential,
-                other => {
-                    return Err(ScheduleError::Config {
-                        detail: format!("unknown directive type `{other}`"),
-                    })
-                }
+                other => return Err(cfg_err(format!("unknown directive type `{other}`"))),
             };
-            let stmts = match d.stmts.as_deref() {
-                None | Some("all") => None,
-                Some(list) => {
-                    let ids: Result<Vec<usize>, ScheduleError> = list
-                        .split(',')
-                        .map(|s| {
-                            s.trim().parse::<usize>().map_err(|_| ScheduleError::Config {
-                                detail: format!("bad statement id `{s}` in directive"),
-                            })
-                        })
-                        .collect();
-                    Some(ids?)
-                }
+            let stmts = match obj.get("stmts") {
+                None => None,
+                Some(v) => match want_str(v, "stmts")?.as_str() {
+                    "all" => None,
+                    list => {
+                        let mut ids = Vec::new();
+                        for s in list.split(',') {
+                            ids.push(parse_stmt_id(s, "directive")?);
+                        }
+                        Some(ids)
+                    }
+                },
             };
-            let iterator = d.iterator.trim().parse::<usize>().map_err(|_| {
-                ScheduleError::Config {
-                    detail: format!("bad iterator `{}` in directive", d.iterator),
-                }
-            })?;
+            let iter_text = want_str(
+                obj.get("iterator")
+                    .ok_or_else(|| cfg_err("directive missing `iterator`"))?,
+                "iterator",
+            )?;
+            let iterator = iter_text
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| cfg_err(format!("bad iterator `{iter_text}` in directive")))?;
             cfg.directives.push(Directive {
                 kind,
                 stmts,
                 iterator,
             });
         }
-        if let Some(v) = js.auto_vectorize {
-            cfg.auto_vectorize = v;
+        if let Some(v) = js.get("auto_vectorize") {
+            cfg.auto_vectorize = want_bool(v, "auto_vectorize")?;
         }
-        if let Some(h) = &js.fusion_heuristic {
-            cfg.fusion_heuristic = match h.as_str() {
+        if let Some(v) = js.get("fusion_heuristic") {
+            cfg.fusion_heuristic = match want_str(v, "fusion_heuristic")?.as_str() {
                 "smartfuse" => FusionHeuristic::SmartFuse,
                 "maxfuse" => FusionHeuristic::MaxFuse,
                 "nofuse" => FusionHeuristic::NoFuse,
-                other => {
-                    return Err(ScheduleError::Config {
-                        detail: format!("unknown fusion heuristic `{other}`"),
-                    })
-                }
+                other => return Err(cfg_err(format!("unknown fusion heuristic `{other}`"))),
             };
         }
-        if let Some(v) = js.negative_coefficients {
-            cfg.negative_coefficients = v;
+        if let Some(v) = js.get("negative_coefficients") {
+            cfg.negative_coefficients = want_bool(v, "negative_coefficients")?;
         }
-        if let Some(v) = js.parametric_shift {
-            cfg.parametric_shift = v;
+        if let Some(v) = js.get("parametric_shift") {
+            cfg.parametric_shift = want_bool(v, "parametric_shift")?;
         }
-        if let Some(v) = js.isl_fallback {
-            cfg.isl_fallback = v;
+        if let Some(v) = js.get("isl_fallback") {
+            cfg.isl_fallback = want_bool(v, "isl_fallback")?;
         }
-        if let Some(v) = js.coefficient_bound {
-            cfg.coefficient_bound = v;
+        if let Some(v) = js.get("coefficient_bound") {
+            cfg.coefficient_bound = want_int(v, "coefficient_bound")?;
         }
-        if let Some(v) = js.parameter_estimate {
-            cfg.parameter_estimate = v;
+        if let Some(v) = js.get("parameter_estimate") {
+            cfg.parameter_estimate = want_int(v, "parameter_estimate")?;
         }
-        if let Some(v) = js.tile_sizes {
-            cfg.post.tile_sizes = v;
+        if let Some(v) = js.get("tile_sizes") {
+            cfg.post.tile_sizes = int_list(v, "tile_sizes")?;
         }
-        if let Some(v) = js.wavefront {
-            cfg.post.wavefront = v;
+        if let Some(v) = js.get("wavefront") {
+            cfg.post.wavefront = want_bool(v, "wavefront")?;
         }
-        if let Some(v) = js.intra_tile_vectorize {
-            cfg.post.intra_tile_vectorize = v;
+        if let Some(v) = js.get("intra_tile_vectorize") {
+            cfg.post.intra_tile_vectorize = want_bool(v, "intra_tile_vectorize")?;
         }
         Ok(cfg)
     }
@@ -532,7 +586,10 @@ mod tests {
                 CostFn::UserVar("x".into())
             ]
         );
-        assert_eq!(cfg.custom_constraints.get(1), &vec!["x - Si_it_i >= 0".to_string()]);
+        assert_eq!(
+            cfg.custom_constraints.get(1),
+            &vec!["x - Si_it_i >= 0".to_string()]
+        );
         assert_eq!(cfg.fusion.len(), 1);
         assert_eq!(cfg.fusion[0].groups, vec![vec![0, 1], vec![2]]);
         assert_eq!(cfg.directives.len(), 1);

@@ -36,7 +36,7 @@ pub type ConstraintRow = (RowKind, Vec<i64>);
 /// # Examples
 ///
 /// ```
-/// use polytops::{constraints::parse_constraints, space::IlpSpace};
+/// use polytops_core::{constraints::parse_constraints, space::IlpSpace};
 /// use polytops_ir::{Aff, ScopBuilder};
 ///
 /// let mut b = ScopBuilder::new("k");
@@ -82,9 +82,8 @@ fn err(text: &str, detail: impl Into<String>) -> ScheduleError {
 
 /// Splits on the comparison operator and combines both sides.
 fn parse_one(text: &str, space: &IlpSpace) -> Result<ConstraintRow, ScheduleError> {
-    let (op, lhs_txt, rhs_txt) = split_relop(text).ok_or_else(|| {
-        err(text, "expected one of `>=`, `<=`, `=`, `==`")
-    })?;
+    let (op, lhs_txt, rhs_txt) =
+        split_relop(text).ok_or_else(|| err(text, "expected one of `>=`, `<=`, `=`, `==`"))?;
     let lhs = parse_expr(lhs_txt, text, space)?;
     let rhs = parse_expr(rhs_txt, text, space)?;
     let n = space.total();
@@ -308,9 +307,9 @@ fn apply_atom(
                         let idxs: Vec<usize> = if idx_part == "i" {
                             (0..count).collect()
                         } else {
-                            let k: usize = idx_part.parse().map_err(|_| {
-                                err(whole, format!("bad index `{idx_part}`"))
-                            })?;
+                            let k: usize = idx_part
+                                .parse()
+                                .map_err(|_| err(whole, format!("bad index `{idx_part}`")))?;
                             if k >= count {
                                 // Out-of-range indices for *this* statement
                                 // are skipped when addressing via wildcards
@@ -319,10 +318,7 @@ fn apply_atom(
                                 if parts[0] == "i" {
                                     continue;
                                 }
-                                return Err(err(
-                                    whole,
-                                    format!("index {k} out of range for S{s}"),
-                                ));
+                                return Err(err(whole, format!("index {k} out of range for S{s}")));
                             }
                             vec![k]
                         };

@@ -33,6 +33,12 @@ pub enum ScheduleError {
     },
     /// Internal exact-arithmetic failure (overflow).
     Math(polytops_math::MathError),
+    /// A dimension's ILP was infeasible and the live dependence graph
+    /// had nothing left to cut — indicates an internal modeling bug.
+    UnschedulableDimension {
+        /// The scheduling dimension that could not be computed.
+        dimension: usize,
+    },
     /// The scheduler exceeded its dimension budget without completing —
     /// indicates an internal bug; reported rather than looping forever.
     DimensionBudgetExceeded,
@@ -53,6 +59,11 @@ impl fmt::Display for ScheduleError {
             }
             ScheduleError::Config { detail } => write!(f, "bad configuration: {detail}"),
             ScheduleError::Math(e) => write!(f, "arithmetic failure: {e}"),
+            ScheduleError::UnschedulableDimension { dimension } => write!(
+                f,
+                "scheduling dimension {dimension} is unschedulable: the live \
+                 dependence graph cannot be cut further"
+            ),
             ScheduleError::DimensionBudgetExceeded => {
                 write!(f, "scheduler exceeded its dimension budget")
             }

@@ -1,1 +1,61 @@
-//! placeholder
+//! The PolyTOPS iterative scheduler core.
+//!
+//! This crate turns a [`polytops_ir::Scop`] plus a [`SchedulerConfig`]
+//! into a legal [`polytops_ir::Schedule`], dimension by dimension
+//! (paper Algorithm 1):
+//!
+//! * [`config`] — the compiled configuration and the JSON interface of
+//!   the paper's Listing 2;
+//! * [`strategy`] — dynamic strategies, the Rust analogue of the C++
+//!   interface (Listing 3);
+//! * [`space`] — the ILP variable layout of one scheduling dimension;
+//! * [`costfn`] — Farkas templates plus the predefined cost functions
+//!   (proximity, Feautrier, contiguity, big-loops-first, user variables);
+//! * [`constraints`] — the custom-constraint mini-language (§III-A2);
+//! * [`scheduler`] — the iterative driver composing all of the above;
+//! * [`presets`] — ready-made Pluto/Pluto+/Feautrier/isl-style configs;
+//! * [`error`] — the error type shared by every stage.
+//!
+//! # Example
+//!
+//! ```
+//! use polytops_core::{schedule, SchedulerConfig};
+//! use polytops_ir::{Aff, ScopBuilder, StmtId};
+//!
+//! // for (i = 1; i < N; i++) A[i] = A[i-1];
+//! let mut b = ScopBuilder::new("chain");
+//! let n = b.param("N");
+//! let a = b.array("A", &[n.clone()], 8);
+//! b.open_loop("i", Aff::val(1), n - 1);
+//! b.stmt("S0")
+//!     .read(a, &[Aff::var("i") - 1])
+//!     .write(a, &[Aff::var("i")])
+//!     .add(&mut b);
+//! b.close_loop();
+//! let scop = b.build().unwrap();
+//!
+//! let sched = schedule(&scop, &SchedulerConfig::default()).unwrap();
+//! assert_eq!(sched.stmt(StmtId(0)).rows()[0], vec![1, 0, 0]); // φ = i
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod constraints;
+pub mod costfn;
+pub mod error;
+mod json;
+pub mod presets;
+pub mod scheduler;
+pub mod space;
+pub mod strategy;
+
+pub use config::{
+    CostFn, DimMap, Directive, DirectiveKind, FusionControl, FusionHeuristic, PostProcess,
+    SchedulerConfig,
+};
+pub use error::ScheduleError;
+pub use scheduler::{schedule, schedule_with_strategy};
+pub use space::{IlpSpace, StmtBlock};
+pub use strategy::{ConfigStrategy, DimSolution, DimensionPlan, Reaction, Strategy, StrategyState};

@@ -1,0 +1,54 @@
+//! Ready-made configurations mirroring the paper's Table I presets.
+//!
+//! Each preset is an ordinary [`SchedulerConfig`] value — tweak fields
+//! freely after construction.
+
+use crate::config::{CostFn, DimMap, SchedulerConfig};
+
+/// Pluto-style default: proximity cost, smartfuse, non-negative
+/// coefficients (identical to [`SchedulerConfig::default`]).
+pub fn pluto() -> SchedulerConfig {
+    SchedulerConfig::default()
+}
+
+/// Pluto+ style: proximity cost with negative coefficients and
+/// parametric shifting enabled.
+pub fn pluto_plus() -> SchedulerConfig {
+    SchedulerConfig {
+        negative_coefficients: true,
+        parametric_shift: true,
+        ..SchedulerConfig::default()
+    }
+}
+
+/// Feautrier-style: maximize strongly satisfied dependences on every
+/// dimension (inner parallelism).
+pub fn feautrier() -> SchedulerConfig {
+    SchedulerConfig {
+        cost_functions: DimMap::uniform(vec![CostFn::Feautrier]),
+        ..SchedulerConfig::default()
+    }
+}
+
+/// isl-style: proximity first, recomputing a dimension with Feautrier's
+/// cost when the solution is not parallel (Listing 3).
+pub fn isl_like() -> SchedulerConfig {
+    SchedulerConfig {
+        isl_fallback: true,
+        ..SchedulerConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_where_expected() {
+        assert_eq!(pluto(), SchedulerConfig::default());
+        assert!(pluto_plus().negative_coefficients);
+        assert!(pluto_plus().parametric_shift);
+        assert_eq!(feautrier().cost_functions.get(0), &vec![CostFn::Feautrier]);
+        assert!(isl_like().isl_fallback);
+    }
+}

@@ -70,7 +70,10 @@ impl IlpSpace {
         let mut stmts = Vec::with_capacity(scop.statements.len());
         for s in &scop.statements {
             let d = s.depth();
-            stmts.push(StmtBlock { offset: next, depth: d });
+            stmts.push(StmtBlock {
+                offset: next,
+                depth: d,
+            });
             let par_cols = if parametric_shift { np } else { 0 };
             next += mult * (d + par_cols + 1);
         }
@@ -120,7 +123,11 @@ impl IlpSpace {
     }
 
     fn block_width(&self, depth: usize) -> usize {
-        let par = if self.parametric_shift { self.nparams } else { 0 };
+        let par = if self.parametric_shift {
+            self.nparams
+        } else {
+            0
+        };
         let mult = if self.negative { 2 } else { 1 };
         mult * (depth + par + 1)
     }
@@ -159,7 +166,11 @@ impl IlpSpace {
     pub fn add_const_coeff(&self, row: &mut [i64], stmt: usize, k: i64) {
         let b = &self.stmts[stmt];
         let mult = if self.negative { 2 } else { 1 };
-        let par = if self.parametric_shift { self.nparams } else { 0 };
+        let par = if self.parametric_shift {
+            self.nparams
+        } else {
+            0
+        };
         let base = b.offset + mult * (b.depth + par);
         if self.negative {
             row[base] += k;
@@ -196,7 +207,11 @@ impl IlpSpace {
                 row.push(0);
             }
         }
-        let par = if self.parametric_shift { self.nparams } else { 0 };
+        let par = if self.parametric_shift {
+            self.nparams
+        } else {
+            0
+        };
         let cbase = b.offset + mult * (b.depth + par);
         let c = if self.negative {
             point[cbase] - point[cbase + 1]

@@ -107,11 +107,13 @@ impl Strategy for ConfigStrategy {
             .fusion
             .iter()
             .find(|f| f.dimension == dim)
-            .map(|f| {
+            .and_then(|f| {
                 if f.total_distribution {
-                    Vec::new() // empty = engine distributes every statement
+                    Some(Vec::new()) // empty = engine distributes every statement
+                } else if f.groups.is_empty() {
+                    None // no groups listed and no total distribution: a no-op
                 } else {
-                    f.groups.clone()
+                    Some(f.groups.clone())
                 }
             });
         DimensionPlan {

@@ -1,0 +1,222 @@
+//! End-to-end scheduling tests: build SCoPs with `ScopBuilder`, schedule
+//! them under several configurations, and certify every analyzed
+//! dependence with `schedule_respects_dependence` — the independent
+//! legality oracle that shares no code with the scheduler's Farkas
+//! construction.
+
+use polytops_core::{presets, schedule, FusionHeuristic, SchedulerConfig};
+use polytops_deps::{analyze, schedule_respects_dependence, strongly_satisfies};
+use polytops_ir::{Schedule, Scop, StmtId};
+use polytops_workloads::{
+    all_kernels, matmul, producer_consumer, reversed_consumer, stencil_chain,
+};
+
+/// Every configuration a kernel must stay legal under.
+fn configs() -> Vec<(&'static str, SchedulerConfig)> {
+    vec![
+        ("pluto", presets::pluto()),
+        ("feautrier", presets::feautrier()),
+        ("isl_like", presets::isl_like()),
+    ]
+}
+
+/// Asserts the schedule orders every dependence of `scop` and that every
+/// statement's schedule spans its iteration space.
+fn assert_legal(name: &str, scop: &Scop, sched: &Schedule) {
+    let deps = analyze(scop);
+    assert!(
+        !deps.is_empty() || scop.statements.len() == 1,
+        "{name}: want deps"
+    );
+    for (e, dep) in deps.iter().enumerate() {
+        assert!(
+            schedule_respects_dependence(
+                dep,
+                sched.stmt(dep.src).rows(),
+                sched.stmt(dep.dst).rows(),
+            ),
+            "{name}: dependence {e} ({:?} S{} -> S{} level {}) violated",
+            dep.kind,
+            dep.src.0,
+            dep.dst.0,
+            dep.level,
+        );
+    }
+    for (s, stmt) in scop.statements.iter().enumerate() {
+        assert_eq!(
+            sched.stmt(StmtId(s)).iter_matrix().rank(),
+            stmt.depth(),
+            "{name}: S{s} schedule must span its iteration space"
+        );
+    }
+    // Metadata arity.
+    assert_eq!(sched.bands().len(), sched.dims(), "{name}: bands");
+    assert_eq!(sched.parallel().len(), sched.dims(), "{name}: parallel");
+}
+
+#[test]
+fn all_kernels_legal_under_all_configs() {
+    for (kname, scop) in &all_kernels() {
+        for (cname, cfg) in configs() {
+            let sched = schedule(scop, &cfg)
+                .unwrap_or_else(|e| panic!("{kname}/{cname}: scheduling failed: {e}"));
+            assert_legal(&format!("{kname}/{cname}"), scop, &sched);
+        }
+    }
+}
+
+#[test]
+fn stencil_chain_outer_dimension_carries() {
+    let scop = stencil_chain();
+    let sched = schedule(&scop, &presets::pluto()).unwrap();
+    // The acceptance criterion: φ = i on the outer dimension…
+    assert_eq!(sched.stmt(StmtId(0)).rows()[0], vec![1, 0, 0]);
+    // …and that dimension strongly satisfies (carries) every dependence.
+    for dep in analyze(&scop) {
+        let row = &sched.stmt(StmtId(0)).rows()[0];
+        assert!(strongly_satisfies(&dep, row, row));
+    }
+}
+
+#[test]
+fn matmul_schedule_is_full_rank_identity_like() {
+    let scop = matmul();
+    let sched = schedule(&scop, &presets::pluto()).unwrap();
+    let ss = sched.stmt(StmtId(0));
+    assert_eq!(ss.iter_matrix().rank(), 3);
+    // Proximity keeps the self-dependence on C[i][j] at distance 0 on
+    // the first two dimensions (i and j stay outer, k carries).
+    for dep in analyze(&scop) {
+        let rows = ss.rows();
+        assert!(schedule_respects_dependence(&dep, rows, rows));
+    }
+}
+
+#[test]
+fn producer_consumer_fuses_under_proximity() {
+    let scop = producer_consumer();
+    let sched = schedule(&scop, &presets::pluto()).unwrap();
+    // Proximity pulls both statements onto the same affine function of
+    // their (aligned) iterators: φ_S0 = i and φ_S1 = j with equal
+    // constants — a fused loop.
+    let r0 = &sched.stmt(StmtId(0)).rows()[0];
+    let r1 = &sched.stmt(StmtId(1)).rows()[0];
+    assert_eq!(r0, &vec![1, 0, 0], "producer row");
+    assert_eq!(r1, &vec![1, 0, 0], "consumer row");
+    // The loop-independent dependence is resolved by a later constant
+    // (splitting) dimension ordering S0 before S1.
+    let t0 = sched.timestamp(StmtId(0), &[3], &[10]);
+    let t1 = sched.timestamp(StmtId(1), &[3], &[10]);
+    assert!(t0 < t1, "S0(3) must run before S1(3): {t0:?} vs {t1:?}");
+    assert_legal("producer_consumer/pluto", &scop, &sched);
+}
+
+#[test]
+fn json_config_drives_scheduling_end_to_end() {
+    let cfg = SchedulerConfig::from_json(
+        r#"{
+          "scheduling_strategy": {
+            "ILP_construction": [
+              { "scheduling_dimension": "default",
+                "cost_functions": ["feautrier"] }
+            ]
+          }
+        }"#,
+    )
+    .unwrap();
+    let scop = producer_consumer();
+    let sched = schedule(&scop, &cfg).unwrap();
+    assert_legal("producer_consumer/json-feautrier", &scop, &sched);
+}
+
+#[test]
+fn custom_constraints_shape_the_solution() {
+    // Force the consumer to run one iteration behind the producer:
+    // shifting is the only way to satisfy S1_cst >= 1 with proximity.
+    let mut cfg = presets::pluto();
+    cfg.custom_constraints
+        .set_default(vec!["S1_cst >= 1".to_string()]);
+    let scop = producer_consumer();
+    let sched = schedule(&scop, &cfg).unwrap();
+    assert_legal("producer_consumer/shifted", &scop, &sched);
+    assert_eq!(sched.stmt(StmtId(1)).rows()[0][2], 1, "S1 shifted by 1");
+}
+
+#[test]
+fn forced_distribution_works_under_every_fusion_heuristic() {
+    // The reversed consumer cannot be fused: the dimension-0 ILP is
+    // infeasible and the scheduler must cut between the SCCs — under
+    // every heuristic, including the merging ones (SmartFuse, MaxFuse),
+    // which degrade to a per-SCC cut when merging would undo the cut.
+    let scop = reversed_consumer();
+    for heuristic in [
+        FusionHeuristic::SmartFuse,
+        FusionHeuristic::MaxFuse,
+        FusionHeuristic::NoFuse,
+    ] {
+        let cfg = SchedulerConfig {
+            fusion_heuristic: heuristic,
+            ..SchedulerConfig::default()
+        };
+        let sched = schedule(&scop, &cfg)
+            .unwrap_or_else(|e| panic!("reversed_consumer/{heuristic:?}: {e}"));
+        assert_legal(&format!("reversed_consumer/{heuristic:?}"), &scop, &sched);
+        // All of S0 must run before the B-reversing S1.
+        let t0 = sched.timestamp(StmtId(0), &[9], &[10]);
+        let t1 = sched.timestamp(StmtId(1), &[0], &[10]);
+        assert!(t0 < t1, "{heuristic:?}: {t0:?} vs {t1:?}");
+    }
+}
+
+#[test]
+fn vacuous_custom_constraints_do_not_mask_a_required_cut() {
+    // The constraint is satisfiable; the dimension-0 infeasibility comes
+    // from the dependences. The scheduler must still cut instead of
+    // blaming the constraint.
+    let mut cfg = presets::pluto();
+    cfg.custom_constraints
+        .set_default(vec!["S0_cst >= 0".to_string()]);
+    let scop = reversed_consumer();
+    let sched = schedule(&scop, &cfg).expect("vacuous constraint must not error");
+    assert_legal("reversed_consumer/vacuous-constraint", &scop, &sched);
+}
+
+#[test]
+fn fusion_entry_without_groups_is_a_no_op() {
+    // `{"scheduling_dimension": 0}` with neither groups nor total
+    // distribution must not silently distribute everything.
+    let mut cfg = presets::pluto();
+    cfg.fusion.push(polytops_core::FusionControl {
+        dimension: 0,
+        total_distribution: false,
+        groups: Vec::new(),
+    });
+    let scop = producer_consumer();
+    let sched = schedule(&scop, &cfg).unwrap();
+    // Proximity still fuses: same iteration of S0 and S1 stays adjacent.
+    let r0 = &sched.stmt(StmtId(0)).rows()[0];
+    let r1 = &sched.stmt(StmtId(1)).rows()[0];
+    assert_eq!(r0, &vec![1, 0, 0]);
+    assert_eq!(r1, &vec![1, 0, 0]);
+    assert_legal("producer_consumer/noop-fusion-entry", &scop, &sched);
+}
+
+#[test]
+fn total_distribution_splits_the_loops() {
+    let mut cfg = presets::pluto();
+    cfg.fusion.push(polytops_core::FusionControl {
+        dimension: 0,
+        total_distribution: true,
+        groups: Vec::new(),
+    });
+    let scop = producer_consumer();
+    let sched = schedule(&scop, &cfg).unwrap();
+    assert_legal("producer_consumer/distributed", &scop, &sched);
+    // Dimension 0 is the user's constant split: S0 before S1 everywhere.
+    let t0 = sched.timestamp(StmtId(0), &[9], &[10]);
+    let t1 = sched.timestamp(StmtId(1), &[0], &[10]);
+    assert!(
+        t0 < t1,
+        "all of S0 must precede all of S1: {t0:?} vs {t1:?}"
+    );
+}

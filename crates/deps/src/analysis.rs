@@ -1,8 +1,8 @@
 //! Candl-style dependence analysis: one convex dependence polyhedron per
 //! access pair and per dependence level.
 
-use polytops_math::{ilp_feasible, ConstraintSystem};
 use polytops_ir::{AccessKind, ArrayId, Scop, Statement, StmtId, Subscript};
+use polytops_math::{ilp_feasible, ConstraintSystem};
 
 /// Dependence class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -124,16 +124,13 @@ pub fn analyze(scop: &Scop) -> Vec<Dependence> {
                     // (loop-independent self-pairs are skipped below).
                     // Carried levels.
                     for level in 1..=common {
-                        if let Some(dep) =
-                            build_dep(scop, s, r, a, b, kind, level, common, np)
-                        {
+                        if let Some(dep) = build_dep(scop, s, r, a, b, kind, level, common, np) {
                             out.push(dep);
                         }
                     }
                     // Loop-independent level.
                     if s.id != r.id && textually_before(s, r, common) {
-                        if let Some(dep) =
-                            build_dep(scop, s, r, a, b, kind, common + 1, common, np)
+                        if let Some(dep) = build_dep(scop, s, r, a, b, kind, common + 1, common, np)
                         {
                             out.push(dep);
                         }
@@ -371,8 +368,10 @@ mod tests {
             .collect();
         assert_eq!(flows.len(), 1);
         assert_eq!(flows[0].level, 2); // loop-independent (common = 1)
-        // No reverse dependence S1 -> S0.
-        assert!(!deps.iter().any(|d| d.src == StmtId(1) && d.dst == StmtId(0)));
+                                       // No reverse dependence S1 -> S0.
+        assert!(!deps
+            .iter()
+            .any(|d| d.src == StmtId(1) && d.dst == StmtId(0)));
     }
 
     #[test]

@@ -134,7 +134,7 @@ pub fn schedule_respects_dependence(
 mod tests {
     use super::*;
     use crate::analysis::{analyze, DepKind};
-    use polytops_ir::{Aff, ScopBuilder, Scop};
+    use polytops_ir::{Aff, Scop, ScopBuilder};
 
     fn chain_scop() -> Scop {
         let mut b = ScopBuilder::new("chain");

@@ -10,9 +10,7 @@ use std::fmt;
 use polytops_math::ConstraintSystem;
 
 use crate::expr::{Aff, AffineExpr};
-use crate::scop::{
-    Access, AccessKind, ArrayId, ArrayInfo, Scop, Statement, StmtId, Subscript,
-};
+use crate::scop::{Access, AccessKind, ArrayId, ArrayInfo, Scop, Statement, StmtId, Subscript};
 
 /// Errors reported while building a [`Scop`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -435,7 +433,11 @@ impl ScopBuilder {
                         context: format!("extent of array {}", info.name),
                     })?;
                 // Re-embed into (0 iters, params) space.
-                resolved.push(AffineExpr::new(Vec::new(), e.param_coeffs().to_vec(), e.constant_term()));
+                resolved.push(AffineExpr::new(
+                    Vec::new(),
+                    e.param_coeffs().to_vec(),
+                    e.constant_term(),
+                ));
             }
             info.dims = resolved;
         }
@@ -494,10 +496,7 @@ mod tests {
         let mut b = ScopBuilder::new("bad");
         let _n = b.param("N");
         let a = b.array("A", &[Aff::param("N")], 8);
-        let r = b
-            .stmt("S0")
-            .write(a, &[Aff::var("nope")])
-            .try_add(&mut b);
+        let r = b.stmt("S0").write(a, &[Aff::var("nope")]).try_add(&mut b);
         assert!(matches!(r, Err(BuildError::UnknownName { .. })));
     }
 

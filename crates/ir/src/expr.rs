@@ -99,7 +99,11 @@ impl AffineExpr {
     /// Panics on dimension mismatch.
     pub fn eval(&self, iters: &[i64], params: &[i64]) -> i64 {
         assert_eq!(iters.len(), self.iter_coeffs.len(), "iter arity mismatch");
-        assert_eq!(params.len(), self.param_coeffs.len(), "param arity mismatch");
+        assert_eq!(
+            params.len(),
+            self.param_coeffs.len(),
+            "param arity mismatch"
+        );
         let mut acc = i128::from(self.constant);
         for (c, v) in self.iter_coeffs.iter().zip(iters) {
             acc += i128::from(*c) * i128::from(*v);
@@ -188,8 +192,12 @@ impl AffineExpr {
 
 impl fmt::Debug for AffineExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let iters: Vec<String> = (0..self.iter_coeffs.len()).map(|i| format!("i{i}")).collect();
-        let params: Vec<String> = (0..self.param_coeffs.len()).map(|j| format!("N{j}")).collect();
+        let iters: Vec<String> = (0..self.iter_coeffs.len())
+            .map(|i| format!("i{i}"))
+            .collect();
+        let params: Vec<String> = (0..self.param_coeffs.len())
+            .map(|j| format!("N{j}"))
+            .collect();
         let in_refs: Vec<&str> = iters.iter().map(String::as_str).collect();
         let pn_refs: Vec<&str> = params.iter().map(String::as_str).collect();
         write!(f, "{}", self.display(&in_refs, &pn_refs))
@@ -467,9 +475,7 @@ mod tests {
     #[test]
     fn aff_resolution() {
         let e = Aff::var("i") * 2 + Aff::param("N") - 3;
-        let resolved = e
-            .resolve(&["i".into(), "j".into()], &["N".into()])
-            .unwrap();
+        let resolved = e.resolve(&["i".into(), "j".into()], &["N".into()]).unwrap();
         assert_eq!(resolved, AffineExpr::new(vec![2, 0], vec![1], -3));
         assert!(Aff::var("zz").resolve(&["i".into()], &[]).is_none());
     }

@@ -39,7 +39,11 @@ impl FrontendError {
 
 impl fmt::Display for FrontendError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "C frontend error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "C frontend error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -263,7 +267,10 @@ impl Parser {
     }
 
     fn is_type_name(name: &str) -> bool {
-        matches!(name, "double" | "float" | "int" | "long" | "char" | "short" | "unsigned")
+        matches!(
+            name,
+            "double" | "float" | "int" | "long" | "char" | "short" | "unsigned"
+        )
     }
 
     fn lookup_array(&self, name: &str) -> Option<(ArrayId, usize)> {
@@ -499,7 +506,11 @@ impl Parser {
 
     /// Parses an arbitrary arithmetic RHS, collecting reads and counting
     /// operators.
-    fn parse_rhs(&mut self, reads: &mut Vec<(ArrayId, Vec<SubSpec>)>, ops: &mut u32) -> Result<(), FrontendError> {
+    fn parse_rhs(
+        &mut self,
+        reads: &mut Vec<(ArrayId, Vec<SubSpec>)>,
+        ops: &mut u32,
+    ) -> Result<(), FrontendError> {
         self.parse_rhs_term(reads, ops)?;
         loop {
             if self.eat_sym("+") || self.eat_sym("-") {
@@ -511,7 +522,11 @@ impl Parser {
         }
     }
 
-    fn parse_rhs_term(&mut self, reads: &mut Vec<(ArrayId, Vec<SubSpec>)>, ops: &mut u32) -> Result<(), FrontendError> {
+    fn parse_rhs_term(
+        &mut self,
+        reads: &mut Vec<(ArrayId, Vec<SubSpec>)>,
+        ops: &mut u32,
+    ) -> Result<(), FrontendError> {
         self.parse_rhs_atom(reads, ops)?;
         loop {
             if self.eat_sym("*") || self.eat_sym("/") || self.eat_sym("%") {
@@ -523,7 +538,11 @@ impl Parser {
         }
     }
 
-    fn parse_rhs_atom(&mut self, reads: &mut Vec<(ArrayId, Vec<SubSpec>)>, ops: &mut u32) -> Result<(), FrontendError> {
+    fn parse_rhs_atom(
+        &mut self,
+        reads: &mut Vec<(ArrayId, Vec<SubSpec>)>,
+        ops: &mut u32,
+    ) -> Result<(), FrontendError> {
         if self.eat_sym("(") {
             self.parse_rhs(reads, ops)?;
             self.expect_sym(")")?;
@@ -609,7 +628,11 @@ impl Parser {
         let mut ops: u32 = 0;
         let compound = if self.eat_sym("=") {
             false
-        } else if self.eat_sym("+=") || self.eat_sym("-=") || self.eat_sym("*=") || self.eat_sym("/=") {
+        } else if self.eat_sym("+=")
+            || self.eat_sym("-=")
+            || self.eat_sym("*=")
+            || self.eat_sym("/=")
+        {
             ops += 1;
             true
         } else {
@@ -647,7 +670,9 @@ impl Parser {
                 self.bump();
                 self.parse_if()
             }
-            Some(Tok::Ident(n)) if Self::is_type_name(n) && matches!(self.peek2(), Some(Tok::Ident(_))) => {
+            Some(Tok::Ident(n))
+                if Self::is_type_name(n) && matches!(self.peek2(), Some(Tok::Ident(_))) =>
+            {
                 self.parse_decl()
             }
             Some(Tok::Ident(_)) => self.parse_assignment(),
@@ -753,7 +778,9 @@ pub fn parse_c(name: &str, src: &str) -> Result<Scop, FrontendError> {
             }
         }
     }
-    p.builder.build().map_err(|e| FrontendError::new(0, e.to_string()))
+    p.builder
+        .build()
+        .map_err(|e| FrontendError::new(0, e.to_string()))
 }
 
 #[cfg(test)]

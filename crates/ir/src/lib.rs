@@ -50,6 +50,4 @@ pub use builder::{BuildError, ScopBuilder, StmtSpec, SubSpec};
 pub use expr::{Aff, AffineExpr};
 pub use openscop::{parse_scop, print_scop, ParseScopError};
 pub use schedule::{Schedule, StmtSchedule};
-pub use scop::{
-    Access, AccessKind, ArrayId, ArrayInfo, Scop, Statement, StmtId, Subscript,
-};
+pub use scop::{Access, AccessKind, ArrayId, ArrayInfo, Scop, Statement, StmtId, Subscript};

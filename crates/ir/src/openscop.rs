@@ -12,9 +12,7 @@ use std::fmt;
 use polytops_math::{ConstraintSystem, RowKind};
 
 use crate::expr::AffineExpr;
-use crate::scop::{
-    Access, AccessKind, ArrayId, ArrayInfo, Scop, Statement, StmtId, Subscript,
-};
+use crate::scop::{Access, AccessKind, ArrayId, ArrayInfo, Scop, Statement, StmtId, Subscript};
 
 /// Errors from [`parse_scop`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,7 +32,12 @@ impl ParseScopError {
 
 impl fmt::Display for ParseScopError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "scop parse error at line {}: {}", self.line + 1, self.message)
+        write!(
+            f,
+            "scop parse error at line {}: {}",
+            self.line + 1,
+            self.message
+        )
     }
 }
 
@@ -73,7 +76,12 @@ pub fn print_scop(scop: &Scop) -> String {
     }
     w(format!("arrays {}", scop.arrays.len()));
     for a in &scop.arrays {
-        w(format!("array {} {} {}", a.name, a.element_size, a.dims.len()));
+        w(format!(
+            "array {} {} {}",
+            a.name,
+            a.element_size,
+            a.dims.len()
+        ));
         for d in &a.dims {
             let mut row = d.param_coeffs().to_vec();
             row.push(d.constant_term());
@@ -143,7 +151,10 @@ impl<'a> Cursor<'a> {
             }
             return Ok((at, raw.split_whitespace().collect()));
         }
-        Err(ParseScopError::new(self.lines.len(), "unexpected end of input"))
+        Err(ParseScopError::new(
+            self.lines.len(),
+            "unexpected end of input",
+        ))
     }
 
     fn expect(&mut self, head: &str) -> Result<(usize, Vec<&'a str>), ParseScopError> {
@@ -228,11 +239,7 @@ pub fn parse_scop(text: &str) -> Result<Scop, ParseScopError> {
             if row.len() != np + 1 {
                 return Err(ParseScopError::new(at, "dim row arity"));
             }
-            dims.push(AffineExpr::new(
-                Vec::new(),
-                row[..np].to_vec(),
-                row[np],
-            ));
+            dims.push(AffineExpr::new(Vec::new(), row[..np].to_vec(), row[np]));
         }
         arrays.push(ArrayInfo {
             name: aname,
@@ -302,7 +309,10 @@ pub fn parse_scop(text: &str) -> Result<Scop, ParseScopError> {
                 "read" => AccessKind::Read,
                 "write" => AccessKind::Write,
                 other => {
-                    return Err(ParseScopError::new(at, format!("bad access kind `{other}`")))
+                    return Err(ParseScopError::new(
+                        at,
+                        format!("bad access kind `{other}`"),
+                    ))
                 }
             };
             let arr: usize = toks

@@ -182,7 +182,11 @@ impl Schedule {
     /// # Panics
     ///
     /// Panics if metadata lengths disagree with the row count.
-    pub fn from_parts(per_stmt: Vec<StmtSchedule>, bands: Vec<usize>, parallel: Vec<bool>) -> Schedule {
+    pub fn from_parts(
+        per_stmt: Vec<StmtSchedule>,
+        bands: Vec<usize>,
+        parallel: Vec<bool>,
+    ) -> Schedule {
         let dims = per_stmt.first().map_or(0, StmtSchedule::len);
         for ss in &per_stmt {
             assert_eq!(ss.len(), dims, "ragged schedule");
@@ -320,7 +324,9 @@ mod tests {
         let n = b.param("N");
         let a = b.array("A", &[n.clone(), n.clone()], 8);
         b.open_loop("i", Aff::val(0), n.clone() - 1);
-        b.stmt("S0").write(a, &[Aff::var("i"), Aff::val(0)]).add(&mut b);
+        b.stmt("S0")
+            .write(a, &[Aff::var("i"), Aff::val(0)])
+            .add(&mut b);
         b.open_loop("j", Aff::val(0), n - 1);
         b.stmt("S1")
             .write(a, &[Aff::var("i"), Aff::var("j")])
@@ -335,7 +341,7 @@ mod tests {
         let scop = two_stmt_scop();
         let sched = Schedule::identity_2dp1(&scop);
         assert_eq!(sched.dims(), 5); // 2*2+1
-        // S0(i=1) happens before S1(i=1, j=0): compare timestamps.
+                                     // S0(i=1) happens before S1(i=1, j=0): compare timestamps.
         let t0 = sched.timestamp(StmtId(0), &[1], &[4]);
         let t1 = sched.timestamp(StmtId(1), &[1, 0], &[4]);
         assert!(t0 < t1, "{t0:?} < {t1:?}");

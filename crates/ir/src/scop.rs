@@ -122,9 +122,7 @@ impl Statement {
 
     /// The write accesses.
     pub fn writes(&self) -> impl Iterator<Item = &Access> {
-        self.accesses
-            .iter()
-            .filter(|a| a.kind == AccessKind::Write)
+        self.accesses.iter().filter(|a| a.kind == AccessKind::Write)
     }
 
     /// The read accesses.
@@ -184,7 +182,11 @@ impl Scop {
 
     /// Maximum statement depth.
     pub fn max_depth(&self) -> usize {
-        self.statements.iter().map(Statement::depth).max().unwrap_or(0)
+        self.statements
+            .iter()
+            .map(Statement::depth)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Whether every access in every statement is affine (no div/mod
@@ -232,7 +234,12 @@ impl Scop {
             point[level] = 0;
         }
         /// Bounds for `level` given fixed outer values.
-        fn level_bounds(stmt: &Statement, params: &[i64], level: usize, point: &[i64]) -> (i64, i64) {
+        fn level_bounds(
+            stmt: &Statement,
+            params: &[i64],
+            level: usize,
+            point: &[i64],
+        ) -> (i64, i64) {
             let depth = stmt.depth();
             let np = params.len();
             let mut lo = i64::MIN;
@@ -288,7 +295,12 @@ impl Scop {
             (lo, hi)
         }
         /// Re-checks rows that only involve iterators `0..=level`.
-        fn row_prefix_feasible(stmt: &Statement, params: &[i64], level: usize, point: &[i64]) -> bool {
+        fn row_prefix_feasible(
+            stmt: &Statement,
+            params: &[i64],
+            level: usize,
+            point: &[i64],
+        ) -> bool {
             let depth = stmt.depth();
             let np = params.len();
             for (kind, row) in stmt.domain.iter() {

@@ -321,8 +321,9 @@ impl ConstraintSystem {
                     if c == var {
                         continue;
                     }
-                    let v = s * (i128::from(a) * i128::from(row[c])
-                        - i128::from(b) * i128::from(pivot[c]));
+                    let v = s
+                        * (i128::from(a) * i128::from(row[c])
+                            - i128::from(b) * i128::from(pivot[c]));
                     nr.push(narrow(v)?);
                 }
                 out.rows.push((*kind, nr));

@@ -15,9 +15,9 @@
 //! scheduling ILP (the coefficients of `e`).
 
 use crate::consys::{ConstraintSystem, RowKind};
-use crate::error::Result;
 #[cfg(doc)]
 use crate::error::MathError;
+use crate::error::Result;
 
 /// Linearizes `∀z ∈ poly: e(z) ≥ 0` into constraints over ILP variables.
 ///
@@ -170,8 +170,8 @@ mod tests {
         p.add_eq(vec![1, -3]);
         let template = vec![vec![1, 0, 0], vec![0, 1, 0]];
         let sys = farkas_nonneg(&p, &template, 2).unwrap();
-        assert!(sys.contains_point(&[-1, 3]));  // e = 3 - z = 0 on P
-        assert!(sys.contains_point(&[1, -3]));  // e = z - 3 = 0 on P
+        assert!(sys.contains_point(&[-1, 3])); // e = 3 - z = 0 on P
+        assert!(sys.contains_point(&[1, -3])); // e = z - 3 = 0 on P
         assert!(sys.contains_point(&[2, -6]));
         assert!(!sys.contains_point(&[1, -4])); // e = -1 on P
     }

@@ -82,15 +82,12 @@ pub fn ilp_minimize(cs: &ConstraintSystem, obj: &[i64]) -> IlpOutcome {
                 }
                 match first_fractional(&point) {
                     None => {
-                        let ipoint: Vec<i64> =
-                            point.iter().map(|v| v.numer() as i64).collect();
+                        let ipoint: Vec<i64> = point.iter().map(|v| v.numer() as i64).collect();
                         let ival = value
                             .to_integer()
                             .expect("integral point yields integral objective")
                             as i64;
-                        let better = incumbent
-                            .as_ref()
-                            .map_or(true, |(inc, _)| ival < *inc);
+                        let better = incumbent.as_ref().is_none_or(|(inc, _)| ival < *inc);
                         if better {
                             incumbent = Some((ival, ipoint));
                             if zero_obj {
@@ -189,7 +186,9 @@ pub fn ilp_lexmin(cs: &ConstraintSystem, objectives: &[Vec<i64>]) -> Option<Vec<
                 cur.add_eq(row);
                 last_point = Some(point);
             }
-            IlpOutcome::NodeLimit { best: Some((value, point)) } => {
+            IlpOutcome::NodeLimit {
+                best: Some((value, point)),
+            } => {
                 // Best-effort: accept the incumbent (still a legal point).
                 let mut row = obj.clone();
                 row.push(-value);

@@ -59,7 +59,11 @@ impl IntMatrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        IntMatrix { rows: r, cols: c, data }
+        IntMatrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.

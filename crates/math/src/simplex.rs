@@ -58,9 +58,9 @@ pub fn lp_feasible(cs: &ConstraintSystem) -> bool {
 ///
 /// Column layout: `[x⁺ (n), x⁻ (n), slacks (m_ineq), artificials (m)]`.
 struct Tableau {
-    n: usize,          // original variables
-    ncols: usize,      // structural + slack columns (no artificials)
-    nart: usize,       // artificial columns
+    n: usize,            // original variables
+    ncols: usize,        // structural + slack columns (no artificials)
+    nart: usize,         // artificial columns
     rows: Vec<Vec<Rat>>, // m rows of length ncols + nart, plus rhs column appended
     rhs: Vec<Rat>,
     basis: Vec<usize>, // basic column per row
@@ -116,8 +116,8 @@ impl Tableau {
     fn solve(mut self, objective: &[i64]) -> LpOutcome {
         // Phase 1: minimize the sum of artificials.
         let mut cost1 = vec![Rat::ZERO; self.ncols + self.nart];
-        for j in self.ncols..self.ncols + self.nart {
-            cost1[j] = Rat::ONE;
+        for c in cost1.iter_mut().skip(self.ncols) {
+            *c = Rat::ONE;
         }
         let (z1, _) = match self.optimize(&cost1, /*restrict_arts=*/ false) {
             Some(v) => v,
@@ -209,8 +209,7 @@ impl Tableau {
                     match &leave {
                         None => leave = Some((i, ratio)),
                         Some((li, best)) => {
-                            if ratio < *best
-                                || (ratio == *best && self.basis[i] < self.basis[*li])
+                            if ratio < *best || (ratio == *best && self.basis[i] < self.basis[*li])
                             {
                                 leave = Some((i, ratio));
                             }

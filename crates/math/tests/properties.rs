@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use polytops_math::{
-    ilp_feasible, ilp_lexmin, ilp_minimize, lp_minimize, orthogonal_complement,
-    ConstraintSystem, IlpOutcome, IntMatrix, LpOutcome, Rat,
+    ilp_feasible, ilp_lexmin, ilp_minimize, lp_minimize, orthogonal_complement, ConstraintSystem,
+    IlpOutcome, IntMatrix, LpOutcome, Rat,
 };
 
 fn small_rat() -> impl Strategy<Value = Rat> {
@@ -43,11 +43,8 @@ proptest! {
 }
 
 fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = IntMatrix> {
-    proptest::collection::vec(
-        proptest::collection::vec(-5i64..=5, cols),
-        rows,
-    )
-    .prop_map(|rows| IntMatrix::from_rows(&rows))
+    proptest::collection::vec(proptest::collection::vec(-5i64..=5, cols), rows)
+        .prop_map(|rows| IntMatrix::from_rows(&rows))
 }
 
 proptest! {
@@ -95,8 +92,11 @@ proptest! {
 /// Generates a random non-empty box plus extra random inequality rows.
 fn boxed_system() -> impl Strategy<Value = (ConstraintSystem, Vec<(i64, i64)>)> {
     let bounds = proptest::collection::vec((-4i64..=0, 0i64..=4), 3);
-    (bounds, proptest::collection::vec(proptest::collection::vec(-2i64..=2, 4), 0..3)).prop_map(
-        |(bounds, extra)| {
+    (
+        bounds,
+        proptest::collection::vec(proptest::collection::vec(-2i64..=2, 4), 0..3),
+    )
+        .prop_map(|(bounds, extra)| {
             let n = bounds.len();
             let mut cs = ConstraintSystem::new(n);
             for (j, &(lo, hi)) in bounds.iter().enumerate() {
@@ -113,8 +113,7 @@ fn boxed_system() -> impl Strategy<Value = (ConstraintSystem, Vec<(i64, i64)>)> 
                 cs.add_ineq(r);
             }
             (cs, bounds)
-        },
-    )
+        })
 }
 
 /// Enumerates the integer points of the box and filters by the system.

@@ -1,1 +1,181 @@
-//! placeholder
+//! Reference polyhedral kernels used across the PolyTOPS test suites and
+//! benchmarks.
+//!
+//! Every function builds a small, well-known SCoP with
+//! [`polytops_ir::ScopBuilder`]; the kernels cover the scheduling
+//! behaviours the paper exercises: loop-carried chains (skew-free
+//! pipelining), 3-deep compute nests (permutation), producer/consumer
+//! pairs (fusion), and time-iterated stencils (skewing candidates).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use polytops_ir::{Aff, Scop, ScopBuilder};
+
+/// `for (i = 1; i < N; i++) A[i] = A[i-1];`
+///
+/// A single loop-carried flow dependence chain: the only legal 1-d
+/// schedules advance with `i`, so the outer dimension must carry.
+pub fn stencil_chain() -> Scop {
+    let mut b = ScopBuilder::new("stencil_chain");
+    let n = b.param("N");
+    let a = b.array("A", &[n.clone()], 8);
+    b.open_loop("i", Aff::val(1), n - 1);
+    b.stmt("S0")
+        .read(a, &[Aff::var("i") - 1])
+        .write(a, &[Aff::var("i")])
+        .text("A[i] = A[i-1];")
+        .add(&mut b);
+    b.close_loop();
+    b.build().expect("stencil_chain builds")
+}
+
+/// `for i for j for k C[i][j] = C[i][j] + A[i][k] * B[k][j];`
+///
+/// The classic matmul 3-deep nest: self dependences on `C` along `k`.
+pub fn matmul() -> Scop {
+    let mut b = ScopBuilder::new("matmul");
+    let n = b.param("N");
+    let a = b.array("A", &[n.clone(), n.clone()], 8);
+    let bb = b.array("B", &[n.clone(), n.clone()], 8);
+    let c = b.array("C", &[n.clone(), n.clone()], 8);
+    b.open_loop("i", Aff::val(0), n.clone() - 1);
+    b.open_loop("j", Aff::val(0), n.clone() - 1);
+    b.open_loop("k", Aff::val(0), n - 1);
+    b.stmt("S0")
+        .read(c, &[Aff::var("i"), Aff::var("j")])
+        .read(a, &[Aff::var("i"), Aff::var("k")])
+        .read(bb, &[Aff::var("k"), Aff::var("j")])
+        .write(c, &[Aff::var("i"), Aff::var("j")])
+        .ops(2)
+        .text("C[i][j] = C[i][j] + A[i][k] * B[k][j];")
+        .add(&mut b);
+    b.close_loop();
+    b.close_loop();
+    b.close_loop();
+    b.build().expect("matmul builds")
+}
+
+/// Two separately-nested statements with a producer/consumer dependence:
+///
+/// ```c
+/// for (i = 0; i < N; i++) B[i] = A[i];   // S0
+/// for (j = 0; j < N; j++) C[j] = B[j];   // S1
+/// ```
+///
+/// A fusion candidate: the flow dependence on `B` allows (and proximity
+/// rewards) fusing both loops into one.
+pub fn producer_consumer() -> Scop {
+    let mut b = ScopBuilder::new("producer_consumer");
+    let n = b.param("N");
+    let a = b.array("A", &[n.clone()], 8);
+    let bb = b.array("B", &[n.clone()], 8);
+    let c = b.array("C", &[n.clone()], 8);
+    b.open_loop("i", Aff::val(0), n.clone() - 1);
+    b.stmt("S0")
+        .read(a, &[Aff::var("i")])
+        .write(bb, &[Aff::var("i")])
+        .text("B[i] = A[i];")
+        .add(&mut b);
+    b.close_loop();
+    b.open_loop("j", Aff::val(0), n - 1);
+    b.stmt("S1")
+        .read(bb, &[Aff::var("j")])
+        .write(c, &[Aff::var("j")])
+        .text("C[j] = B[j];")
+        .add(&mut b);
+    b.close_loop();
+    b.build().expect("producer_consumer builds")
+}
+
+/// A producer/consumer pair whose consumer reads the producer's output
+/// *reversed*:
+///
+/// ```c
+/// for (i = 0; i < N; i++) B[i] = A[i];        // S0
+/// for (j = 0; j < N; j++) C[j] = B[N-1-j];    // S1
+/// ```
+///
+/// No legal affine row can fuse the two loops (the dependence `i = N-1-j`
+/// reverses orientation across the nest), so the scheduler must
+/// distribute — this is the canonical exercise of the SCC-cut fallback.
+pub fn reversed_consumer() -> Scop {
+    let mut b = ScopBuilder::new("reversed_consumer");
+    let n = b.param("N");
+    let a = b.array("A", &[n.clone()], 8);
+    let bb = b.array("B", &[n.clone()], 8);
+    let c = b.array("C", &[n.clone()], 8);
+    b.open_loop("i", Aff::val(0), n.clone() - 1);
+    b.stmt("S0")
+        .read(a, &[Aff::var("i")])
+        .write(bb, &[Aff::var("i")])
+        .text("B[i] = A[i];")
+        .add(&mut b);
+    b.close_loop();
+    b.open_loop("j", Aff::val(0), n.clone() - 1);
+    b.stmt("S1")
+        .read(bb, &[n - 1 - Aff::var("j")])
+        .write(c, &[Aff::var("j")])
+        .text("C[j] = B[N-1-j];")
+        .add(&mut b);
+    b.close_loop();
+    b.build().expect("reversed_consumer builds")
+}
+
+/// `for t for i A[i] = A[i-1] + A[i] + A[i+1];`
+///
+/// An in-place Jacobi-style stencil with bidirectional space dependences
+/// carried by the time loop — a skewing candidate.
+pub fn jacobi_1d() -> Scop {
+    let mut b = ScopBuilder::new("jacobi_1d");
+    let t = b.param("T");
+    let n = b.param("N");
+    let a = b.array("A", &[n.clone()], 8);
+    b.open_loop("t", Aff::val(0), t - 1);
+    b.open_loop("i", Aff::val(1), n - 2);
+    b.stmt("S0")
+        .read(a, &[Aff::var("i") - 1])
+        .read(a, &[Aff::var("i")])
+        .read(a, &[Aff::var("i") + 1])
+        .write(a, &[Aff::var("i")])
+        .ops(2)
+        .text("A[i] = A[i-1] + A[i] + A[i+1];")
+        .add(&mut b);
+    b.close_loop();
+    b.close_loop();
+    b.build().expect("jacobi_1d builds")
+}
+
+/// All kernels with their names, for sweep-style tests and benchmarks.
+pub fn all_kernels() -> Vec<(&'static str, Scop)> {
+    vec![
+        ("stencil_chain", stencil_chain()),
+        ("matmul", matmul()),
+        ("producer_consumer", producer_consumer()),
+        ("reversed_consumer", reversed_consumer()),
+        ("jacobi_1d", jacobi_1d()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_build_with_expected_shapes() {
+        assert_eq!(stencil_chain().statements.len(), 1);
+        assert_eq!(stencil_chain().max_depth(), 1);
+        assert_eq!(matmul().max_depth(), 3);
+        assert_eq!(producer_consumer().statements.len(), 2);
+        assert_eq!(reversed_consumer().statements.len(), 2);
+        assert_eq!(jacobi_1d().nparams(), 2);
+        assert_eq!(all_kernels().len(), 5);
+    }
+
+    #[test]
+    fn kernels_are_fully_affine() {
+        for (name, scop) in all_kernels() {
+            assert!(scop.is_fully_affine(), "{name} must be affine");
+        }
+    }
+}

@@ -1,1 +1,65 @@
 //! Umbrella crate re-exporting the PolyTOPS public API.
+//!
+//! PolyTOPS is a reconfigurable polyhedral scheduler: it takes a SCoP
+//! (built with [`ScopBuilder`], parsed from the textual exchange format
+//! with [`parse_scop`], or extracted from restricted C with
+//! [`frontend::parse_c`]) plus a [`SchedulerConfig`] and produces a legal
+//! affine [`Schedule`] via [`schedule`].
+//!
+//! The implementation lives in focused workspace crates, all re-exported
+//! here:
+//!
+//! * [`math`](polytops_math) — exact rational/integer math kernel;
+//! * [`ir`](polytops_ir) — SCoPs, schedules, builders, frontends;
+//! * [`deps`](polytops_deps) — dependence analysis and legality oracles;
+//! * [`core`](polytops_core) — configurations, cost functions, the
+//!   iterative scheduling driver;
+//! * [`codegen`](polytops_codegen) — schedule pretty-printing;
+//! * [`machine`](polytops_machine) — machine models;
+//! * [`workloads`](polytops_workloads) — reference polyhedral kernels.
+//!
+//! # Example
+//!
+//! ```
+//! use polytops::{schedule, SchedulerConfig, ScopBuilder, Aff, StmtId};
+//!
+//! // for (i = 1; i < N; i++) A[i] = A[i-1];
+//! let mut b = ScopBuilder::new("chain");
+//! let n = b.param("N");
+//! let a = b.array("A", &[n.clone()], 8);
+//! b.open_loop("i", Aff::val(1), n - 1);
+//! b.stmt("S0")
+//!     .read(a, &[Aff::var("i") - 1])
+//!     .write(a, &[Aff::var("i")])
+//!     .add(&mut b);
+//! b.close_loop();
+//! let scop = b.build().unwrap();
+//!
+//! let sched = schedule(&scop, &SchedulerConfig::default()).unwrap();
+//! assert_eq!(sched.stmt(StmtId(0)).rows()[0], vec![1, 0, 0]); // φ = i
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use polytops_codegen as codegen;
+pub use polytops_machine as machine;
+pub use polytops_workloads as workloads;
+
+pub use polytops_core::{
+    presets, schedule, schedule_with_strategy, ConfigStrategy, CostFn, DimMap, DimSolution,
+    DimensionPlan, Directive, DirectiveKind, FusionControl, FusionHeuristic, IlpSpace, PostProcess,
+    Reaction, ScheduleError, SchedulerConfig, Strategy, StrategyState,
+};
+pub use polytops_deps::{
+    analyze, dependence_sccs, respects, schedule_respects_dependence, strongly_satisfies,
+    zero_distance, DepKind, Dependence,
+};
+pub use polytops_ir::{
+    frontend, parse_scop, print_scop, Aff, AffineExpr, ArrayId, ArrayInfo, Schedule, Scop,
+    ScopBuilder, Statement, StmtId, StmtSchedule, Subscript,
+};
+pub use polytops_math::{
+    farkas_nonneg, ilp_feasible, ilp_lexmin, ilp_minimize, lp_minimize, ConstraintSystem,
+    IlpOutcome, IntMatrix, LpOutcome, Rat, RowKind,
+};
