@@ -1,0 +1,87 @@
+//! Cold-vs-staged pipeline benchmark.
+//!
+//! Schedules every reference kernel twice per configuration:
+//!
+//! * **cold** — Farkas cache and warm-started solver disabled (every
+//!   dimension re-eliminates every dependence and solves each
+//!   lexicographic objective by full branch and bound from a rebuilt
+//!   tableau);
+//! * **staged** — the default pipeline: cached Farkas replay plus the
+//!   incremental warm-started lexmin.
+//!
+//! Wall times land in `BENCH_schedule.json` (set `BENCH_OUT` to move
+//! it); `BENCH_TARGET_MS` bounds the per-measurement budget, which the
+//! CI smoke run sets low.
+
+use std::fmt::Write as _;
+
+use polytops_bench::bench_ns;
+use polytops_core::{presets, schedule_with_options, EngineOptions};
+
+fn main() {
+    let cold_options = EngineOptions {
+        farkas_cache: false,
+        warm_start: false,
+    };
+    let configs = [
+        ("pluto", presets::pluto()),
+        ("feautrier", presets::feautrier()),
+    ];
+    let mut rows = Vec::new();
+    let (mut total_cold, mut total_staged) = (0u128, 0u128);
+    for (kernel, scop) in polytops_workloads::all_kernels() {
+        for (cname, cfg) in &configs {
+            let cold = bench_ns(|| {
+                schedule_with_options(&scop, cfg, &cold_options).expect("kernel schedules")
+            });
+            let staged = bench_ns(|| {
+                schedule_with_options(&scop, cfg, &EngineOptions::default())
+                    .expect("kernel schedules")
+            });
+            let (_, stats) = schedule_with_options(&scop, cfg, &EngineOptions::default()).unwrap();
+            let (_, cold_stats) = schedule_with_options(&scop, cfg, &cold_options).unwrap();
+            let speedup = cold as f64 / staged.max(1) as f64;
+            total_cold += cold;
+            total_staged += staged;
+            println!(
+                "staged/{kernel}/{cname:<10} cold {cold:>10} ns  staged {staged:>10} ns  \
+                 ({speedup:.2}x, farkas {}/{} hit, bb nodes {} -> {})",
+                stats.farkas_hits,
+                stats.farkas_hits + stats.farkas_misses,
+                cold_stats.ilp.nodes,
+                stats.ilp.nodes,
+            );
+            rows.push(format!(
+                "    {{\"kernel\": \"{kernel}\", \"config\": \"{cname}\", \
+                 \"cold_ns\": {cold}, \"staged_ns\": {staged}, \
+                 \"speedup\": {speedup:.3}, \
+                 \"farkas_hits\": {}, \"farkas_misses\": {}, \
+                 \"bb_nodes_cold\": {}, \"bb_nodes_staged\": {}, \
+                 \"lp_stages\": {}}}",
+                stats.farkas_hits,
+                stats.farkas_misses,
+                cold_stats.ilp.nodes,
+                stats.ilp.nodes,
+                stats.ilp.lp_stages,
+            ));
+        }
+    }
+    let mut json = String::from("{\n  \"bench\": \"schedule\",\n  \"entries\": [\n");
+    json.push_str(&rows.join(",\n"));
+    let _ = write!(
+        json,
+        "\n  ],\n  \"total_cold_ns\": {total_cold},\n  \"total_staged_ns\": {total_staged},\n  \
+         \"total_speedup\": {:.3}\n}}\n",
+        total_cold as f64 / total_staged.max(1) as f64
+    );
+    // Cargo runs benches with the package directory as CWD; default the
+    // report to the workspace root where CI picks it up.
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_schedule.json").to_string()
+    });
+    std::fs::write(&out, json).expect("write bench report");
+    println!(
+        "total: cold {total_cold} ns, staged {total_staged} ns ({:.2}x) -> {out}",
+        total_cold as f64 / total_staged.max(1) as f64
+    );
+}

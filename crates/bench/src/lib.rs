@@ -11,26 +11,38 @@
 
 use std::time::Instant;
 
-/// Times `f` and prints `name ... <ns>/iter (<iters> iters)`.
+/// Target wall time per measurement in nanoseconds, overridable with the
+/// `BENCH_TARGET_MS` environment variable (the CI smoke run uses a small
+/// value).
+fn target_ns() -> u128 {
+    std::env::var("BENCH_TARGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u128>().ok())
+        .map_or(200_000_000, |ms| ms.max(1) * 1_000_000)
+}
+
+/// Times `f` and returns nanoseconds per iteration.
 ///
 /// Runs a small warmup, then picks an iteration count targeting roughly
-/// 0.2 s of wall time (at least 5 iterations) so quick and slow problems
-/// both report stable numbers.
-pub fn bench_fn<R>(name: &str, mut f: impl FnMut() -> R) {
+/// [`target_ns`] of wall time (at least 5 iterations) so quick and slow
+/// problems both report stable numbers.
+pub fn bench_ns<R>(mut f: impl FnMut() -> R) -> u128 {
     // Warmup + calibration.
     let start = Instant::now();
     std::hint::black_box(f());
     let once = start.elapsed().as_nanos().max(1);
-    let iters = ((200_000_000 / once) as u64).clamp(5, 10_000);
+    let iters = ((target_ns() / once) as u64).clamp(5, 10_000);
     let start = Instant::now();
     for _ in 0..iters {
         std::hint::black_box(f());
     }
-    let total = start.elapsed().as_nanos();
-    println!(
-        "{name:<40} {:>12} ns/iter ({iters} iters)",
-        total / u128::from(iters)
-    );
+    start.elapsed().as_nanos() / u128::from(iters)
+}
+
+/// Times `f` and prints `name ... <ns>/iter`.
+pub fn bench_fn<R>(name: &str, f: impl FnMut() -> R) {
+    let ns = bench_ns(f);
+    println!("{name:<40} {ns:>12} ns/iter");
 }
 
 #[cfg(test)]

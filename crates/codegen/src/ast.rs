@@ -1,0 +1,571 @@
+//! Band-tree AST generation: a CLooG-lite polyhedral scanner.
+//!
+//! [`band_tree`] turns a [`Schedule`] (including the tiling metadata the
+//! post-processing stage records) into a [`BandNode`] tree, and
+//! [`emit_c`] lowers that tree to C-like text with explicit tile loops,
+//! `#pragma omp parallel for` markers and statement instances rewritten
+//! in terms of the scan variables.
+//!
+//! The scanner works per statement with exact Fourier–Motzkin
+//! projection: the statement's iteration domain is lifted into the space
+//! `(scan variables…, iterators…, parameters…)`, each *point* scan
+//! variable is pinned to its schedule row, each *tile* scan variable is
+//! boxed around its point row (`T·v ≤ φ ≤ T·v + T − 1`), the original
+//! iterators are eliminated, and loop bounds for scan variable `k` are
+//! read off the projection onto the first `k + 1` scan variables.
+//!
+//! Known approximations, documented rather than hidden:
+//!
+//! * projections of integer sets may over-approximate (no gist/guard
+//!   generation), which can execute no-op boundary iterations but never
+//!   reorders statement instances;
+//! * statements that share a loop level but disagree on bounds are split
+//!   into sibling loops ordered by statement id (the engine always
+//!   separates differently-scheduled statements with a constant level
+//!   first, so this is a formality).
+
+use std::fmt::Write as _;
+
+use polytops_ir::{Schedule, Scop, StmtId};
+use polytops_math::{ConstraintSystem, Rat, Result as MathResult, RowKind};
+
+/// One bound term `⌈expr / div⌉` (lower) or `⌊expr / div⌋` (upper); the
+/// numerator is affine over `(outer scan vars…, params, 1)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundTerm {
+    /// Numerator coefficients: outer scan variables, then parameters,
+    /// then the constant.
+    pub expr: Vec<i64>,
+    /// Positive divisor (1 for ordinary bounds).
+    pub div: i64,
+}
+
+/// A loop in the generated AST.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopNode {
+    /// Scan-variable index (rendered as `c{var}`).
+    pub var: usize,
+    /// The schedule dimension this loop scans.
+    pub dim: usize,
+    /// Tile size when this is a tile loop (the variable counts tiles).
+    pub tile: Option<i64>,
+    /// Whether the scanned dimension is parallel.
+    pub parallel: bool,
+    /// Lower bound: the maximum of these terms (ceiling division).
+    pub lb: Vec<BoundTerm>,
+    /// Upper bound: the minimum of these terms (floor division).
+    pub ub: Vec<BoundTerm>,
+    /// Loop body.
+    pub body: Vec<BandNode>,
+}
+
+/// A statement instance in the generated AST.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StmtNode {
+    /// The statement.
+    pub id: StmtId,
+    /// Statement name (e.g. `S0`).
+    pub name: String,
+    /// Original iterators expressed over `(scan vars…, params, 1)`;
+    /// `None` when the schedule's iterator part was not integrally
+    /// invertible.
+    pub iters: Option<Vec<Vec<i64>>>,
+}
+
+/// A node of the band tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BandNode {
+    /// A loop over one scan variable.
+    Loop(LoopNode),
+    /// Sequential composition (constant schedule levels, or sibling
+    /// loops with differing bounds).
+    Seq(Vec<BandNode>),
+    /// A statement instance.
+    Stmt(StmtNode),
+}
+
+/// One scan variable: a tile counter or a point (time) dimension.
+#[derive(Debug, Clone, Copy)]
+struct ScanVar {
+    dim: usize,
+    tile: Option<i64>,
+    /// Tile loops carry the band's stricter flag (zero distance for
+    /// every dependence live at band entry); point loops carry the
+    /// schedule's per-dimension flag.
+    parallel: bool,
+}
+
+/// The scan order induced by bands and tiling: a tiled band contributes
+/// its tile counters first, then its point dimensions.
+fn scan_order(sched: &Schedule) -> Vec<ScanVar> {
+    let mut order = Vec::new();
+    for (start, end) in sched.band_ranges() {
+        if let Some(tb) = sched
+            .tiling()
+            .iter()
+            .find(|tb| tb.start == start && tb.end == end)
+        {
+            for d in start..end {
+                order.push(ScanVar {
+                    dim: d,
+                    tile: Some(tb.sizes[d - start]),
+                    parallel: tb.parallel[d - start],
+                });
+            }
+        }
+        for d in start..end {
+            order.push(ScanVar {
+                dim: d,
+                tile: None,
+                parallel: sched.parallel().get(d).copied().unwrap_or(false),
+            });
+        }
+    }
+    order
+}
+
+/// Per-statement scanning data: loop bounds per scan variable.
+struct StmtScan {
+    /// `bounds[k] = (lb terms, ub terms)` over `(c_0..c_{k-1}, params, 1)`.
+    bounds: Vec<(Vec<BoundTerm>, Vec<BoundTerm>)>,
+}
+
+/// Builds the `(scan, iters, params)` system of one statement and
+/// projects out the iterators.
+fn stmt_projection(
+    scop: &Scop,
+    sched: &Schedule,
+    order: &[ScanVar],
+    sid: usize,
+) -> MathResult<ConstraintSystem> {
+    let stmt = &scop.statements[sid];
+    let d = stmt.depth();
+    let np = scop.nparams();
+    let k = order.len();
+    let mut sys = ConstraintSystem::new(k + d + np);
+    // Domain rows (over iters, params) lifted into the new layout.
+    for (kind, row) in stmt.domain.iter() {
+        let mut r = vec![0i64; k + d + np + 1];
+        r[k..k + d + np].copy_from_slice(&row[..d + np]);
+        r[k + d + np] = row[d + np];
+        match kind {
+            RowKind::Eq => sys.add_eq(r),
+            RowKind::Ineq => sys.add_ineq(r),
+        }
+    }
+    let ss = sched.stmt(StmtId(sid));
+    for (v, sv) in order.iter().enumerate() {
+        let row = &ss.rows()[sv.dim];
+        // φ(iters, params) spread into the lifted layout.
+        let mut phi = vec![0i64; k + d + np + 1];
+        phi[k..k + d + np].copy_from_slice(&row[..d + np]);
+        phi[k + d + np] = row[d + np];
+        match sv.tile {
+            None => {
+                // c_v == φ.
+                let mut eq = phi;
+                eq[v] -= 1;
+                sys.add_eq(eq);
+            }
+            Some(size) => {
+                // size·c_v ≤ φ ≤ size·c_v + size − 1.
+                let mut lo = phi.clone();
+                lo[v] -= size;
+                sys.add_ineq(lo);
+                let mut hi: Vec<i64> = phi.iter().map(|&c| -c).collect();
+                hi[v] += size;
+                hi[k + d + np] += size - 1;
+                sys.add_ineq(hi);
+            }
+        }
+    }
+    // Eliminate the original iterators (positions k..k+d).
+    let mut cur = sys;
+    for _ in 0..d {
+        cur = cur.eliminate_var(k)?;
+    }
+    Ok(cur)
+}
+
+/// Extracts lb/ub terms for scan variable `k` from the projection onto
+/// `(c_0..c_k, params)`.
+fn extract_bounds(proj: &ConstraintSystem, k: usize) -> (Vec<BoundTerm>, Vec<BoundTerm>) {
+    let mut lb = Vec::new();
+    let mut ub = Vec::new();
+    let n = proj.num_vars();
+    let mut add = |coeff: i64, row: &[i64]| {
+        // coeff·c_k + rest ⋛ 0 with rest over (c_0..c_{k-1}, params, 1).
+        let mut rest: Vec<i64> = Vec::with_capacity(n);
+        rest.extend_from_slice(&row[..k]);
+        rest.extend_from_slice(&row[k + 1..=n]);
+        if coeff > 0 {
+            // c_k >= ceil(-rest / coeff)
+            let term = BoundTerm {
+                expr: rest.iter().map(|&c| -c).collect(),
+                div: coeff,
+            };
+            if !lb.contains(&term) {
+                lb.push(term);
+            }
+        } else {
+            // c_k <= floor(rest / -coeff)
+            let term = BoundTerm {
+                expr: rest,
+                div: -coeff,
+            };
+            if !ub.contains(&term) {
+                ub.push(term);
+            }
+        }
+    };
+    for (kind, row) in proj.iter() {
+        let c = row[k];
+        if c == 0 {
+            continue;
+        }
+        match kind {
+            RowKind::Ineq => add(c, row),
+            RowKind::Eq => {
+                // Both directions.
+                add(c, row);
+                let neg: Vec<i64> = row.iter().map(|&v| -v).collect();
+                add(-c, &neg);
+            }
+        }
+    }
+    (lb, ub)
+}
+
+/// Computes the full per-statement scan data.
+fn scan_stmt(scop: &Scop, sched: &Schedule, order: &[ScanVar], sid: usize) -> MathResult<StmtScan> {
+    let k = order.len();
+    let mut projections: Vec<ConstraintSystem> = Vec::with_capacity(k);
+    let mut cur = stmt_projection(scop, sched, order, sid)?;
+    projections.push(cur.clone()); // onto (c_0..c_{K-1}, params)
+    for kk in (1..k).rev() {
+        cur = cur.eliminate_var(kk)?;
+        projections.push(cur.clone());
+    }
+    projections.reverse(); // projections[k] is onto (c_0..c_k, params)
+    let bounds = (0..k)
+        .map(|kk| extract_bounds(&projections[kk], kk))
+        .collect();
+    Ok(StmtScan { bounds })
+}
+
+/// Inverts the iterator part of a statement schedule: expresses each
+/// original iterator over `(scan vars…, params, 1)`. Returns `None` when
+/// no integral inverse exists.
+fn invert_iters(
+    scop: &Scop,
+    sched: &Schedule,
+    order: &[ScanVar],
+    sid: usize,
+) -> Option<Vec<Vec<i64>>> {
+    let stmt = &scop.statements[sid];
+    let d = stmt.depth();
+    let np = scop.nparams();
+    let k = order.len();
+    if d == 0 {
+        return Some(Vec::new());
+    }
+    let ss = sched.stmt(StmtId(sid));
+    // Greedily pick dims whose iterator rows form a rank-d basis, and
+    // remember the point scan variable of each picked dim.
+    let mut m = polytops_math::IntMatrix::zeros(0, d);
+    let mut picked: Vec<usize> = Vec::new(); // schedule dims
+    for dim in 0..ss.len() {
+        if ss.row_is_constant(dim) {
+            continue;
+        }
+        let mut candidate = m.clone();
+        candidate.push_row(ss.rows()[dim][..d].to_vec());
+        if candidate.rank() == candidate.rows() {
+            m = candidate;
+            picked.push(dim);
+        }
+        if m.rows() == d {
+            break;
+        }
+    }
+    if m.rows() != d {
+        return None;
+    }
+    let inv = m.to_rat().inverse().ok()?;
+    // x = M⁻¹ · (c_sel − param/const parts of the picked rows).
+    let scan_of_dim = |dim: usize| {
+        order
+            .iter()
+            .position(|sv| sv.dim == dim && sv.tile.is_none())
+    };
+    let mut out = Vec::with_capacity(d);
+    for i in 0..d {
+        let mut expr_rat = vec![Rat::ZERO; k + np + 1];
+        for (j, &dim) in picked.iter().enumerate() {
+            let w = inv[(i, j)];
+            if w == Rat::ZERO {
+                continue;
+            }
+            let row = &ss.rows()[dim];
+            expr_rat[scan_of_dim(dim)?] += w;
+            for p in 0..np {
+                expr_rat[k + p] -= w * Rat::from(row[d + p]);
+            }
+            expr_rat[k + np] -= w * Rat::from(row[d + np]);
+        }
+        let mut expr = Vec::with_capacity(k + np + 1);
+        for v in expr_rat {
+            expr.push(i64::try_from(v.to_integer()?).ok()?);
+        }
+        out.push(expr);
+    }
+    Some(out)
+}
+
+/// Builds the band tree for a scheduled SCoP.
+///
+/// # Errors
+///
+/// Propagates arithmetic overflow from the exact projections.
+pub fn band_tree(scop: &Scop, sched: &Schedule) -> MathResult<BandNode> {
+    let order = scan_order(sched);
+    let nstmts = scop.statements.len();
+    let mut scans = Vec::with_capacity(nstmts);
+    let mut iters = Vec::with_capacity(nstmts);
+    for sid in 0..nstmts {
+        scans.push(scan_stmt(scop, sched, &order, sid)?);
+        iters.push(invert_iters(scop, sched, &order, sid));
+    }
+    let active: Vec<usize> = (0..nstmts).collect();
+    let body = build_level(scop, sched, &order, &scans, &iters, 0, &active);
+    Ok(match body.len() {
+        1 => body.into_iter().next().expect("nonempty"),
+        _ => BandNode::Seq(body),
+    })
+}
+
+/// Recursively builds the nodes of scan level `k` for the active
+/// statements.
+fn build_level(
+    scop: &Scop,
+    sched: &Schedule,
+    order: &[ScanVar],
+    scans: &[StmtScan],
+    iters: &[Option<Vec<Vec<i64>>>],
+    k: usize,
+    active: &[usize],
+) -> Vec<BandNode> {
+    if active.is_empty() {
+        return Vec::new();
+    }
+    if k == order.len() {
+        return active
+            .iter()
+            .map(|&sid| {
+                BandNode::Stmt(StmtNode {
+                    id: StmtId(sid),
+                    name: scop.statements[sid].name.clone(),
+                    iters: iters[sid].clone(),
+                })
+            })
+            .collect();
+    }
+    let sv = order[k];
+    let constant_level = sv.tile.is_none()
+        && active
+            .iter()
+            .all(|&sid| sched.stmt(StmtId(sid)).row_is_constant(sv.dim));
+    if constant_level {
+        // A splitting level: group by the row's (constant, param) value
+        // in ascending order; no loop is emitted.
+        let np = scop.nparams();
+        let mut groups: Vec<(Vec<i64>, Vec<usize>)> = Vec::new();
+        for &sid in active {
+            let stmt = &scop.statements[sid];
+            let row = &sched.stmt(StmtId(sid)).rows()[sv.dim];
+            let mut key = vec![row[stmt.depth() + np]];
+            key.extend_from_slice(&row[stmt.depth()..stmt.depth() + np]);
+            match groups.iter_mut().find(|(g, _)| *g == key) {
+                Some((_, members)) => members.push(sid),
+                None => groups.push((key, vec![sid])),
+            }
+        }
+        groups.sort_by(|(a, _), (b, _)| a.cmp(b));
+        let mut out = Vec::new();
+        for (_, members) in groups {
+            out.extend(build_level(
+                scop,
+                sched,
+                order,
+                scans,
+                iters,
+                k + 1,
+                &members,
+            ));
+        }
+        return out;
+    }
+    // A loop level: group active statements by identical bounds.
+    type BoundPair = (Vec<BoundTerm>, Vec<BoundTerm>);
+    let mut groups: Vec<(&BoundPair, Vec<usize>)> = Vec::new();
+    for &sid in active {
+        let b = &scans[sid].bounds[k];
+        match groups.iter_mut().find(|(g, _)| *g == b) {
+            Some((_, members)) => members.push(sid),
+            None => groups.push((b, vec![sid])),
+        }
+    }
+    groups
+        .into_iter()
+        .map(|((lb, ub), members)| {
+            BandNode::Loop(LoopNode {
+                var: k,
+                dim: sv.dim,
+                tile: sv.tile,
+                parallel: sv.parallel,
+                lb: lb.clone(),
+                ub: ub.clone(),
+                body: build_level(scop, sched, order, scans, iters, k + 1, &members),
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Lowering to C-like text.
+// ---------------------------------------------------------------------
+
+/// Renders an affine numerator over `(c_0.., params, 1)`; the scan-var
+/// count is implied by the expression length (bound terms at level `k`
+/// only see the `k` outer scan variables).
+fn render_affine(expr: &[i64], params: &[&str]) -> String {
+    let nvars = expr.len() - 1 - params.len();
+    let mut out = String::new();
+    let name = |i: usize| -> String {
+        if i < nvars {
+            format!("c{i}")
+        } else {
+            params[i - nvars].to_string()
+        }
+    };
+    for (i, &c) in expr[..expr.len() - 1].iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let v = name(i);
+        if out.is_empty() {
+            match c {
+                1 => out.push_str(&v),
+                -1 => {
+                    let _ = write!(out, "-{v}");
+                }
+                _ => {
+                    let _ = write!(out, "{c}*{v}");
+                }
+            }
+        } else {
+            let sign = if c > 0 { "+" } else { "-" };
+            let a = c.abs();
+            if a == 1 {
+                let _ = write!(out, " {sign} {v}");
+            } else {
+                let _ = write!(out, " {sign} {a}*{v}");
+            }
+        }
+    }
+    let cst = expr[expr.len() - 1];
+    if out.is_empty() {
+        let _ = write!(out, "{cst}");
+    } else if cst > 0 {
+        let _ = write!(out, " + {cst}");
+    } else if cst < 0 {
+        let _ = write!(out, " - {}", -cst);
+    }
+    out
+}
+
+/// Renders one bound term, wrapping in `floord`/`ceild` when divided.
+fn render_term(term: &BoundTerm, lower: bool, params: &[&str]) -> String {
+    let e = render_affine(&term.expr, params);
+    if term.div == 1 {
+        e
+    } else if lower {
+        format!("ceild({e}, {})", term.div)
+    } else {
+        format!("floord({e}, {})", term.div)
+    }
+}
+
+/// Renders a max-of/min-of bound list.
+fn render_bound(terms: &[BoundTerm], lower: bool, params: &[&str]) -> String {
+    let rendered: Vec<String> = terms
+        .iter()
+        .map(|t| render_term(t, lower, params))
+        .collect();
+    match rendered.len() {
+        0 => if lower { "-INF" } else { "INF" }.to_string(),
+        1 => rendered.into_iter().next().expect("nonempty"),
+        _ => format!(
+            "{}({})",
+            if lower { "max" } else { "min" },
+            rendered.join(", ")
+        ),
+    }
+}
+
+fn emit_node(node: &BandNode, params: &[&str], indent: usize, in_parallel: bool, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match node {
+        BandNode::Seq(children) => {
+            for c in children {
+                emit_node(c, params, indent, in_parallel, out);
+            }
+        }
+        BandNode::Loop(l) => {
+            let v = format!("c{}", l.var);
+            let lb = render_bound(&l.lb, true, params);
+            let ub = render_bound(&l.ub, false, params);
+            let mark_parallel = l.parallel && !in_parallel;
+            if mark_parallel {
+                let _ = writeln!(out, "{pad}#pragma omp parallel for");
+            }
+            let tile = match l.tile {
+                Some(size) => format!(" // tile loop (size {size})"),
+                None => String::new(),
+            };
+            let _ = writeln!(out, "{pad}for ({v} = {lb}; {v} <= {ub}; {v}++) {{{tile}");
+            for c in &l.body {
+                emit_node(c, params, indent + 1, in_parallel || mark_parallel, out);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        BandNode::Stmt(s) => {
+            let args = match &s.iters {
+                Some(exprs) => exprs
+                    .iter()
+                    .map(|e| render_affine(e, params))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                None => "...".to_string(),
+            };
+            let _ = writeln!(out, "{pad}{}({args});", s.name);
+        }
+    }
+}
+
+/// Lowers a scheduled SCoP to C-like text through the band tree.
+///
+/// The output uses CLooG-style `floord`/`ceild` integer divisions and
+/// `max`/`min` bound combinators; tile loops are annotated with their
+/// size and parallel dimensions carry an OpenMP pragma.
+///
+/// # Errors
+///
+/// Propagates arithmetic overflow from the exact projections.
+pub fn emit_c(scop: &Scop, sched: &Schedule) -> MathResult<String> {
+    let tree = band_tree(scop, sched)?;
+    let params: Vec<&str> = scop.params.iter().map(String::as_str).collect();
+    let mut out = String::new();
+    emit_node(&tree, &params, 0, false, &mut out);
+    Ok(out)
+}

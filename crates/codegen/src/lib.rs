@@ -1,16 +1,23 @@
-//! Schedule rendering for PolyTOPS.
+//! Schedule rendering and code generation for PolyTOPS.
 //!
-//! Full AST generation (a CLooG-style polyhedral code generator) is a
-//! later milestone; this crate currently provides the human-readable
-//! rendering the tools and benchmarks need today:
+//! Two backends:
 //!
-//! * [`schedule_table`] — per-statement scheduling rows with named
-//!   iterators and parameters, plus band/parallel annotations;
-//! * [`emit_pseudo`] — a compact pseudo-code view listing each statement
+//! * the **band-tree AST** ([`band_tree`], [`emit_c`] in [`ast`]) — a
+//!   CLooG-lite scanner producing `BandNode::{Loop, Seq, Stmt}` trees
+//!   with explicit tile loops (from the schedule's [`polytops_ir::TileBand`]
+//!   metadata) and lowering them to C-like text;
+//! * the human-readable renderings the tools and benchmarks use:
+//!   [`schedule_table`] — per-statement scheduling rows with named
+//!   iterators and parameters plus band/parallel annotations — and
+//!   [`emit_pseudo`] — a compact pseudo-code view listing each statement
 //!   under its timestamp expressions.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod ast;
+
+pub use ast::{band_tree, emit_c, BandNode, BoundTerm, LoopNode, StmtNode};
 
 use std::fmt::Write as _;
 

@@ -1,22 +1,17 @@
-//! Cost function construction (paper §III-A1) and the Farkas templates
+//! Per-cost-function templates (paper §III-A1) and the Farkas templates
 //! shared by validity and cost constraints.
+//!
+//! The assembly of a full dimension's constraint system and objective
+//! sequence lives in [`crate::pipeline::objectives`]; this module holds
+//! the reusable building blocks it composes (and that the
+//! [`FarkasCache`](crate::pipeline::FarkasCache) memoizes).
 
 use polytops_deps::Dependence;
 use polytops_ir::{Scop, Statement, Subscript};
-use polytops_math::{farkas_nonneg, ConstraintSystem, RowKind};
+use polytops_math::{farkas_nonneg, ConstraintSystem};
 
-use crate::config::CostFn;
 use crate::error::ScheduleError;
 use crate::space::IlpSpace;
-
-/// Everything a set of cost functions contributes to one dimension's ILP.
-#[derive(Debug, Clone, Default)]
-pub struct CostBuild {
-    /// Extra constraint rows over the ILP space.
-    pub rows: Vec<(RowKind, Vec<i64>)>,
-    /// Lexicographic objective rows (leftmost = highest priority).
-    pub objectives: Vec<Vec<i64>>,
-}
 
 /// Builds the template matrix of `Δ = φ_dst − φ_src` over a dependence's
 /// `(it_src, it_dst, params, 1)` space: one row per `z` variable plus one
@@ -184,99 +179,6 @@ pub fn big_loops_first_coeffs(scop: &Scop, stmt: &Statement, param_estimate: i64
         cost[k] = 1 + rank as i64;
     }
     cost
-}
-
-/// Builds the constraint rows and objective sequence for a dimension's
-/// configured cost functions, in priority order.
-///
-/// `live` holds the live dependences (in the order matching the space's
-/// dependence variables).
-///
-/// # Errors
-///
-/// Propagates arithmetic overflow and unknown user variables.
-pub fn build_costs(
-    scop: &Scop,
-    space: &IlpSpace,
-    live: &[&Dependence],
-    costs: &[CostFn],
-    param_estimate: i64,
-) -> Result<CostBuild, ScheduleError> {
-    let mut out = CostBuild::default();
-    for cost in costs {
-        match cost {
-            CostFn::Proximity => {
-                for dep in live {
-                    let sys = proximity_rows(dep, space)?;
-                    for (kind, row) in sys.iter() {
-                        out.rows.push((kind, row.to_vec()));
-                    }
-                }
-                // Objectives: Σ u_j first, then w (Pluto's lexmin order).
-                let mut urow = vec![0i64; space.total()];
-                for j in 0..space.nparams {
-                    urow[space.u(j)] = 1;
-                }
-                out.objectives.push(urow);
-                let mut wrow = vec![0i64; space.total()];
-                wrow[space.w()] = 1;
-                out.objectives.push(wrow);
-            }
-            CostFn::Feautrier => {
-                for (e, dep) in live.iter().enumerate() {
-                    let sys = feautrier_rows(dep, e, space)?;
-                    for (kind, row) in sys.iter() {
-                        out.rows.push((kind, row.to_vec()));
-                    }
-                    // 0 <= x_e <= 1.
-                    let mut lo = vec![0i64; space.total() + 1];
-                    lo[space.dep_var(e)] = 1;
-                    out.rows.push((RowKind::Ineq, lo));
-                    let mut hi = vec![0i64; space.total() + 1];
-                    hi[space.dep_var(e)] = -1;
-                    hi[space.total()] = 1;
-                    out.rows.push((RowKind::Ineq, hi));
-                }
-                // Maximize Σ x_e  ⇔  minimize −Σ x_e.
-                let mut row = vec![0i64; space.total()];
-                for e in 0..live.len() {
-                    row[space.dep_var(e)] = -1;
-                }
-                out.objectives.push(row);
-            }
-            CostFn::Contiguity => {
-                let mut row = vec![0i64; space.total() + 1];
-                for (sid, stmt) in scop.statements.iter().enumerate() {
-                    let coeffs = contiguity_coeffs(stmt);
-                    for (k, &c) in coeffs.iter().enumerate() {
-                        space.add_iter_coeff(&mut row, sid, k, c);
-                    }
-                }
-                row.pop();
-                out.objectives.push(row);
-            }
-            CostFn::BigLoopsFirst => {
-                let mut row = vec![0i64; space.total() + 1];
-                for (sid, stmt) in scop.statements.iter().enumerate() {
-                    let coeffs = big_loops_first_coeffs(scop, stmt, param_estimate);
-                    for (k, &c) in coeffs.iter().enumerate() {
-                        space.add_iter_coeff(&mut row, sid, k, c);
-                    }
-                }
-                row.pop();
-                out.objectives.push(row);
-            }
-            CostFn::UserVar(name) => {
-                let v = space.user(name).ok_or_else(|| ScheduleError::Config {
-                    detail: format!("cost function references unknown variable `{name}`"),
-                })?;
-                let mut row = vec![0i64; space.total()];
-                row[v] = 1;
-                out.objectives.push(row);
-            }
-        }
-    }
-    Ok(out)
 }
 
 #[cfg(test)]

@@ -134,8 +134,14 @@ impl<'a> Parser<'a> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
+        let digits = self.pos;
         while matches!(self.peek(), Some(b'0'..=b'9')) {
             self.pos += 1;
+        }
+        // RFC 8259 (and serde_json) forbid leading zeros: `0` is fine,
+        // `007` is not.
+        if self.pos - digits > 1 && self.bytes[digits] == b'0' {
+            return Err(format!("number with leading zero at byte {start}"));
         }
         if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
             return Err(format!(
@@ -279,6 +285,18 @@ mod tests {
         assert!(parse("1.5").is_err());
         assert!(parse("{} trailing").is_err());
         assert!(parse(r#"{"a": 1, "a": 2}"#).is_err());
+    }
+
+    #[test]
+    fn rejects_leading_zero_integers() {
+        // serde_json rejects these; the in-tree parser must too.
+        assert!(parse("007").is_err());
+        assert!(parse("-07").is_err());
+        assert!(parse(r#"{"a": 012}"#).is_err());
+        // A bare (possibly negative) zero is still fine.
+        assert_eq!(parse("0").unwrap().as_int(), Some(0));
+        assert_eq!(parse("-0").unwrap().as_int(), Some(0));
+        assert_eq!(parse("10").unwrap().as_int(), Some(10));
     }
 
     #[test]

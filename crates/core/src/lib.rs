@@ -8,11 +8,13 @@
 //!   the paper's Listing 2;
 //! * [`strategy`] — dynamic strategies, the Rust analogue of the C++
 //!   interface (Listing 3);
-//! * [`space`] — the ILP variable layout of one scheduling dimension;
+//! * [`space`] — the fixed ILP variable layout of a SCoP;
 //! * [`costfn`] — Farkas templates plus the predefined cost functions
 //!   (proximity, Feautrier, contiguity, big-loops-first, user variables);
 //! * [`constraints`] — the custom-constraint mini-language (§III-A2);
-//! * [`scheduler`] — the iterative driver composing all of the above;
+//! * [`pipeline`] — the staged driver (legality → objectives → solve →
+//!   postprocess), with its cached Farkas systems and warm-started ILP;
+//! * [`scheduler`] — the stable entry points over the pipeline;
 //! * [`presets`] — ready-made Pluto/Pluto+/Feautrier/isl-style configs;
 //! * [`error`] — the error type shared by every stage.
 //!
@@ -46,6 +48,7 @@ pub mod constraints;
 pub mod costfn;
 pub mod error;
 mod json;
+pub mod pipeline;
 pub mod presets;
 pub mod scheduler;
 pub mod space;
@@ -56,6 +59,7 @@ pub use config::{
     SchedulerConfig,
 };
 pub use error::ScheduleError;
-pub use scheduler::{schedule, schedule_with_strategy};
+pub use pipeline::{EngineOptions, FarkasCache, PipelineStats};
+pub use scheduler::{schedule, schedule_with_options, schedule_with_strategy};
 pub use space::{IlpSpace, StmtBlock};
 pub use strategy::{ConfigStrategy, DimSolution, DimensionPlan, Reaction, Strategy, StrategyState};

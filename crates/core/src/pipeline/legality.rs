@@ -1,0 +1,199 @@
+//! Legality stage: cached Farkas linearization.
+//!
+//! Eliminating a dependence's Farkas multipliers (Fourier–Motzkin over
+//! the dependence polyhedron) is the single most expensive constraint-
+//! construction step of the scheduler, and the monolithic driver used to
+//! redo it for every live dependence at every dimension. The resulting
+//! system, however, only depends on the dependence polyhedron and the
+//! ILP variable layout — neither changes across dimensions now that the
+//! engine fixes one [`IlpSpace`] per SCoP — so [`FarkasCache`]
+//! eliminates each dependence **once** and replays the cached affine
+//! form at every later dimension.
+//!
+//! Entries are keyed by dependence id and constraint kind (validity,
+//! proximity, Feautrier). Lookups happen for live dependences and — on
+//! the validity side — for dependences carried inside the still-open
+//! band; that is fine because an entry depends only on the dependence
+//! polyhedron and the fixed variable layout, never on live/retired
+//! state. Hit/miss counters feed
+//! [`PipelineStats`](crate::pipeline::PipelineStats).
+
+use std::cell::{Cell, OnceCell};
+
+use polytops_deps::Dependence;
+use polytops_math::ConstraintSystem;
+
+use crate::costfn::{feautrier_rows, proximity_rows, validity_rows};
+use crate::error::ScheduleError;
+use crate::space::IlpSpace;
+
+/// Per-SCoP cache of Farkas-eliminated constraint systems.
+///
+/// The cache is only sound while the ILP variable layout is stable: the
+/// engine constructs one [`IlpSpace`] per SCoP (with dependence-variable
+/// columns for *all* dependences, live or not) and shares it across
+/// every dimension, which is asserted on each replay.
+#[derive(Debug)]
+pub struct FarkasCache {
+    enabled: bool,
+    validity: Vec<OnceCell<ConstraintSystem>>,
+    proximity: Vec<OnceCell<ConstraintSystem>>,
+    feautrier: Vec<OnceCell<ConstraintSystem>>,
+    hits: Cell<usize>,
+    misses: Cell<usize>,
+}
+
+impl FarkasCache {
+    /// Creates a cache for `num_deps` dependences. When `enabled` is
+    /// `false` every lookup recomputes (the cold path benchmarked
+    /// against the cached one); counters are maintained either way.
+    pub fn new(num_deps: usize, enabled: bool) -> FarkasCache {
+        FarkasCache {
+            enabled,
+            validity: (0..num_deps).map(|_| OnceCell::new()).collect(),
+            proximity: (0..num_deps).map(|_| OnceCell::new()).collect(),
+            feautrier: (0..num_deps).map(|_| OnceCell::new()).collect(),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.get()
+    }
+
+    /// Number of lookups that ran a fresh Farkas elimination.
+    pub fn misses(&self) -> usize {
+        self.misses.get()
+    }
+
+    /// Appends the validity system `Δ_e ≥ 0` of dependence `e` to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arithmetic overflow from the elimination.
+    pub fn extend_with_validity(
+        &self,
+        e: usize,
+        dep: &Dependence,
+        space: &IlpSpace,
+        out: &mut ConstraintSystem,
+    ) -> Result<(), ScheduleError> {
+        self.replay(&self.validity[e], out, || validity_rows(dep, space))
+    }
+
+    /// Appends the proximity system `Δ_e ≤ u·N + w` of dependence `e`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arithmetic overflow from the elimination.
+    pub fn extend_with_proximity(
+        &self,
+        e: usize,
+        dep: &Dependence,
+        space: &IlpSpace,
+        out: &mut ConstraintSystem,
+    ) -> Result<(), ScheduleError> {
+        self.replay(&self.proximity[e], out, || proximity_rows(dep, space))
+    }
+
+    /// Appends the Feautrier system `Δ_e ≥ x_e` of dependence `e` (the
+    /// `0 ≤ x_e ≤ 1` box is the caller's, it is layout- not
+    /// elimination-work).
+    ///
+    /// # Errors
+    ///
+    /// Propagates arithmetic overflow from the elimination.
+    pub fn extend_with_feautrier(
+        &self,
+        e: usize,
+        dep: &Dependence,
+        space: &IlpSpace,
+        out: &mut ConstraintSystem,
+    ) -> Result<(), ScheduleError> {
+        self.replay(&self.feautrier[e], out, || feautrier_rows(dep, e, space))
+    }
+
+    fn replay(
+        &self,
+        slot: &OnceCell<ConstraintSystem>,
+        out: &mut ConstraintSystem,
+        build: impl FnOnce() -> Result<ConstraintSystem, ScheduleError>,
+    ) -> Result<(), ScheduleError> {
+        if let Some(sys) = slot.get() {
+            debug_assert_eq!(sys.num_vars(), out.num_vars(), "layout drift");
+            self.hits.set(self.hits.get() + 1);
+            out.extend(sys);
+            return Ok(());
+        }
+        let sys = build()?;
+        self.misses.set(self.misses.get() + 1);
+        out.extend(&sys);
+        if self.enabled {
+            let _ = slot.set(sys);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polytops_deps::analyze;
+    use polytops_ir::{Aff, ScopBuilder};
+
+    #[test]
+    fn second_lookup_hits_and_replays_identical_rows() {
+        let mut b = ScopBuilder::new("chain");
+        let n = b.param("N");
+        let a = b.array("A", &[n.clone()], 8);
+        b.open_loop("i", Aff::val(1), n - 1);
+        b.stmt("S0")
+            .read(a, &[Aff::var("i") - 1])
+            .write(a, &[Aff::var("i")])
+            .add(&mut b);
+        b.close_loop();
+        let scop = b.build().unwrap();
+        let deps = analyze(&scop);
+        let space = IlpSpace::new(&scop, vec![], deps.len(), false, false);
+        let cache = FarkasCache::new(deps.len(), true);
+
+        let mut first = ConstraintSystem::new(space.total());
+        cache
+            .extend_with_validity(0, &deps[0], &space, &mut first)
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+        let mut second = ConstraintSystem::new(space.total());
+        cache
+            .extend_with_validity(0, &deps[0], &space, &mut second)
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn disabled_cache_always_recomputes() {
+        let mut b = ScopBuilder::new("chain");
+        let n = b.param("N");
+        let a = b.array("A", &[n.clone()], 8);
+        b.open_loop("i", Aff::val(1), n - 1);
+        b.stmt("S0")
+            .read(a, &[Aff::var("i") - 1])
+            .write(a, &[Aff::var("i")])
+            .add(&mut b);
+        b.close_loop();
+        let scop = b.build().unwrap();
+        let deps = analyze(&scop);
+        let space = IlpSpace::new(&scop, vec![], deps.len(), false, false);
+        let cache = FarkasCache::new(deps.len(), false);
+        for _ in 0..3 {
+            let mut out = ConstraintSystem::new(space.total());
+            cache
+                .extend_with_validity(0, &deps[0], &space, &mut out)
+                .unwrap();
+        }
+        assert_eq!((cache.hits(), cache.misses()), (0, 3));
+    }
+}

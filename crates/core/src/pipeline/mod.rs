@@ -1,0 +1,31 @@
+//! The staged scheduling pipeline.
+//!
+//! The monolithic per-dimension driver is split into four explicit
+//! stages, mirroring how Tiramisu and the performance-vocabulary line of
+//! work separate schedule *search* from schedule *application*:
+//!
+//! ```text
+//! legality ──► objectives ──► solve ──► postprocess ──► (codegen)
+//! ```
+//!
+//! * [`legality`] — Farkas linearization of `Δ_e ≥ 0`, eliminated once
+//!   per dependence and replayed from a [`FarkasCache`] at every
+//!   dimension;
+//! * [`objectives`] — assembly of one dimension's ILP (progression,
+//!   bounds, layered cost functions, custom constraints, directives,
+//!   tie-break) over the engine's fixed [`IlpSpace`](crate::IlpSpace);
+//! * [`solve`] — the iterative driver: warm-started lexicographic ILP
+//!   solves with SCC-cut fallback, producing rows plus band metadata;
+//! * [`postprocess`] — verified tiling metadata, wavefront skewing and
+//!   intra-tile vectorization applied to the solver's schedule.
+//!
+//! Code generation (the band-tree backend) lives in `polytops_codegen`,
+//! downstream of this module.
+
+pub mod legality;
+pub mod objectives;
+pub mod postprocess;
+pub mod solve;
+
+pub use legality::FarkasCache;
+pub use solve::{EngineOptions, PipelineStats};

@@ -1,0 +1,322 @@
+//! PostProcess stage: tiling, wavefront skewing and intra-tile
+//! vectorization applied to the solver's schedule (paper Fig. 1's
+//! post-processing block).
+//!
+//! Every transformation is **verified before it is committed**: the
+//! candidate schedule must pass the independent legality oracle
+//! ([`polytops_deps::schedule_respects_dependence`]) for every
+//! dependence, and tiling additionally requires the band to be
+//! permutable (each band row individually legal for every dependence
+//! not carried before the band). A transformation that fails
+//! verification is silently dropped — post-processing, like directives,
+//! is best-effort and never breaks legality.
+//!
+//! * **Tiling** records [`TileBand`] metadata on the schedule (rows are
+//!   unchanged — tile loops are materialized by the band-tree code
+//!   generator in `polytops_codegen`).
+//! * **Wavefront** replaces the first row of a band whose outer
+//!   dimension is sequential but whose inner dimensions contain
+//!   parallelism with the sum of the band's rows, exposing the inner
+//!   parallelism (Pluto §5.3); parallel flags are recomputed afterwards.
+//! * **Intra-tile vectorization** permutes a parallel point loop to the
+//!   innermost position of its tiled band.
+
+use polytops_deps::{
+    respects, schedule_respects_dependence, strongly_satisfies, zero_distance, Dependence,
+};
+use polytops_ir::{Schedule, StmtId, TileBand};
+
+use crate::config::PostProcess;
+
+/// Applies the configured post-processing to `sched` in place.
+pub fn apply(deps: &[Dependence], sched: &mut Schedule, post: &PostProcess) {
+    if post.wavefront {
+        wavefront(deps, sched);
+    }
+    if !post.tile_sizes.is_empty() {
+        tile(deps, sched, &post.tile_sizes);
+        if post.intra_tile_vectorize {
+            intra_tile_vectorize(deps, sched);
+        }
+    }
+}
+
+/// Whether schedule dimension `d` is a loop level (some statement has a
+/// non-constant row there).
+fn is_loop_dim(sched: &Schedule, d: usize) -> bool {
+    (0..sched.num_statements()).any(|s| !sched.stmt(StmtId(s)).row_is_constant(d))
+}
+
+/// Whether every dependence is respected by the whole candidate schedule.
+fn schedule_is_legal(deps: &[Dependence], sched: &Schedule) -> bool {
+    deps.iter().all(|dep| {
+        schedule_respects_dependence(dep, sched.stmt(dep.src).rows(), sched.stmt(dep.dst).rows())
+    })
+}
+
+/// Dependences not strongly carried by any dimension before `start`.
+fn live_at(deps: &[Dependence], sched: &Schedule, start: usize) -> Vec<usize> {
+    let mut live: Vec<usize> = (0..deps.len()).collect();
+    for d in 0..start {
+        live.retain(|&e| {
+            let dep = &deps[e];
+            !strongly_satisfies(
+                dep,
+                &sched.stmt(dep.src).rows()[d],
+                &sched.stmt(dep.dst).rows()[d],
+            )
+        });
+    }
+    live
+}
+
+/// Whether band `start..end` is permutable: every band row is
+/// individually legal (`Δ ≥ 0`) for every dependence live at the band.
+fn band_is_permutable(deps: &[Dependence], sched: &Schedule, start: usize, end: usize) -> bool {
+    live_at(deps, sched, start).iter().all(|&e| {
+        let dep = &deps[e];
+        (start..end).all(|d| {
+            respects(
+                dep,
+                &sched.stmt(dep.src).rows()[d],
+                &sched.stmt(dep.dst).rows()[d],
+            )
+        })
+    })
+}
+
+/// Recomputes the parallel flag of every dimension from scratch with the
+/// engine's rule: a loop dimension is parallel iff every dependence not
+/// carried earlier has zero distance on it; constant (splitting) levels
+/// are sequential.
+fn recompute_parallel(deps: &[Dependence], sched: &mut Schedule) {
+    let dims = sched.dims();
+    let mut live: Vec<usize> = (0..deps.len()).collect();
+    let mut flags = Vec::with_capacity(dims);
+    for d in 0..dims {
+        let parallel = is_loop_dim(sched, d)
+            && live.iter().all(|&e| {
+                let dep = &deps[e];
+                zero_distance(
+                    dep,
+                    &sched.stmt(dep.src).rows()[d],
+                    &sched.stmt(dep.dst).rows()[d],
+                )
+            });
+        flags.push(parallel);
+        live.retain(|&e| {
+            let dep = &deps[e];
+            !strongly_satisfies(
+                dep,
+                &sched.stmt(dep.src).rows()[d],
+                &sched.stmt(dep.dst).rows()[d],
+            )
+        });
+    }
+    *sched.parallel_mut() = flags;
+}
+
+/// Wavefront skewing: when a band's outer dimension is sequential but an
+/// inner one is parallel, replacing the outer row with the sum of the
+/// band's rows carries the band's dependences on the outer (wavefront)
+/// dimension and leaves the inner dimensions parallel.
+fn wavefront(deps: &[Dependence], sched: &mut Schedule) {
+    for (start, end) in sched.band_ranges() {
+        if end - start < 2 || !(start..end).all(|d| is_loop_dim(sched, d)) {
+            continue;
+        }
+        if sched.parallel()[start] || !(start + 1..end).any(|d| sched.parallel()[d]) {
+            continue;
+        }
+        let mut candidate = sched.clone();
+        for s in 0..sched.num_statements() {
+            let ss = sched.stmt(StmtId(s));
+            let mut sum = ss.rows()[start].clone();
+            for d in start + 1..end {
+                for (acc, v) in sum.iter_mut().zip(&ss.rows()[d]) {
+                    *acc += v;
+                }
+            }
+            candidate.stmt_mut(StmtId(s)).set_row(start, sum);
+        }
+        if schedule_is_legal(deps, &candidate) {
+            *sched = candidate;
+            recompute_parallel(deps, sched);
+        }
+    }
+}
+
+/// Records tiling metadata for every permutable band of loop dimensions.
+/// `tile_sizes` supplies one size per band depth and is cycled when the
+/// band is deeper.
+fn tile(deps: &[Dependence], sched: &mut Schedule, tile_sizes: &[i64]) {
+    let mut tiling = Vec::new();
+    for (start, end) in sched.band_ranges() {
+        if !(start..end).all(|d| is_loop_dim(sched, d)) {
+            continue;
+        }
+        if !band_is_permutable(deps, sched, start, end) {
+            continue;
+        }
+        let sizes: Vec<i64> = (0..end - start)
+            .map(|i| tile_sizes[i % tile_sizes.len()].max(1))
+            .collect();
+        // A tile loop executes outside the band's point loops, so it is
+        // parallel only when every dependence live at *band entry* has
+        // zero distance on its dimension — a dependence carried by an
+        // earlier dimension of the same band still crosses tiles.
+        let live = live_at(deps, sched, start);
+        let parallel: Vec<bool> = (start..end)
+            .map(|d| {
+                live.iter().all(|&e| {
+                    let dep = &deps[e];
+                    zero_distance(
+                        dep,
+                        &sched.stmt(dep.src).rows()[d],
+                        &sched.stmt(dep.dst).rows()[d],
+                    )
+                })
+            })
+            .collect();
+        tiling.push(TileBand {
+            start,
+            end,
+            sizes,
+            parallel,
+        });
+    }
+    sched.set_tiling(tiling);
+}
+
+/// Moves a parallel point loop to the innermost position of its tiled
+/// band (row swap, verified against the oracle).
+fn intra_tile_vectorize(deps: &[Dependence], sched: &mut Schedule) {
+    let tiling = sched.tiling().to_vec();
+    for (ti, tb) in tiling.iter().enumerate() {
+        let innermost = tb.end - 1;
+        if sched.parallel()[innermost] {
+            continue;
+        }
+        let Some(p) = (tb.start..innermost).rev().find(|&d| sched.parallel()[d]) else {
+            continue;
+        };
+        let mut candidate = sched.clone();
+        for s in 0..sched.num_statements() {
+            let rows = sched.stmt(StmtId(s)).rows();
+            let (a, b) = (rows[p].clone(), rows[innermost].clone());
+            candidate.stmt_mut(StmtId(s)).set_row(p, b);
+            candidate.stmt_mut(StmtId(s)).set_row(innermost, a);
+        }
+        // Tile metadata follows its row: swap the per-dimension size and
+        // tile-parallel entries along with the rows.
+        let mut tiling = candidate.tiling().to_vec();
+        tiling[ti].sizes.swap(p - tb.start, innermost - tb.start);
+        tiling[ti].parallel.swap(p - tb.start, innermost - tb.start);
+        candidate.set_tiling(tiling);
+        if schedule_is_legal(deps, &candidate) {
+            *sched = candidate;
+            recompute_parallel(deps, sched);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PostProcess;
+    use polytops_deps::analyze;
+    use polytops_ir::{Aff, Scop, ScopBuilder};
+
+    /// `for t for i A[i] = A[i-1] + A[i+1];` — the classic skewing case.
+    fn jacobi() -> Scop {
+        let mut b = ScopBuilder::new("jacobi");
+        let t = b.param("T");
+        let n = b.param("N");
+        let a = b.array("A", &[n.clone()], 8);
+        b.open_loop("t", Aff::val(0), t - 1);
+        b.open_loop("i", Aff::val(1), n - 2);
+        b.stmt("S0")
+            .read(a, &[Aff::var("i") - 1])
+            .read(a, &[Aff::var("i") + 1])
+            .write(a, &[Aff::var("i")])
+            .add(&mut b);
+        b.close_loop();
+        b.close_loop();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn tiling_requires_permutability() {
+        let scop = jacobi();
+        let deps = analyze(&scop);
+        let sched = crate::schedule(&scop, &crate::SchedulerConfig::default()).unwrap();
+        // The engine's jacobi band is permutable (skewed by proximity);
+        // tiling must record exactly one band over the loop dims.
+        let mut tiled = sched.clone();
+        tile(&deps, &mut tiled, &[16]);
+        assert!(
+            tiled
+                .tiling()
+                .iter()
+                .all(|tb| band_is_permutable(&deps, &tiled, tb.start, tb.end)),
+            "recorded bands must be permutable"
+        );
+    }
+
+    #[test]
+    fn recompute_parallel_matches_engine_flags() {
+        let scop = jacobi();
+        let deps = analyze(&scop);
+        let mut sched = crate::schedule(&scop, &crate::SchedulerConfig::default()).unwrap();
+        let engine_flags = sched.parallel().to_vec();
+        recompute_parallel(&deps, &mut sched);
+        assert_eq!(sched.parallel(), engine_flags.as_slice());
+    }
+
+    #[test]
+    fn tile_loops_are_stricter_than_point_loops_about_parallelism() {
+        // A[i][j] = A[i-1][j-1] + A[i-1][j+1]: pluto skews to (i, i+j).
+        // Dimension 1 is point-parallel (both deps carried by dim 0) but
+        // its TILE loop crosses the carried deps (distances (1,0)/(1,2)
+        // after the skew land in different i+j tiles within one i tile),
+        // so the tile loop must NOT be marked parallel.
+        let mut b = ScopBuilder::new("skewed2d");
+        let n = b.param("N");
+        let a = b.array("A", &[n.clone(), n.clone()], 8);
+        b.open_loop("i", Aff::val(1), n.clone() - 1);
+        b.open_loop("j", Aff::val(1), n - 2);
+        b.stmt("S0")
+            .read(a, &[Aff::var("i") - 1, Aff::var("j") - 1])
+            .read(a, &[Aff::var("i") - 1, Aff::var("j") + 1])
+            .write(a, &[Aff::var("i"), Aff::var("j")])
+            .add(&mut b);
+        b.close_loop();
+        b.close_loop();
+        let scop = b.build().unwrap();
+        let mut cfg = crate::SchedulerConfig::default();
+        cfg.post.tile_sizes = vec![8, 8];
+        let sched = crate::schedule(&scop, &cfg).unwrap();
+        assert_eq!(sched.tiling().len(), 1, "band must tile");
+        let tb = &sched.tiling()[0];
+        assert!(
+            sched.parallel()[tb.end - 1],
+            "inner point dimension is parallel: {:?}",
+            sched.parallel()
+        );
+        assert!(
+            tb.parallel.iter().all(|&p| !p),
+            "no tile loop may be parallel here: {:?}",
+            tb.parallel
+        );
+    }
+
+    #[test]
+    fn apply_is_a_no_op_for_default_postprocess() {
+        let scop = jacobi();
+        let deps = analyze(&scop);
+        let mut sched = crate::schedule(&scop, &crate::SchedulerConfig::default()).unwrap();
+        let before = sched.clone();
+        apply(&deps, &mut sched, &PostProcess::default());
+        assert_eq!(sched, before);
+    }
+}

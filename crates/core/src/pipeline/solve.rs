@@ -1,0 +1,678 @@
+//! Solve stage: the iterative per-dimension driver (paper Algorithm 1).
+//!
+//! The engine owns the mutable scheduling state (live dependences,
+//! committed rows, progression bases, band metadata) and walks one
+//! dimension at a time:
+//!
+//! 1. the [`Strategy`] plans the dimension;
+//! 2. [`objectives::assemble`] builds the dimension's ILP over the
+//!    engine's **fixed** [`IlpSpace`], replaying cached Farkas systems
+//!    from the [`FarkasCache`];
+//! 3. [`polytops_math::ilp_lexmin_warm`] solves it, seeded with the
+//!    previous solve's optimum whenever that point is still feasible;
+//! 4. infeasibility falls back to an SCC cut of the live dependence
+//!    graph ([`polytops_deps::sccs_topological`]);
+//! 5. after the last dimension, the [`postprocess`] stage applies the
+//!    configured tiling/wavefront transformations.
+//!
+//! The variable layout is fixed per SCoP (dependence-variable columns
+//! exist for *all* dependences, pinned to zero while unused) so cached
+//! Farkas systems and warm-start points stay valid across dimensions.
+
+use polytops_deps::{analyze, sccs_topological, strongly_satisfies, zero_distance, Dependence};
+use polytops_ir::{Schedule, Scop, StmtId, StmtSchedule};
+use polytops_math::{ilp_lexmin_stats, ilp_lexmin_warm, IlpStats, IntMatrix};
+
+use crate::config::{DirectiveKind, FusionHeuristic, SchedulerConfig};
+use crate::error::ScheduleError;
+use crate::pipeline::legality::FarkasCache;
+use crate::pipeline::objectives::{self, expand_targets, DimensionContext};
+use crate::pipeline::postprocess;
+use crate::space::IlpSpace;
+use crate::strategy::{DimSolution, DimensionPlan, Reaction, Strategy, StrategyState};
+
+/// Hard cap on strategy-driven recomputations of one dimension.
+const MAX_RECOMPUTE: usize = 3;
+
+/// Pipeline feature toggles, mainly for benchmarking the staged pipeline
+/// against the cold path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Replay cached Farkas eliminations across dimensions.
+    pub farkas_cache: bool,
+    /// Seed each ILP solve with the previous optimum (MIP start).
+    pub warm_start: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> EngineOptions {
+        EngineOptions {
+            farkas_cache: true,
+            warm_start: true,
+        }
+    }
+}
+
+/// Counters describing one scheduling run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Farkas eliminations answered from the cache.
+    pub farkas_hits: usize,
+    /// Farkas eliminations computed fresh.
+    pub farkas_misses: usize,
+    /// Scheduling dimensions emitted (including constant levels).
+    pub dimensions: usize,
+    /// Aggregated ILP solver effort.
+    pub ilp: IlpStats,
+}
+
+impl PipelineStats {
+    /// Fraction of Farkas lookups answered from the cache (0 when no
+    /// lookup happened).
+    pub fn farkas_hit_rate(&self) -> f64 {
+        let total = self.farkas_hits + self.farkas_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.farkas_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Runs the full staged pipeline for one SCoP and reports statistics.
+///
+/// # Errors
+///
+/// Same contract as [`crate::schedule`].
+pub fn run(
+    scop: &Scop,
+    config: &SchedulerConfig,
+    strategy: &mut dyn Strategy,
+    options: &EngineOptions,
+) -> Result<(Schedule, PipelineStats), ScheduleError> {
+    Engine::new(scop, config, *options).run(strategy)
+}
+
+/// Mutable scheduling state threaded through the iterative algorithm.
+struct Engine<'a> {
+    scop: &'a Scop,
+    config: &'a SchedulerConfig,
+    options: EngineOptions,
+    /// Fixed ILP variable layout shared by every dimension.
+    space: IlpSpace,
+    /// Farkas replay cache, keyed by dependence id.
+    cache: FarkasCache,
+    deps: Vec<Dependence>,
+    /// `live[e]`: dependence `e` has not been strongly satisfied yet.
+    live: Vec<bool>,
+    /// Band id of the dimension that carried dependence `e`, once
+    /// carried. A dependence carried *inside* the currently open band
+    /// keeps contributing legality constraints (`Δ ≥ 0`) until the band
+    /// closes, which is what makes emitted bands permutable (tilable).
+    carried_band: Vec<Option<usize>>,
+    /// `rows[stmt][dim]`: committed schedule rows `[T_it, T_par, T_cst]`.
+    rows: Vec<Vec<Vec<i64>>>,
+    /// Per-statement basis of linearly independent iterator rows.
+    basis: Vec<IntMatrix>,
+    /// Per-dimension band id and parallelism flag.
+    bands: Vec<usize>,
+    parallel: Vec<bool>,
+    band_id: usize,
+}
+
+impl<'a> Engine<'a> {
+    fn new(scop: &'a Scop, config: &'a SchedulerConfig, options: EngineOptions) -> Engine<'a> {
+        let deps = analyze(scop);
+        let nstmts = scop.statements.len();
+        // One layout for the whole SCoP: dependence-satisfaction columns
+        // exist for every dependence so cached Farkas systems replay
+        // verbatim at any dimension (unused columns are pinned to zero).
+        let space = IlpSpace::new(
+            scop,
+            config.new_variables.clone(),
+            deps.len(),
+            config.negative_coefficients,
+            config.parametric_shift,
+        );
+        Engine {
+            scop,
+            config,
+            options,
+            space,
+            cache: FarkasCache::new(deps.len(), options.farkas_cache),
+            live: vec![true; deps.len()],
+            carried_band: vec![None; deps.len()],
+            deps,
+            rows: vec![Vec::new(); nstmts],
+            basis: scop
+                .statements
+                .iter()
+                .map(|s| IntMatrix::zeros(0, s.depth()))
+                .collect(),
+            bands: Vec::new(),
+            parallel: Vec::new(),
+            band_id: 0,
+        }
+    }
+
+    fn ranks(&self) -> Vec<usize> {
+        self.basis.iter().map(IntMatrix::rows).collect()
+    }
+
+    fn complete(&self) -> bool {
+        self.scop
+            .statements
+            .iter()
+            .zip(&self.basis)
+            .all(|(s, b)| b.rows() == s.depth())
+    }
+
+    fn live_count(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    fn live_deps(&self) -> Vec<(usize, &Dependence)> {
+        self.deps
+            .iter()
+            .enumerate()
+            .zip(&self.live)
+            .filter_map(|((e, d), &l)| l.then_some((e, d)))
+            .collect()
+    }
+
+    /// Live dependences plus those carried inside the currently open
+    /// band — the set whose legality the next dimension must preserve.
+    fn legality_deps(&self) -> Vec<(usize, &Dependence)> {
+        self.deps
+            .iter()
+            .enumerate()
+            .filter(|&(e, _)| self.live[e] || self.carried_band[e] == Some(self.band_id))
+            .collect()
+    }
+
+    /// Whether some dependence was carried inside the currently open band.
+    fn has_in_band_carried(&self) -> bool {
+        self.carried_band.contains(&Some(self.band_id))
+    }
+
+    fn run(
+        mut self,
+        strategy: &mut dyn Strategy,
+    ) -> Result<(Schedule, PipelineStats), ScheduleError> {
+        let max_depth = self.scop.max_depth();
+        let nstmts = self.scop.statements.len();
+        // Every dimension either grows a statement's rank or is a
+        // distribution level; this budget is generous for both.
+        let budget = 2 * (max_depth + nstmts) + 8;
+        let mut stats = PipelineStats::default();
+        let mut warm: Option<Vec<i64>> = None;
+        let mut dim = 0usize;
+        while !self.complete() {
+            if dim >= budget {
+                return Err(ScheduleError::DimensionBudgetExceeded);
+            }
+            let ranks = self.ranks();
+            let mut plan = strategy.plan(&StrategyState {
+                dimension: dim,
+                band: self.band_id,
+                rows_so_far: &self.rows,
+                parallel_so_far: &self.parallel,
+                live_deps: self.live_count(),
+                ranks: &ranks,
+                recompute_count: 0,
+            });
+            let mut recompute = 0usize;
+            loop {
+                let (solution, band_break) =
+                    self.solve_dimension(&plan, dim, &mut stats, &mut warm)?;
+                let ranks = self.ranks();
+                let state = StrategyState {
+                    dimension: dim,
+                    band: self.band_id,
+                    rows_so_far: &self.rows,
+                    parallel_so_far: &self.parallel,
+                    live_deps: self.live_count(),
+                    ranks: &ranks,
+                    recompute_count: recompute,
+                };
+                match strategy.react(&state, &solution) {
+                    Reaction::Recompute(next) if recompute < MAX_RECOMPUTE => {
+                        plan = next;
+                        recompute += 1;
+                    }
+                    _ => {
+                        self.commit(&solution, band_break);
+                        break;
+                    }
+                }
+            }
+            dim += 1;
+        }
+        self.finalize(stats)
+    }
+
+    // -----------------------------------------------------------------
+    // One dimension.
+    // -----------------------------------------------------------------
+
+    /// Solves one dimension. The second component of the result is the
+    /// *band break* flag: the dimension was only feasible after closing
+    /// the current permutable band (dropping the legality constraints of
+    /// dependences carried inside it).
+    fn solve_dimension(
+        &self,
+        plan: &DimensionPlan,
+        dim: usize,
+        stats: &mut PipelineStats,
+        warm: &mut Option<Vec<i64>>,
+    ) -> Result<(DimSolution, bool), ScheduleError> {
+        if let Some(groups) = &plan.distribute {
+            return Ok((self.distribute(groups, true)?, false));
+        }
+        if let Some(solution) = self.solve_ilp(plan, true, stats, warm)? {
+            return Ok((solution, false));
+        }
+        // The band's permutability constraints may be what blocks the
+        // dimension: close the band and retry with live legality only.
+        if self.has_in_band_carried() {
+            if let Some(solution) = self.solve_ilp(plan, false, stats, warm)? {
+                return Ok((solution, true));
+            }
+        }
+        // Infeasible ILP. Custom constraints are the only *user* input
+        // that can legitimately empty the space (paper §III-D) — but
+        // blame them only if the dimension is solvable without them.
+        if !plan.extra_constraints.is_empty() {
+            let unconstrained = DimensionPlan {
+                distribute: None,
+                cost_functions: plan.cost_functions.clone(),
+                extra_constraints: Vec::new(),
+            };
+            if self
+                .solve_ilp(&unconstrained, false, stats, warm)?
+                .is_some()
+            {
+                return Err(ScheduleError::InfeasibleCustomConstraints { dimension: dim });
+            }
+        }
+        // Otherwise fall back to cutting the live dependence graph
+        // (Algorithm 1, UnfuseSCCs).
+        let groups = self.scc_groups(dim)?;
+        Ok((self.distribute(&groups, false)?, false))
+    }
+
+    /// Builds and solves the ILP of one dimension. `Ok(None)` means the
+    /// space is infeasible (caller decides whether to cut or fail).
+    fn solve_ilp(
+        &self,
+        plan: &DimensionPlan,
+        in_band_legality: bool,
+        stats: &mut PipelineStats,
+        warm: &mut Option<Vec<i64>>,
+    ) -> Result<Option<DimSolution>, ScheduleError> {
+        let live = self.live_deps();
+        let legality = if in_band_legality {
+            self.legality_deps()
+        } else {
+            live.clone()
+        };
+        let ctx = DimensionContext {
+            scop: self.scop,
+            config: self.config,
+            space: &self.space,
+            cache: &self.cache,
+            legality: &legality,
+            live: &live,
+            basis: &self.basis,
+        };
+        let (sys, objectives) = objectives::assemble(&ctx, plan)?;
+
+        let mut ilp_stats = IlpStats::default();
+        let point = if self.options.warm_start {
+            ilp_lexmin_warm(&sys, &objectives, warm.as_deref(), &mut ilp_stats)
+        } else {
+            ilp_lexmin_stats(&sys, &objectives, &mut ilp_stats)
+        };
+        stats.ilp.absorb(&ilp_stats);
+        let Some(point) = point else {
+            return Ok(None);
+        };
+
+        let rows: Vec<Vec<i64>> = (0..self.scop.statements.len())
+            .map(|s| self.space.extract_row(&point, s))
+            .collect();
+        let constant = self
+            .scop
+            .statements
+            .iter()
+            .enumerate()
+            .all(|(s, stmt)| rows[s][..stmt.depth()].iter().all(|&c| c == 0));
+        // Parallel iff no live dependence has a nonzero distance on this
+        // dimension (vacuously true without live dependences).
+        let parallel = live
+            .iter()
+            .all(|(_, dep)| zero_distance(dep, &rows[dep.src.0], &rows[dep.dst.0]));
+        *warm = Some(point);
+        Ok(Some(DimSolution {
+            rows,
+            parallel,
+            constant,
+        }))
+    }
+
+    /// Emits a constant (splitting) dimension placing each fusion group
+    /// at its index. `user` marks user-driven distribution, which is the
+    /// only kind allowed to fail legality.
+    fn distribute(&self, groups: &[Vec<usize>], user: bool) -> Result<DimSolution, ScheduleError> {
+        let nstmts = self.scop.statements.len();
+        let mut group_of: Vec<Option<usize>> = vec![None; nstmts];
+        let mut next = 0usize;
+        if groups.is_empty() {
+            // Total distribution: every statement alone, textual order.
+            for (s, g) in group_of.iter_mut().enumerate() {
+                *g = Some(s);
+            }
+        } else {
+            for (gi, group) in groups.iter().enumerate() {
+                for &s in group {
+                    if s >= nstmts {
+                        return Err(ScheduleError::IllegalFusion {
+                            detail: format!("statement {s} out of range in fusion group"),
+                        });
+                    }
+                    if group_of[s].is_some() {
+                        return Err(ScheduleError::IllegalFusion {
+                            detail: format!("statement {s} listed in two fusion groups"),
+                        });
+                    }
+                    group_of[s] = Some(gi);
+                }
+                next = gi + 1;
+            }
+            // Unlisted statements trail in textual order, one group each.
+            for g in group_of.iter_mut() {
+                if g.is_none() {
+                    *g = Some(next);
+                    next += 1;
+                }
+            }
+        }
+        let values: Vec<i64> = group_of
+            .iter()
+            .map(|g| g.expect("every statement grouped") as i64)
+            .collect();
+        let rows = self.constant_rows(&values);
+        // Constant rows must still respect every live dependence.
+        for (_, dep) in self.live_deps() {
+            let src = values[dep.src.0];
+            let dst = values[dep.dst.0];
+            if dst < src {
+                if user {
+                    return Err(ScheduleError::IllegalFusion {
+                        detail: format!(
+                            "distribution places S{} (group {dst}) before its \
+                             dependence source S{} (group {src})",
+                            dep.dst.0, dep.src.0
+                        ),
+                    });
+                }
+                // Algorithm-driven cuts come from a topological SCC
+                // order, so this cannot happen.
+                unreachable!("SCC cut violated a dependence");
+            }
+        }
+        Ok(DimSolution {
+            rows,
+            parallel: false,
+            constant: true,
+        })
+    }
+
+    /// Groups statements by live-dependence SCCs for an
+    /// infeasibility-driven cut.
+    ///
+    /// The fusion heuristic only *merges* adjacent SCCs when doing so
+    /// keeps a real cut: if heuristic merging collapses everything into
+    /// one group (SmartFuse on equal-depth SCCs, or MaxFuse), the cut is
+    /// mandatory — the ILP was infeasible — so we degrade to one group
+    /// per SCC rather than fail.
+    fn scc_groups(&self, dim: usize) -> Result<Vec<Vec<usize>>, ScheduleError> {
+        let nstmts = self.scop.statements.len();
+        let sccs = sccs_topological(
+            nstmts,
+            self.deps
+                .iter()
+                .zip(&self.live)
+                .filter(|(_, &l)| l)
+                .map(|(d, _)| (d.src.0, d.dst.0)),
+        );
+        if sccs.len() <= 1 {
+            // Nothing to cut: the dimension is genuinely unschedulable.
+            return Err(ScheduleError::UnschedulableDimension { dimension: dim });
+        }
+        let merged: Vec<Vec<usize>> = match self.config.fusion_heuristic {
+            FusionHeuristic::NoFuse | FusionHeuristic::MaxFuse => sccs.clone(),
+            FusionHeuristic::SmartFuse => {
+                // Merge consecutive SCCs of equal dimensionality
+                // (Pluto's smartfuse keeps same-depth nests together).
+                let mut out: Vec<Vec<usize>> = Vec::new();
+                let mut last_dim: Option<usize> = None;
+                for scc in sccs.iter().cloned() {
+                    let d = scc
+                        .iter()
+                        .map(|&s| self.scop.statements[s].depth())
+                        .max()
+                        .unwrap_or(0);
+                    match (last_dim, out.last_mut()) {
+                        (Some(ld), Some(cur)) if ld == d => cur.extend(scc),
+                        _ => out.push(scc),
+                    }
+                    last_dim = Some(d);
+                }
+                out
+            }
+        };
+        Ok(if merged.len() > 1 { merged } else { sccs })
+    }
+
+    // -----------------------------------------------------------------
+    // Committing and finishing.
+    // -----------------------------------------------------------------
+
+    fn commit(&mut self, solution: &DimSolution, band_break: bool) {
+        if band_break && !solution.constant {
+            // The dimension was solved with the previous band closed.
+            self.band_id += 1;
+        }
+        for (s, stmt) in self.scop.statements.iter().enumerate() {
+            let row = solution.rows[s].clone();
+            if !solution.constant {
+                let iter_part = row[..stmt.depth()].to_vec();
+                let mut candidate = self.basis[s].clone();
+                candidate.push_row(iter_part);
+                if candidate.rank() == candidate.rows() {
+                    self.basis[s] = candidate;
+                }
+            }
+            self.rows[s].push(row);
+        }
+        // Retire strongly satisfied dependences, remembering the band
+        // that carried them (constant dimensions get their own band id).
+        let dim_band = if solution.constant {
+            self.band_id + 1
+        } else {
+            self.band_id
+        };
+        for (e, dep) in self.deps.iter().enumerate() {
+            if self.live[e]
+                && strongly_satisfies(dep, &solution.rows[dep.src.0], &solution.rows[dep.dst.0])
+            {
+                self.live[e] = false;
+                self.carried_band[e] = Some(dim_band);
+            }
+        }
+        // Bands: constant dimensions split permutable bands.
+        let parallel = solution.parallel && !self.sequential_override(solution);
+        if solution.constant {
+            self.bands.push(dim_band);
+            self.band_id += 2;
+            self.parallel.push(false);
+        } else {
+            self.bands.push(dim_band);
+            self.parallel.push(parallel);
+        }
+    }
+
+    /// Whether a `sequential` directive forbids marking this dimension
+    /// parallel (the row schedules the directive's iterator).
+    fn sequential_override(&self, solution: &DimSolution) -> bool {
+        let nstmts = self.scop.statements.len();
+        self.config
+            .directives
+            .iter()
+            .filter(|d| d.kind == DirectiveKind::Sequential)
+            .any(|d| {
+                expand_targets(d.stmts.as_ref(), nstmts).iter().any(|&s| {
+                    let stmt = &self.scop.statements[s];
+                    d.iterator < stmt.depth() && solution.rows[s][d.iterator] != 0
+                })
+            })
+    }
+
+    /// One constant (splitting) row per statement, placing statement `s`
+    /// at position `values[s]`, over its `(iters, params, 1)` columns.
+    fn constant_rows(&self, values: &[i64]) -> Vec<Vec<i64>> {
+        let np = self.scop.nparams();
+        self.scop
+            .statements
+            .iter()
+            .zip(values)
+            .map(|(stmt, &v)| {
+                let mut row = vec![0i64; stmt.depth() + np + 1];
+                row[stmt.depth() + np] = v;
+                row
+            })
+            .collect()
+    }
+
+    /// Orders any remaining live dependences with constant rows (the β
+    /// dimension of the 2d+1 form), assembles the final [`Schedule`] and
+    /// runs the post-processing stage on it.
+    fn finalize(
+        mut self,
+        mut stats: PipelineStats,
+    ) -> Result<(Schedule, PipelineStats), ScheduleError> {
+        let nstmts = self.scop.statements.len();
+        let mut rounds = 0usize;
+        while self
+            .deps
+            .iter()
+            .zip(&self.live)
+            .any(|(d, &l)| l && d.src != d.dst)
+        {
+            if rounds > nstmts {
+                return Err(ScheduleError::DimensionBudgetExceeded);
+            }
+            rounds += 1;
+            let order = sccs_topological(
+                nstmts,
+                self.deps
+                    .iter()
+                    .zip(&self.live)
+                    .filter(|(d, &l)| l && d.src != d.dst)
+                    .map(|(d, _)| (d.src.0, d.dst.0)),
+            );
+            let mut values = vec![0i64; nstmts];
+            for (gi, scc) in order.iter().enumerate() {
+                for &s in scc {
+                    values[s] = gi as i64;
+                }
+            }
+            let rows = self.constant_rows(&values);
+            self.commit(
+                &DimSolution {
+                    rows,
+                    parallel: false,
+                    constant: true,
+                },
+                false,
+            );
+        }
+        // If the SCoP has no statements or no dimensions at all, emit a
+        // single constant dimension so downstream consumers always see a
+        // total order.
+        if nstmts > 0 && self.rows[0].is_empty() {
+            let values: Vec<i64> = self.scop.statements.iter().map(|s| s.beta[0]).collect();
+            let rows = self.constant_rows(&values);
+            self.commit(
+                &DimSolution {
+                    rows,
+                    parallel: false,
+                    constant: true,
+                },
+                false,
+            );
+        }
+
+        let np = self.scop.nparams();
+        let mut per_stmt = Vec::with_capacity(nstmts);
+        for (s, stmt) in self.scop.statements.iter().enumerate() {
+            let mut ss = StmtSchedule::new(stmt.depth(), np);
+            for row in &self.rows[s] {
+                ss.push_row(row.clone());
+            }
+            per_stmt.push(ss);
+        }
+        let mut sched = Schedule::from_parts(per_stmt, self.bands.clone(), self.parallel.clone());
+
+        // Post-processing stage: tiling metadata, wavefront skewing and
+        // intra-tile vectorization, each verified against the dependence
+        // oracle before being committed. This runs BEFORE vectorization
+        // marking so the marks see the final rows, positions and
+        // parallel flags (wavefront replaces rows, intra-tile
+        // vectorization swaps them).
+        postprocess::apply(&self.deps, &mut sched, &self.config.post);
+
+        // Vectorization marking: explicit directives first, then the
+        // auto-vectorize heuristic (innermost parallel-ish dimension).
+        for d in &self.config.directives {
+            if d.kind != DirectiveKind::Vectorize {
+                continue;
+            }
+            for s in expand_targets(d.stmts.as_ref(), nstmts) {
+                if let Some(dim) = last_iter_dim(&sched, s, d.iterator) {
+                    sched.set_vector_dim(StmtId(s), Some(dim));
+                }
+            }
+        }
+        if self.config.auto_vectorize {
+            for s in 0..nstmts {
+                if sched.vector_dims()[s].is_some() {
+                    continue;
+                }
+                let ss = sched.stmt(StmtId(s));
+                let innermost = (0..ss.len()).rev().find(|&d| !ss.row_is_constant(d));
+                if let Some(d) = innermost {
+                    if sched.parallel().get(d).copied().unwrap_or(false) {
+                        sched.set_vector_dim(StmtId(s), Some(d));
+                    }
+                }
+            }
+        }
+
+        stats.dimensions = sched.dims();
+        stats.farkas_hits = self.cache.hits();
+        stats.farkas_misses = self.cache.misses();
+        Ok((sched, stats))
+    }
+}
+
+/// The last schedule dimension whose row uses iterator `q` of statement
+/// `s`, if any.
+fn last_iter_dim(sched: &Schedule, s: usize, q: usize) -> Option<usize> {
+    let ss = sched.stmt(StmtId(s));
+    if q >= ss.depth() {
+        return None;
+    }
+    (0..ss.len()).rev().find(|&d| ss.rows()[d][q] != 0)
+}

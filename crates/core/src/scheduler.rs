@@ -1,52 +1,32 @@
-//! The iterative per-dimension scheduling driver (paper Algorithm 1).
+//! Public entry points of the iterative scheduler (paper Algorithm 1).
 //!
-//! [`schedule`] computes an affine multidimensional schedule for a SCoP
-//! one dimension at a time:
+//! The implementation lives in the staged [`crate::pipeline`] module
+//! tree (legality → objectives → solve → postprocess); this module keeps
+//! the stable API surface:
 //!
-//! 1. the configured [`Strategy`](crate::Strategy) plans the dimension
-//!    (cost functions, custom constraints, forced distribution);
-//! 2. Farkas-linearized legality constraints (`Δ ≥ 0` for every live
-//!    dependence) and the layered cost functions are assembled over the
-//!    dimension's [`IlpSpace`];
-//! 3. [`polytops_math::ilp_lexmin`] finds the lexicographically best
-//!    coefficient vector;
-//! 4. the Pluto-style progression constraint (built from
-//!    [`polytops_math::orthogonal_complement`] of the rows found so far)
-//!    guarantees every statement eventually spans its iteration space;
-//! 5. when the ILP is infeasible the live dependence graph is cut into
-//!    strongly connected components ([`polytops_deps::dependence_sccs`])
-//!    and a constant distribution dimension is emitted instead.
-//!
-//! The result is a [`polytops_ir::Schedule`] carrying band and
-//! parallelism metadata. Legality is independently checkable with
-//! [`polytops_deps::schedule_respects_dependence`], which shares no code
-//! with the Farkas construction used here.
+//! * [`schedule`] — JSON-driven scheduling under a static
+//!   [`SchedulerConfig`];
+//! * [`schedule_with_strategy`] — dynamic [`Strategy`]-driven scheduling
+//!   (the Rust analogue of the paper's C++ interface);
+//! * [`schedule_with_options`] — scheduling with explicit
+//!   [`EngineOptions`] (Farkas cache / ILP warm start toggles), also
+//!   returning the run's [`PipelineStats`].
 //!
 //! Deviations from the paper, documented rather than hidden:
 //!
 //! * with `negative_coefficients` only the *sum* form of the progression
 //!   constraint is emitted (the per-row half-space form would bias the ±
 //!   split), which restricts the searched cone exactly like Pluto does;
-//! * post-processing (tiling, wavefronts) is out of scope for this
-//!   driver and will live behind [`crate::config::PostProcess`] consumers.
+//! * post-processing (tiling, wavefronts) is applied by the pipeline's
+//!   [`postprocess`](crate::pipeline::postprocess) stage and verified
+//!   against the independent dependence oracle before being committed.
 
-use polytops_deps::{analyze, sccs_topological, strongly_satisfies, zero_distance, Dependence};
-use polytops_ir::{Schedule, Scop, StmtId, StmtSchedule};
-use polytops_math::{
-    ilp_feasible, ilp_lexmin, orthogonal_complement, ConstraintSystem, IntMatrix, RowKind,
-};
+use polytops_ir::{Schedule, Scop};
 
-use crate::config::{CostFn, DirectiveKind, FusionHeuristic, SchedulerConfig};
-use crate::constraints::parse_constraints;
-use crate::costfn::build_costs;
+use crate::config::SchedulerConfig;
 use crate::error::ScheduleError;
-use crate::space::IlpSpace;
-use crate::strategy::{
-    ConfigStrategy, DimSolution, DimensionPlan, Reaction, Strategy, StrategyState,
-};
-
-/// Hard cap on strategy-driven recomputations of one dimension.
-const MAX_RECOMPUTE: usize = 3;
+use crate::pipeline::{solve, EngineOptions, PipelineStats};
+use crate::strategy::{ConfigStrategy, Strategy};
 
 /// Schedules a SCoP under a static configuration.
 ///
@@ -83,8 +63,7 @@ const MAX_RECOMPUTE: usize = 3;
 /// assert_eq!(sched.stmt(polytops_ir::StmtId(0)).rows()[0], vec![1, 0, 0]);
 /// ```
 pub fn schedule(scop: &Scop, config: &SchedulerConfig) -> Result<Schedule, ScheduleError> {
-    let mut strategy = ConfigStrategy::new(config.clone());
-    schedule_with_strategy(scop, config, &mut strategy)
+    schedule_with_options(scop, config, &EngineOptions::default()).map(|(sched, _)| sched)
 }
 
 /// Schedules a SCoP under a dynamic [`Strategy`] (the Rust analogue of
@@ -101,692 +80,31 @@ pub fn schedule_with_strategy(
     config: &SchedulerConfig,
     strategy: &mut dyn Strategy,
 ) -> Result<Schedule, ScheduleError> {
-    Engine::new(scop, config).run(strategy)
+    solve::run(scop, config, strategy, &EngineOptions::default()).map(|(sched, _)| sched)
 }
 
-/// Mutable scheduling state threaded through the iterative algorithm.
-struct Engine<'a> {
-    scop: &'a Scop,
-    config: &'a SchedulerConfig,
-    deps: Vec<Dependence>,
-    /// `live[e]`: dependence `e` has not been strongly satisfied yet.
-    live: Vec<bool>,
-    /// `rows[stmt][dim]`: committed schedule rows `[T_it, T_par, T_cst]`.
-    rows: Vec<Vec<Vec<i64>>>,
-    /// Per-statement basis of linearly independent iterator rows.
-    basis: Vec<IntMatrix>,
-    /// Per-dimension band id and parallelism flag.
-    bands: Vec<usize>,
-    parallel: Vec<bool>,
-    band_id: usize,
-}
-
-impl<'a> Engine<'a> {
-    fn new(scop: &'a Scop, config: &'a SchedulerConfig) -> Engine<'a> {
-        let deps = analyze(scop);
-        let nstmts = scop.statements.len();
-        Engine {
-            scop,
-            config,
-            live: vec![true; deps.len()],
-            deps,
-            rows: vec![Vec::new(); nstmts],
-            basis: scop
-                .statements
-                .iter()
-                .map(|s| IntMatrix::zeros(0, s.depth()))
-                .collect(),
-            bands: Vec::new(),
-            parallel: Vec::new(),
-            band_id: 0,
-        }
-    }
-
-    fn ranks(&self) -> Vec<usize> {
-        self.basis.iter().map(IntMatrix::rows).collect()
-    }
-
-    fn complete(&self) -> bool {
-        self.scop
-            .statements
-            .iter()
-            .zip(&self.basis)
-            .all(|(s, b)| b.rows() == s.depth())
-    }
-
-    fn live_count(&self) -> usize {
-        self.live.iter().filter(|&&l| l).count()
-    }
-
-    fn live_deps(&self) -> Vec<&Dependence> {
-        self.deps
-            .iter()
-            .zip(&self.live)
-            .filter_map(|(d, &l)| l.then_some(d))
-            .collect()
-    }
-
-    fn run(mut self, strategy: &mut dyn Strategy) -> Result<Schedule, ScheduleError> {
-        let max_depth = self.scop.max_depth();
-        let nstmts = self.scop.statements.len();
-        // Every dimension either grows a statement's rank or is a
-        // distribution level; this budget is generous for both.
-        let budget = 2 * (max_depth + nstmts) + 8;
-        let mut dim = 0usize;
-        while !self.complete() {
-            if dim >= budget {
-                return Err(ScheduleError::DimensionBudgetExceeded);
-            }
-            let ranks = self.ranks();
-            let mut plan = strategy.plan(&StrategyState {
-                dimension: dim,
-                band: self.band_id,
-                rows_so_far: &self.rows,
-                parallel_so_far: &self.parallel,
-                live_deps: self.live_count(),
-                ranks: &ranks,
-                recompute_count: 0,
-            });
-            let mut recompute = 0usize;
-            loop {
-                let solution = self.solve_dimension(&plan, dim)?;
-                let ranks = self.ranks();
-                let state = StrategyState {
-                    dimension: dim,
-                    band: self.band_id,
-                    rows_so_far: &self.rows,
-                    parallel_so_far: &self.parallel,
-                    live_deps: self.live_count(),
-                    ranks: &ranks,
-                    recompute_count: recompute,
-                };
-                match strategy.react(&state, &solution) {
-                    Reaction::Recompute(next) if recompute < MAX_RECOMPUTE => {
-                        plan = next;
-                        recompute += 1;
-                    }
-                    _ => {
-                        self.commit(&solution);
-                        break;
-                    }
-                }
-            }
-            dim += 1;
-        }
-        self.finalize()
-    }
-
-    // -----------------------------------------------------------------
-    // One dimension.
-    // -----------------------------------------------------------------
-
-    fn solve_dimension(
-        &self,
-        plan: &DimensionPlan,
-        dim: usize,
-    ) -> Result<DimSolution, ScheduleError> {
-        if let Some(groups) = &plan.distribute {
-            return self.distribute(groups, true);
-        }
-        if let Some(solution) = self.solve_ilp(plan, dim)? {
-            return Ok(solution);
-        }
-        // Infeasible ILP. Custom constraints are the only *user* input
-        // that can legitimately empty the space (paper §III-D) — but
-        // blame them only if the dimension is solvable without them.
-        if !plan.extra_constraints.is_empty() {
-            let unconstrained = DimensionPlan {
-                distribute: None,
-                cost_functions: plan.cost_functions.clone(),
-                extra_constraints: Vec::new(),
-            };
-            if self.solve_ilp(&unconstrained, dim)?.is_some() {
-                return Err(ScheduleError::InfeasibleCustomConstraints { dimension: dim });
-            }
-        }
-        // Otherwise fall back to cutting the live dependence graph
-        // (Algorithm 1, UnfuseSCCs).
-        let groups = self.scc_groups(dim)?;
-        self.distribute(&groups, false)
-    }
-
-    /// Emits a constant (splitting) dimension placing each fusion group
-    /// at its index. `user` marks user-driven distribution, which is the
-    /// only kind allowed to fail legality.
-    fn distribute(&self, groups: &[Vec<usize>], user: bool) -> Result<DimSolution, ScheduleError> {
-        let nstmts = self.scop.statements.len();
-        let mut group_of: Vec<Option<usize>> = vec![None; nstmts];
-        let mut next = 0usize;
-        if groups.is_empty() {
-            // Total distribution: every statement alone, textual order.
-            for (s, g) in group_of.iter_mut().enumerate() {
-                *g = Some(s);
-            }
-        } else {
-            for (gi, group) in groups.iter().enumerate() {
-                for &s in group {
-                    if s >= nstmts {
-                        return Err(ScheduleError::IllegalFusion {
-                            detail: format!("statement {s} out of range in fusion group"),
-                        });
-                    }
-                    if group_of[s].is_some() {
-                        return Err(ScheduleError::IllegalFusion {
-                            detail: format!("statement {s} listed in two fusion groups"),
-                        });
-                    }
-                    group_of[s] = Some(gi);
-                }
-                next = gi + 1;
-            }
-            // Unlisted statements trail in textual order, one group each.
-            for g in group_of.iter_mut() {
-                if g.is_none() {
-                    *g = Some(next);
-                    next += 1;
-                }
-            }
-        }
-        let values: Vec<i64> = group_of
-            .iter()
-            .map(|g| g.expect("every statement grouped") as i64)
-            .collect();
-        let rows = self.constant_rows(&values);
-        // Constant rows must still respect every live dependence.
-        for dep in self.live_deps() {
-            let src = values[dep.src.0];
-            let dst = values[dep.dst.0];
-            if dst < src {
-                if user {
-                    return Err(ScheduleError::IllegalFusion {
-                        detail: format!(
-                            "distribution places S{} (group {dst}) before its \
-                             dependence source S{} (group {src})",
-                            dep.dst.0, dep.src.0
-                        ),
-                    });
-                }
-                // Algorithm-driven cuts come from a topological SCC
-                // order, so this cannot happen.
-                unreachable!("SCC cut violated a dependence");
-            }
-        }
-        Ok(DimSolution {
-            rows,
-            parallel: false,
-            constant: true,
-        })
-    }
-
-    /// Groups statements by live-dependence SCCs for an
-    /// infeasibility-driven cut.
-    ///
-    /// The fusion heuristic only *merges* adjacent SCCs when doing so
-    /// keeps a real cut: if heuristic merging collapses everything into
-    /// one group (SmartFuse on equal-depth SCCs, or MaxFuse), the cut is
-    /// mandatory — the ILP was infeasible — so we degrade to one group
-    /// per SCC rather than fail.
-    fn scc_groups(&self, dim: usize) -> Result<Vec<Vec<usize>>, ScheduleError> {
-        let nstmts = self.scop.statements.len();
-        let sccs = sccs_topological(
-            nstmts,
-            self.deps
-                .iter()
-                .zip(&self.live)
-                .filter(|(_, &l)| l)
-                .map(|(d, _)| (d.src.0, d.dst.0)),
-        );
-        if sccs.len() <= 1 {
-            // Nothing to cut: the dimension is genuinely unschedulable.
-            return Err(ScheduleError::UnschedulableDimension { dimension: dim });
-        }
-        let merged: Vec<Vec<usize>> = match self.config.fusion_heuristic {
-            FusionHeuristic::NoFuse | FusionHeuristic::MaxFuse => sccs.clone(),
-            FusionHeuristic::SmartFuse => {
-                // Merge consecutive SCCs of equal dimensionality
-                // (Pluto's smartfuse keeps same-depth nests together).
-                let mut out: Vec<Vec<usize>> = Vec::new();
-                let mut last_dim: Option<usize> = None;
-                for scc in sccs.iter().cloned() {
-                    let d = scc
-                        .iter()
-                        .map(|&s| self.scop.statements[s].depth())
-                        .max()
-                        .unwrap_or(0);
-                    match (last_dim, out.last_mut()) {
-                        (Some(ld), Some(cur)) if ld == d => cur.extend(scc),
-                        _ => out.push(scc),
-                    }
-                    last_dim = Some(d);
-                }
-                out
-            }
-        };
-        Ok(if merged.len() > 1 { merged } else { sccs })
-    }
-
-    /// Builds and solves the ILP of one dimension. `Ok(None)` means the
-    /// space is infeasible (caller decides whether to cut or fail).
-    fn solve_ilp(
-        &self,
-        plan: &DimensionPlan,
-        _dim: usize,
-    ) -> Result<Option<DimSolution>, ScheduleError> {
-        let live: Vec<&Dependence> = self.live_deps();
-        // Dependence variables x_e only exist for Feautrier's cost; the
-        // proximity-only path keeps the ILP that much smaller.
-        let num_dep_vars = if plan.cost_functions.contains(&CostFn::Feautrier) {
-            live.len()
-        } else {
-            0
-        };
-        let space = IlpSpace::new(
-            self.scop,
-            self.config.new_variables.clone(),
-            num_dep_vars,
-            self.config.negative_coefficients,
-            self.config.parametric_shift,
-        );
-        let n = space.total();
-        let mut sys = ConstraintSystem::new(n);
-
-        // 1. Legality: Farkas-linearized Δ ≥ 0 per live dependence.
-        for dep in &live {
-            sys.extend(&crate::costfn::validity_rows(dep, &space)?);
-        }
-
-        // 2. Progression: the next row of every incomplete statement must
-        //    have a nonzero component in the orthogonal complement of its
-        //    committed rows (Eq. 3).
-        for (s, stmt) in self.scop.statements.iter().enumerate() {
-            let rank = self.basis[s].rows();
-            if rank == stmt.depth() || stmt.depth() == 0 {
-                continue;
-            }
-            // `orthogonal_complement` returns a spanning (possibly
-            // redundant, sign-symmetric) row set; reduce it to a row
-            // basis first — otherwise opposite-sign rows cancel in the
-            // sum constraint and the per-row half-spaces collapse the
-            // cone to the already-covered subspace.
-            let perp = orthogonal_complement(&self.basis[s])?;
-            let mut perp_basis = IntMatrix::zeros(0, stmt.depth());
-            for h in perp.iter_rows() {
-                if h.iter().all(|&c| c == 0) {
-                    continue;
-                }
-                let mut candidate = perp_basis.clone();
-                candidate.push_row(h.to_vec());
-                if candidate.rank() == candidate.rows() {
-                    perp_basis = candidate;
-                }
-            }
-            let mut sum = vec![0i64; n + 1];
-            for h in perp_basis.iter_rows() {
-                let mut row = vec![0i64; n + 1];
-                for (k, &c) in h.iter().enumerate() {
-                    space.add_iter_coeff(&mut row, s, k, c);
-                    space.add_iter_coeff(&mut sum, s, k, c);
-                }
-                if !self.config.negative_coefficients {
-                    sys.add_ineq(row);
-                }
-            }
-            sum[n] = -1; // Σ h·t ≥ 1
-            sys.add_ineq(sum);
-        }
-
-        // 3. Box bounds keep branch-and-bound finite and the solution
-        //    small: every raw statement variable is non-negative and
-        //    bounded; u, w, user and dependence variables likewise.
-        self.add_bounds(&space, &mut sys);
-
-        // 4. Cost functions, layered in priority order.
-        let cost = build_costs(
-            self.scop,
-            &space,
-            &live,
-            &plan.cost_functions,
-            self.config.parameter_estimate,
-        )?;
-        for (kind, row) in &cost.rows {
-            match kind {
-                RowKind::Eq => sys.add_eq(row.clone()),
-                RowKind::Ineq => sys.add_ineq(row.clone()),
-            }
-        }
-
-        // 5. Custom constraints (the mini-language of §III-A2).
-        for (kind, row) in parse_constraints(&plan.extra_constraints, &space)? {
-            match kind {
-                RowKind::Eq => sys.add_eq(row),
-                RowKind::Ineq => sys.add_ineq(row),
-            }
-        }
-
-        // 6. Directives are suggestions: each is kept only if the space
-        //    stays feasible with it (paper §III-B1).
-        self.apply_directives(&space, &mut sys);
-
-        // 7. Lexicographic objectives: the configured costs first, then a
-        //    coefficient-sum tie-break that drives completed statements
-        //    to all-zero rows and keeps coefficients primitive.
-        let mut objectives = cost.objectives.clone();
-        let mut tie = vec![0i64; n + 1];
-        for s in 0..self.scop.statements.len() {
-            for v in space.stmt_vars(s) {
-                tie[v] = 1;
-            }
-        }
-        tie.pop();
-        objectives.push(tie);
-
-        let Some(point) = ilp_lexmin(&sys, &objectives) else {
-            return Ok(None);
-        };
-        let rows: Vec<Vec<i64>> = (0..self.scop.statements.len())
-            .map(|s| space.extract_row(&point, s))
-            .collect();
-        let constant = self
-            .scop
-            .statements
-            .iter()
-            .enumerate()
-            .all(|(s, stmt)| rows[s][..stmt.depth()].iter().all(|&c| c == 0));
-        // Parallel iff no live dependence has a nonzero distance on this
-        // dimension (vacuously true without live dependences).
-        let parallel = live
-            .iter()
-            .all(|dep| zero_distance(dep, &rows[dep.src.0], &rows[dep.dst.0]));
-        Ok(Some(DimSolution {
-            rows,
-            parallel,
-            constant,
-        }))
-    }
-
-    /// Box bounds over the raw ILP variables.
-    fn add_bounds(&self, space: &IlpSpace, sys: &mut ConstraintSystem) {
-        let n = space.total();
-        let mut bound = |var: usize, hi: i64| {
-            let mut lo_row = vec![0i64; n + 1];
-            lo_row[var] = 1;
-            sys.add_ineq(lo_row); // var >= 0
-            let mut hi_row = vec![0i64; n + 1];
-            hi_row[var] = -1;
-            hi_row[n] = hi;
-            sys.add_ineq(hi_row); // var <= hi
-        };
-        for j in 0..space.nparams {
-            bound(space.u(j), self.config.bound_bound);
-        }
-        bound(space.w(), self.config.bound_bound);
-        for name in space.user_names.clone() {
-            let v = space.user(&name).expect("declared user variable");
-            bound(v, self.config.bound_bound);
-        }
-        for e in 0..space.num_deps {
-            bound(space.dep_var(e), 1);
-        }
-        let mult = if space.negative { 2 } else { 1 };
-        for (s, stmt) in self.scop.statements.iter().enumerate() {
-            let block = space.stmt_vars(s);
-            let iter_end = block.start + mult * stmt.depth();
-            let const_start = block.end - mult;
-            for v in block.clone() {
-                let hi = if v < iter_end {
-                    self.config.coefficient_bound
-                } else if v >= const_start {
-                    self.config.constant_bound
-                } else {
-                    // Parameter-coefficient columns (parametric shift).
-                    self.config.coefficient_bound
-                };
-                bound(v, hi);
-            }
-        }
-    }
-
-    /// Soft directive constraints: each directive's rows are added only
-    /// when the system stays feasible with them.
-    fn apply_directives(&self, space: &IlpSpace, sys: &mut ConstraintSystem) {
-        let n = space.total();
-        for d in &self.config.directives {
-            let targets: Vec<usize> = match &d.stmts {
-                Some(ids) => ids.clone(),
-                None => (0..self.scop.statements.len()).collect(),
-            };
-            let mut extra: Vec<(RowKind, Vec<i64>)> = Vec::new();
-            match d.kind {
-                DirectiveKind::Parallelize => {
-                    // Prefer φ = it_q for targets still at rank 0.
-                    for &s in &targets {
-                        let stmt = &self.scop.statements[s];
-                        if self.basis[s].rows() != 0 || d.iterator >= stmt.depth() {
-                            continue;
-                        }
-                        for k in 0..stmt.depth() {
-                            let mut row = vec![0i64; n + 1];
-                            space.add_iter_coeff(&mut row, s, k, 1);
-                            row[n] = if k == d.iterator { -1 } else { 0 };
-                            extra.push((RowKind::Eq, row));
-                        }
-                    }
-                }
-                DirectiveKind::Vectorize => {
-                    // Keep it_q unscheduled (innermost) while the target
-                    // statement still has other dimensions to place.
-                    for &s in &targets {
-                        let stmt = &self.scop.statements[s];
-                        if d.iterator >= stmt.depth() || self.basis[s].rows() + 1 >= stmt.depth() {
-                            continue;
-                        }
-                        let mut row = vec![0i64; n + 1];
-                        space.add_iter_coeff(&mut row, s, d.iterator, 1);
-                        extra.push((RowKind::Eq, row));
-                    }
-                }
-                DirectiveKind::Sequential => {
-                    // Handled when parallel flags are assigned.
-                }
-            }
-            if extra.is_empty() {
-                continue;
-            }
-            let mut probe = sys.clone();
-            for (kind, row) in &extra {
-                match kind {
-                    RowKind::Eq => probe.add_eq(row.clone()),
-                    RowKind::Ineq => probe.add_ineq(row.clone()),
-                }
-            }
-            if ilp_feasible(&probe) {
-                *sys = probe;
-            }
-        }
-    }
-
-    // -----------------------------------------------------------------
-    // Committing and finishing.
-    // -----------------------------------------------------------------
-
-    fn commit(&mut self, solution: &DimSolution) {
-        for (s, stmt) in self.scop.statements.iter().enumerate() {
-            let row = solution.rows[s].clone();
-            if !solution.constant {
-                let iter_part = row[..stmt.depth()].to_vec();
-                let mut candidate = self.basis[s].clone();
-                candidate.push_row(iter_part);
-                if candidate.rank() == candidate.rows() {
-                    self.basis[s] = candidate;
-                }
-            }
-            self.rows[s].push(row);
-        }
-        // Retire strongly satisfied dependences.
-        for (e, dep) in self.deps.iter().enumerate() {
-            if self.live[e]
-                && strongly_satisfies(dep, &solution.rows[dep.src.0], &solution.rows[dep.dst.0])
-            {
-                self.live[e] = false;
-            }
-        }
-        // Bands: constant dimensions split permutable bands.
-        let parallel = solution.parallel && !self.sequential_override(solution);
-        if solution.constant {
-            self.band_id += 1;
-            self.bands.push(self.band_id);
-            self.band_id += 1;
-            self.parallel.push(false);
-        } else {
-            self.bands.push(self.band_id);
-            self.parallel.push(parallel);
-        }
-    }
-
-    /// Whether a `sequential` directive forbids marking this dimension
-    /// parallel (the row schedules the directive's iterator).
-    fn sequential_override(&self, solution: &DimSolution) -> bool {
-        self.config
-            .directives
-            .iter()
-            .filter(|d| d.kind == DirectiveKind::Sequential)
-            .any(|d| {
-                let targets: Vec<usize> = match &d.stmts {
-                    Some(ids) => ids.clone(),
-                    None => (0..self.scop.statements.len()).collect(),
-                };
-                targets.iter().any(|&s| {
-                    let stmt = &self.scop.statements[s];
-                    d.iterator < stmt.depth() && solution.rows[s][d.iterator] != 0
-                })
-            })
-    }
-
-    /// One constant (splitting) row per statement, placing statement `s`
-    /// at position `values[s]`, over its `(iters, params, 1)` columns.
-    fn constant_rows(&self, values: &[i64]) -> Vec<Vec<i64>> {
-        let np = self.scop.nparams();
-        self.scop
-            .statements
-            .iter()
-            .zip(values)
-            .map(|(stmt, &v)| {
-                let mut row = vec![0i64; stmt.depth() + np + 1];
-                row[stmt.depth() + np] = v;
-                row
-            })
-            .collect()
-    }
-
-    /// Orders any remaining live dependences with constant rows (the β
-    /// dimension of the 2d+1 form) and assembles the final [`Schedule`].
-    fn finalize(mut self) -> Result<Schedule, ScheduleError> {
-        let nstmts = self.scop.statements.len();
-        let mut rounds = 0usize;
-        while self
-            .deps
-            .iter()
-            .zip(&self.live)
-            .any(|(d, &l)| l && d.src != d.dst)
-        {
-            if rounds > nstmts {
-                return Err(ScheduleError::DimensionBudgetExceeded);
-            }
-            rounds += 1;
-            let order = sccs_topological(
-                nstmts,
-                self.deps
-                    .iter()
-                    .zip(&self.live)
-                    .filter(|(d, &l)| l && d.src != d.dst)
-                    .map(|(d, _)| (d.src.0, d.dst.0)),
-            );
-            let mut values = vec![0i64; nstmts];
-            for (gi, scc) in order.iter().enumerate() {
-                for &s in scc {
-                    values[s] = gi as i64;
-                }
-            }
-            let rows = self.constant_rows(&values);
-            self.commit(&DimSolution {
-                rows,
-                parallel: false,
-                constant: true,
-            });
-        }
-        // If the SCoP has no statements or no dimensions at all, emit a
-        // single constant dimension so downstream consumers always see a
-        // total order.
-        if nstmts > 0 && self.rows[0].is_empty() {
-            let values: Vec<i64> = self.scop.statements.iter().map(|s| s.beta[0]).collect();
-            let rows = self.constant_rows(&values);
-            self.commit(&DimSolution {
-                rows,
-                parallel: false,
-                constant: true,
-            });
-        }
-
-        let np = self.scop.nparams();
-        let mut per_stmt = Vec::with_capacity(nstmts);
-        for (s, stmt) in self.scop.statements.iter().enumerate() {
-            let mut ss = StmtSchedule::new(stmt.depth(), np);
-            for row in &self.rows[s] {
-                ss.push_row(row.clone());
-            }
-            per_stmt.push(ss);
-        }
-        let mut sched = Schedule::from_parts(per_stmt, self.bands.clone(), self.parallel.clone());
-
-        // Vectorization marking: explicit directives first, then the
-        // auto-vectorize heuristic (innermost parallel-ish dimension).
-        for d in &self.config.directives {
-            if d.kind != DirectiveKind::Vectorize {
-                continue;
-            }
-            let targets: Vec<usize> = match &d.stmts {
-                Some(ids) => ids.clone(),
-                None => (0..nstmts).collect(),
-            };
-            for s in targets {
-                if let Some(dim) = last_iter_dim(&sched, s, d.iterator) {
-                    sched.set_vector_dim(StmtId(s), Some(dim));
-                }
-            }
-        }
-        if self.config.auto_vectorize {
-            for s in 0..nstmts {
-                if sched.vector_dims()[s].is_some() {
-                    continue;
-                }
-                let ss = sched.stmt(StmtId(s));
-                let innermost = (0..ss.len()).rev().find(|&d| !ss.row_is_constant(d));
-                if let Some(d) = innermost {
-                    if sched.parallel().get(d).copied().unwrap_or(false) {
-                        sched.set_vector_dim(StmtId(s), Some(d));
-                    }
-                }
-            }
-        }
-        Ok(sched)
-    }
-}
-
-/// The last schedule dimension whose row uses iterator `q` of statement
-/// `s`, if any.
-fn last_iter_dim(sched: &Schedule, s: usize, q: usize) -> Option<usize> {
-    let ss = sched.stmt(StmtId(s));
-    if q >= ss.depth() {
-        return None;
-    }
-    (0..ss.len()).rev().find(|&d| ss.rows()[d][q] != 0)
+/// Schedules a SCoP with explicit pipeline options and reports the run's
+/// statistics (Farkas cache hit rate, ILP solver effort). The default
+/// options enable both the Farkas cache and the warm-started solver;
+/// disabling them reproduces the cold path for benchmarking.
+///
+/// # Errors
+///
+/// Same contract as [`schedule`].
+pub fn schedule_with_options(
+    scop: &Scop,
+    config: &SchedulerConfig,
+    options: &EngineOptions,
+) -> Result<(Schedule, PipelineStats), ScheduleError> {
+    let mut strategy = ConfigStrategy::new(config.clone());
+    solve::run(scop, config, &mut strategy, options)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use polytops_deps::schedule_respects_dependence;
-    use polytops_ir::{Aff, ScopBuilder};
+    use polytops_deps::{analyze, schedule_respects_dependence};
+    use polytops_ir::{Aff, ScopBuilder, StmtId};
 
     fn chain() -> Scop {
         let mut b = ScopBuilder::new("chain");
@@ -878,6 +196,29 @@ mod tests {
                 ScheduleError::InfeasibleCustomConstraints { dimension: 0 }
             ),
             "{err}"
+        );
+    }
+
+    #[test]
+    fn options_toggle_cache_and_warm_start_without_changing_results() {
+        let scop = chain();
+        let cfg = SchedulerConfig::default();
+        let (staged, hot) = schedule_with_options(&scop, &cfg, &EngineOptions::default()).unwrap();
+        let (cold_sched, cold) = schedule_with_options(
+            &scop,
+            &cfg,
+            &EngineOptions {
+                farkas_cache: false,
+                warm_start: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(staged, cold_sched, "options must not change the schedule");
+        assert_eq!(cold.farkas_hits, 0, "disabled cache cannot hit");
+        assert_eq!(hot.farkas_hits + hot.farkas_misses, cold.farkas_misses);
+        assert!(
+            hot.ilp.nodes <= cold.ilp.nodes,
+            "warm start cannot explore more nodes"
         );
     }
 }

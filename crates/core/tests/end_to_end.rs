@@ -4,11 +4,13 @@
 //! legality oracle that shares no code with the scheduler's Farkas
 //! construction.
 
-use polytops_core::{presets, schedule, FusionHeuristic, SchedulerConfig};
+use polytops_core::{
+    presets, schedule, schedule_with_options, EngineOptions, FusionHeuristic, SchedulerConfig,
+};
 use polytops_deps::{analyze, schedule_respects_dependence, strongly_satisfies};
 use polytops_ir::{Schedule, Scop, StmtId};
 use polytops_workloads::{
-    all_kernels, matmul, producer_consumer, reversed_consumer, stencil_chain,
+    all_kernels, jacobi_1d, matmul, producer_consumer, reversed_consumer, stencil_chain,
 };
 
 /// Every configuration a kernel must stay legal under.
@@ -199,6 +201,139 @@ fn fusion_entry_without_groups_is_a_no_op() {
     assert_eq!(r0, &vec![1, 0, 0]);
     assert_eq!(r1, &vec![1, 0, 0]);
     assert_legal("producer_consumer/noop-fusion-entry", &scop, &sched);
+}
+
+#[test]
+fn tiled_stencil_is_legal_and_records_tile_bands() {
+    // The PostProcess stage tiles jacobi's permutable (t, t+i) band; the
+    // schedule rows are untouched, so legality must hold verbatim.
+    let scop = jacobi_1d();
+    let mut cfg = presets::pluto();
+    cfg.post.tile_sizes = vec![32, 32];
+    let sched = schedule(&scop, &cfg).unwrap();
+    assert_legal("jacobi_1d/tiled", &scop, &sched);
+    assert_eq!(sched.tiling().len(), 1, "one tiled band");
+    let tb = &sched.tiling()[0];
+    assert_eq!((tb.start, tb.end), (0, 2), "the full loop band is tiled");
+    assert_eq!(tb.sizes, vec![32, 32]);
+}
+
+#[test]
+fn wavefronted_matmul_is_legal_and_exposes_inner_parallelism() {
+    // Feautrier carries matmul's k-dependences on the first dimension,
+    // leaving the inner dimensions parallel: the wavefront precondition.
+    let scop = matmul();
+    let mut cfg = presets::feautrier();
+    cfg.post.wavefront = true;
+    let plain = schedule(&scop, &presets::feautrier()).unwrap();
+    let sched = schedule(&scop, &cfg).unwrap();
+    assert_legal("matmul/wavefront", &scop, &sched);
+    // The outer row became the band sum (a genuine transformation)…
+    let expected: Vec<i64> = (0..3)
+        .map(|c| (0..3).map(|d| plain.stmt(StmtId(0)).rows()[d][c]).sum())
+        .chain([
+            (0..3).map(|d| plain.stmt(StmtId(0)).rows()[d][3]).sum(),
+            (0..3).map(|d| plain.stmt(StmtId(0)).rows()[d][4]).sum(),
+        ])
+        .collect();
+    assert_eq!(sched.stmt(StmtId(0)).rows()[0], expected);
+    // …and the inner dimensions stay parallel behind the wavefront.
+    assert!(!sched.parallel()[0], "wavefront dimension is sequential");
+    assert!(
+        sched.parallel()[1] && sched.parallel()[2],
+        "inner dimensions parallel: {:?}",
+        sched.parallel()
+    );
+}
+
+#[test]
+fn intra_tile_vectorize_moves_the_parallel_loop_innermost() {
+    // Matmul under pluto: band (i, j, k) with parallel = [T, T, F] and k
+    // innermost (it carries the C self-dependences). Intra-tile
+    // vectorization must swap a parallel loop into the innermost slot —
+    // legally (the permuted band stays oracle-clean).
+    let scop = matmul();
+    let mut cfg = presets::pluto();
+    cfg.post.tile_sizes = vec![16];
+    cfg.post.intra_tile_vectorize = true;
+    let sched = schedule(&scop, &cfg).unwrap();
+    assert_legal("matmul/intra-tile-vec", &scop, &sched);
+    let last = sched.dims() - 1;
+    assert!(
+        sched.parallel()[last],
+        "innermost dimension must end up parallel: {:?}",
+        sched.parallel()
+    );
+    // Compare against the same config without the swap: the innermost
+    // dimension used to be the carrying (sequential) one.
+    let mut plain_cfg = presets::pluto();
+    plain_cfg.post.tile_sizes = vec![16];
+    let plain = schedule(&scop, &plain_cfg).unwrap();
+    assert!(
+        !plain.parallel()[last],
+        "without the swap k stays innermost"
+    );
+    assert_eq!(
+        sched.stmt(StmtId(0)).rows()[last],
+        plain.stmt(StmtId(0)).rows()[last - 1],
+        "the parallel row moved innermost"
+    );
+}
+
+#[test]
+fn farkas_cache_hits_across_dimensions() {
+    // Matmul keeps its dependences live across all three dimensions, so
+    // every post-first-dimension Farkas lookup must be a cache hit.
+    let (_, stats) =
+        schedule_with_options(&matmul(), &presets::pluto(), &EngineOptions::default()).unwrap();
+    assert!(stats.farkas_misses > 0, "first dimension must miss");
+    assert!(
+        stats.farkas_hits >= stats.farkas_misses,
+        "3 dimensions with a stable live set must mostly hit: {stats:?}"
+    );
+    assert!(stats.farkas_hit_rate() >= 0.5, "{stats:?}");
+
+    // The cold path answers every lookup with a fresh elimination.
+    let (_, cold) = schedule_with_options(
+        &matmul(),
+        &presets::pluto(),
+        &EngineOptions {
+            farkas_cache: false,
+            warm_start: false,
+        },
+    )
+    .unwrap();
+    assert_eq!(cold.farkas_hits, 0);
+    assert_eq!(cold.farkas_misses, stats.farkas_hits + stats.farkas_misses);
+}
+
+#[test]
+fn warm_start_reduces_solver_nodes_on_the_kernel_suite() {
+    let mut warm_nodes = 0usize;
+    let mut cold_nodes = 0usize;
+    for (name, scop) in all_kernels() {
+        let (warm_sched, warm) =
+            schedule_with_options(&scop, &presets::pluto(), &EngineOptions::default()).unwrap();
+        let (cold_sched, cold) = schedule_with_options(
+            &scop,
+            &presets::pluto(),
+            &EngineOptions {
+                farkas_cache: false,
+                warm_start: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            warm_sched, cold_sched,
+            "{name}: options must not change results"
+        );
+        warm_nodes += warm.ilp.nodes;
+        cold_nodes += cold.ilp.nodes;
+    }
+    assert!(
+        warm_nodes < cold_nodes,
+        "warm start must save branch-and-bound nodes: {warm_nodes} vs {cold_nodes}"
+    );
 }
 
 #[test]

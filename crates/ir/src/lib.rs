@@ -49,5 +49,5 @@ mod scop;
 pub use builder::{BuildError, ScopBuilder, StmtSpec, SubSpec};
 pub use expr::{Aff, AffineExpr};
 pub use openscop::{parse_scop, print_scop, ParseScopError};
-pub use schedule::{Schedule, StmtSchedule};
+pub use schedule::{Schedule, StmtSchedule, TileBand};
 pub use scop::{Access, AccessKind, ArrayId, ArrayInfo, Scop, Statement, StmtId, Subscript};

@@ -59,6 +59,17 @@ impl StmtSchedule {
         &self.rows
     }
 
+    /// Replaces row `i` (used by post-processing transformations such as
+    /// wavefront skewing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or the row has the wrong length.
+    pub fn set_row(&mut self, i: usize, row: Vec<i64>) {
+        assert_eq!(row.len(), self.depth + self.nparams + 1, "row length");
+        self.rows[i] = row;
+    }
+
     /// Row `i` as an affine expression.
     pub fn row_expr(&self, i: usize) -> AffineExpr {
         AffineExpr::from_row(&self.rows[i], self.depth, self.nparams)
@@ -88,6 +99,31 @@ impl StmtSchedule {
     }
 }
 
+/// A tiled band: scheduling dimensions `start..end` are rectangularly
+/// tiled with one size per band dimension.
+///
+/// This is post-processing *metadata*: the schedule rows themselves are
+/// unchanged (tiling is not an affine transformation), and code
+/// generation materializes the tile loops when lowering to an AST.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileBand {
+    /// First scheduling dimension of the band (inclusive).
+    pub start: usize,
+    /// One past the last scheduling dimension of the band.
+    pub end: usize,
+    /// Tile size per band dimension (`sizes.len() == end - start`, each
+    /// size at least 1).
+    pub sizes: Vec<i64>,
+    /// Whether the *tile* loop of each band dimension may run in
+    /// parallel. This is stricter than the point dimension's flag: a
+    /// point dimension is parallel when every dependence live at *that
+    /// dimension* has zero distance, but tile loops execute outside the
+    /// band's point loops, so they must have zero distance for every
+    /// dependence live at the *band entry* (a dependence carried by an
+    /// earlier dimension of the same band still crosses tiles).
+    pub parallel: Vec<bool>,
+}
+
 /// A complete schedule for a [`Scop`]: per-statement rows plus band and
 /// parallelism metadata produced by the scheduler (paper Algorithm 1's
 /// `Bands` and `ParallelDimension` outputs).
@@ -102,6 +138,8 @@ pub struct Schedule {
     /// Per statement: the scheduling dimension marked for vectorization
     /// (`None` when the statement has no vectorizable innermost loop).
     vector_dims: Vec<Option<usize>>,
+    /// Tiled bands recorded by post-processing (empty when untiled).
+    tiling: Vec<TileBand>,
 }
 
 impl Schedule {
@@ -116,6 +154,7 @@ impl Schedule {
             bands: Vec::new(),
             parallel: Vec::new(),
             vector_dims: vec![None; scop.statements.len()],
+            tiling: Vec::new(),
         }
     }
 
@@ -174,6 +213,7 @@ impl Schedule {
             bands,
             parallel,
             vector_dims: vec![None; nstmts],
+            tiling: Vec::new(),
         }
     }
 
@@ -199,6 +239,7 @@ impl Schedule {
             bands,
             parallel,
             vector_dims: vec![None; nstmts],
+            tiling: Vec::new(),
         }
     }
 
@@ -257,6 +298,27 @@ impl Schedule {
     /// Mutable parallel flags (post-processing).
     pub fn parallel_mut(&mut self) -> &mut Vec<bool> {
         &mut self.parallel
+    }
+
+    /// Tiled bands recorded by post-processing (empty when untiled).
+    pub fn tiling(&self) -> &[TileBand] {
+        &self.tiling
+    }
+
+    /// Records the tiled bands (post-processing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a band range is out of bounds, empty, reversed, or has a
+    /// size-count mismatch or non-positive size.
+    pub fn set_tiling(&mut self, tiling: Vec<TileBand>) {
+        for tb in &tiling {
+            assert!(tb.start < tb.end && tb.end <= self.dims(), "band range");
+            assert_eq!(tb.sizes.len(), tb.end - tb.start, "tile size count");
+            assert!(tb.sizes.iter().all(|&s| s >= 1), "tile sizes");
+            assert_eq!(tb.parallel.len(), tb.end - tb.start, "tile parallel");
+        }
+        self.tiling = tiling;
     }
 
     /// Timestamp of a statement instance.

@@ -4,7 +4,7 @@
 
 use crate::consys::ConstraintSystem;
 use crate::rat::Rat;
-use crate::simplex::{lp_minimize, LpOutcome};
+use crate::simplex::{lp_minimize, IncrementalLp, LpOutcome};
 
 /// Result of an integer linear program.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +31,35 @@ pub enum IlpOutcome {
 /// Default branch-and-bound node budget.
 const MAX_NODES: usize = 50_000;
 
+/// Cumulative solver-effort counters, used to measure how much work the
+/// warm-started entry points ([`ilp_minimize_seeded`], [`ilp_lexmin_warm`])
+/// save over their cold counterparts.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IlpStats {
+    /// Branch-and-bound nodes explored (each node solves a fresh LP from
+    /// a rebuilt tableau).
+    pub nodes: usize,
+    /// Lexmin stages resolved purely by incremental LP re-optimization
+    /// (warm path: shared basis, no branch and bound at all).
+    pub lp_stages: usize,
+    /// Seed points offered that were feasible and became the initial
+    /// incumbent of a branch-and-bound run.
+    pub seeds_accepted: usize,
+    /// Solves short-circuited entirely by a seed (a feasible seed under a
+    /// zero objective is optimal without any search).
+    pub seed_shortcuts: usize,
+}
+
+impl IlpStats {
+    /// Accumulates another run's counters into this one.
+    pub fn absorb(&mut self, other: &IlpStats) {
+        self.nodes += other.nodes;
+        self.lp_stages += other.lp_stages;
+        self.seeds_accepted += other.seeds_accepted;
+        self.seed_shortcuts += other.seed_shortcuts;
+    }
+}
+
 /// Minimizes an integer objective `obj · x` over the integer points of
 /// `cs` by depth-first branch and bound.
 ///
@@ -51,21 +80,85 @@ const MAX_NODES: usize = 50_000;
 /// }
 /// ```
 pub fn ilp_minimize(cs: &ConstraintSystem, obj: &[i64]) -> IlpOutcome {
+    ilp_minimize_seeded(cs, obj, None, &mut IlpStats::default())
+}
+
+/// [`ilp_minimize`] with a warm start: when `seed` is a feasible integer
+/// point of `cs`, it becomes the initial incumbent, so branch and bound
+/// starts with an upper bound and prunes from the first node (a MIP
+/// start). An infeasible or ill-sized seed is silently ignored.
+///
+/// Solver effort is accumulated into `stats`.
+pub fn ilp_minimize_seeded(
+    cs: &ConstraintSystem,
+    obj: &[i64],
+    seed: Option<&[i64]>,
+    stats: &mut IlpStats,
+) -> IlpOutcome {
+    ilp_minimize_impl(cs, obj, seed, None, None, stats)
+}
+
+/// Full branch and bound. `lower_bound` is an optional proven objective
+/// lower bound (e.g. the ceiling of the LP relaxation's optimum): the
+/// search stops as soon as an incumbent attains it. `root_lp` optionally supplies an
+/// already-computed LP optimum of the root relaxation (value and
+/// vertex), skipping the root solve. A fractional externally-supplied
+/// vertex is sound to branch on even though the root system is
+/// integer-tightened afterwards: the floor/ceil branches cover every
+/// integer point regardless of the vertex used, and the LP value's
+/// ceiling remains a valid lower bound.
+fn ilp_minimize_impl(
+    cs: &ConstraintSystem,
+    obj: &[i64],
+    seed: Option<&[i64]>,
+    lower_bound: Option<i64>,
+    root_lp: Option<(Rat, Vec<Rat>)>,
+    stats: &mut IlpStats,
+) -> IlpOutcome {
     assert_eq!(obj.len(), cs.num_vars(), "objective length mismatch");
     let mut root = cs.clone();
     if !root.normalize() {
         return IlpOutcome::Infeasible;
     }
-    let mut nodes = 0usize;
-    let mut incumbent: Option<(i64, Vec<i64>)> = None;
     let zero_obj = obj.iter().all(|&c| c == 0);
+    let mut incumbent: Option<(i64, Vec<i64>)> = None;
+    if let Some(p) = seed {
+        if p.len() == cs.num_vars() && cs.contains_point(p) {
+            let value: i128 = obj
+                .iter()
+                .zip(p)
+                .map(|(&c, &v)| i128::from(c) * i128::from(v))
+                .sum();
+            if let Ok(value) = i64::try_from(value) {
+                stats.seeds_accepted += 1;
+                if zero_obj || lower_bound == Some(value) {
+                    // Any feasible point is optimal under a zero
+                    // objective; a seed attaining a proven lower bound
+                    // is optimal outright.
+                    stats.seed_shortcuts += 1;
+                    return IlpOutcome::Optimal {
+                        value,
+                        point: p.to_vec(),
+                    };
+                }
+                incumbent = Some((value, p.to_vec()));
+            }
+        }
+    }
+    let mut nodes = 0usize;
+    let mut root_lp = root_lp;
     let mut stack: Vec<ConstraintSystem> = vec![root];
     while let Some(node) = stack.pop() {
         nodes += 1;
+        stats.nodes += 1;
         if nodes > MAX_NODES {
             return IlpOutcome::NodeLimit { best: incumbent };
         }
-        match lp_minimize(&node, obj) {
+        let outcome = match root_lp.take() {
+            Some((value, point)) => LpOutcome::Optimal { value, point },
+            None => lp_minimize(&node, obj),
+        };
+        match outcome {
             LpOutcome::Infeasible => continue,
             LpOutcome::Unbounded => {
                 // The relaxation is unbounded. If we have not yet committed
@@ -82,16 +175,25 @@ pub fn ilp_minimize(cs: &ConstraintSystem, obj: &[i64]) -> IlpOutcome {
                 }
                 match first_fractional(&point) {
                     None => {
-                        let ipoint: Vec<i64> = point.iter().map(|v| v.numer() as i64).collect();
-                        let ival = value
-                            .to_integer()
-                            .expect("integral point yields integral objective")
-                            as i64;
+                        let ipoint: Option<Vec<i64>> = point
+                            .iter()
+                            .map(|v| i64::try_from(v.numer()).ok())
+                            .collect();
+                        let ival = value.to_integer().and_then(|v| i64::try_from(v).ok());
+                        let (Some(ipoint), Some(ival)) = (ipoint, ival) else {
+                            // A coordinate or value outside i64: treat
+                            // the node as unusable rather than wrapping
+                            // (box-bounded scheduler problems never get
+                            // here).
+                            continue;
+                        };
                         let better = incumbent.as_ref().is_none_or(|(inc, _)| ival < *inc);
                         if better {
                             incumbent = Some((ival, ipoint));
-                            if zero_obj {
-                                break; // any integer point is optimal
+                            if zero_obj || lower_bound == Some(ival) {
+                                // Optimal: zero objective, or the proven
+                                // lower bound was attained.
+                                break;
                             }
                         }
                     }
@@ -173,23 +275,160 @@ pub fn ilp_feasible(cs: &ConstraintSystem) -> bool {
 /// assert_eq!(point, vec![0, 3]);
 /// ```
 pub fn ilp_lexmin(cs: &ConstraintSystem, objectives: &[Vec<i64>]) -> Option<Vec<i64>> {
+    ilp_lexmin_stats(cs, objectives, &mut IlpStats::default())
+}
+
+/// [`ilp_lexmin`] with effort counters but **no** warm starting — the
+/// cold baseline that [`ilp_lexmin_warm`] is benchmarked against.
+pub fn ilp_lexmin_stats(
+    cs: &ConstraintSystem,
+    objectives: &[Vec<i64>],
+    stats: &mut IlpStats,
+) -> Option<Vec<i64>> {
+    lexmin_cold(cs, objectives, stats)
+}
+
+/// Warm-started lexicographic minimization.
+///
+/// Three mechanisms cut the solver effort relative to [`ilp_lexmin`]:
+///
+/// * **incremental simplex** — one [`IncrementalLp`] tableau is built
+///   (and made feasible) once; each objective stage re-optimizes from
+///   the previous optimal basis, and pinning an optimum appends a single
+///   equality row and re-pivots only on it. When a stage's LP vertex is
+///   integral it *is* the stage's integer optimum and no branch and
+///   bound runs at all ([`IlpStats::lp_stages`] counts these);
+/// * **stage seeding** — when a stage does need branch and bound (a
+///   fractional vertex), the previous stage's optimum seeds it as the
+///   initial incumbent;
+/// * **cross-call seeding** — a caller solving a sequence of related
+///   systems (the iterative scheduler, one dimension after another) can
+///   pass the previous solve's point as `warm`; it seeds the first
+///   branch-and-bound fallback whenever it is still feasible.
+///
+/// Solver effort is accumulated into `stats`, which lets callers report
+/// warm-vs-cold work.
+pub fn ilp_lexmin_warm(
+    cs: &ConstraintSystem,
+    objectives: &[Vec<i64>],
+    warm: Option<&[i64]>,
+    stats: &mut IlpStats,
+) -> Option<Vec<i64>> {
+    let n = cs.num_vars();
+    // Normalize once (gcd tightening, dedup, subsumption) — the same
+    // reduction every branch-and-bound root performs — so the shared
+    // tableau is built from the small system, not the raw one.
+    let mut cur = cs.clone();
+    if !cur.normalize() {
+        return None;
+    }
+    let mut lp = IncrementalLp::new(&cur);
+    if !lp.is_feasible() {
+        return None; // LP-infeasible ⇒ ILP-infeasible
+    }
+    let mut lp_alive = true;
+    let mut hint: Option<Vec<i64>> = warm
+        .filter(|p| p.len() == n && cs.contains_point(p))
+        .map(<[i64]>::to_vec);
+    let mut last_point: Option<Vec<i64>> = None;
+    for obj in objectives {
+        assert_eq!(obj.len(), n, "objective length mismatch");
+        // Stage attempt 1: pure LP re-optimization. An integral optimal
+        // vertex of the relaxation is the integer optimum of the stage;
+        // a fractional one still proves a lower bound for attempt 2.
+        let mut stage_point: Option<(i64, Vec<i64>)> = None;
+        let mut stage_lb: Option<i64> = None;
+        let mut stage_root: Option<(Rat, Vec<Rat>)> = None;
+        if lp_alive {
+            match lp.minimize(obj) {
+                LpOutcome::Optimal { value, point } => {
+                    // Checked narrowing throughout: a vertex with an
+                    // i64-overflowing coordinate falls back to branch
+                    // and bound instead of silently truncating.
+                    let ivalue = value.to_integer().and_then(|v| i64::try_from(v).ok());
+                    let ipoint: Option<Vec<i64>> = point
+                        .iter()
+                        .map(|v| v.to_integer().and_then(|c| i64::try_from(c).ok()))
+                        .collect();
+                    match (ipoint, ivalue) {
+                        (Some(ipoint), Some(value)) => {
+                            stats.lp_stages += 1;
+                            stage_point = Some((value, ipoint));
+                        }
+                        _ => {
+                            // Fractional (or overflowing) vertex: branch
+                            // and bound must run, but the relaxation is
+                            // already solved — reuse it as the root and
+                            // as a lower bound.
+                            stage_lb = i64::try_from(value.ceil()).ok();
+                            stage_root = Some((value, point));
+                        }
+                    }
+                }
+                LpOutcome::Unbounded => return None,
+                // Infeasibility cannot appear after a successful pin;
+                // fall through to branch and bound defensively.
+                LpOutcome::Infeasible => {}
+            }
+        }
+        // Stage attempt 2: branch and bound on the mirrored system,
+        // seeded with the previous stage's optimum, rooted at the
+        // already-solved relaxation, and stopped early at the LP-proven
+        // lower bound.
+        let lp_solved = stage_point.is_some();
+        let (value, point) = match stage_point {
+            Some(vp) => vp,
+            None => {
+                match ilp_minimize_impl(&cur, obj, hint.as_deref(), stage_lb, stage_root, stats) {
+                    IlpOutcome::Optimal { value, point }
+                    | IlpOutcome::NodeLimit {
+                        best: Some((value, point)),
+                    } => (value, point),
+                    _ => return None,
+                }
+            }
+        };
+        // Pin the stage optimum. Once a stage went fractional the
+        // remaining cascade almost always does too — stop paying for
+        // tableau maintenance and branch-and-bound both, and run the
+        // rest seeded-cold.
+        let mut row = obj.clone();
+        row.push(-value);
+        if lp_alive && lp_solved {
+            lp_alive = lp.pin_eq(&row);
+        } else {
+            lp_alive = false;
+        }
+        cur.add_eq(row);
+        hint = Some(point.clone());
+        last_point = Some(point);
+    }
+    match last_point {
+        Some(p) => Some(p),
+        None => hint.or_else(|| ilp_feasible_point(&cur)),
+    }
+}
+
+/// The cold lexicographic loop shared by [`ilp_lexmin`] and
+/// [`ilp_lexmin_stats`]: one full branch-and-bound run per objective, no
+/// seeding, no shared basis.
+fn lexmin_cold(
+    cs: &ConstraintSystem,
+    objectives: &[Vec<i64>],
+    stats: &mut IlpStats,
+) -> Option<Vec<i64>> {
     let n = cs.num_vars();
     let mut cur = cs.clone();
     let mut last_point: Option<Vec<i64>> = None;
     for obj in objectives {
         assert_eq!(obj.len(), n, "objective length mismatch");
-        match ilp_minimize(&cur, obj) {
-            IlpOutcome::Optimal { value, point } => {
-                // Pin the objective at its optimum and continue.
-                let mut row = obj.clone();
-                row.push(-value);
-                cur.add_eq(row);
-                last_point = Some(point);
-            }
-            IlpOutcome::NodeLimit {
+        match ilp_minimize_seeded(&cur, obj, None, stats) {
+            IlpOutcome::Optimal { value, point }
+            | IlpOutcome::NodeLimit {
                 best: Some((value, point)),
             } => {
-                // Best-effort: accept the incumbent (still a legal point).
+                // Pin the objective at its optimum (best-effort for a
+                // truncated run: the incumbent is still a legal point).
                 let mut row = obj.clone();
                 row.push(-value);
                 cur.add_eq(row);
@@ -302,6 +541,101 @@ mod tests {
         cs.add_ineq(vec![1, -5]);
         cs.add_ineq(vec![-1, 2]);
         assert_eq!(ilp_lexmin(&cs, &[vec![1]]), None);
+    }
+
+    #[test]
+    fn seeded_incumbent_prunes_and_matches_cold_result() {
+        // minimize x + y with 2x + 3y >= 7, x, y >= 0: optimum 3.
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_ineq(vec![2, 3, -7]);
+        cs.add_ineq(vec![1, 0, 0]);
+        cs.add_ineq(vec![0, 1, 0]);
+        let mut cold = IlpStats::default();
+        let mut warm = IlpStats::default();
+        let c = ilp_minimize_seeded(&cs, &[1, 1], None, &mut cold);
+        // Seed with the known optimum (2, 1).
+        let w = ilp_minimize_seeded(&cs, &[1, 1], Some(&[2, 1]), &mut warm);
+        let value = |o: &IlpOutcome| match o {
+            IlpOutcome::Optimal { value, .. } => *value,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(value(&c), value(&w));
+        assert_eq!(warm.seeds_accepted, 1);
+        assert!(
+            warm.nodes <= cold.nodes,
+            "warm {} vs cold {}",
+            warm.nodes,
+            cold.nodes
+        );
+    }
+
+    #[test]
+    fn infeasible_seed_is_ignored() {
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_ineq(vec![1, -3]); // x >= 3
+        let mut stats = IlpStats::default();
+        let out = ilp_minimize_seeded(&cs, &[1], Some(&[0]), &mut stats);
+        assert_eq!(stats.seeds_accepted, 0);
+        match out {
+            IlpOutcome::Optimal { value, .. } => assert_eq!(value, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn feasible_seed_under_zero_objective_short_circuits() {
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_ineq(vec![1, -3]);
+        let mut stats = IlpStats::default();
+        let out = ilp_minimize_seeded(&cs, &[0], Some(&[5]), &mut stats);
+        assert_eq!(stats.seed_shortcuts, 1);
+        assert_eq!(stats.nodes, 0);
+        assert_eq!(
+            out,
+            IlpOutcome::Optimal {
+                value: 0,
+                point: vec![5]
+            }
+        );
+    }
+
+    #[test]
+    fn lexmin_warm_agrees_with_cold() {
+        // Box [0,2]^2 with x + y >= 2; lexmin (x, y) = (0, 2).
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_ineq(vec![1, 0, 0]);
+        cs.add_ineq(vec![-1, 0, 2]);
+        cs.add_ineq(vec![0, 1, 0]);
+        cs.add_ineq(vec![0, -1, 2]);
+        cs.add_ineq(vec![1, 1, -2]);
+        let objectives = [vec![1, 0], vec![0, 1]];
+        let mut cold = IlpStats::default();
+        let p_cold = ilp_lexmin_warm(&cs, &objectives, None, &mut cold).unwrap();
+        let mut warm = IlpStats::default();
+        let p_warm = ilp_lexmin_warm(&cs, &objectives, Some(&[1, 1]), &mut warm).unwrap();
+        assert_eq!(p_cold, vec![0, 2]);
+        assert_eq!(p_warm, p_cold);
+        assert!(warm.nodes <= cold.nodes);
+    }
+
+    #[test]
+    fn stats_absorb_accumulates() {
+        let mut a = IlpStats {
+            nodes: 1,
+            lp_stages: 4,
+            seeds_accepted: 2,
+            seed_shortcuts: 3,
+        };
+        a.absorb(&IlpStats {
+            nodes: 10,
+            lp_stages: 40,
+            seeds_accepted: 20,
+            seed_shortcuts: 30,
+        });
+        assert_eq!(a.nodes, 11);
+        assert_eq!(a.lp_stages, 44);
+        assert_eq!(a.seeds_accepted, 22);
+        assert_eq!(a.seed_shortcuts, 33);
     }
 
     #[test]

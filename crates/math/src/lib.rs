@@ -61,9 +61,10 @@ pub use consys::{ConstraintSystem, RowKind};
 pub use error::{MathError, Result};
 pub use farkas::farkas_nonneg;
 pub use ilp::{
-    ilp_feasible, ilp_feasible_point, ilp_lexmin, ilp_minimize, ineq_implied, IlpOutcome,
+    ilp_feasible, ilp_feasible_point, ilp_lexmin, ilp_lexmin_stats, ilp_lexmin_warm, ilp_minimize,
+    ilp_minimize_seeded, ineq_implied, IlpOutcome, IlpStats,
 };
 pub use matrix::{orthogonal_complement, primitive, IntMatrix, RatMatrix};
 pub use num::{ceil_div, floor_div, gcd, gcd_slice, lcm, modulo, narrow};
 pub use rat::Rat;
-pub use simplex::{lp_feasible, lp_minimize, LpOutcome};
+pub use simplex::{lp_feasible, lp_minimize, IncrementalLp, LpOutcome};

@@ -114,31 +114,105 @@ impl Tableau {
     }
 
     fn solve(mut self, objective: &[i64]) -> LpOutcome {
-        // Phase 1: minimize the sum of artificials.
+        if !self.phase1() {
+            return LpOutcome::Infeasible;
+        }
+        match self.phase2(objective) {
+            None => LpOutcome::Unbounded,
+            Some((value, point)) => LpOutcome::Optimal { value, point },
+        }
+    }
+
+    /// Phase 1: minimize the sum of artificials; `true` iff feasible
+    /// (remaining artificials are driven out of the basis).
+    fn phase1(&mut self) -> bool {
         let mut cost1 = vec![Rat::ZERO; self.ncols + self.nart];
         for c in cost1.iter_mut().skip(self.ncols) {
             *c = Rat::ONE;
         }
-        let (z1, _) = match self.optimize(&cost1, /*restrict_arts=*/ false) {
-            Some(v) => v,
-            None => return LpOutcome::Unbounded, // cannot happen: phase 1 bounded
+        // Phase 1 is bounded below by 0, so `optimize` cannot return None.
+        let Some((z1, _)) = self.optimize(&cost1, /*restrict_arts=*/ false) else {
+            return false;
         };
         if z1.is_positive() {
-            return LpOutcome::Infeasible;
+            return false;
         }
-        // Drive any remaining artificial variables out of the basis.
         self.expel_artificials();
+        true
+    }
 
-        // Phase 2: original objective on x⁺/x⁻ columns.
+    /// Phase 2: the original objective on x⁺/x⁻ columns, starting from
+    /// the current (feasible) basis. `None` means unbounded.
+    fn phase2(&mut self, objective: &[i64]) -> Option<(Rat, Vec<Rat>)> {
         let mut cost2 = vec![Rat::ZERO; self.ncols + self.nart];
         for j in 0..self.n {
             cost2[j] = Rat::from(objective[j]);
             cost2[self.n + j] = -Rat::from(objective[j]);
         }
-        match self.optimize(&cost2, /*restrict_arts=*/ true) {
-            None => LpOutcome::Unbounded,
-            Some((value, point)) => LpOutcome::Optimal { value, point },
+        self.optimize(&cost2, /*restrict_arts=*/ true)
+    }
+
+    /// Appends the equality `row · x + c == 0` to a solved tableau and
+    /// restores feasibility by re-pivoting **only** on the new row (one
+    /// fresh artificial, one restricted phase-1 pass) instead of
+    /// rebuilding and re-solving from scratch. Returns `false` when the
+    /// system becomes infeasible.
+    fn add_eq_row(&mut self, row: &[i64]) -> bool {
+        let n = self.n;
+        let width = self.ncols + self.nart;
+        // Raw row over [x⁺, x⁻, slacks, artificials], rhs = -c.
+        let mut r = vec![Rat::ZERO; width];
+        let mut b = Rat::from(-row[n]);
+        for j in 0..n {
+            let a = Rat::from(row[j]);
+            r[j] = a;
+            r[n + j] = -a;
         }
+        // Reduce by the current basis so basic columns keep their
+        // identity structure in the new row.
+        for i in 0..self.rows.len() {
+            let f = r[self.basis[i]];
+            if f.is_zero() {
+                continue;
+            }
+            let pivot_rhs = self.rhs[i];
+            let pivot_row = self.rows[i].clone();
+            for (v, pv) in r.iter_mut().zip(&pivot_row) {
+                if !pv.is_zero() {
+                    let s = f * *pv;
+                    *v -= s;
+                }
+            }
+            b -= f * pivot_rhs;
+        }
+        if b.is_negative() {
+            for v in &mut r {
+                *v = -*v;
+            }
+            b = -b;
+        }
+        // Fresh artificial column, basic in the new row.
+        for rr in &mut self.rows {
+            rr.push(Rat::ZERO);
+        }
+        r.push(Rat::ONE);
+        self.rows.push(r);
+        self.rhs.push(b);
+        self.nart += 1;
+        let art_col = self.ncols + self.nart - 1;
+        self.basis.push(art_col);
+        // Mini phase 1: drive just the new artificial to zero (entering
+        // columns stay restricted to structurals and slacks).
+        let mut cost = vec![Rat::ZERO; self.ncols + self.nart];
+        cost[art_col] = Rat::ONE;
+        let Some((z, _)) = self.optimize(&cost, /*restrict_arts=*/ true) else {
+            return false;
+        };
+        if z.is_positive() {
+            return false;
+        }
+        self.expel_artificials();
+        true
     }
 
     /// Runs the simplex loop for the given cost vector. Returns
@@ -266,6 +340,80 @@ impl Tableau {
                 // constraint); its rhs must be zero after a feasible phase 1.
             }
         }
+    }
+}
+
+/// An incrementally re-optimizable LP: the tableau is built (and phase 1
+/// run) **once**, then a sequence of objectives is minimized by phase-2
+/// re-optimization from the previous optimal basis, with equality rows
+/// pinned in between ([`IncrementalLp::pin_eq`]) by re-pivoting only on
+/// the appended row.
+///
+/// This is the warm-start engine of
+/// [`ilp_lexmin_warm`](crate::ilp_lexmin_warm): the lexicographic
+/// objective cascade re-uses one basis instead of rebuilding and
+/// re-solving the whole system per objective.
+///
+/// # Examples
+///
+/// ```
+/// use polytops_math::{ConstraintSystem, IncrementalLp, LpOutcome, Rat};
+///
+/// // Box [0,2]², x + y >= 2: lexmin x then y at the LP level.
+/// let mut cs = ConstraintSystem::new(2);
+/// cs.add_ineq(vec![1, 0, 0]);
+/// cs.add_ineq(vec![-1, 0, 2]);
+/// cs.add_ineq(vec![0, 1, 0]);
+/// cs.add_ineq(vec![0, -1, 2]);
+/// cs.add_ineq(vec![1, 1, -2]);
+/// let mut lp = IncrementalLp::new(&cs);
+/// let LpOutcome::Optimal { value, .. } = lp.minimize(&[1, 0]) else { panic!() };
+/// assert_eq!(value, Rat::from(0));
+/// assert!(lp.pin_eq(&[1, 0, 0])); // pin x == 0, re-pivot on one row
+/// let LpOutcome::Optimal { value, .. } = lp.minimize(&[0, 1]) else { panic!() };
+/// assert_eq!(value, Rat::from(2));
+/// ```
+pub struct IncrementalLp {
+    tab: Tableau,
+    feasible: bool,
+}
+
+impl IncrementalLp {
+    /// Builds the tableau and runs phase 1.
+    pub fn new(cs: &ConstraintSystem) -> IncrementalLp {
+        let mut tab = Tableau::build(cs);
+        let feasible = tab.phase1();
+        IncrementalLp { tab, feasible }
+    }
+
+    /// Whether the system (with every pinned row so far) is feasible.
+    pub fn is_feasible(&self) -> bool {
+        self.feasible
+    }
+
+    /// Minimizes `objective · x` from the current basis.
+    pub fn minimize(&mut self, objective: &[i64]) -> LpOutcome {
+        assert_eq!(objective.len(), self.tab.n, "objective length mismatch");
+        if !self.feasible {
+            return LpOutcome::Infeasible;
+        }
+        match self.tab.phase2(objective) {
+            None => LpOutcome::Unbounded,
+            Some((value, point)) => LpOutcome::Optimal { value, point },
+        }
+    }
+
+    /// Pins the equality `row · x + c == 0` (`row` has `n + 1` entries)
+    /// and restores feasibility by re-pivoting on the new row only.
+    /// Returns `false` (and stays infeasible) when the pinned system has
+    /// no solution.
+    pub fn pin_eq(&mut self, row: &[i64]) -> bool {
+        assert_eq!(row.len(), self.tab.n + 1, "row length mismatch");
+        if !self.feasible {
+            return false;
+        }
+        self.feasible = self.tab.add_eq_row(row);
+        self.feasible
     }
 }
 
