@@ -9,13 +9,14 @@
 //! * **staged** — the default pipeline: cached Farkas replay plus the
 //!   incremental warm-started lexmin.
 //!
-//! Wall times land in `BENCH_schedule.json` (set `BENCH_OUT` to move
-//! it); `BENCH_TARGET_MS` bounds the per-measurement budget, which the
-//! CI smoke run sets low.
-
-use std::fmt::Write as _;
+//! Wall times land in the `"staged"` section of `BENCH_schedule.json`
+//! (set `BENCH_OUT` to move it; the `"scenarios"` section written by
+//! the scenarios bench is preserved); `BENCH_TARGET_MS` bounds the
+//! per-measurement budget, which the CI smoke run sets low.
 
 use polytops_bench::bench_ns;
+use polytops_bench::report::{self, int, object, ratio};
+use polytops_core::json::Json;
 use polytops_core::{presets, schedule_with_options, EngineOptions};
 
 fn main() {
@@ -45,43 +46,41 @@ fn main() {
             total_staged += staged;
             println!(
                 "staged/{kernel}/{cname:<10} cold {cold:>10} ns  staged {staged:>10} ns  \
-                 ({speedup:.2}x, farkas {}/{} hit, bb nodes {} -> {})",
+                 ({speedup:.2}x, farkas {}/{} hit, bb nodes {} -> {}, {} fractional stages)",
                 stats.farkas_hits,
                 stats.farkas_hits + stats.farkas_misses,
                 cold_stats.ilp.nodes,
                 stats.ilp.nodes,
+                stats.fractional_stages(),
             );
-            rows.push(format!(
-                "    {{\"kernel\": \"{kernel}\", \"config\": \"{cname}\", \
-                 \"cold_ns\": {cold}, \"staged_ns\": {staged}, \
-                 \"speedup\": {speedup:.3}, \
-                 \"farkas_hits\": {}, \"farkas_misses\": {}, \
-                 \"bb_nodes_cold\": {}, \"bb_nodes_staged\": {}, \
-                 \"lp_stages\": {}}}",
-                stats.farkas_hits,
-                stats.farkas_misses,
-                cold_stats.ilp.nodes,
-                stats.ilp.nodes,
-                stats.ilp.lp_stages,
-            ));
+            rows.push(object([
+                ("kernel", Json::Str(kernel.to_string())),
+                ("config", Json::Str(cname.to_string())),
+                ("cold_ns", int(cold as i64)),
+                ("staged_ns", int(staged as i64)),
+                ("speedup", ratio(speedup)),
+                ("farkas_hits", int(stats.farkas_hits as i64)),
+                ("farkas_misses", int(stats.farkas_misses as i64)),
+                ("bb_nodes_cold", int(cold_stats.ilp.nodes as i64)),
+                ("bb_nodes_staged", int(stats.ilp.nodes as i64)),
+                ("lp_stages", int(stats.ilp.lp_stages as i64)),
+                ("fractional_stages", int(stats.fractional_stages() as i64)),
+            ]));
         }
     }
-    let mut json = String::from("{\n  \"bench\": \"schedule\",\n  \"entries\": [\n");
-    json.push_str(&rows.join(",\n"));
-    let _ = write!(
-        json,
-        "\n  ],\n  \"total_cold_ns\": {total_cold},\n  \"total_staged_ns\": {total_staged},\n  \
-         \"total_speedup\": {:.3}\n}}\n",
-        total_cold as f64 / total_staged.max(1) as f64
+    let total_speedup = total_cold as f64 / total_staged.max(1) as f64;
+    let out = report::default_path();
+    report::update_section(
+        &out,
+        "staged",
+        object([
+            ("entries", Json::Array(rows)),
+            ("total_cold_ns", int(total_cold as i64)),
+            ("total_staged_ns", int(total_staged as i64)),
+            ("total_speedup", ratio(total_speedup)),
+        ]),
     );
-    // Cargo runs benches with the package directory as CWD; default the
-    // report to the workspace root where CI picks it up.
-    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_schedule.json").to_string()
-    });
-    std::fs::write(&out, json).expect("write bench report");
     println!(
-        "total: cold {total_cold} ns, staged {total_staged} ns ({:.2}x) -> {out}",
-        total_cold as f64 / total_staged.max(1) as f64
+        "total: cold {total_cold} ns, staged {total_staged} ns ({total_speedup:.2}x) -> {out}"
     );
 }

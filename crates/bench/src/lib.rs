@@ -9,6 +9,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod report;
+
 use std::time::Instant;
 
 /// Target wall time per measurement in nanoseconds, overridable with the
@@ -24,8 +26,8 @@ fn target_ns() -> u128 {
 /// Times `f` and returns nanoseconds per iteration.
 ///
 /// Runs a small warmup, then picks an iteration count targeting roughly
-/// [`target_ns`] of wall time (at least 5 iterations) so quick and slow
-/// problems both report stable numbers.
+/// `target_ns` (200 ms, or `BENCH_TARGET_MS`) of wall time — at least 5
+/// iterations — so quick and slow problems both report stable numbers.
 pub fn bench_ns<R>(mut f: impl FnMut() -> R) -> u128 {
     // Warmup + calibration.
     let start = Instant::now();

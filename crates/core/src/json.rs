@@ -1,61 +1,83 @@
-//! A minimal JSON parser for the configuration interface.
+//! A minimal JSON parser and serializer.
 //!
 //! The build environment has no registry access, so instead of `serde` /
 //! `serde_json` the JSON interface of [`crate::SchedulerConfig`] is
-//! deserialized by hand from this parser's [`Json`] values. The grammar is
-//! standard JSON (RFC 8259) minus `\u` surrogate-pair pedantry; numbers
-//! are accepted in integer form only, which is all the configuration
-//! format uses.
+//! deserialized by hand from this parser's [`Json`] values. The grammar
+//! is standard JSON (RFC 8259) minus `\u` surrogate-pair pedantry.
+//! Integer numbers parse as [`Json::Int`]; fractional or exponent forms
+//! parse as [`Json::Float`] (the configuration format itself only ever
+//! uses integers, but the benchmark reports in `BENCH_schedule.json`
+//! carry speedup ratios, and the benches read those files back to merge
+//! their sections). The [`std::fmt::Display`] impl serializes a value
+//! back out with two-space indentation.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
     /// `null`.
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// An integer number (the config format never uses fractions).
+    /// An integer number (everything the config format uses).
     Int(i64),
+    /// A fractional or exponent-form number (benchmark-report ratios).
+    Float(f64),
     /// A string.
     Str(String),
     /// An array.
     Array(Vec<Json>),
-    /// An object; insertion order is irrelevant to the config format.
+    /// An object; insertion order is irrelevant to every consumer, so a
+    /// sorted map keeps serialization deterministic.
     Object(BTreeMap<String, Json>),
 }
 
 impl Json {
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    pub(crate) fn as_int(&self) -> Option<i64> {
+    /// The integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
         match self {
             Json::Int(v) => Some(*v),
             _ => None,
         }
     }
 
-    pub(crate) fn as_bool(&self) -> Option<bool> {
+    /// The numeric payload of either number form.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
         match self {
             Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
 
-    pub(crate) fn as_array(&self) -> Option<&[Json]> {
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
         match self {
             Json::Array(v) => Some(v),
             _ => None,
         }
     }
 
-    pub(crate) fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+    /// The fields, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
         match self {
             Json::Object(m) => Some(m),
             _ => None,
@@ -63,8 +85,84 @@ impl Json {
     }
 }
 
+impl fmt::Display for Json {
+    /// Serializes with two-space indentation and `\n` line ends; objects
+    /// print in key order, so output is deterministic.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn indent(f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+            for _ in 0..depth {
+                f.write_str("  ")?;
+            }
+            Ok(())
+        }
+        fn string(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+            f.write_str("\"")?;
+            for c in s.chars() {
+                match c {
+                    '"' => f.write_str("\\\"")?,
+                    '\\' => f.write_str("\\\\")?,
+                    '\n' => f.write_str("\\n")?,
+                    '\r' => f.write_str("\\r")?,
+                    '\t' => f.write_str("\\t")?,
+                    c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                    c => write!(f, "{c}")?,
+                }
+            }
+            f.write_str("\"")
+        }
+        fn value(f: &mut fmt::Formatter<'_>, v: &Json, depth: usize) -> fmt::Result {
+            match v {
+                Json::Null => f.write_str("null"),
+                Json::Bool(b) => write!(f, "{b}"),
+                Json::Int(n) => write!(f, "{n}"),
+                Json::Float(x) if x.is_finite() => {
+                    if x.fract() == 0.0 {
+                        // Keep the value recognizably fractional so it
+                        // round-trips as a Float.
+                        write!(f, "{x:.1}")
+                    } else {
+                        write!(f, "{x}")
+                    }
+                }
+                // JSON has no NaN/Infinity; degrade to null.
+                Json::Float(_) => f.write_str("null"),
+                Json::Str(s) => string(f, s),
+                Json::Array(items) if items.is_empty() => f.write_str("[]"),
+                Json::Array(items) => {
+                    f.write_str("[\n")?;
+                    for (i, item) in items.iter().enumerate() {
+                        indent(f, depth + 1)?;
+                        value(f, item, depth + 1)?;
+                        f.write_str(if i + 1 < items.len() { ",\n" } else { "\n" })?;
+                    }
+                    indent(f, depth)?;
+                    f.write_str("]")
+                }
+                Json::Object(map) if map.is_empty() => f.write_str("{}"),
+                Json::Object(map) => {
+                    f.write_str("{\n")?;
+                    for (i, (k, v)) in map.iter().enumerate() {
+                        indent(f, depth + 1)?;
+                        string(f, k)?;
+                        f.write_str(": ")?;
+                        value(f, v, depth + 1)?;
+                        f.write_str(if i + 1 < map.len() { ",\n" } else { "\n" })?;
+                    }
+                    indent(f, depth)?;
+                    f.write_str("}")
+                }
+            }
+        }
+        value(f, self, 0)
+    }
+}
+
 /// Parses a complete JSON document.
-pub(crate) fn parse(text: &str) -> Result<Json, String> {
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error.
+pub fn parse(text: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
@@ -143,15 +241,42 @@ impl<'a> Parser<'a> {
         if self.pos - digits > 1 && self.bytes[digits] == b'0' {
             return Err(format!("number with leading zero at byte {start}"));
         }
-        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
-            return Err(format!(
-                "non-integer number at byte {start} (the config format uses integers)"
-            ));
+        let mut fractional = false;
+        if self.peek() == Some(b'.') {
+            fractional = true;
+            self.pos += 1;
+            let frac = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac {
+                return Err(format!("missing fraction digits at byte {start}"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            fractional = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp {
+                return Err(format!("missing exponent digits at byte {start}"));
+            }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
-        text.parse::<i64>()
-            .map(Json::Int)
-            .map_err(|_| format!("bad number `{text}`"))
+        if fractional {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| format!("bad number `{text}`"))
+        } else {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| format!("bad number `{text}`"))
+        }
     }
 
     fn string(&mut self) -> Result<String, String> {
@@ -282,9 +407,32 @@ mod tests {
         assert!(parse("{").is_err());
         assert!(parse(r#"{"a": }"#).is_err());
         assert!(parse("[1, 2,]").is_err());
-        assert!(parse("1.5").is_err());
+        assert!(parse("1.").is_err());
+        assert!(parse("1e").is_err());
         assert!(parse("{} trailing").is_err());
         assert!(parse(r#"{"a": 1, "a": 2}"#).is_err());
+    }
+
+    #[test]
+    fn fractional_numbers_parse_as_floats() {
+        assert_eq!(parse("1.5").unwrap(), Json::Float(1.5));
+        assert_eq!(parse("-0.25").unwrap(), Json::Float(-0.25));
+        assert_eq!(parse("2e3").unwrap(), Json::Float(2000.0));
+        assert_eq!(parse("1.5").unwrap().as_f64(), Some(1.5));
+        assert_eq!(parse("3").unwrap().as_f64(), Some(3.0));
+        // Integers stay integers: the config interface depends on it.
+        assert_eq!(parse("3").unwrap(), Json::Int(3));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let doc = r#"{"a": [1, -2.5, "x\n"], "b": {"c": true, "d": null}, "e": []}"#;
+        let v = parse(doc).unwrap();
+        let printed = v.to_string();
+        assert_eq!(parse(&printed).unwrap(), v);
+        // Whole-valued floats stay recognizably fractional.
+        let v = Json::Float(2.0);
+        assert_eq!(parse(&v.to_string()).unwrap(), v);
     }
 
     #[test]

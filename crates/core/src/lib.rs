@@ -14,7 +14,13 @@
 //! * [`constraints`] — the custom-constraint mini-language (§III-A2);
 //! * [`pipeline`] — the staged driver (legality → objectives → solve →
 //!   postprocess), with its cached Farkas systems and warm-started ILP;
+//! * [`scenario`] — the scenario engine: N (SCoP × config) jobs sharing
+//!   `Arc`-wrapped Farkas caches per SCoP and executing on a
+//!   work-stealing thread pool (the paper's per-scenario
+//!   reconfiguration loop);
 //! * [`scheduler`] — the stable entry points over the pipeline;
+//! * [`json`] — the in-tree JSON parser behind
+//!   [`SchedulerConfig::from_json`] and the benchmark reports;
 //! * [`presets`] — ready-made Pluto/Pluto+/Feautrier/isl-style configs;
 //! * [`error`] — the error type shared by every stage.
 //!
@@ -40,16 +46,17 @@
 //! assert_eq!(sched.stmt(StmtId(0)).rows()[0], vec![1, 0, 0]); // φ = i
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod config;
 pub mod constraints;
 pub mod costfn;
 pub mod error;
-mod json;
+pub mod json;
 pub mod pipeline;
 pub mod presets;
+pub mod scenario;
 pub mod scheduler;
 pub mod space;
 pub mod strategy;
@@ -59,7 +66,8 @@ pub use config::{
     SchedulerConfig,
 };
 pub use error::ScheduleError;
-pub use pipeline::{EngineOptions, FarkasCache, PipelineStats};
+pub use pipeline::{CacheSession, EngineOptions, FarkasCache, PipelineStats};
+pub use scenario::{winner, winner_by, Scenario, ScenarioReport, ScenarioResult, ScenarioSet};
 pub use scheduler::{schedule, schedule_with_options, schedule_with_strategy};
 pub use space::{IlpSpace, StmtBlock};
 pub use strategy::{ConfigStrategy, DimSolution, DimensionPlan, Reaction, Strategy, StrategyState};

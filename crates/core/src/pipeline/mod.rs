@@ -10,7 +10,9 @@
 //!
 //! * [`legality`] — Farkas linearization of `Δ_e ≥ 0`, eliminated once
 //!   per dependence and replayed from a [`FarkasCache`] at every
-//!   dimension;
+//!   dimension — and, because the cache is `Send + Sync` and
+//!   `Arc`-shareable, at every *scenario* re-scheduling the same SCoP
+//!   (see [`crate::scenario`]);
 //! * [`objectives`] — assembly of one dimension's ILP (progression,
 //!   bounds, layered cost functions, custom constraints, directives,
 //!   tie-break) over the engine's fixed [`IlpSpace`](crate::IlpSpace);
@@ -27,5 +29,5 @@ pub mod objectives;
 pub mod postprocess;
 pub mod solve;
 
-pub use legality::FarkasCache;
+pub use legality::{CacheSession, FarkasCache};
 pub use solve::{EngineOptions, PipelineStats};

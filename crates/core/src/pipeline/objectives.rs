@@ -5,7 +5,8 @@
 //! fixed [`IlpSpace`]:
 //!
 //! 1. **legality** — `Δ_e ≥ 0` per live dependence, replayed from the
-//!    [`FarkasCache`];
+//!    [`FarkasCache`](crate::pipeline::FarkasCache) through the run's
+//!    [`CacheSession`];
 //! 2. **progression** — the next row of every incomplete statement must
 //!    leave the span of its committed rows (Eq. 3);
 //! 3. **box bounds** — keep branch-and-bound finite and solutions small;
@@ -23,7 +24,7 @@ use crate::config::{CostFn, DirectiveKind, SchedulerConfig};
 use crate::constraints::parse_constraints;
 use crate::costfn::{big_loops_first_coeffs, contiguity_coeffs};
 use crate::error::ScheduleError;
-use crate::pipeline::legality::FarkasCache;
+use crate::pipeline::legality::CacheSession;
 use crate::space::IlpSpace;
 use crate::strategy::DimensionPlan;
 
@@ -52,8 +53,8 @@ pub struct DimensionContext<'a> {
     pub config: &'a SchedulerConfig,
     /// The engine's fixed ILP variable layout.
     pub space: &'a IlpSpace,
-    /// Farkas replay cache.
-    pub cache: &'a FarkasCache,
+    /// This run's session over the Farkas replay cache.
+    pub cache: &'a CacheSession,
     /// Dependences whose legality (`Δ ≥ 0`) this dimension must enforce:
     /// the live ones plus those carried *inside the current band*, which
     /// is what makes the emitted bands permutable (tilable) à la Pluto.

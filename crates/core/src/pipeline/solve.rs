@@ -19,13 +19,15 @@
 //! exist for *all* dependences, pinned to zero while unused) so cached
 //! Farkas systems and warm-start points stay valid across dimensions.
 
+use std::sync::Arc;
+
 use polytops_deps::{analyze, sccs_topological, strongly_satisfies, zero_distance, Dependence};
 use polytops_ir::{Schedule, Scop, StmtId, StmtSchedule};
 use polytops_math::{ilp_lexmin_stats, ilp_lexmin_warm, IlpStats, IntMatrix};
 
 use crate::config::{DirectiveKind, FusionHeuristic, SchedulerConfig};
 use crate::error::ScheduleError;
-use crate::pipeline::legality::FarkasCache;
+use crate::pipeline::legality::{CacheSession, FarkasCache};
 use crate::pipeline::objectives::{self, expand_targets, DimensionContext};
 use crate::pipeline::postprocess;
 use crate::space::IlpSpace;
@@ -77,6 +79,16 @@ impl PipelineStats {
             self.farkas_hits as f64 / total as f64
         }
     }
+
+    /// Lexmin stages whose root relaxation vertex was fractional, so the
+    /// warm LP path could not finish and branch and bound ran
+    /// ([`IlpStats::fractional_stages`]). Recorded so the dual-simplex
+    /// re-optimization follow-up (ROADMAP: `jacobi_1d/pluto` is the
+    /// weakest warm-start entry precisely because its u/w proximity
+    /// stages go fractional) has per-run data to target.
+    pub fn fractional_stages(&self) -> usize {
+        self.ilp.fractional_stages
+    }
 }
 
 /// Runs the full staged pipeline for one SCoP and reports statistics.
@@ -90,7 +102,37 @@ pub fn run(
     strategy: &mut dyn Strategy,
     options: &EngineOptions,
 ) -> Result<(Schedule, PipelineStats), ScheduleError> {
-    Engine::new(scop, config, *options).run(strategy)
+    Engine::new(scop, config, *options, None, None).run(strategy)
+}
+
+/// [`run`] with externally owned dependence analysis and
+/// [`FarkasCache`] — the entry point of the scenario engine. Every run
+/// sharing `cache` replays (instead of re-eliminating) the Farkas
+/// systems computed by any earlier — or concurrent — run over the same
+/// SCoP and variable layout, and the exact dependence analysis (itself
+/// a stack of integer feasibility tests, 6–28% of a run on the
+/// reference kernels) is done once per SCoP instead of once per
+/// scenario.
+///
+/// `deps` must be [`analyze`]\ `(scop)` — cache entries are keyed by
+/// position in that vector — and the cache must have been created for
+/// its length (`FarkasCache::new(deps.len(), ..)`); a mis-sized cache
+/// is ignored and a private one used instead, so sharing can never
+/// corrupt a run. Reported [`PipelineStats`] count only this run's
+/// lookups.
+///
+/// # Errors
+///
+/// Same contract as [`crate::schedule`].
+pub fn run_shared(
+    scop: &Scop,
+    config: &SchedulerConfig,
+    strategy: &mut dyn Strategy,
+    options: &EngineOptions,
+    deps: Arc<Vec<Dependence>>,
+    cache: Arc<FarkasCache>,
+) -> Result<(Schedule, PipelineStats), ScheduleError> {
+    Engine::new(scop, config, *options, Some(deps), Some(cache)).run(strategy)
 }
 
 /// Mutable scheduling state threaded through the iterative algorithm.
@@ -100,9 +142,13 @@ struct Engine<'a> {
     options: EngineOptions,
     /// Fixed ILP variable layout shared by every dimension.
     space: IlpSpace,
-    /// Farkas replay cache, keyed by dependence id.
-    cache: FarkasCache,
-    deps: Vec<Dependence>,
+    /// This run's session over the (possibly scenario-shared) Farkas
+    /// replay cache, keyed by dependence id.
+    cache: CacheSession,
+    /// The SCoP's dependences, possibly shared across scenarios (the
+    /// analysis is deterministic, so a shared vector equals what this
+    /// run would compute).
+    deps: Arc<Vec<Dependence>>,
     /// `live[e]`: dependence `e` has not been strongly satisfied yet.
     live: Vec<bool>,
     /// Band id of the dimension that carried dependence `e`, once
@@ -121,9 +167,17 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    fn new(scop: &'a Scop, config: &'a SchedulerConfig, options: EngineOptions) -> Engine<'a> {
-        let deps = analyze(scop);
+    fn new(
+        scop: &'a Scop,
+        config: &'a SchedulerConfig,
+        options: EngineOptions,
+        deps: Option<Arc<Vec<Dependence>>>,
+        shared: Option<Arc<FarkasCache>>,
+    ) -> Engine<'a> {
         let nstmts = scop.statements.len();
+        let deps = deps
+            .filter(|d| d.iter().all(|d| d.src.0 < nstmts && d.dst.0 < nstmts))
+            .unwrap_or_else(|| Arc::new(analyze(scop)));
         // One layout for the whole SCoP: dependence-satisfaction columns
         // exist for every dependence so cached Farkas systems replay
         // verbatim at any dimension (unused columns are pinned to zero).
@@ -134,12 +188,15 @@ impl<'a> Engine<'a> {
             config.negative_coefficients,
             config.parametric_shift,
         );
+        let cache = shared
+            .filter(|c| c.num_deps() == deps.len())
+            .unwrap_or_else(|| Arc::new(FarkasCache::new(deps.len(), options.farkas_cache)));
         Engine {
             scop,
             config,
             options,
             space,
-            cache: FarkasCache::new(deps.len(), options.farkas_cache),
+            cache: CacheSession::new(cache),
             live: vec![true; deps.len()],
             carried_band: vec![None; deps.len()],
             deps,

@@ -3,7 +3,7 @@
 //! Each preset is an ordinary [`SchedulerConfig`] value — tweak fields
 //! freely after construction.
 
-use crate::config::{CostFn, DimMap, SchedulerConfig};
+use crate::config::{CostFn, DimMap, PostProcess, SchedulerConfig};
 
 /// Pluto-style default: proximity cost, smartfuse, non-negative
 /// coefficients (identical to [`SchedulerConfig::default`]).
@@ -39,6 +39,22 @@ pub fn isl_like() -> SchedulerConfig {
     }
 }
 
+/// Wavefront/tiling preset: the pluto-style search followed by the full
+/// post-processing stage — 32×32 rectangular tiling of permutable bands
+/// and wavefront (pipelined) skewing when the outer band dimension is
+/// sequential but an inner one is parallel. The time-iterated stencil
+/// showcase (`cargo run --example demo -- wavefront`).
+pub fn wavefront() -> SchedulerConfig {
+    SchedulerConfig {
+        post: PostProcess {
+            tile_sizes: vec![32, 32],
+            wavefront: true,
+            intra_tile_vectorize: false,
+        },
+        ..SchedulerConfig::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,5 +66,7 @@ mod tests {
         assert!(pluto_plus().parametric_shift);
         assert_eq!(feautrier().cost_functions.get(0), &vec![CostFn::Feautrier]);
         assert!(isl_like().isl_fallback);
+        assert!(wavefront().post.wavefront);
+        assert_eq!(wavefront().post.tile_sizes, vec![32, 32]);
     }
 }

@@ -1,0 +1,916 @@
+//! The scenario engine: the paper's per-scenario reconfiguration loop
+//! as a first-class, parallel API.
+//!
+//! PolyTOPS's headline workflow (paper Fig. 1) schedules the *same* SCoP
+//! many times under different configurations — presets, cost-function
+//! stacks, tile-size candidates — and picks a winner. Run naively that
+//! loop repeats the most expensive constraint-construction work (the
+//! Farkas eliminations of every dependence) once per configuration and
+//! uses one core. This module turns the loop into an engine:
+//!
+//! * a [`ScenarioSet`] holds N (SCoP × configuration) jobs
+//!   ([`Scenario`]) over a shared pool of SCoPs;
+//! * jobs are **grouped by SCoP and ILP variable layout**, each group
+//!   sharing one dependence analysis and one `Arc`-wrapped
+//!   [`FarkasCache`]: the first scenario of a group eliminates each
+//!   dependence, every later (or concurrent) scenario replays it —
+//!   [`PipelineStats::farkas_hits`] of the later scenarios measure
+//!   exactly this cross-scenario amortization;
+//! * [`ScenarioSet::run_sharded`] executes the jobs on a work-stealing
+//!   pool of scoped threads pulling from a shared channel queue
+//!   (`std::thread::scope` + `std::sync::mpsc` — the build environment
+//!   has no registry access, so no rayon/crossbeam);
+//! * with [`ScenarioSet::split_components`] enabled, a SCoP whose
+//!   dependence graph falls into several weakly connected components is
+//!   dispatched as one **sub-job per component** (the groups a
+//!   distribution cut would isolate anyway), solved in parallel and
+//!   stitched back under a leading constant distribution dimension;
+//! * [`winner`]/[`winner_by`] select the best report by a score (a
+//!   static cost heuristic by default, or any user oracle).
+//!
+//! # Determinism
+//!
+//! Sharded execution is **bit-identical** to sequential execution: a
+//! cache hit replays a constraint system equal to what a recomputation
+//! would build, and ILP warm-start seeds — which *can* steer tie-breaks
+//! between equally optimal points — are deliberately kept per-run
+//! rather than shared, so no result depends on which thread finished
+//! first. Only the per-scenario hit/miss *split* may vary under
+//! concurrency (two scenarios can race to eliminate the same entry);
+//! their sum, and every schedule, is reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use polytops_core::scenario::{winner, ScenarioSet};
+//! use polytops_core::presets;
+//! use polytops_ir::{Aff, ScopBuilder};
+//!
+//! // for (i = 1; i < N; i++) A[i] = A[i-1];
+//! let mut b = ScopBuilder::new("chain");
+//! let n = b.param("N");
+//! let a = b.array("A", &[n.clone()], 8);
+//! b.open_loop("i", Aff::val(1), n - 1);
+//! b.stmt("S0")
+//!     .read(a, &[Aff::var("i") - 1])
+//!     .write(a, &[Aff::var("i")])
+//!     .add(&mut b);
+//! b.close_loop();
+//!
+//! let mut set = ScenarioSet::new();
+//! let scop = set.add_scop("chain", b.build().unwrap());
+//! set.add_scenario(scop, "pluto", presets::pluto());
+//! set.add_scenario(scop, "feautrier", presets::feautrier());
+//!
+//! let results = set.run_sharded(2);
+//! let best = winner(&results).expect("both scenarios schedule");
+//! assert_eq!(best.schedule.dims(), 1);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use polytops_deps::{analyze, Dependence};
+use polytops_ir::{Schedule, Scop, StmtId, StmtSchedule};
+
+use crate::config::SchedulerConfig;
+use crate::error::ScheduleError;
+use crate::pipeline::legality::FarkasCache;
+use crate::pipeline::solve::{self, EngineOptions, PipelineStats};
+use crate::strategy::ConfigStrategy;
+
+/// One scheduling job: a SCoP (by index into its [`ScenarioSet`])
+/// paired with a complete configuration.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario label, reported back in the [`ScenarioReport`].
+    pub name: String,
+    /// Index of the SCoP (as returned by [`ScenarioSet::add_scop`]).
+    pub scop: usize,
+    /// The configuration this scenario schedules under.
+    pub config: SchedulerConfig,
+    /// Pipeline feature toggles (warm start; the Farkas cache is always
+    /// shared by the scenario engine regardless of this flag).
+    pub options: EngineOptions,
+}
+
+/// A successfully scheduled scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Index of the scenario in its [`ScenarioSet`].
+    pub scenario: usize,
+    /// Scenario label.
+    pub name: String,
+    /// Index of the scheduled SCoP.
+    pub scop: usize,
+    /// Name of the scheduled SCoP.
+    pub scop_name: String,
+    /// The legal schedule found.
+    pub schedule: Schedule,
+    /// This run's pipeline statistics (for component-split scenarios,
+    /// the sum over all component sub-jobs).
+    pub stats: PipelineStats,
+    /// How many solver jobs the scenario dispatched (1 for a whole-SCoP
+    /// solve, the component count when split).
+    pub sub_jobs: usize,
+}
+
+/// The outcome of one scenario: a report, or the scheduling error.
+pub type ScenarioResult = Result<ScenarioReport, ScheduleError>;
+
+/// A batch of scenarios over a shared pool of SCoPs.
+///
+/// Adding the same SCoP once and referencing it from many scenarios is
+/// what enables cross-scenario Farkas-cache sharing — scenarios of
+/// *different* SCoPs never share cache entries.
+#[derive(Debug, Default)]
+pub struct ScenarioSet {
+    scops: Vec<(String, Scop)>,
+    scenarios: Vec<Scenario>,
+    split_components: bool,
+}
+
+impl ScenarioSet {
+    /// Creates an empty set.
+    pub fn new() -> ScenarioSet {
+        ScenarioSet::default()
+    }
+
+    /// Registers a SCoP and returns its index for
+    /// [`add_scenario`](ScenarioSet::add_scenario).
+    pub fn add_scop(&mut self, name: impl Into<String>, scop: Scop) -> usize {
+        self.scops.push((name.into(), scop));
+        self.scops.len() - 1
+    }
+
+    /// Adds a scenario over a registered SCoP with default
+    /// [`EngineOptions`] and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scop` is not an index returned by
+    /// [`add_scop`](ScenarioSet::add_scop).
+    pub fn add_scenario(
+        &mut self,
+        scop: usize,
+        name: impl Into<String>,
+        config: SchedulerConfig,
+    ) -> usize {
+        self.add_scenario_with_options(scop, name, config, EngineOptions::default())
+    }
+
+    /// [`add_scenario`](ScenarioSet::add_scenario) with explicit engine
+    /// options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scop` is not an index returned by
+    /// [`add_scop`](ScenarioSet::add_scop).
+    pub fn add_scenario_with_options(
+        &mut self,
+        scop: usize,
+        name: impl Into<String>,
+        config: SchedulerConfig,
+        options: EngineOptions,
+    ) -> usize {
+        assert!(scop < self.scops.len(), "unknown SCoP index {scop}");
+        self.scenarios.push(Scenario {
+            name: name.into(),
+            scop,
+            config,
+            options,
+        });
+        self.scenarios.len() - 1
+    }
+
+    /// Enables or disables component splitting: scenarios whose SCoP's
+    /// dependence graph has several weakly connected components — and
+    /// whose configuration sets no fusion controls, directives, custom
+    /// constraints (those reference global statement ids) or tile sizes
+    /// (tiling metadata is global per band and would be lost in
+    /// stitching) — are solved as one sub-job per component and
+    /// stitched back together under a leading constant distribution
+    /// dimension. Configurations that do set any of those keep their
+    /// whole-SCoP solve even when splitting is enabled.
+    ///
+    /// This changes the *scenario*, not just its execution: the joint
+    /// solve would schedule unrelated components into common loops,
+    /// while the split scenario distributes them. Splitting is
+    /// therefore an explicit axis of the sweep, off by default; split
+    /// results remain deterministic and oracle-legal. Note that
+    /// [`run_isolated`](ScenarioSet::run_isolated) never splits, so its
+    /// timings/stats are only comparable to the engine paths while
+    /// splitting is off.
+    pub fn split_components(&mut self, enabled: bool) {
+        self.split_components = enabled;
+    }
+
+    /// The registered scenarios.
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// The registered SCoPs as `(name, scop)` pairs.
+    pub fn scops(&self) -> &[(String, Scop)] {
+        &self.scops
+    }
+
+    /// Number of scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the set has no scenarios.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Runs every scenario on the calling thread, in scenario order,
+    /// with cross-scenario cache sharing. This is the sequential
+    /// baseline [`run_sharded`](ScenarioSet::run_sharded) is benchmarked
+    /// against — same work, one worker.
+    pub fn run_sequential(&self) -> Vec<ScenarioResult> {
+        let runner = Runner::new(self);
+        let slots = runner.slots();
+        for job in runner.jobs() {
+            runner.execute(job, &slots);
+        }
+        runner.assemble(slots)
+    }
+
+    /// Runs every scenario on a pool of `threads` scoped worker threads
+    /// pulling jobs from a shared channel queue (work-stealing: a free
+    /// worker takes the next job whatever its scenario), then assembles
+    /// results in scenario order. `threads` is clamped to `1..=jobs`.
+    ///
+    /// Results are bit-identical to
+    /// [`run_sequential`](ScenarioSet::run_sequential) — see the module
+    /// docs for why.
+    pub fn run_sharded(&self, threads: usize) -> Vec<ScenarioResult> {
+        let runner = Runner::new(self);
+        let slots = runner.slots();
+        let jobs = runner.jobs();
+        let workers = threads.clamp(1, jobs.len().max(1));
+        let (tx, rx) = mpsc::channel::<Job>();
+        for job in jobs {
+            tx.send(job).expect("queue open");
+        }
+        drop(tx);
+        let rx = Mutex::new(rx);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    // Hold the queue lock only while dequeuing, never
+                    // while solving.
+                    let job = match rx.lock().expect("queue lock").recv() {
+                        Ok(job) => job,
+                        Err(_) => break, // queue drained
+                    };
+                    runner.execute(job, &slots);
+                });
+            }
+        });
+        runner.assemble(slots)
+    }
+
+    /// Runs every scenario independently (fresh caches, no sharing, no
+    /// component splitting) — the pre-engine baseline used to measure
+    /// how much work cross-scenario sharing saves.
+    ///
+    /// Because this path models the naive loop, it always solves whole
+    /// SCoPs: with [`split_components`](ScenarioSet::split_components)
+    /// enabled, `run_sequential`/`run_sharded` solve *different*
+    /// (distributed) scenarios, so compare against this baseline only
+    /// with splitting off (as `benches/scenarios.rs` does).
+    pub fn run_isolated(&self) -> Vec<ScenarioResult> {
+        self.scenarios
+            .iter()
+            .enumerate()
+            .map(|(i, sc)| {
+                let (name, scop) = &self.scops[sc.scop];
+                let mut strategy = ConfigStrategy::new(sc.config.clone());
+                solve::run(scop, &sc.config, &mut strategy, &sc.options).map(|(schedule, stats)| {
+                    ScenarioReport {
+                        scenario: i,
+                        name: sc.name.clone(),
+                        scop: sc.scop,
+                        scop_name: name.clone(),
+                        schedule,
+                        stats,
+                        sub_jobs: 1,
+                    }
+                })
+            })
+            .collect()
+    }
+}
+
+/// Selects the best successful report under [`default_score`], ties
+/// resolved toward the earlier scenario.
+pub fn winner(results: &[ScenarioResult]) -> Option<&ScenarioReport> {
+    winner_by(results, default_score)
+}
+
+/// Selects the best successful report under a custom score (higher is
+/// better — plug in a model-driven oracle here), ties resolved toward
+/// the earlier scenario.
+pub fn winner_by<F: Fn(&ScenarioReport) -> i64>(
+    results: &[ScenarioResult],
+    score: F,
+) -> Option<&ScenarioReport> {
+    let mut best: Option<(&ScenarioReport, i64)> = None;
+    for r in results.iter().flatten() {
+        let s = score(r);
+        if best.is_none_or(|(_, bs)| s > bs) {
+            best = Some((r, s));
+        }
+    }
+    best.map(|(r, _)| r)
+}
+
+/// The built-in scenario score: a static cost heuristic over the found
+/// schedule.
+///
+/// Rewards, in decreasing weight: an outermost non-constant dimension
+/// that is parallel (coarse-grain parallelism, worth the most), every
+/// parallel dimension, the width of the widest permutable band
+/// (tilability), and — negatively — the total dimension count (deep
+/// schedules mean distribution and lost fusion).
+pub fn default_score(report: &ScenarioReport) -> i64 {
+    let sched = &report.schedule;
+    let mut score = 0i64;
+    let outer_loop = (0..sched.dims())
+        .find(|&d| (0..sched.num_statements()).any(|s| !sched.stmt(StmtId(s)).row_is_constant(d)));
+    if let Some(d) = outer_loop {
+        if sched.parallel().get(d).copied().unwrap_or(false) {
+            score += 1000;
+        }
+    }
+    score += 100 * sched.parallel().iter().filter(|&&p| p).count() as i64;
+    score += 10
+        * sched
+            .band_ranges()
+            .into_iter()
+            .map(|(a, b)| b - a)
+            .max()
+            .unwrap_or(0) as i64;
+    score -= sched.dims() as i64;
+    score
+}
+
+// ---------------------------------------------------------------------
+// Execution internals.
+// ---------------------------------------------------------------------
+
+/// A dependence-closed statement group of one SCoP, with the sub-SCoP
+/// it is solved as.
+#[derive(Debug)]
+struct ComponentPlan {
+    /// Original statement ids, sorted ascending.
+    stmts: Vec<usize>,
+    /// The extracted sub-SCoP (statements re-numbered, everything else
+    /// shared with the parent).
+    scop: Scop,
+}
+
+/// A unit of work for the pool, carrying its shared dependence analysis
+/// and Farkas cache.
+enum Job {
+    /// Solve a scenario's whole SCoP.
+    Whole {
+        scenario: usize,
+        deps: Arc<Vec<Dependence>>,
+        cache: Arc<FarkasCache>,
+    },
+    /// Solve one dependence component of a split scenario.
+    Component {
+        scenario: usize,
+        comp: usize,
+        deps: Arc<Vec<Dependence>>,
+        cache: Arc<FarkasCache>,
+    },
+}
+
+type EngineOutcome = Result<(Schedule, PipelineStats), ScheduleError>;
+
+/// Result slots, one per dispatched job. `OnceLock` gives each slot a
+/// single writer (the worker that ran the job) without locks around the
+/// result vectors themselves.
+struct Slots {
+    whole: Vec<OnceLock<EngineOutcome>>,
+    comps: Vec<Vec<OnceLock<EngineOutcome>>>,
+}
+
+/// One `run_*` call's precomputed state: component decompositions, the
+/// parent-SCoP analyses feeding them, and the cache-sharing groups.
+struct Runner<'a> {
+    set: &'a ScenarioSet,
+    /// Per SCoP: its weakly-connected dependence components, when there
+    /// are at least two (computed only for SCoPs some scenario can
+    /// actually split).
+    comp_sets: Vec<Option<Vec<ComponentPlan>>>,
+    /// Per scenario: whether it runs as component sub-jobs.
+    split: Vec<bool>,
+    /// Analyses already computed during decomposition, seeding
+    /// [`Runner::jobs`] so no SCoP is analyzed twice per run.
+    analyses: BTreeMap<(usize, Option<usize>), Arc<Vec<Dependence>>>,
+}
+
+/// Cache-sharing key: SCoP, component (`None` = whole), and the
+/// configuration fields that shape the ILP variable layout.
+type CacheKey = (usize, Option<usize>, bool, bool, Vec<String>);
+
+impl<'a> Runner<'a> {
+    fn new(set: &'a ScenarioSet) -> Runner<'a> {
+        let mut analyses: BTreeMap<(usize, Option<usize>), Arc<Vec<Dependence>>> = BTreeMap::new();
+        let comp_sets: Vec<Option<Vec<ComponentPlan>>> = set
+            .scops
+            .iter()
+            .enumerate()
+            .map(|(i, (_, scop))| {
+                let wanted = set.split_components
+                    && set
+                        .scenarios
+                        .iter()
+                        .any(|sc| sc.scop == i && config_splittable(&sc.config));
+                if !wanted {
+                    return None;
+                }
+                let deps = Arc::clone(
+                    analyses
+                        .entry((i, None))
+                        .or_insert_with(|| Arc::new(analyze(scop))),
+                );
+                components_of(scop, &deps)
+            })
+            .collect();
+        let split: Vec<bool> = set
+            .scenarios
+            .iter()
+            .map(|sc| comp_sets[sc.scop].is_some() && config_splittable(&sc.config))
+            .collect();
+        Runner {
+            set,
+            comp_sets,
+            split,
+            analyses,
+        }
+    }
+
+    fn slots(&self) -> Slots {
+        Slots {
+            whole: self.set.scenarios.iter().map(|_| OnceLock::new()).collect(),
+            comps: self
+                .set
+                .scenarios
+                .iter()
+                .enumerate()
+                .map(|(i, sc)| {
+                    let n = if self.split[i] {
+                        self.comp_sets[sc.scop].as_ref().map_or(0, Vec::len)
+                    } else {
+                        0
+                    };
+                    (0..n).map(|_| OnceLock::new()).collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Expands scenarios into pool jobs, resolving each job's shared
+    /// dependence analysis by (SCoP, component) and its shared cache by
+    /// (SCoP, component, layout) group. The analysis — itself a stack
+    /// of exact integer feasibility tests — thus runs once per SCoP
+    /// instead of once per scenario.
+    fn jobs(&self) -> Vec<Job> {
+        let mut caches: BTreeMap<CacheKey, Arc<FarkasCache>> = BTreeMap::new();
+        let mut analyses = self.analyses.clone();
+        let mut jobs = Vec::new();
+        for (i, sc) in self.set.scenarios.iter().enumerate() {
+            let layout = (
+                sc.config.negative_coefficients,
+                sc.config.parametric_shift,
+                sc.config.new_variables.clone(),
+            );
+            let mut shared_for = |comp: Option<usize>, scop: &Scop| {
+                let deps = Arc::clone(
+                    analyses
+                        .entry((sc.scop, comp))
+                        .or_insert_with(|| Arc::new(analyze(scop))),
+                );
+                let cache = Arc::clone(
+                    caches
+                        .entry((sc.scop, comp, layout.0, layout.1, layout.2.clone()))
+                        .or_insert_with(|| Arc::new(FarkasCache::new(deps.len(), true))),
+                );
+                (deps, cache)
+            };
+            if self.split[i] {
+                let comps = self.comp_sets[sc.scop].as_ref().expect("split has comps");
+                for (c, plan) in comps.iter().enumerate() {
+                    let (deps, cache) = shared_for(Some(c), &plan.scop);
+                    jobs.push(Job::Component {
+                        scenario: i,
+                        comp: c,
+                        deps,
+                        cache,
+                    });
+                }
+            } else {
+                let (deps, cache) = shared_for(None, &self.set.scops[sc.scop].1);
+                jobs.push(Job::Whole {
+                    scenario: i,
+                    deps,
+                    cache,
+                });
+            }
+        }
+        jobs
+    }
+
+    fn execute(&self, job: Job, slots: &Slots) {
+        match job {
+            Job::Whole {
+                scenario,
+                deps,
+                cache,
+            } => {
+                let sc = &self.set.scenarios[scenario];
+                let scop = &self.set.scops[sc.scop].1;
+                let outcome = solve_one(scop, &sc.config, &sc.options, deps, cache);
+                let _ = slots.whole[scenario].set(outcome);
+            }
+            Job::Component {
+                scenario,
+                comp,
+                deps,
+                cache,
+            } => {
+                let sc = &self.set.scenarios[scenario];
+                let plan = &self.comp_sets[sc.scop].as_ref().expect("split has comps")[comp];
+                let outcome = solve_one(&plan.scop, &sc.config, &sc.options, deps, cache);
+                let _ = slots.comps[scenario][comp].set(outcome);
+            }
+        }
+    }
+
+    /// Collects slot contents into per-scenario results, stitching
+    /// component sub-jobs back into one schedule.
+    fn assemble(&self, slots: Slots) -> Vec<ScenarioResult> {
+        let Slots { whole, comps } = slots;
+        let mut out = Vec::with_capacity(self.set.scenarios.len());
+        for (i, (w, c)) in whole.into_iter().zip(comps).enumerate() {
+            let sc = &self.set.scenarios[i];
+            let (scop_name, scop) = &self.set.scops[sc.scop];
+            let result = if self.split[i] {
+                let plans = self.comp_sets[sc.scop].as_ref().expect("split has comps");
+                let mut solved = Vec::with_capacity(c.len());
+                let mut err = None;
+                for slot in c {
+                    match slot.into_inner().expect("component job ran") {
+                        Ok(ok) => solved.push(ok),
+                        Err(e) => {
+                            // First (in component order) error wins, so
+                            // the reported error is deterministic.
+                            err.get_or_insert(e);
+                        }
+                    }
+                }
+                match err {
+                    Some(e) => Err(e),
+                    None => Ok((plans.len(), stitch(scop, plans, solved))),
+                }
+            } else {
+                w.into_inner()
+                    .expect("whole job ran")
+                    .map(|(schedule, stats)| (1, (schedule, stats)))
+            };
+            out.push(result.map(|(sub_jobs, (schedule, stats))| ScenarioReport {
+                scenario: i,
+                name: sc.name.clone(),
+                scop: sc.scop,
+                scop_name: scop_name.clone(),
+                schedule,
+                stats,
+                sub_jobs,
+            }));
+        }
+        out
+    }
+}
+
+/// Runs one engine job under shared analysis and cache.
+fn solve_one(
+    scop: &Scop,
+    config: &SchedulerConfig,
+    options: &EngineOptions,
+    deps: Arc<Vec<Dependence>>,
+    cache: Arc<FarkasCache>,
+) -> EngineOutcome {
+    let mut strategy = ConfigStrategy::new(config.clone());
+    solve::run_shared(scop, config, &mut strategy, options, deps, cache)
+}
+
+/// Whether a configuration can be applied per component: fusion
+/// controls, directives and custom constraints all reference global
+/// statement ids, and tiling metadata is global per band (stitching
+/// would silently discard it), so any of them pins the scenario to a
+/// whole-SCoP solve.
+fn config_splittable(config: &SchedulerConfig) -> bool {
+    config.fusion.is_empty()
+        && config.directives.is_empty()
+        && config.custom_constraints.values().all(Vec::is_empty)
+        && config.post.tile_sizes.is_empty()
+}
+
+/// Weakly connected components of a SCoP's dependence graph (union-find
+/// over the precomputed dependence endpoints), as solve-ready
+/// [`ComponentPlan`]s ordered by smallest statement id. Returns `None`
+/// for fewer than two components.
+fn components_of(scop: &Scop, deps: &[Dependence]) -> Option<Vec<ComponentPlan>> {
+    let n = scop.statements.len();
+    if n < 2 {
+        return None;
+    }
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for dep in deps {
+        let a = find(&mut parent, dep.src.0);
+        let b = find(&mut parent, dep.dst.0);
+        if a != b {
+            parent[a.max(b)] = a.min(b);
+        }
+    }
+    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for s in 0..n {
+        let root = find(&mut parent, s);
+        groups.entry(root).or_default().push(s);
+    }
+    if groups.len() < 2 {
+        return None;
+    }
+    Some(
+        groups
+            .into_values()
+            .enumerate()
+            .map(|(c, stmts)| {
+                let scop = component_scop(scop, &stmts, c);
+                ComponentPlan { stmts, scop }
+            })
+            .collect(),
+    )
+}
+
+/// Extracts the sub-SCoP of one component: selected statements
+/// re-numbered, parameters/context/arrays shared with the parent (array
+/// ids stay valid; β vectors keep their original values, preserving
+/// textual order semantics).
+fn component_scop(scop: &Scop, stmts: &[usize], comp: usize) -> Scop {
+    Scop {
+        name: format!("{}::c{comp}", scop.name),
+        params: scop.params.clone(),
+        context: scop.context.clone(),
+        arrays: scop.arrays.clone(),
+        statements: stmts
+            .iter()
+            .enumerate()
+            .map(|(new_id, &s)| {
+                let mut st = scop.statements[s].clone();
+                st.id = StmtId(new_id);
+                st
+            })
+            .collect(),
+    }
+}
+
+/// Recombines component schedules into one schedule over the parent
+/// SCoP:
+///
+/// * dimension 0 is a constant distribution row placing component `c`
+///   at position `c` (legal: no dependence crosses components);
+/// * dimension `d + 1` replays each component's dimension `d`, with
+///   shorter components padded by constant-zero rows;
+/// * a padded dimension's parallel flag is the conjunction over the
+///   components that actually contribute a row, and band boundaries are
+///   taken wherever *any* contributing component starts a band (the
+///   conservative common refinement);
+/// * per-statement vectorization marks shift by one. Tiling metadata is
+///   not carried over — it is global per-band and components could
+///   disagree — which is why [`config_splittable`] pins tiled
+///   configurations to whole-SCoP solves in the first place.
+fn stitch(
+    scop: &Scop,
+    plans: &[ComponentPlan],
+    solved: Vec<(Schedule, PipelineStats)>,
+) -> (Schedule, PipelineStats) {
+    let np = scop.nparams();
+    let nstmts = scop.statements.len();
+    // Where each global statement lives: (component, local index).
+    let mut home = vec![(0usize, 0usize); nstmts];
+    for (c, plan) in plans.iter().enumerate() {
+        for (local, &s) in plan.stmts.iter().enumerate() {
+            home[s] = (c, local);
+        }
+    }
+    let max_len = solved
+        .iter()
+        .map(|(sched, _)| sched.dims())
+        .max()
+        .unwrap_or(0);
+
+    let mut per_stmt = Vec::with_capacity(nstmts);
+    for (s, stmt) in scop.statements.iter().enumerate() {
+        let (c, local) = home[s];
+        let (sched, _) = &solved[c];
+        let ss = sched.stmt(StmtId(local));
+        let mut rows = StmtSchedule::new(stmt.depth(), np);
+        let mut cut = vec![0i64; stmt.depth() + np + 1];
+        cut[stmt.depth() + np] = c as i64;
+        rows.push_row(cut);
+        for d in 0..max_len {
+            rows.push_row(if d < ss.len() {
+                ss.rows()[d].clone()
+            } else {
+                vec![0i64; stmt.depth() + np + 1]
+            });
+        }
+        per_stmt.push(rows);
+    }
+
+    let mut bands = vec![0usize];
+    let mut parallel = vec![false];
+    let mut next_band = 0usize;
+    for d in 0..max_len {
+        let contributing: Vec<&Schedule> = solved
+            .iter()
+            .map(|(sched, _)| sched)
+            .filter(|sched| d < sched.dims())
+            .collect();
+        let boundary = d == 0
+            || contributing
+                .iter()
+                .any(|sched| d < sched.dims() && sched.bands()[d] != sched.bands()[d - 1]);
+        if boundary {
+            next_band += 1;
+        }
+        bands.push(next_band);
+        parallel
+            .push(!contributing.is_empty() && contributing.iter().all(|sched| sched.parallel()[d]));
+    }
+
+    let mut combined = Schedule::from_parts(per_stmt, bands, parallel);
+    for (s, &(c, local)) in home.iter().enumerate() {
+        let (sched, _) = &solved[c];
+        combined.set_vector_dim(StmtId(s), sched.vector_dims()[local].map(|v| v + 1));
+    }
+    let mut stats = PipelineStats::default();
+    for (_, comp_stats) in &solved {
+        stats.farkas_hits += comp_stats.farkas_hits;
+        stats.farkas_misses += comp_stats.farkas_misses;
+        stats.ilp.absorb(&comp_stats.ilp);
+    }
+    stats.dimensions = combined.dims();
+    (combined, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use polytops_ir::{Aff, ScopBuilder};
+    use polytops_workloads::stencil_chain as chain;
+
+    /// Two independent loops over disjoint arrays: two components.
+    fn two_components() -> Scop {
+        let mut b = ScopBuilder::new("indep");
+        let n = b.param("N");
+        let a = b.array("A", &[n.clone()], 8);
+        let c = b.array("C", &[n.clone()], 8);
+        b.open_loop("i", Aff::val(1), n.clone() - 1);
+        b.stmt("S0")
+            .read(a, &[Aff::var("i") - 1])
+            .write(a, &[Aff::var("i")])
+            .add(&mut b);
+        b.close_loop();
+        b.open_loop("j", Aff::val(0), n - 1);
+        b.stmt("S1").write(c, &[Aff::var("j")]).add(&mut b);
+        b.close_loop();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sequential_and_sharded_agree() {
+        let mut set = ScenarioSet::new();
+        let scop = set.add_scop("chain", chain());
+        set.add_scenario(scop, "pluto", presets::pluto());
+        set.add_scenario(scop, "feautrier", presets::feautrier());
+        let seq = set.run_sequential();
+        let par = set.run_sharded(2);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.schedule, b.schedule);
+            assert_eq!(a.name, b.name);
+        }
+    }
+
+    #[test]
+    fn second_scenario_of_a_group_replays_the_first() {
+        let mut set = ScenarioSet::new();
+        let scop = set.add_scop("chain", chain());
+        set.add_scenario(scop, "a", presets::pluto());
+        set.add_scenario(scop, "b", presets::pluto());
+        let results = set.run_sequential();
+        let (a, b) = (results[0].as_ref().unwrap(), results[1].as_ref().unwrap());
+        assert!(a.stats.farkas_misses > 0, "{:?}", a.stats);
+        assert_eq!(b.stats.farkas_misses, 0, "{:?}", b.stats);
+        assert!(b.stats.farkas_hits > 0, "{:?}", b.stats);
+    }
+
+    #[test]
+    fn different_layouts_do_not_share() {
+        let mut set = ScenarioSet::new();
+        let scop = set.add_scop("chain", chain());
+        set.add_scenario(scop, "pluto", presets::pluto());
+        set.add_scenario(scop, "pluto_plus", presets::pluto_plus());
+        let results = set.run_sequential();
+        // pluto+ widens the variable layout; it must not replay pluto's
+        // cache (it has its own group).
+        assert!(
+            results[1].as_ref().unwrap().stats.farkas_misses > 0,
+            "{:?}",
+            results[1].as_ref().unwrap().stats
+        );
+    }
+
+    #[test]
+    fn split_scenarios_distribute_components() {
+        let mut set = ScenarioSet::new();
+        let scop = set.add_scop("indep", two_components());
+        set.add_scenario(scop, "pluto", presets::pluto());
+        set.split_components(true);
+        let results = set.run_sequential();
+        let report = results[0].as_ref().unwrap();
+        assert_eq!(report.sub_jobs, 2);
+        // Dimension 0 is the distribution cut: S0 at 0, S1 at 1.
+        let sched = &report.schedule;
+        assert!(sched.stmt(StmtId(0)).row_is_constant(0));
+        assert_eq!(sched.stmt(StmtId(0)).rows()[0][2], 0);
+        assert_eq!(sched.stmt(StmtId(1)).rows()[0][2], 1);
+        // Both components keep full-rank schedules.
+        for s in 0..2 {
+            assert_eq!(sched.stmt(StmtId(s)).iter_matrix().rank(), 1);
+        }
+        // Sharded split execution agrees bit for bit.
+        let par = set.run_sharded(3);
+        assert_eq!(par[0].as_ref().unwrap().schedule, *sched);
+    }
+
+    #[test]
+    fn tiled_configs_keep_their_whole_scop_solve_when_splitting() {
+        // Tiling metadata is global per band; splitting would silently
+        // drop it, so a tiled scenario must pin to a whole-SCoP solve
+        // (and keep its tile bands) even with splitting enabled.
+        let mut set = ScenarioSet::new();
+        let scop = set.add_scop("indep", two_components());
+        let mut tiled = presets::pluto();
+        tiled.post.tile_sizes = vec![16];
+        set.add_scenario(scop, "tiled", tiled);
+        set.add_scenario(scop, "plain", presets::pluto());
+        set.split_components(true);
+        let results = set.run_sequential();
+        let tiled_report = results[0].as_ref().unwrap();
+        assert_eq!(tiled_report.sub_jobs, 1, "tiled scenario must not split");
+        assert!(!tiled_report.schedule.tiling().is_empty(), "tiling kept");
+        assert_eq!(results[1].as_ref().unwrap().sub_jobs, 2);
+    }
+
+    #[test]
+    fn winner_prefers_parallelism() {
+        let mut set = ScenarioSet::new();
+        let scop = set.add_scop("chain", chain());
+        set.add_scenario(scop, "pluto", presets::pluto());
+        set.add_scenario(scop, "feautrier", presets::feautrier());
+        let results = set.run_sharded(2);
+        let best = winner(&results).expect("schedules exist");
+        // Both chains are sequential 1-d schedules; the tie resolves to
+        // the earlier scenario.
+        assert_eq!(best.scenario, 0);
+        // A custom oracle can invert the choice.
+        let by_name = winner_by(&results, |r| i64::from(r.name == "feautrier"));
+        assert_eq!(by_name.unwrap().scenario, 1);
+    }
+}

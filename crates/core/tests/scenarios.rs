@@ -1,0 +1,190 @@
+//! Scenario-engine integration tests: determinism of sharded execution,
+//! cross-scenario Farkas-cache amortization, and component-split
+//! stitching — all certified against the independent legality oracle.
+
+use polytops_core::scenario::{winner, ScenarioSet};
+use polytops_core::{presets, EngineOptions};
+use polytops_deps::{analyze, schedule_respects_dependence};
+use polytops_ir::{Aff, Schedule, Scop, ScopBuilder, StmtId};
+use polytops_workloads::sweep::standard_sweep;
+use polytops_workloads::{matmul, producer_consumer, stencil_chain};
+
+fn assert_legal(name: &str, scop: &Scop, sched: &Schedule) {
+    for (e, dep) in analyze(scop).iter().enumerate() {
+        assert!(
+            schedule_respects_dependence(
+                dep,
+                sched.stmt(dep.src).rows(),
+                sched.stmt(dep.dst).rows(),
+            ),
+            "{name}: dependence {e} (S{} -> S{}) violated",
+            dep.src.0,
+            dep.dst.0,
+        );
+    }
+}
+
+#[test]
+fn sharded_sweep_is_bit_identical_to_sequential() {
+    let set = standard_sweep();
+    let sequential = set.run_sequential();
+    for threads in [2, 4] {
+        let sharded = set.run_sharded(threads);
+        assert_eq!(sequential.len(), sharded.len());
+        for (a, b) in sequential.iter().zip(&sharded) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.schedule, b.schedule, "{}@{threads} threads", a.name);
+            // The hit/miss *split* may differ under concurrency (two
+            // scenarios can race to eliminate an entry) but the lookup
+            // count is part of the deterministic work.
+            assert_eq!(
+                a.stats.farkas_hits + a.stats.farkas_misses,
+                b.stats.farkas_hits + b.stats.farkas_misses,
+                "{}@{threads} threads",
+                a.name
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_results_match_the_plain_scheduler_and_stay_legal() {
+    // Cache/analysis sharing must be invisible in the results: every
+    // sweep schedule equals what a cold standalone run produces.
+    let set = standard_sweep();
+    let results = set.run_sharded(2);
+    for (r, scenario) in results.iter().zip(set.scenarios()) {
+        let report = r.as_ref().unwrap();
+        let (_, scop) = &set.scops()[scenario.scop];
+        let standalone = polytops_core::schedule(scop, &scenario.config).unwrap();
+        assert_eq!(report.schedule, standalone, "{}", report.name);
+        assert_legal(&report.name, scop, &report.schedule);
+    }
+    assert!(winner(&results).is_some());
+}
+
+#[test]
+fn farkas_hits_grow_with_scenario_count_for_a_fixed_scop() {
+    // The cross-scenario cache contract: for one SCoP scheduled K times
+    // under one layout, total hits grow with K and every scenario after
+    // the first eliminates nothing.
+    let total_hits = |k: usize| -> (usize, Vec<usize>) {
+        let mut set = ScenarioSet::new();
+        let scop = set.add_scop("matmul", matmul());
+        for i in 0..k {
+            set.add_scenario(scop, format!("pluto#{i}"), presets::pluto());
+        }
+        let results = set.run_sequential();
+        let reports: Vec<_> = results.iter().map(|r| r.as_ref().unwrap()).collect();
+        (
+            reports.iter().map(|r| r.stats.farkas_hits).sum(),
+            reports.iter().map(|r| r.stats.farkas_misses).collect(),
+        )
+    };
+    let (h1, _) = total_hits(1);
+    let (h2, m2) = total_hits(2);
+    let (h4, m4) = total_hits(4);
+    assert!(h2 > h1, "2 scenarios must out-hit 1: {h1} vs {h2}");
+    assert!(h4 > h2, "4 scenarios must out-hit 2: {h2} vs {h4}");
+    for misses in [&m2[1..], &m4[1..]] {
+        assert!(
+            misses.iter().all(|&m| m == 0),
+            "repeat scenarios must replay everything: {misses:?}"
+        );
+    }
+}
+
+#[test]
+fn mixed_kernel_sweep_reports_cross_scenario_hits() {
+    // The acceptance-criterion shape: >= 4 scenarios over >= 3 kernels
+    // with cross-scenario hits (sweep hits beyond what isolated runs
+    // score through intra-run dimension replay alone).
+    let mut set = ScenarioSet::new();
+    for (name, scop) in [
+        ("stencil_chain", stencil_chain()),
+        ("matmul", matmul()),
+        ("producer_consumer", producer_consumer()),
+    ] {
+        let id = set.add_scop(name, scop);
+        set.add_scenario(id, format!("{name}/pluto"), presets::pluto());
+        set.add_scenario(id, format!("{name}/feautrier"), presets::feautrier());
+    }
+    assert!(set.len() >= 4);
+    let shared: usize = set
+        .run_sharded(2)
+        .iter()
+        .map(|r| r.as_ref().unwrap().stats.farkas_hits)
+        .sum();
+    let isolated: usize = set
+        .run_isolated()
+        .iter()
+        .map(|r| r.as_ref().unwrap().stats.farkas_hits)
+        .sum();
+    assert!(
+        shared > isolated,
+        "cross-scenario hits must exist: shared {shared} vs isolated {isolated}"
+    );
+}
+
+#[test]
+fn component_split_is_legal_oracle_certified_and_deterministic() {
+    // Three dependence components: a carried chain, an independent
+    // producer/consumer pair, and an isolated loop.
+    let mut b = ScopBuilder::new("three_comps");
+    let n = b.param("N");
+    let a = b.array("A", &[n.clone()], 8);
+    let bb = b.array("B", &[n.clone()], 8);
+    let c = b.array("C", &[n.clone()], 8);
+    let d = b.array("D", &[n.clone()], 8);
+    b.open_loop("i", Aff::val(1), n.clone() - 1);
+    b.stmt("S0")
+        .read(a, &[Aff::var("i") - 1])
+        .write(a, &[Aff::var("i")])
+        .add(&mut b);
+    b.close_loop();
+    b.open_loop("j", Aff::val(0), n.clone() - 1);
+    b.stmt("S1").write(bb, &[Aff::var("j")]).add(&mut b);
+    b.stmt("S2")
+        .read(bb, &[Aff::var("j")])
+        .write(c, &[Aff::var("j")])
+        .add(&mut b);
+    b.close_loop();
+    b.open_loop("k", Aff::val(0), n - 1);
+    b.stmt("S3").write(d, &[Aff::var("k")]).add(&mut b);
+    b.close_loop();
+    let scop = b.build().unwrap();
+
+    let mut set = ScenarioSet::new();
+    let id = set.add_scop("three_comps", scop);
+    set.add_scenario(id, "pluto", presets::pluto());
+    set.add_scenario_with_options(
+        id,
+        "feautrier-cold",
+        presets::feautrier(),
+        EngineOptions::default(),
+    );
+    set.split_components(true);
+
+    let sequential = set.run_sequential();
+    let sharded = set.run_sharded(3);
+    for (a, b) in sequential.iter().zip(&sharded) {
+        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        assert_eq!(a.schedule, b.schedule, "{}", a.name);
+        assert_eq!(a.sub_jobs, 3, "{}", a.name);
+        assert_legal(&a.name, &set.scops()[id].1, &a.schedule);
+        // The leading dimension is the distribution cut: components in
+        // textual order.
+        let cut: Vec<i64> = (0..4)
+            .map(|s| {
+                let ss = a.schedule.stmt(StmtId(s));
+                assert!(ss.row_is_constant(0), "{}: dim 0 constant", a.name);
+                *ss.rows()[0].last().unwrap()
+            })
+            .collect();
+        assert_eq!(cut, vec![0, 1, 1, 2], "{}", a.name);
+        // Every statement still spans its iteration space.
+        for s in 0..4 {
+            assert_eq!(a.schedule.stmt(StmtId(s)).iter_matrix().rank(), 1);
+        }
+    }
+}

@@ -42,6 +42,13 @@ pub struct IlpStats {
     /// Lexmin stages resolved purely by incremental LP re-optimization
     /// (warm path: shared basis, no branch and bound at all).
     pub lp_stages: usize,
+    /// Branch-and-bound entries whose *root* relaxation vertex was
+    /// fractional (or overflowed `i64`), i.e. stages where pure LP
+    /// re-optimization could not finish and real branching began. This
+    /// is the per-stage fractional-vertex count motivating dual-simplex
+    /// re-optimization after pinning (see ROADMAP `jacobi_1d/pluto`):
+    /// every unit here pays for both a simplex solve and a tree search.
+    pub fractional_stages: usize,
     /// Seed points offered that were feasible and became the initial
     /// incumbent of a branch-and-bound run.
     pub seeds_accepted: usize,
@@ -55,6 +62,7 @@ impl IlpStats {
     pub fn absorb(&mut self, other: &IlpStats) {
         self.nodes += other.nodes;
         self.lp_stages += other.lp_stages;
+        self.fractional_stages += other.fractional_stages;
         self.seeds_accepted += other.seeds_accepted;
         self.seed_shortcuts += other.seed_shortcuts;
     }
@@ -184,7 +192,11 @@ fn ilp_minimize_impl(
                             // A coordinate or value outside i64: treat
                             // the node as unusable rather than wrapping
                             // (box-bounded scheduler problems never get
-                            // here).
+                            // here). At the root this still counts as a
+                            // stage pure LP could not finish.
+                            if nodes == 1 {
+                                stats.fractional_stages += 1;
+                            }
                             continue;
                         };
                         let better = incumbent.as_ref().is_none_or(|(inc, _)| ival < *inc);
@@ -198,6 +210,11 @@ fn ilp_minimize_impl(
                         }
                     }
                     Some((j, v)) => {
+                        if nodes == 1 {
+                            // The root relaxation itself went fractional:
+                            // this solve genuinely needs branch and bound.
+                            stats.fractional_stages += 1;
+                        }
                         // Branch x_j <= floor(v) and x_j >= ceil(v);
                         // explore the floor branch first (DFS pops last).
                         let mut up = node.clone();
@@ -619,21 +636,49 @@ mod tests {
     }
 
     #[test]
+    fn fractional_root_vertices_are_counted_per_stage() {
+        // maximize x + y s.t. 4x + y <= 4, x + 4y <= 4, x, y >= 0: the
+        // LP optimum (4/5, 4/5) is fractional (and gcd tightening cannot
+        // fix coprime rows), so the single stage must branch and count.
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_ineq(vec![1, 0, 0]);
+        cs.add_ineq(vec![0, 1, 0]);
+        cs.add_ineq(vec![-4, -1, 4]);
+        cs.add_ineq(vec![-1, -4, 4]);
+        let mut stats = IlpStats::default();
+        let p = ilp_lexmin_warm(&cs, &[vec![-1, -1]], None, &mut stats).unwrap();
+        assert_eq!(p[0] + p[1], 1, "integer optimum of x + y is 1: {p:?}");
+        assert_eq!(stats.fractional_stages, 1, "{stats:?}");
+
+        // An integral relaxation resolves on the LP path and counts none.
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_ineq(vec![1, -3]);
+        cs.add_ineq(vec![-1, 5]);
+        let mut stats = IlpStats::default();
+        let p = ilp_lexmin_warm(&cs, &[vec![1]], None, &mut stats).unwrap();
+        assert_eq!(p, vec![3]);
+        assert_eq!(stats.fractional_stages, 0, "{stats:?}");
+    }
+
+    #[test]
     fn stats_absorb_accumulates() {
         let mut a = IlpStats {
             nodes: 1,
             lp_stages: 4,
+            fractional_stages: 5,
             seeds_accepted: 2,
             seed_shortcuts: 3,
         };
         a.absorb(&IlpStats {
             nodes: 10,
             lp_stages: 40,
+            fractional_stages: 50,
             seeds_accepted: 20,
             seed_shortcuts: 30,
         });
         assert_eq!(a.nodes, 11);
         assert_eq!(a.lp_stages, 44);
+        assert_eq!(a.fractional_stages, 55);
         assert_eq!(a.seeds_accepted, 22);
         assert_eq!(a.seed_shortcuts, 33);
     }

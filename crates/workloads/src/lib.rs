@@ -6,9 +6,13 @@
 //! behaviours the paper exercises: loop-carried chains (skew-free
 //! pipelining), 3-deep compute nests (permutation), producer/consumer
 //! pairs (fusion), and time-iterated stencils (skewing candidates).
+//! [`sweep`] crosses them with the preset grid into the standard
+//! scenario sweep for the scenario engine.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod sweep;
 
 use polytops_ir::{Aff, Scop, ScopBuilder};
 

@@ -1,0 +1,53 @@
+//! The standard scenario sweep: every reference kernel crossed with the
+//! preset configuration grid, packaged as a ready-to-run
+//! [`ScenarioSet`].
+//!
+//! This is the workload driver for the scenario engine
+//! ([`polytops_core::scenario`]): benchmarks, tests and the demo all
+//! build their sweeps here so "the suite" means the same thing
+//! everywhere. Scenario names are `<kernel>/<preset>`; every kernel is
+//! registered once and referenced by all of its scenarios, which is what
+//! lets the engine share one Farkas cache across a kernel's whole
+//! configuration column.
+
+use polytops_core::scenario::ScenarioSet;
+use polytops_core::{presets, SchedulerConfig};
+
+use crate::all_kernels;
+
+/// The preset grid every kernel is swept over: the paper's Table I
+/// presets plus the post-processing (tiling + wavefront) variant.
+pub fn preset_grid() -> Vec<(&'static str, SchedulerConfig)> {
+    vec![
+        ("pluto", presets::pluto()),
+        ("feautrier", presets::feautrier()),
+        ("isl_like", presets::isl_like()),
+        ("wavefront", presets::wavefront()),
+    ]
+}
+
+/// Builds the full standard sweep: [`all_kernels`] × [`preset_grid`]
+/// (5 kernels × 4 presets = 20 scenarios).
+pub fn standard_sweep() -> ScenarioSet {
+    let mut set = ScenarioSet::new();
+    for (kernel, scop) in all_kernels() {
+        let id = set.add_scop(kernel, scop);
+        for (preset, config) in preset_grid() {
+            set.add_scenario(id, format!("{kernel}/{preset}"), config);
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_sweep_covers_the_grid() {
+        let set = standard_sweep();
+        assert_eq!(set.scops().len(), 5);
+        assert_eq!(set.len(), 5 * preset_grid().len());
+        assert!(set.scenarios().iter().any(|s| s.name == "matmul/wavefront"));
+    }
+}

@@ -13,10 +13,11 @@
 //! * [`ir`](polytops_ir) — SCoPs, schedules, builders, frontends;
 //! * [`deps`](polytops_deps) — dependence analysis and legality oracles;
 //! * [`core`](polytops_core) — configurations, cost functions, the
-//!   iterative scheduling driver;
-//! * [`codegen`](polytops_codegen) — schedule pretty-printing;
-//! * [`machine`](polytops_machine) — machine models;
-//! * [`workloads`](polytops_workloads) — reference polyhedral kernels.
+//!   iterative scheduling driver and the parallel scenario engine;
+//! * [`codegen`] — band-tree code generation and schedule printing;
+//! * [`machine`] — machine models;
+//! * [`workloads`] — reference polyhedral kernels and the standard
+//!   scenario sweep ([`workloads::sweep`]).
 //!
 //! # Example
 //!
@@ -47,9 +48,11 @@ pub use polytops_machine as machine;
 pub use polytops_workloads as workloads;
 
 pub use polytops_core::{
-    presets, schedule, schedule_with_strategy, ConfigStrategy, CostFn, DimMap, DimSolution,
-    DimensionPlan, Directive, DirectiveKind, FusionControl, FusionHeuristic, IlpSpace, PostProcess,
-    Reaction, ScheduleError, SchedulerConfig, Strategy, StrategyState,
+    presets, scenario, schedule, schedule_with_options, schedule_with_strategy, ConfigStrategy,
+    CostFn, DimMap, DimSolution, DimensionPlan, Directive, DirectiveKind, EngineOptions,
+    FarkasCache, FusionControl, FusionHeuristic, IlpSpace, PipelineStats, PostProcess, Reaction,
+    ScenarioReport, ScenarioResult, ScenarioSet, ScheduleError, SchedulerConfig, Strategy,
+    StrategyState,
 };
 pub use polytops_deps::{
     analyze, dependence_sccs, respects, schedule_respects_dependence, strongly_satisfies,

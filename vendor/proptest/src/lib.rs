@@ -2,7 +2,7 @@
 //!
 //! The PolyTOPS build environment cannot reach crates.io, so this shim
 //! implements exactly the surface the workspace's property tests use:
-//! deterministic random generation driven by the [`Strategy`] trait, the
+//! deterministic random generation driven by the [`strategy::Strategy`] trait, the
 //! [`proptest!`] test macro, and the `prop_assert*` assertion macros.
 //! There is no shrinking — a failing case panics with its case number so
 //! the deterministic generator can replay it.
@@ -125,7 +125,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length specification for [`vec`]: a fixed size or a half-open range.
+    /// Length specification for [`vec()`]: a fixed size or a half-open range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
