@@ -1,0 +1,185 @@
+//! Service benchmark: the `polytopsd` daemon's two scale levers,
+//! measured over real TCP connections.
+//!
+//! * **Warm registry vs cold connect** — the same single-scenario
+//!   request (matmul × pluto: one config, so nothing amortizes *within*
+//!   the request and the registry's cross-request saving is isolated)
+//!   against a fresh daemon and against one whose registry already
+//!   holds the SCoP. The warm request must be a registry hit with
+//!   *zero* fresh Farkas eliminations (asserted from the response's
+//!   stats field before any number is reported) — it pays only the ILP
+//!   solves plus wire overhead.
+//! * **Batched vs serial throughput** — N clients submitting the
+//!   standard sweep concurrently (admitted into shared-`ScenarioSet`
+//!   batches by the admission window) against one client submitting the
+//!   same requests one at a time, waiting for each response.
+//!
+//! Results land in the `"service"` section of `BENCH_schedule.json`
+//! (other sections are preserved).
+
+use std::time::{Duration, Instant};
+
+use polytops_bench::bench_ns;
+use polytops_bench::report::{self, int, object, ratio};
+use polytops_core::json::{self, Json};
+use polytops_server::{Client, Server, ServerConfig};
+use polytops_workloads::matmul;
+use polytops_workloads::requests::{request_line, sweep_request_streams};
+
+fn immediate_dispatch() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        window_ms: 0, // dispatch each request as its own batch
+        ..ServerConfig::default()
+    }
+}
+
+/// (registry hit, total farkas misses, results compact text).
+fn unpack(response: &str) -> (bool, i64, String) {
+    let parsed = json::parse(response).expect("response parses");
+    let obj = parsed.as_object().expect("response object");
+    assert_eq!(obj["ok"].as_bool(), Some(true), "daemon error: {response}");
+    let hit = obj["registry"].as_object().unwrap()["hit"]
+        .as_bool()
+        .unwrap();
+    let misses = obj["stats"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|e| {
+            e.as_object().unwrap()["pipeline"].as_object().unwrap()["farkas_misses"]
+                .as_int()
+                .unwrap()
+        })
+        .sum();
+    (hit, misses, obj["results"].compact())
+}
+
+fn main() {
+    // ---- cold connect vs warm registry -----------------------------
+    let line = request_line("bench", "matmul", &matmul(), &["pluto"]);
+
+    // Cold: fresh daemon, first sight of the SCoP — pays the TCP
+    // connect plus dependence analysis + every Farkas elimination. Min
+    // of a few runs to tame one-shot noise.
+    let mut cold_ns = u128::MAX;
+    let mut cold_results = String::new();
+    for _ in 0..3 {
+        let handle = Server::start(immediate_dispatch()).expect("bind");
+        let t0 = Instant::now();
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let response = client.roundtrip(&line).expect("cold request");
+        cold_ns = cold_ns.min(t0.elapsed().as_nanos());
+        let (hit, _, results) = unpack(&response);
+        assert!(!hit, "cold request must be a registry miss");
+        cold_results = results;
+        handle.shutdown();
+    }
+
+    // Warm: one daemon kept alive, the SCoP resident; every request
+    // (fresh connections included) replays the registry.
+    let handle = Server::start(immediate_dispatch()).expect("bind");
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let (hit, _, first) = unpack(&client.roundtrip(&line).expect("seed request"));
+    assert!(!hit);
+    assert_eq!(first, cold_results, "daemon answers are deterministic");
+    let warm_ns = bench_ns(|| {
+        let response = client.roundtrip(&line).expect("warm request");
+        let (hit, misses, results) = unpack(&response);
+        assert!(hit, "warm request must be a registry hit");
+        assert_eq!(misses, 0, "warm request must not re-run any elimination");
+        assert_eq!(results, cold_results, "warm must be bit-identical to cold");
+    });
+    let registry = handle.registry_stats();
+    assert!(registry.hits > 0, "{registry:?}");
+    handle.shutdown();
+    let warm_speedup = cold_ns as f64 / warm_ns.max(1) as f64;
+    println!("service: cold {cold_ns} ns, warm {warm_ns} ns ({warm_speedup:.2}x warm speedup)");
+
+    // ---- batched vs serial throughput ------------------------------
+    let clients = 4usize;
+    let streams = sweep_request_streams(clients);
+    let requests: usize = streams.iter().map(Vec::len).sum();
+
+    // Serial: one client, one request in flight at a time, immediate
+    // dispatch (a window would only add idle waiting here). The results
+    // are kept per stream position as the reference bytes the batched
+    // run must reproduce.
+    let (serial_ns, serial_results) = {
+        let handle = Server::start(immediate_dispatch()).expect("bind");
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let t0 = Instant::now();
+        let results: Vec<Vec<String>> = streams
+            .iter()
+            .map(|stream| {
+                stream
+                    .iter()
+                    .map(|line| unpack(&client.roundtrip(line).expect("serial request")).2)
+                    .collect()
+            })
+            .collect();
+        let ns = t0.elapsed().as_nanos();
+        handle.shutdown();
+        (ns, results)
+    };
+
+    // Batched: the same requests from N concurrent connections; the
+    // admission window coalesces them into shared-ScenarioSet batches
+    // (registry dedupe makes the N sweep copies one analysis each).
+    // Every response must be byte-identical to its serial counterpart —
+    // batching is an execution strategy, not a semantic one.
+    let batched_ns = {
+        let handle = Server::start(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            window_ms: 10,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let addr = handle.addr();
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for (stream, expected) in streams.iter().zip(&serial_results) {
+                s.spawn(move || {
+                    let mut client =
+                        Client::connect_retry(addr, Duration::from_secs(5)).expect("connect");
+                    for line in stream {
+                        client.send_line(line).expect("send");
+                    }
+                    for want in expected {
+                        let (_, _, got) = unpack(&client.recv_line().expect("recv"));
+                        assert_eq!(&got, want, "batched must be bit-identical to serial");
+                    }
+                });
+            }
+        });
+        let ns = t0.elapsed().as_nanos();
+        handle.shutdown();
+        ns
+    };
+    let batch_speedup = serial_ns as f64 / batched_ns.max(1) as f64;
+    println!(
+        "service: serial {serial_ns} ns, batched {batched_ns} ns for {requests} requests \
+         from {clients} clients ({batch_speedup:.2}x batched speedup)"
+    );
+
+    let out = report::default_path();
+    report::update_section(
+        &out,
+        "service",
+        object([
+            ("cold_ns", int(cold_ns as i64)),
+            ("warm_ns", int(warm_ns as i64)),
+            ("warm_speedup", ratio(warm_speedup)),
+            ("clients", int(clients as i64)),
+            ("requests", int(requests as i64)),
+            ("serial_ns", int(serial_ns as i64)),
+            ("batched_ns", int(batched_ns as i64)),
+            ("batch_speedup", ratio(batch_speedup)),
+            ("registry_hits", int(registry.hits as i64)),
+            ("registry_misses", int(registry.misses as i64)),
+            ("bit_identical", Json::Bool(true)),
+        ]),
+    );
+    println!("-> {out}");
+}

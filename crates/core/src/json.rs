@@ -85,6 +85,49 @@ impl Json {
     }
 }
 
+impl Json {
+    /// Serializes on a single line with no whitespace — the framing the
+    /// `polytopsd` line-delimited protocol requires (one JSON document
+    /// per `\n`-terminated line). Escaping matches [`fmt::Display`], so
+    /// `parse(&v.compact())` round-trips exactly like the pretty form,
+    /// and objects still print in key order (deterministic output).
+    pub fn compact(&self) -> String {
+        fn value(out: &mut String, v: &Json) {
+            match v {
+                Json::Null | Json::Bool(_) | Json::Int(_) | Json::Float(_) | Json::Str(_) => {
+                    // Scalars already print without newlines.
+                    out.push_str(&v.to_string());
+                }
+                Json::Array(items) => {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        value(out, item);
+                    }
+                    out.push(']');
+                }
+                Json::Object(map) => {
+                    out.push('{');
+                    for (i, (k, v)) in map.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&Json::Str(k.clone()).to_string());
+                        out.push(':');
+                        value(out, v);
+                    }
+                    out.push('}');
+                }
+            }
+        }
+        let mut out = String::new();
+        value(&mut out, self);
+        out
+    }
+}
+
 impl fmt::Display for Json {
     /// Serializes with two-space indentation and `\n` line ends; objects
     /// print in key order, so output is deterministic.
@@ -433,6 +476,20 @@ mod tests {
         // Whole-valued floats stay recognizably fractional.
         let v = Json::Float(2.0);
         assert_eq!(parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn compact_is_single_line_and_round_trips() {
+        let doc = r#"{"a": [1, -2.5, "x\n"], "b": {"c": true, "d": null}, "e": []}"#;
+        let v = parse(doc).unwrap();
+        let line = v.compact();
+        assert!(!line.contains('\n'), "compact form must be one line");
+        assert!(!line.contains(": "), "compact form has no padding");
+        assert_eq!(parse(&line).unwrap(), v);
+        assert_eq!(
+            Json::Array(vec![Json::Int(1), Json::Str("x".into())]).compact(),
+            r#"[1,"x"]"#
+        );
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //!   `Arc`-wrapped Farkas caches per SCoP and executing on a
 //!   work-stealing thread pool (the paper's per-scenario
 //!   reconfiguration loop);
+//! * [`registry`] — the cross-request persistence layer of the
+//!   `polytopsd` service: SCoPs deduped by canonical fingerprint, their
+//!   dependence analyses and Farkas caches kept resident under an LRU
+//!   bound;
 //! * [`scheduler`] — the stable entry points over the pipeline;
 //! * [`json`] — the in-tree JSON parser behind
 //!   [`SchedulerConfig::from_json`] and the benchmark reports;
@@ -56,6 +60,7 @@ pub mod error;
 pub mod json;
 pub mod pipeline;
 pub mod presets;
+pub mod registry;
 pub mod scenario;
 pub mod scheduler;
 pub mod space;
@@ -67,6 +72,7 @@ pub use config::{
 };
 pub use error::ScheduleError;
 pub use pipeline::{CacheSession, EngineOptions, FarkasCache, PipelineStats};
+pub use registry::{RegistryStats, ScopEntry, ScopRegistry};
 pub use scenario::{winner, winner_by, Scenario, ScenarioReport, ScenarioResult, ScenarioSet};
 pub use scheduler::{schedule, schedule_with_options, schedule_with_strategy};
 pub use space::{IlpSpace, StmtBlock};

@@ -78,6 +78,7 @@ use crate::config::SchedulerConfig;
 use crate::error::ScheduleError;
 use crate::pipeline::legality::FarkasCache;
 use crate::pipeline::solve::{self, EngineOptions, PipelineStats};
+use crate::registry::{CacheLayout, ScopEntry};
 use crate::strategy::ConfigStrategy;
 
 /// One scheduling job: a SCoP (by index into its [`ScenarioSet`])
@@ -127,6 +128,11 @@ pub type ScenarioResult = Result<ScenarioReport, ScheduleError>;
 #[derive(Debug, Default)]
 pub struct ScenarioSet {
     scops: Vec<(String, Scop)>,
+    /// Registry entries backing a SCoP slot, when admitted via
+    /// [`add_resident_scop`](ScenarioSet::add_resident_scop): their
+    /// whole-SCoP dependence analysis and Farkas caches are used instead
+    /// of per-run ones, which is what carries amortization across runs.
+    resident: Vec<Option<Arc<ScopEntry>>>,
     scenarios: Vec<Scenario>,
     split_components: bool,
 }
@@ -141,6 +147,25 @@ impl ScenarioSet {
     /// [`add_scenario`](ScenarioSet::add_scenario).
     pub fn add_scop(&mut self, name: impl Into<String>, scop: Scop) -> usize {
         self.scops.push((name.into(), scop));
+        self.resident.push(None);
+        self.scops.len() - 1
+    }
+
+    /// Registers a registry-resident SCoP (the admission API of the
+    /// `polytopsd` service): scenarios over this slot reuse the entry's
+    /// persistent dependence analysis and per-layout Farkas caches
+    /// instead of building fresh ones for this run, so a SCoP the
+    /// registry has seen before pays only the ILP solves.
+    ///
+    /// The scheduled SCoP is the entry's *representative*
+    /// ([`ScopEntry::scop`]), making answers bit-identical across every
+    /// client that deduped onto the entry — and, because cache replay is
+    /// exact, bit-identical to a fresh offline
+    /// [`add_scop`](ScenarioSet::add_scop) run of the same SCoP.
+    pub fn add_resident_scop(&mut self, entry: Arc<ScopEntry>) -> usize {
+        self.scops
+            .push((entry.name().to_string(), entry.scop().clone()));
+        self.resident.push(Some(entry));
         self.scops.len() - 1
     }
 
@@ -424,6 +449,13 @@ type CacheKey = (usize, Option<usize>, bool, bool, Vec<String>);
 impl<'a> Runner<'a> {
     fn new(set: &'a ScenarioSet) -> Runner<'a> {
         let mut analyses: BTreeMap<(usize, Option<usize>), Arc<Vec<Dependence>>> = BTreeMap::new();
+        // Registry-resident SCoPs bring their persistent whole-SCoP
+        // analysis with them — seed the map so nothing re-analyzes them.
+        for (i, entry) in set.resident.iter().enumerate() {
+            if let Some(entry) = entry {
+                analyses.insert((i, None), entry.deps());
+            }
+        }
         let comp_sets: Vec<Option<Vec<ComponentPlan>>> = set
             .scops
             .iter()
@@ -488,12 +520,17 @@ impl<'a> Runner<'a> {
         let mut analyses = self.analyses.clone();
         let mut jobs = Vec::new();
         for (i, sc) in self.set.scenarios.iter().enumerate() {
-            let layout = (
-                sc.config.negative_coefficients,
-                sc.config.parametric_shift,
-                sc.config.new_variables.clone(),
-            );
+            let layout: CacheLayout = crate::registry::layout_of(&sc.config);
             let mut shared_for = |comp: Option<usize>, scop: &Scop| {
+                // A resident whole-SCoP job draws both the analysis and
+                // the cache from the registry entry, so its state
+                // persists beyond this run (component sub-jobs keep
+                // per-run sharing: their decompositions are run-local).
+                if comp.is_none() {
+                    if let Some(entry) = &self.set.resident[sc.scop] {
+                        return (entry.deps(), entry.cache_for_layout(&layout));
+                    }
+                }
                 let deps = Arc::clone(
                     analyses
                         .entry((sc.scop, comp))

@@ -31,7 +31,7 @@
 //! assert!(deps.iter().all(|d| strongly_satisfies(d, &[1, 0, 0], &[1, 0, 0])));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod analysis;

@@ -36,7 +36,7 @@
 //! assert_eq!(sched.timestamp(StmtId(0), &[5], &[10]), vec![0, 5, 0]);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod builder;

@@ -45,7 +45,7 @@
 //! assert_eq!(sol, vec![0, 1]);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod consys;

@@ -1,0 +1,134 @@
+//! A small blocking client for the `polytopsd` line protocol.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use polytops_core::json::{self, Json};
+
+/// A connected client: line-oriented send/receive plus op helpers.
+///
+/// Responses to one connection arrive in request order for requests
+/// sharing a `split_components` value (see `docs/SERVICE.md`), so the
+/// simple pattern "send N lines, read N lines" is valid for the common
+/// case of uniform requests.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Requests are complete lines; coalescing them behind Nagle
+        // only adds delayed-ACK latency.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// [`connect`](Client::connect) with retries until `timeout` — for
+    /// scripts (and CI) racing a freshly spawned daemon.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connection error once the timeout elapses.
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs + Copy,
+        timeout: Duration,
+    ) -> std::io::Result<Client> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Client::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// Sends one request line (the newline is appended here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        // One write per line — a separate 1-byte `\n` write would trip
+        // Nagle against the daemon's delayed ACK.
+        let mut framed = Vec::with_capacity(line.len() + 1);
+        framed.extend_from_slice(line.as_bytes());
+        framed.push(b'\n');
+        self.writer.write_all(&framed)?;
+        self.writer.flush()
+    }
+
+    /// Receives one response line (without the trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates read errors; a closed connection reports
+    /// `UnexpectedEof`.
+    pub fn recv_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Sends a request and waits for one response line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from either direction.
+    pub fn roundtrip(&mut self, line: &str) -> std::io::Result<String> {
+        self.send_line(line)?;
+        self.recv_line()
+    }
+
+    /// Sends a request and parses the response as JSON.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, plus `InvalidData` when the response is not valid
+    /// JSON (which would be a daemon bug).
+    pub fn roundtrip_json(&mut self, line: &str) -> std::io::Result<Json> {
+        let response = self.roundtrip(line)?;
+        json::parse(&response).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// The `stats` op.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`roundtrip_json`](Client::roundtrip_json).
+    pub fn stats(&mut self) -> std::io::Result<Json> {
+        self.roundtrip_json(r#"{"op":"stats"}"#)
+    }
+
+    /// The `shutdown` op: asks the daemon to finish in-flight batches
+    /// and stop, returning its acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`roundtrip_json`](Client::roundtrip_json).
+    pub fn shutdown(&mut self) -> std::io::Result<Json> {
+        self.roundtrip_json(r#"{"op":"shutdown"}"#)
+    }
+}

@@ -1,0 +1,57 @@
+//! `polytopsd`: a long-lived batching scheduler service over the
+//! PolyTOPS scenario engine.
+//!
+//! The ROADMAP's scale lever after the parallel scenario engine (PR 3)
+//! is keeping the scheduler *resident*: a compiler front end
+//! (Tiramisu-style, or an MLIR/AKG pipeline as in the paper) re-schedules
+//! the same SCoPs under new configurations every time its tuning loop
+//! turns, and a one-shot process re-pays dependence analysis and Farkas
+//! elimination on every turn. This crate serves the reconfiguration loop
+//! as a daemon:
+//!
+//! * **Protocol** ([`protocol`]) — line-delimited JSON over TCP: one
+//!   request per line (SCoP in the polyscop exchange format + a list of
+//!   presets/inline configs), one response per line. Schema reference:
+//!   `docs/SERVICE.md`.
+//! * **Batching** — concurrently arriving requests are admitted into
+//!   one window (first request opens it, [`ServerConfig::window_ms`]
+//!   closes it) and executed as a *single*
+//!   [`ScenarioSet`](polytops_core::scenario::ScenarioSet) on the
+//!   work-stealing pool, so requests from different clients share
+//!   analyses and caches within the batch exactly like scenarios of one
+//!   offline sweep.
+//! * **Cross-request persistence** — every SCoP is resolved through a
+//!   [`ScopRegistry`](polytops_core::registry::ScopRegistry):
+//!   fingerprinted, deduped across clients, and kept resident (exact
+//!   dependence analysis + per-layout Farkas caches) under an LRU
+//!   bound. A client re-scheduling a known kernel under a new
+//!   configuration pays only the ILP solves.
+//! * **Determinism** — responses are bit-identical to the offline
+//!   scenario-engine path ([`protocol::offline_results`] is the golden
+//!   comparator), every returned schedule is certified by the
+//!   independent dependence oracle before it leaves the daemon, and
+//!   response serialization is byte-deterministic.
+//!
+//! # In-process use
+//!
+//! ```no_run
+//! use polytops_server::{Client, Server, ServerConfig};
+//!
+//! let handle = Server::start(ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let pong = client.roundtrip(r#"{"op":"ping"}"#).unwrap();
+//! assert!(pong.contains("pong"));
+//! client.send_line(r#"{"op":"shutdown"}"#).unwrap();
+//! handle.join();
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod protocol;
+
+mod client;
+mod service;
+
+pub use client::Client;
+pub use service::{Server, ServerConfig, ServerHandle};

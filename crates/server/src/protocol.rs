@@ -1,0 +1,451 @@
+//! The `polytopsd` wire protocol: line-delimited JSON requests and
+//! responses.
+//!
+//! One JSON document per `\n`-terminated line, both directions; the full
+//! schema reference lives in `docs/SERVICE.md`. Requests are parsed into
+//! [`Request`] with the in-tree parser ([`polytops_core::json`]);
+//! responses are built as [`Json`] values and serialized with
+//! [`Json::compact`], whose `BTreeMap`-ordered output makes every
+//! response byte-deterministic — the property the bit-identity contract
+//! (daemon vs offline scenario engine) is stated over.
+
+use std::collections::BTreeMap;
+
+use polytops_core::json::Json;
+use polytops_core::scenario::{ScenarioReport, ScenarioResult};
+use polytops_core::{presets, PipelineStats, RegistryStats, SchedulerConfig};
+use polytops_ir::{parse_scop, Schedule, Scop, StmtId};
+
+/// One named configuration inside a schedule request.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Label echoed in the matching result entry.
+    pub name: String,
+    /// The compiled configuration (from a preset name or inline JSON).
+    pub config: SchedulerConfig,
+}
+
+/// A parsed `"op": "schedule"` request.
+#[derive(Debug, Clone)]
+pub struct ScheduleRequest {
+    /// Request id, echoed verbatim in the response (`null` if absent).
+    pub id: Json,
+    /// SCoP label used when the registry sees this SCoP first.
+    pub name: String,
+    /// The submitted SCoP.
+    pub scop: Scop,
+    /// The configurations to schedule under.
+    pub scenarios: Vec<ScenarioSpec>,
+    /// Whether disconnected dependence components may be solved as
+    /// parallel sub-jobs (the scenario engine's explicit sweep axis).
+    pub split_components: bool,
+}
+
+/// Any request the daemon understands.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Schedule a SCoP under one or more configurations (batched).
+    Schedule(Box<ScheduleRequest>),
+    /// Report registry and service counters (immediate).
+    Stats,
+    /// Liveness probe (immediate).
+    Ping,
+    /// Finish in-flight batches, then stop the daemon (immediate ack).
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first problem; the
+/// daemon reports it in an error response without dropping the
+/// connection.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let root = polytops_core::json::parse(line)?;
+    let obj = root.as_object().ok_or("request must be a JSON object")?;
+    let op = obj
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("missing string field `op`")?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "schedule" => parse_schedule(obj).map(|r| Request::Schedule(Box::new(r))),
+        other => Err(format!(
+            "unknown op `{other}` (expected schedule, stats, ping or shutdown)"
+        )),
+    }
+}
+
+fn parse_schedule(obj: &BTreeMap<String, Json>) -> Result<ScheduleRequest, String> {
+    let id = obj.get("id").cloned().unwrap_or(Json::Null);
+    let scop_text = obj
+        .get("scop")
+        .and_then(Json::as_str)
+        .ok_or("missing string field `scop` (polyscop exchange text)")?;
+    let scop = parse_scop(scop_text).map_err(|e| e.to_string())?;
+    let name = obj
+        .get("name")
+        .and_then(Json::as_str)
+        .unwrap_or(&scop.name)
+        .to_string();
+    let split_components = match obj.get("split_components") {
+        None => false,
+        Some(v) => v.as_bool().ok_or("`split_components` must be a boolean")?,
+    };
+    let specs = obj
+        .get("scenarios")
+        .and_then(Json::as_array)
+        .ok_or("missing array field `scenarios`")?;
+    if specs.is_empty() {
+        return Err("`scenarios` must not be empty".to_string());
+    }
+    let mut scenarios = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        let spec = spec
+            .as_object()
+            .ok_or("`scenarios` entries must be objects")?;
+        let (config, default_name) = match (spec.get("preset"), spec.get("config")) {
+            (Some(p), None) => {
+                let preset = p.as_str().ok_or("`preset` must be a string")?;
+                (preset_by_name(preset)?, preset.to_string())
+            }
+            (None, Some(c)) => {
+                // Inline configs reuse the paper's Listing 2 JSON format
+                // verbatim: re-serialize the sub-document and hand it to
+                // the existing SchedulerConfig parser.
+                let cfg = SchedulerConfig::from_json(&c.compact()).map_err(|e| format!("{e}"))?;
+                (cfg, format!("config{i}"))
+            }
+            _ => return Err("each scenario needs exactly one of `preset` or `config`".to_string()),
+        };
+        let name = spec
+            .get("name")
+            .map(|n| {
+                n.as_str()
+                    .map(str::to_string)
+                    .ok_or("`name` must be a string")
+            })
+            .transpose()?
+            .unwrap_or(default_name);
+        scenarios.push(ScenarioSpec { name, config });
+    }
+    Ok(ScheduleRequest {
+        id,
+        name,
+        scop,
+        scenarios,
+        split_components,
+    })
+}
+
+/// Resolves a preset name to its configuration (the names of
+/// [`polytops_core::presets`]).
+pub fn preset_by_name(name: &str) -> Result<SchedulerConfig, String> {
+    match name {
+        "pluto" => Ok(presets::pluto()),
+        "pluto_plus" => Ok(presets::pluto_plus()),
+        "feautrier" => Ok(presets::feautrier()),
+        "isl_like" => Ok(presets::isl_like()),
+        "wavefront" => Ok(presets::wavefront()),
+        other => Err(format!(
+            "unknown preset `{other}` (expected pluto, pluto_plus, feautrier, isl_like \
+             or wavefront)"
+        )),
+    }
+}
+
+fn object(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Object(
+        pairs
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect::<BTreeMap<_, _>>(),
+    )
+}
+
+/// Serializes a schedule: per-statement rows (over `(iters, params, 1)`
+/// columns) plus band, parallelism, tiling and vectorization metadata.
+pub fn schedule_to_json(sched: &Schedule) -> Json {
+    let statements: Vec<Json> = (0..sched.num_statements())
+        .map(|s| {
+            let ss = sched.stmt(StmtId(s));
+            object(vec![
+                (
+                    "rows",
+                    Json::Array(
+                        ss.rows()
+                            .iter()
+                            .map(|row| Json::Array(row.iter().map(|&c| Json::Int(c)).collect()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "vector_dim",
+                    sched.vector_dims()[s].map_or(Json::Null, |d| Json::Int(d as i64)),
+                ),
+            ])
+        })
+        .collect();
+    let tiling: Vec<Json> = sched
+        .tiling()
+        .iter()
+        .map(|tb| {
+            object(vec![
+                ("start", Json::Int(tb.start as i64)),
+                ("end", Json::Int(tb.end as i64)),
+                (
+                    "sizes",
+                    Json::Array(tb.sizes.iter().map(|&s| Json::Int(s)).collect()),
+                ),
+            ])
+        })
+        .collect();
+    object(vec![
+        ("dims", Json::Int(sched.dims() as i64)),
+        (
+            "bands",
+            Json::Array(sched.bands().iter().map(|&b| Json::Int(b as i64)).collect()),
+        ),
+        (
+            "parallel",
+            Json::Array(sched.parallel().iter().map(|&p| Json::Bool(p)).collect()),
+        ),
+        ("statements", Json::Array(statements)),
+        ("tiling", Json::Array(tiling)),
+    ])
+}
+
+/// Serializes per-run pipeline statistics.
+pub fn stats_to_json(stats: &PipelineStats) -> Json {
+    object(vec![
+        ("farkas_hits", Json::Int(stats.farkas_hits as i64)),
+        ("farkas_misses", Json::Int(stats.farkas_misses as i64)),
+        ("dimensions", Json::Int(stats.dimensions as i64)),
+        (
+            "fractional_stages",
+            Json::Int(stats.fractional_stages() as i64),
+        ),
+    ])
+}
+
+/// Serializes one scenario outcome: the schedule and the oracle verdict
+/// on success, or the scheduling error.
+///
+/// Pipeline *statistics* are deliberately absent: the per-run Farkas
+/// hit/miss split can vary under concurrency (two scenarios racing to
+/// eliminate the same entry — the PR 3 determinism contract covers the
+/// sum and every schedule, not the split), so stats travel in the
+/// response's separate `stats` field, outside the bit-identity
+/// guarantee over `results`.
+pub fn result_to_json(name: &str, result: &ScenarioResult, certified: bool) -> Json {
+    match result {
+        Ok(report) => object(vec![
+            ("name", Json::Str(name.to_string())),
+            ("ok", Json::Bool(true)),
+            ("certified", Json::Bool(certified)),
+            ("schedule", schedule_to_json(&report.schedule)),
+            ("sub_jobs", Json::Int(report.sub_jobs as i64)),
+        ]),
+        Err(e) => object(vec![
+            ("name", Json::Str(name.to_string())),
+            ("ok", Json::Bool(false)),
+            ("error", Json::Str(e.to_string())),
+        ]),
+    }
+}
+
+/// The full results array of one request, in scenario order — exactly
+/// the value the bit-identity contract compares between the daemon and
+/// the offline scenario engine.
+pub fn results_to_json(reports: &[(String, ScenarioResult, bool)]) -> Json {
+    Json::Array(
+        reports
+            .iter()
+            .map(|(name, result, certified)| result_to_json(name, result, *certified))
+            .collect(),
+    )
+}
+
+/// A successful schedule response line. `stats` is the per-scenario
+/// [`stats_to_json`] array (diagnostic; not covered by the bit-identity
+/// contract over `results` — see [`result_to_json`]).
+pub fn schedule_response(
+    id: &Json,
+    results: Json,
+    stats: Json,
+    registry_hit: bool,
+    fingerprint: u64,
+) -> String {
+    object(vec![
+        ("id", id.clone()),
+        ("ok", Json::Bool(true)),
+        ("results", results),
+        ("stats", stats),
+        (
+            "registry",
+            object(vec![
+                ("hit", Json::Bool(registry_hit)),
+                ("fingerprint", Json::Str(format!("{fingerprint:016x}"))),
+            ]),
+        ),
+    ])
+    .compact()
+}
+
+/// An error response line (any op).
+pub fn error_response(id: &Json, message: &str) -> String {
+    object(vec![
+        ("id", id.clone()),
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.to_string())),
+    ])
+    .compact()
+}
+
+/// The `stats` response line.
+pub fn stats_response(registry: RegistryStats, batches: usize, requests: usize) -> String {
+    object(vec![
+        ("ok", Json::Bool(true)),
+        (
+            "registry",
+            object(vec![
+                ("entries", Json::Int(registry.entries as i64)),
+                ("capacity", Json::Int(registry.capacity as i64)),
+                ("hits", Json::Int(registry.hits as i64)),
+                ("misses", Json::Int(registry.misses as i64)),
+                ("evictions", Json::Int(registry.evictions as i64)),
+            ]),
+        ),
+        ("batches", Json::Int(batches as i64)),
+        ("requests", Json::Int(requests as i64)),
+    ])
+    .compact()
+}
+
+/// Runs a request's scenarios through the offline scenario engine — the
+/// golden path the daemon must match bit for bit. Used by the `replay`
+/// diff mode and the test suite.
+pub fn offline_results(req: &ScheduleRequest) -> Json {
+    use polytops_core::scenario::ScenarioSet;
+    use polytops_deps::analyze;
+
+    let mut set = ScenarioSet::new();
+    let scop = set.add_scop(req.name.clone(), req.scop.clone());
+    for spec in &req.scenarios {
+        set.add_scenario(scop, spec.name.clone(), spec.config.clone());
+    }
+    set.split_components(req.split_components);
+    let results = set.run_sequential();
+    let deps = analyze(&req.scop);
+    let reports: Vec<(String, ScenarioResult, bool)> = req
+        .scenarios
+        .iter()
+        .zip(results)
+        .map(|(spec, result)| {
+            let certified = match &result {
+                Ok(report) => certify(&deps, report),
+                Err(_) => false,
+            };
+            (spec.name.clone(), result, certified)
+        })
+        .collect();
+    results_to_json(&reports)
+}
+
+/// The independent legality oracle over one report.
+pub fn certify(deps: &[polytops_deps::Dependence], report: &ScenarioReport) -> bool {
+    deps.iter().all(|d| {
+        polytops_deps::schedule_respects_dependence(
+            d,
+            report.schedule.stmt(d.src).rows(),
+            report.schedule.stmt(d.dst).rows(),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polytops_ir::print_scop;
+    use polytops_workloads::stencil_chain;
+
+    fn request_line() -> String {
+        object(vec![
+            ("op", Json::Str("schedule".into())),
+            ("id", Json::Int(7)),
+            ("scop", Json::Str(print_scop(&stencil_chain()))),
+            (
+                "scenarios",
+                Json::Array(vec![
+                    object(vec![("preset", Json::Str("pluto".into()))]),
+                    object(vec![
+                        ("name", Json::Str("tuned".into())),
+                        (
+                            "config",
+                            object(vec![(
+                                "scheduling_strategy",
+                                object(vec![("tile_sizes", Json::Array(vec![Json::Int(32)]))]),
+                            )]),
+                        ),
+                    ]),
+                ]),
+            ),
+        ])
+        .compact()
+    }
+
+    #[test]
+    fn schedule_request_round_trips() {
+        let req = match parse_request(&request_line()).unwrap() {
+            Request::Schedule(r) => r,
+            other => panic!("expected schedule, got {other:?}"),
+        };
+        assert_eq!(req.id, Json::Int(7));
+        assert_eq!(req.name, "stencil_chain");
+        assert_eq!(req.scop, stencil_chain());
+        assert_eq!(req.scenarios.len(), 2);
+        assert_eq!(req.scenarios[0].name, "pluto");
+        assert_eq!(req.scenarios[0].config, presets::pluto());
+        assert_eq!(req.scenarios[1].name, "tuned");
+        assert_eq!(req.scenarios[1].config.post.tile_sizes, vec![32]);
+        assert!(!req.split_components);
+    }
+
+    #[test]
+    fn malformed_requests_are_described() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"op":"frobnicate"}"#)
+            .unwrap_err()
+            .contains("frobnicate"));
+        assert!(parse_request(r#"{"op":"schedule"}"#)
+            .unwrap_err()
+            .contains("scop"));
+        let no_scenarios = object(vec![
+            ("op", Json::Str("schedule".into())),
+            ("scop", Json::Str(print_scop(&stencil_chain()))),
+            ("scenarios", Json::Array(vec![])),
+        ])
+        .compact();
+        assert!(parse_request(&no_scenarios).unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn offline_results_are_certified_and_deterministic() {
+        let req = match parse_request(&request_line()).unwrap() {
+            Request::Schedule(r) => r,
+            other => panic!("expected schedule, got {other:?}"),
+        };
+        let a = offline_results(&req).compact();
+        let b = offline_results(&req).compact();
+        assert_eq!(a, b, "offline serialization must be deterministic");
+        let parsed = polytops_core::json::parse(&a).unwrap();
+        for entry in parsed.as_array().unwrap() {
+            let obj = entry.as_object().unwrap();
+            assert_eq!(obj["ok"].as_bool(), Some(true));
+            assert_eq!(obj["certified"].as_bool(), Some(true));
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! The daemon: listener, per-connection readers, the admission-window
+//! batcher, and graceful shutdown.
+//!
+//! Thread shape (see `docs/ARCHITECTURE.md` for the request lifecycle):
+//!
+//! ```text
+//! accept thread ──► one reader thread per connection
+//!                        │  parse line → Request
+//!                        │  ping/stats/shutdown: answered immediately
+//!                        ▼  schedule: admitted into the batch channel
+//!                   batcher thread: first request opens a window,
+//!                   window_ms/max_batch close it → one ScenarioSet
+//!                   (SCoPs resolved through the ScopRegistry) →
+//!                   run_sharded(threads) → per-request responses
+//! ```
+//!
+//! Responses to one connection are serialized under a per-connection
+//! write lock, one line each, so batches never interleave bytes.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use polytops_core::registry::{ScopEntry, ScopRegistry};
+use polytops_core::scenario::ScenarioSet;
+
+use crate::protocol::{self, Request, ScheduleRequest};
+
+/// Daemon configuration. Every knob is also a `polytopsd serve` flag
+/// (see `docs/CONFIG.md`).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks an ephemeral port (tests/benches).
+    pub addr: String,
+    /// Admission window in milliseconds: how long the batcher keeps
+    /// collecting after the first request of a batch arrives. `0`
+    /// dispatches every request as its own batch (lowest latency, no
+    /// cross-request batching).
+    pub window_ms: u64,
+    /// Maximum requests per batch (the window closes early when full).
+    pub max_batch: usize,
+    /// Worker threads for the scenario engine's work-stealing pool.
+    pub threads: usize,
+    /// LRU bound of the SCoP registry (resident SCoPs).
+    pub registry_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            window_ms: 2,
+            max_batch: 64,
+            threads: std::thread::available_parallelism().map_or(2, |n| n.get().clamp(2, 8)),
+            registry_capacity: 128,
+        }
+    }
+}
+
+/// State shared by every daemon thread.
+struct Shared {
+    config: ServerConfig,
+    addr: SocketAddr,
+    registry: ScopRegistry,
+    shutting_down: AtomicBool,
+    requests: AtomicUsize,
+    batches: AtomicUsize,
+}
+
+impl Shared {
+    /// Flips the shutdown flag and wakes the accept loop (which may be
+    /// blocked in `accept`) with a throwaway connection.
+    fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+}
+
+/// The write half of a connection, shared by reader and batcher.
+type Reply = Arc<Mutex<TcpStream>>;
+
+/// One admitted schedule request awaiting its batch.
+struct Admitted {
+    req: ScheduleRequest,
+    reply: Reply,
+}
+
+/// The daemon entry point.
+pub struct Server;
+
+/// A running daemon: its bound address plus the accept/batcher threads
+/// to join. Reader threads are detached (they exit when their client
+/// disconnects or the process ends).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+    batcher: JoinHandle<()>,
+}
+
+impl Server {
+    /// Binds the listen address and spawns the daemon threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the address cannot be bound.
+    pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            registry: ScopRegistry::new(config.registry_capacity),
+            config,
+            addr,
+            shutting_down: AtomicBool::new(false),
+            requests: AtomicUsize::new(0),
+            batches: AtomicUsize::new(0),
+        });
+        // A bounded queue so a flood of requests applies backpressure to
+        // readers instead of growing without bound.
+        let (tx, rx) = mpsc::sync_channel::<Admitted>(1024);
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || batch_loop(&shared, &rx))
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared, &tx))
+        };
+        Ok(ServerHandle {
+            shared,
+            accept,
+            batcher,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound listen address (resolved, so ephemeral ports are
+    /// concrete).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Registry statistics (for tests and benches; clients use the
+    /// `stats` op).
+    pub fn registry_stats(&self) -> polytops_core::RegistryStats {
+        self.shared.registry.stats()
+    }
+
+    /// Requests a graceful shutdown (equivalent to the `shutdown` op)
+    /// and waits for in-flight batches to finish.
+    pub fn shutdown(self) {
+        self.shared.begin_shutdown();
+        self.join();
+    }
+
+    /// Waits for the daemon to stop (after a `shutdown` op or
+    /// [`shutdown`](ServerHandle::shutdown) call).
+    pub fn join(self) {
+        let _ = self.accept.join();
+        let _ = self.batcher.join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, tx: &SyncSender<Admitted>) {
+    for stream in listener.incoming() {
+        if shared.is_shutting_down() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let tx = tx.clone();
+        std::thread::spawn(move || serve_connection(stream, &shared, &tx));
+    }
+    // Dropping the last admission sender lets the batcher drain and
+    // exit; readers hold clones that die with their connections.
+}
+
+/// Writes one response line under the connection's write lock. One
+/// `write_all` per line (payload + `\n` together): a trailing 1-byte
+/// write would trip Nagle against the client's delayed ACK and stall
+/// fast responses by tens of milliseconds.
+fn send_line(reply: &Reply, line: &str) {
+    let mut framed = Vec::with_capacity(line.len() + 1);
+    framed.extend_from_slice(line.as_bytes());
+    framed.push(b'\n');
+    let mut stream = reply.lock().expect("reply lock");
+    // A vanished client is not a daemon error; drop the response.
+    let _ = stream.write_all(&framed).and_then(|()| stream.flush());
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>, tx: &SyncSender<Admitted>) {
+    // Responses are complete lines; never hold them back for coalescing.
+    let _ = stream.set_nodelay(true);
+    // Responses are written from the single batcher thread: a client
+    // that stops reading (full TCP send buffer) must not wedge every
+    // other client's batches behind a blocked write_all. On timeout the
+    // response is dropped — the client was not consuming it anyway.
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let reply: Reply = Arc::new(Mutex::new(write_half));
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match protocol::parse_request(&line) {
+            Err(e) => send_line(
+                &reply,
+                &protocol::error_response(&polytops_core::json::Json::Null, &e),
+            ),
+            Ok(Request::Ping) => send_line(&reply, r#"{"ok":true,"pong":true}"#),
+            Ok(Request::Stats) => send_line(
+                &reply,
+                &protocol::stats_response(
+                    shared.registry.stats(),
+                    shared.batches.load(Ordering::Relaxed),
+                    shared.requests.load(Ordering::Relaxed),
+                ),
+            ),
+            Ok(Request::Shutdown) => {
+                send_line(&reply, r#"{"ok":true,"shutting_down":true}"#);
+                shared.begin_shutdown();
+            }
+            Ok(Request::Schedule(req)) => {
+                if shared.is_shutting_down() {
+                    send_line(&reply, &protocol::error_response(&req.id, "shutting down"));
+                } else if let Err(e) = tx.send(Admitted {
+                    req: *req,
+                    reply: Arc::clone(&reply),
+                }) {
+                    let Admitted { req, reply } = e.0;
+                    send_line(&reply, &protocol::error_response(&req.id, "shutting down"));
+                }
+            }
+        }
+    }
+}
+
+fn batch_loop(shared: &Arc<Shared>, rx: &Receiver<Admitted>) {
+    loop {
+        // Wait for the request that opens the next window, polling the
+        // shutdown flag so a quiet daemon can stop.
+        let first = loop {
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(admitted) => break Some(admitted),
+                Err(RecvTimeoutError::Timeout) => {
+                    if shared.is_shutting_down() {
+                        break None;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break None,
+            }
+        };
+        let Some(first) = first else { break };
+        let mut batch = vec![first];
+        let deadline = Instant::now() + Duration::from_millis(shared.config.window_ms);
+        while batch.len() < shared.config.max_batch {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match rx.recv_timeout(left) {
+                Ok(admitted) => batch.push(admitted),
+                Err(_) => break,
+            }
+        }
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared.requests.fetch_add(batch.len(), Ordering::Relaxed);
+        // `split_components` changes scenario semantics per request, so
+        // a mixed batch runs as two sets (responses still correlate by
+        // id; cross-request state lives in the registry either way).
+        let (plain, split): (Vec<_>, Vec<_>) =
+            batch.into_iter().partition(|a| !a.req.split_components);
+        for (group, split_flag) in [(plain, false), (split, true)] {
+            if !group.is_empty() {
+                process_group(shared, group, split_flag);
+            }
+        }
+    }
+}
+
+/// Executes one admission group as a single `ScenarioSet` and answers
+/// every request in it.
+fn process_group(shared: &Arc<Shared>, group: Vec<Admitted>, split: bool) {
+    struct Slot {
+        admitted: Admitted,
+        entry: Arc<ScopEntry>,
+        hit: bool,
+        /// Scenario indices of this request inside the shared set.
+        scenarios: Vec<usize>,
+    }
+
+    let mut set = ScenarioSet::new();
+    set.split_components(split);
+    // SCoP slots already admitted this batch, by registry entry
+    // identity — two clients submitting the same kernel share one slot
+    // (and therefore one analysis and cache group) within the batch.
+    let mut slot_of_entry: Vec<(*const ScopEntry, usize)> = Vec::new();
+    let mut slots: Vec<Slot> = Vec::with_capacity(group.len());
+    for admitted in group {
+        let (entry, hit) = shared
+            .registry
+            .resolve(&admitted.req.name, &admitted.req.scop);
+        let key = Arc::as_ptr(&entry);
+        let scop_idx = match slot_of_entry.iter().find(|(k, _)| *k == key) {
+            Some(&(_, idx)) => idx,
+            None => {
+                let idx = set.add_resident_scop(Arc::clone(&entry));
+                slot_of_entry.push((key, idx));
+                idx
+            }
+        };
+        let scenarios = admitted
+            .req
+            .scenarios
+            .iter()
+            .map(|spec| set.add_scenario(scop_idx, spec.name.clone(), spec.config.clone()))
+            .collect();
+        slots.push(Slot {
+            admitted,
+            entry,
+            hit,
+            scenarios,
+        });
+    }
+
+    let results = set.run_sharded(shared.config.threads);
+
+    for slot in slots {
+        let deps = slot.entry.deps();
+        let reports: Vec<_> = slot
+            .admitted
+            .req
+            .scenarios
+            .iter()
+            .zip(&slot.scenarios)
+            .map(|(spec, &idx)| {
+                let result = results[idx].clone();
+                let certified = match &result {
+                    Ok(report) => protocol::certify(&deps, report),
+                    Err(_) => false,
+                };
+                (spec.name.clone(), result, certified)
+            })
+            .collect();
+        let line = if reports.iter().any(|(_, r, c)| r.is_ok() && !c) {
+            // The oracle is the last line of defense; a violation must
+            // never leave the daemon as a schedule.
+            protocol::error_response(
+                &slot.admitted.req.id,
+                "internal error: schedule failed oracle certification",
+            )
+        } else {
+            let stats = polytops_core::json::Json::Array(
+                reports
+                    .iter()
+                    .map(|(name, result, _)| {
+                        polytops_core::json::Json::Object(std::collections::BTreeMap::from([
+                            (
+                                "name".to_string(),
+                                polytops_core::json::Json::Str(name.clone()),
+                            ),
+                            (
+                                "pipeline".to_string(),
+                                result
+                                    .as_ref()
+                                    .map_or(polytops_core::json::Json::Null, |r| {
+                                        protocol::stats_to_json(&r.stats)
+                                    }),
+                            ),
+                        ]))
+                    })
+                    .collect(),
+            );
+            protocol::schedule_response(
+                &slot.admitted.req.id,
+                protocol::results_to_json(&reports),
+                stats,
+                slot.hit,
+                slot.entry.fingerprint(),
+            )
+        };
+        send_line(&slot.admitted.reply, &line);
+    }
+}

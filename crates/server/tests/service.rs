@@ -1,0 +1,311 @@
+//! End-to-end tests of the `polytopsd` daemon over real TCP
+//! connections: protocol behaviour, batching, registry persistence, and
+//! the bit-identity contract against the offline scenario engine.
+
+use std::time::Duration;
+
+use polytops_core::json::Json;
+use polytops_server::protocol::{self, Request};
+use polytops_server::{Client, Server, ServerConfig};
+use polytops_workloads::requests::{sweep_request_line, sweep_request_streams};
+use polytops_workloads::{all_kernels, jacobi_1d, matmul, producer_consumer, stencil_chain};
+
+fn start(config: ServerConfig) -> polytops_server::ServerHandle {
+    Server::start(config).expect("bind ephemeral port")
+}
+
+fn local_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        window_ms: 5,
+        ..ServerConfig::default()
+    }
+}
+
+/// Parses a schedule response and returns (ok, registry_hit, results
+/// compact text).
+fn unpack(response: &str) -> (bool, bool, String) {
+    let parsed = polytops_core::json::parse(response).expect("response parses");
+    let obj = parsed.as_object().expect("response object");
+    let ok = obj["ok"].as_bool().expect("ok flag");
+    let hit = obj
+        .get("registry")
+        .and_then(Json::as_object)
+        .and_then(|r| r.get("hit"))
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    let results = obj.get("results").map(Json::compact).unwrap_or_default();
+    (ok, hit, results)
+}
+
+/// The per-scenario pipeline stats of a schedule response (the
+/// diagnostic `stats` field, outside the bit-identity contract).
+fn pipeline_stats(response: &str) -> Vec<(i64, i64)> {
+    let parsed = polytops_core::json::parse(response).expect("response parses");
+    parsed.as_object().expect("response object")["stats"]
+        .as_array()
+        .expect("stats array")
+        .iter()
+        .map(|entry| {
+            let pipeline = entry.as_object().unwrap()["pipeline"].as_object().unwrap();
+            (
+                pipeline["farkas_hits"].as_int().unwrap(),
+                pipeline["farkas_misses"].as_int().unwrap(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn ping_stats_and_malformed_lines() {
+    let handle = start(local_config());
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let pong = client.roundtrip(r#"{"op":"ping"}"#).unwrap();
+    assert!(pong.contains("pong"), "{pong}");
+
+    // A malformed line gets an error response and keeps the connection.
+    let err = client.roundtrip("this is not json").unwrap();
+    assert!(err.contains(r#""ok":false"#), "{err}");
+
+    let stats = client.stats().unwrap();
+    let registry = stats.as_object().unwrap()["registry"].as_object().unwrap();
+    assert_eq!(registry["entries"].as_int(), Some(0));
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn daemon_matches_offline_engine_bit_for_bit() {
+    let handle = start(local_config());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for (kernel, scop) in all_kernels() {
+        let line = sweep_request_line(kernel, kernel, &scop);
+        let (ok, _, got) = unpack(&client.roundtrip(&line).unwrap());
+        assert!(ok, "daemon scheduled {kernel}");
+        let req = match protocol::parse_request(&line).unwrap() {
+            Request::Schedule(req) => req,
+            other => panic!("generated line must be a schedule request, got {other:?}"),
+        };
+        let want = protocol::offline_results(&req).compact();
+        assert_eq!(got, want, "{kernel}: daemon must match the offline engine");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn warm_requests_hit_the_registry_and_replay_everything() {
+    let handle = start(local_config());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let line = sweep_request_line("cold", "matmul", &matmul());
+
+    let (ok, hit, cold) = unpack(&client.roundtrip(&line).unwrap());
+    assert!(ok && !hit, "first sight must be a registry miss");
+
+    // Same SCoP from a *different* connection: registry hit, identical
+    // bytes, and zero fresh Farkas eliminations (everything replays).
+    let mut second = Client::connect(handle.addr()).unwrap();
+    let line2 = sweep_request_line("warm", "matmul", &matmul());
+    let response = second.roundtrip(&line2).unwrap();
+    let (ok, hit, warm) = unpack(&response);
+    assert!(ok && hit, "second sight must be a registry hit");
+    assert_eq!(cold, warm, "warm results must be bit-identical to cold");
+    for (hits, misses) in pipeline_stats(&response) {
+        assert_eq!(misses, 0, "warm run must not re-eliminate");
+        assert!(hits > 0);
+    }
+
+    let stats = handle.registry_stats();
+    assert_eq!(stats.entries, 1, "one kernel resident");
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn near_identical_scops_dedupe_onto_one_entry() {
+    // producer_consumer with its accesses permuted (write listed before
+    // read): the dependence vector would come out permuted, but the
+    // canonical fingerprint ignores access order, so the daemon must
+    // dedupe — and answer from the representative's caches.
+    use polytops_ir::{Aff, ScopBuilder};
+    let permuted = {
+        let mut b = ScopBuilder::new("producer_consumer");
+        let n = b.param("N");
+        let a = b.array("A", &[n.clone()], 8);
+        let bb = b.array("B", &[n.clone()], 8);
+        let c = b.array("C", &[n.clone()], 8);
+        b.open_loop("i", Aff::val(0), n.clone() - 1);
+        b.stmt("S0")
+            .write(bb, &[Aff::var("i")])
+            .read(a, &[Aff::var("i")])
+            .text("B[i] = A[i];")
+            .add(&mut b);
+        b.close_loop();
+        b.open_loop("j", Aff::val(0), n - 1);
+        b.stmt("S1")
+            .write(c, &[Aff::var("j")])
+            .read(bb, &[Aff::var("j")])
+            .text("C[j] = B[j];")
+            .add(&mut b);
+        b.close_loop();
+        b.build().unwrap()
+    };
+
+    let handle = start(local_config());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let (ok, hit, original) = unpack(
+        &client
+            .roundtrip(&sweep_request_line(
+                "a",
+                "producer_consumer",
+                &producer_consumer(),
+            ))
+            .unwrap(),
+    );
+    assert!(ok && !hit);
+    let (ok, hit, deduped) = unpack(
+        &client
+            .roundtrip(&sweep_request_line("b", "permuted", &permuted))
+            .unwrap(),
+    );
+    assert!(ok, "permuted submission schedules");
+    assert!(hit, "permuted submission must dedupe onto the entry");
+    assert_eq!(
+        original, deduped,
+        "deduped clients get bit-identical answers"
+    );
+    assert_eq!(handle.registry_stats().entries, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn registry_evicts_beyond_capacity() {
+    let handle = start(ServerConfig {
+        registry_capacity: 2,
+        ..local_config()
+    });
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for (kernel, scop) in [
+        ("stencil_chain", stencil_chain()),
+        ("matmul", matmul()),
+        ("jacobi_1d", jacobi_1d()),
+    ] {
+        let (ok, _, _) = unpack(
+            &client
+                .roundtrip(&sweep_request_line(kernel, kernel, &scop))
+                .unwrap(),
+        );
+        assert!(ok, "{kernel} schedules");
+    }
+    let stats = handle.registry_stats();
+    assert_eq!(stats.entries, 2, "LRU bound holds");
+    assert_eq!(stats.evictions, 1);
+
+    // The coldest entry (stencil_chain) was evicted: re-requesting it is
+    // a miss (which in turn evicts matmul, now coldest); jacobi_1d —
+    // most recently used — stays resident through both.
+    let (_, hit, _) = unpack(
+        &client
+            .roundtrip(&sweep_request_line(
+                "again",
+                "stencil_chain",
+                &stencil_chain(),
+            ))
+            .unwrap(),
+    );
+    assert!(!hit, "evicted SCoP must re-register");
+    let (_, hit, _) = unpack(
+        &client
+            .roundtrip(&sweep_request_line("again", "jacobi_1d", &jacobi_1d()))
+            .unwrap(),
+    );
+    assert!(hit, "most-recently-used SCoP must stay resident");
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_clients_match_sequential_offline_runs() {
+    // N clients replay the standard sweep concurrently (batched into
+    // shared ScenarioSets by the admission window); every response must
+    // equal the N sequential offline runs — which all equal one
+    // offline run, computed once here.
+    let clients = 4;
+    let handle = start(ServerConfig {
+        window_ms: 20, // wide window: force cross-client batches
+        ..local_config()
+    });
+    let addr = handle.addr();
+
+    let streams = sweep_request_streams(clients);
+    let mut expected: Vec<(String, String)> = Vec::new();
+    for line in &streams[0] {
+        let req = match protocol::parse_request(line).unwrap() {
+            Request::Schedule(req) => req,
+            other => panic!("generated line must be a schedule request, got {other:?}"),
+        };
+        let kernel = req.name.clone();
+        expected.push((kernel, protocol::offline_results(&req).compact()));
+    }
+
+    let responses: Vec<Vec<(String, String)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|stream| {
+                s.spawn(move || {
+                    let mut client = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+                    for line in stream {
+                        client.send_line(line).unwrap();
+                    }
+                    stream
+                        .iter()
+                        .map(|_| {
+                            let (ok, _, results) = unpack(&client.recv_line().unwrap());
+                            assert!(ok);
+                            results
+                        })
+                        .zip(stream.iter().map(|l| {
+                            // Recover the kernel name from the request id.
+                            let parsed = polytops_core::json::parse(l).unwrap();
+                            let id = parsed.as_object().unwrap()["id"]
+                                .as_str()
+                                .unwrap()
+                                .to_string();
+                            id.split_once('/').unwrap().1.to_string()
+                        }))
+                        .map(|(results, kernel)| (kernel, results))
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for client_responses in responses {
+        assert_eq!(client_responses.len(), expected.len());
+        for (kernel, got) in client_responses {
+            let (_, want) = expected
+                .iter()
+                .find(|(k, _)| *k == kernel)
+                .expect("known kernel");
+            assert_eq!(got, *want, "{kernel}: daemon must match offline run");
+        }
+    }
+    // All N copies of each kernel deduped onto one entry.
+    assert_eq!(handle.registry_stats().entries, all_kernels().len());
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_op_stops_the_daemon() {
+    let handle = start(local_config());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let ack = client.shutdown().unwrap();
+    assert_eq!(
+        ack.as_object().unwrap()["shutting_down"].as_bool(),
+        Some(true)
+    );
+    // join() returns only when accept and batcher threads exit.
+    handle.join();
+}

@@ -7,11 +7,13 @@
 //! pipelining), 3-deep compute nests (permutation), producer/consumer
 //! pairs (fusion), and time-iterated stencils (skewing candidates).
 //! [`sweep`] crosses them with the preset grid into the standard
-//! scenario sweep for the scenario engine.
+//! scenario sweep for the scenario engine, and [`requests`] replays
+//! that sweep as N simulated `polytopsd` client streams.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod requests;
 pub mod sweep;
 
 use polytops_ir::{Aff, Scop, ScopBuilder};

@@ -1,0 +1,87 @@
+//! Request-stream generation for the `polytopsd` service: the standard
+//! sweep replayed as N simulated clients.
+//!
+//! Each generated line is one complete `op: "schedule"` request in the
+//! wire format of `docs/SERVICE.md` — the SCoP embedded as polyscop
+//! exchange text, the preset grid as named scenario specs. Every client
+//! replays the same sweep, which is exactly the service's sweet spot:
+//! the first client to reach the daemon pays the analysis, everyone
+//! else (and every later batch) rides the registry.
+
+use std::collections::BTreeMap;
+
+use polytops_core::json::Json;
+use polytops_ir::print_scop;
+
+use crate::all_kernels;
+use crate::sweep::preset_grid;
+
+/// Builds one schedule-request line: `kernel` under the named presets,
+/// tagged `id` (echoed by the daemon).
+pub fn request_line(id: &str, kernel: &str, scop: &polytops_ir::Scop, presets: &[&str]) -> String {
+    let scenarios: Vec<Json> = presets
+        .iter()
+        .map(|preset| {
+            Json::Object(BTreeMap::from([
+                ("name".to_string(), Json::Str((*preset).to_string())),
+                ("preset".to_string(), Json::Str((*preset).to_string())),
+            ]))
+        })
+        .collect();
+    Json::Object(BTreeMap::from([
+        ("op".to_string(), Json::Str("schedule".to_string())),
+        ("id".to_string(), Json::Str(id.to_string())),
+        ("name".to_string(), Json::Str(kernel.to_string())),
+        ("scop".to_string(), Json::Str(print_scop(scop))),
+        ("scenarios".to_string(), Json::Array(scenarios)),
+    ]))
+    .compact()
+}
+
+/// [`request_line`] over the full standard preset grid.
+pub fn sweep_request_line(id: &str, kernel: &str, scop: &polytops_ir::Scop) -> String {
+    let grid = preset_grid();
+    let presets: Vec<&str> = grid.iter().map(|(name, _)| *name).collect();
+    request_line(id, kernel, scop, &presets)
+}
+
+/// The standard sweep as `clients` request streams: stream `c` holds
+/// one request per reference kernel (ids `c<c>/<kernel>`), so N clients
+/// submit N copies of the sweep concurrently — the daemon should dedupe
+/// every kernel onto one registry entry.
+pub fn sweep_request_streams(clients: usize) -> Vec<Vec<String>> {
+    let kernels = all_kernels();
+    (0..clients)
+        .map(|c| {
+            kernels
+                .iter()
+                .map(|(kernel, scop)| sweep_request_line(&format!("c{c}/{kernel}"), kernel, scop))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_cover_clients_and_kernels() {
+        let streams = sweep_request_streams(3);
+        assert_eq!(streams.len(), 3);
+        for (c, stream) in streams.iter().enumerate() {
+            assert_eq!(stream.len(), all_kernels().len());
+            for line in stream {
+                assert!(!line.contains('\n'), "one request per line");
+                let parsed = polytops_core::json::parse(line).unwrap();
+                let obj = parsed.as_object().unwrap();
+                assert_eq!(obj["op"].as_str(), Some("schedule"));
+                assert!(obj["id"].as_str().unwrap().starts_with(&format!("c{c}/")));
+                assert_eq!(
+                    obj["scenarios"].as_array().unwrap().len(),
+                    preset_grid().len()
+                );
+            }
+        }
+    }
+}

@@ -16,8 +16,12 @@
 //!   iterative scheduling driver and the parallel scenario engine;
 //! * [`codegen`] — band-tree code generation and schedule printing;
 //! * [`machine`] — machine models;
-//! * [`workloads`] — reference polyhedral kernels and the standard
-//!   scenario sweep ([`workloads::sweep`]).
+//! * [`workloads`] — reference polyhedral kernels, the standard
+//!   scenario sweep ([`workloads::sweep`]) and the service
+//!   request-stream generator ([`workloads::requests`]);
+//! * [`server`] — `polytopsd`, the batching scheduler daemon over the
+//!   scenario engine, with its wire protocol and client
+//!   (see `docs/SERVICE.md`).
 //!
 //! # Example
 //!
@@ -45,14 +49,15 @@
 
 pub use polytops_codegen as codegen;
 pub use polytops_machine as machine;
+pub use polytops_server as server;
 pub use polytops_workloads as workloads;
 
 pub use polytops_core::{
-    presets, scenario, schedule, schedule_with_options, schedule_with_strategy, ConfigStrategy,
-    CostFn, DimMap, DimSolution, DimensionPlan, Directive, DirectiveKind, EngineOptions,
-    FarkasCache, FusionControl, FusionHeuristic, IlpSpace, PipelineStats, PostProcess, Reaction,
-    ScenarioReport, ScenarioResult, ScenarioSet, ScheduleError, SchedulerConfig, Strategy,
-    StrategyState,
+    json, presets, registry, scenario, schedule, schedule_with_options, schedule_with_strategy,
+    ConfigStrategy, CostFn, DimMap, DimSolution, DimensionPlan, Directive, DirectiveKind,
+    EngineOptions, FarkasCache, FusionControl, FusionHeuristic, IlpSpace, PipelineStats,
+    PostProcess, Reaction, RegistryStats, ScenarioReport, ScenarioResult, ScenarioSet,
+    ScheduleError, SchedulerConfig, ScopEntry, ScopRegistry, Strategy, StrategyState,
 };
 pub use polytops_deps::{
     analyze, dependence_sccs, respects, schedule_respects_dependence, strongly_satisfies,
