@@ -1,0 +1,126 @@
+//! Cost-model benchmark: the autotuner's pick against the default
+//! preset, per reference kernel, under the static performance model.
+//!
+//! For every kernel of the standard sweep this bench
+//!
+//! 1. schedules the kernel under the default preset (`pluto`) and
+//!    scores the result with the model;
+//! 2. runs the autotuner ([`polytops_core::tune::explore`]) over the
+//!    machine-derived candidate lattice;
+//! 3. **asserts** the three contracts of the subsystem before any
+//!    number is reported: the winner is oracle-certified, the winner's
+//!    model score matches or beats the default preset's, and the
+//!    selection (winner name, score, schedule bytes, every candidate
+//!    score) is bit-identical between a 1-thread and a multi-thread
+//!    exploration.
+//!
+//! Results land in the `"model"` section of `BENCH_schedule.json`
+//! (other sections are preserved).
+
+use std::time::Instant;
+
+use polytops_bench::report::{self, int, object, ratio};
+use polytops_core::json::Json;
+use polytops_core::tune::{self, MachineModel, TuneBudget};
+use polytops_core::{presets, schedule};
+use polytops_workloads::all_kernels;
+
+fn main() {
+    let machine = MachineModel::default();
+    let budget = TuneBudget::default();
+    let serial = TuneBudget {
+        threads: 1,
+        ..budget.clone()
+    };
+
+    let mut entries: Vec<Json> = Vec::new();
+    let mut tuned_wins = 0usize;
+    let mut total_explore_ns: u128 = 0;
+    for (kernel, scop) in all_kernels() {
+        // The comparison baseline: the default preset, scored by the
+        // same model the tuner optimizes.
+        let default_sched = schedule(&scop, &presets::pluto()).expect("default preset schedules");
+        let (_, default_score) =
+            tune::score_schedule(&scop, &default_sched, &machine, budget.param_estimate);
+
+        let t0 = Instant::now();
+        let outcome = tune::explore(&scop, &machine, &budget).expect("kernel tunes");
+        let explore_ns = t0.elapsed().as_nanos();
+        total_explore_ns += explore_ns;
+
+        assert!(outcome.certified, "{kernel}: winner must be oracle-legal");
+        assert!(
+            outcome.score >= default_score,
+            "{kernel}: tuned score {} must match or beat default {}",
+            outcome.score,
+            default_score
+        );
+        let one = tune::explore(&scop, &machine, &serial).expect("kernel tunes serially");
+        assert_eq!(one.winner.name, outcome.winner.name, "{kernel}");
+        assert_eq!(
+            one.winner.schedule, outcome.winner.schedule,
+            "{kernel}: selection must be bit-identical across thread counts"
+        );
+        assert_eq!(one.score, outcome.score, "{kernel}");
+        assert_eq!(one.candidates, outcome.candidates, "{kernel}");
+
+        if outcome.score > default_score {
+            tuned_wins += 1;
+        }
+        println!(
+            "{kernel:<20} default {default_score:>14}  tuned {:>14}  winner {:<22} ({:.1} ms)",
+            outcome.score,
+            outcome.winner.name,
+            explore_ns as f64 / 1e6
+        );
+        entries.push(report::object([
+            ("kernel", Json::Str(kernel.to_string())),
+            ("default_score", int(default_score)),
+            ("tuned_score", int(outcome.score)),
+            ("winner", Json::Str(outcome.winner.name.clone())),
+            ("improved", Json::Bool(outcome.score > default_score)),
+            ("certified", Json::Bool(outcome.certified)),
+            (
+                "outer_parallel",
+                Json::Bool(outcome.features.outer_parallel),
+            ),
+            ("tiled", Json::Bool(outcome.features.tiled)),
+            ("explore_ns", int(explore_ns as i64)),
+        ]));
+    }
+
+    let kernels = entries.len();
+    println!(
+        "model: tuned schedule beat the default preset on {tuned_wins}/{kernels} kernels \
+         ({:.1} ms total exploration)",
+        total_explore_ns as f64 / 1e6
+    );
+
+    let out = report::default_path();
+    report::update_section(
+        &out,
+        "model",
+        object([
+            (
+                "machine",
+                object([
+                    ("num_cores", int(i64::from(machine.num_cores))),
+                    ("cache_bytes", int(machine.cache_bytes as i64)),
+                    ("vector_bytes", int(i64::from(machine.vector_bytes))),
+                    ("cache_line_bytes", int(i64::from(machine.cache_line_bytes))),
+                ]),
+            ),
+            ("param_estimate", int(budget.param_estimate)),
+            ("candidates_per_kernel", int(budget.max_candidates as i64)),
+            ("threads", int(budget.threads as i64)),
+            ("kernels", int(kernels as i64)),
+            ("tuned_wins", int(tuned_wins as i64)),
+            ("win_rate", ratio(tuned_wins as f64 / kernels.max(1) as f64)),
+            ("deterministic", Json::Bool(true)),
+            ("all_certified", Json::Bool(true)),
+            ("explore_ns_total", int(total_explore_ns as i64)),
+            ("entries", Json::Array(entries)),
+        ]),
+    );
+    println!("-> {out}");
+}

@@ -22,6 +22,10 @@
 //!   `polytopsd` service: SCoPs deduped by canonical fingerprint, their
 //!   dependence analyses and Farkas caches kept resident under an LRU
 //!   bound;
+//! * [`tune`] — the autotuner: synthesizes a machine-derived lattice of
+//!   configurations, runs it through the scenario engine and picks the
+//!   winner under the static performance model
+//!   (`polytops_machine::model`);
 //! * [`scheduler`] — the stable entry points over the pipeline;
 //! * [`json`] — the in-tree JSON parser behind
 //!   [`SchedulerConfig::from_json`] and the benchmark reports;
@@ -65,6 +69,7 @@ pub mod scenario;
 pub mod scheduler;
 pub mod space;
 pub mod strategy;
+pub mod tune;
 
 pub use config::{
     CostFn, DimMap, Directive, DirectiveKind, FusionControl, FusionHeuristic, PostProcess,
@@ -77,3 +82,4 @@ pub use scenario::{winner, winner_by, Scenario, ScenarioReport, ScenarioResult, 
 pub use scheduler::{schedule, schedule_with_options, schedule_with_strategy};
 pub use space::{IlpSpace, StmtBlock};
 pub use strategy::{ConfigStrategy, DimSolution, DimensionPlan, Reaction, Strategy, StrategyState};
+pub use tune::{explore, MachineModel, TuneBudget, TuneOutcome};

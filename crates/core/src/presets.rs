@@ -55,6 +55,34 @@ pub fn wavefront() -> SchedulerConfig {
     }
 }
 
+/// A machine-derived configuration: the pluto-style search followed by
+/// the full post-processing stage with the tile edge sized to the
+/// machine's cache budget (largest power of two whose square
+/// double-precision tile, times a nominal four arrays, fits —
+/// [`polytops_machine::MachineModel::square_tile_edge`]), wavefront
+/// skewing and auto/intra-tile vectorization enabled.
+///
+/// This is the *fixed* machine preset; [`crate::tune::explore`] is the
+/// searching version (it tries this shape among others and keeps the
+/// best under the model).
+pub fn for_machine(machine: &polytops_machine::MachineModel) -> SchedulerConfig {
+    // Same power-of-two derivation and 8..=128 clamp as the tuner's
+    // lattice edges (crate::tune::tile_edges) — but over a nominal
+    // double-precision four-array kernel, since no SCoP is in scope
+    // here. For a SCoP whose element size or array count differs, the
+    // scop-aware lattice can land on different edges.
+    let edge = crate::tune::pow2_floor(machine.square_tile_edge(8, 4), 8, 128);
+    SchedulerConfig {
+        auto_vectorize: true,
+        post: PostProcess {
+            tile_sizes: vec![edge],
+            wavefront: true,
+            intra_tile_vectorize: true,
+        },
+        ..SchedulerConfig::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +96,18 @@ mod tests {
         assert!(isl_like().isl_fallback);
         assert!(wavefront().post.wavefront);
         assert_eq!(wavefront().post.tile_sizes, vec![32, 32]);
+    }
+
+    #[test]
+    fn for_machine_sizes_tiles_to_the_cache() {
+        let big = for_machine(&polytops_machine::MachineModel::default());
+        assert!(big.post.wavefront && big.auto_vectorize);
+        assert_eq!(big.post.tile_sizes, vec![128], "clamped at 128");
+        let tiny = for_machine(&polytops_machine::MachineModel {
+            cache_bytes: 16 << 10,
+            ..polytops_machine::MachineModel::default()
+        });
+        // 16 KiB / 4 arrays / 8 B = 512 elements -> 16x16 tiles.
+        assert_eq!(tiny.post.tile_sizes, vec![16]);
     }
 }

@@ -1,16 +1,25 @@
-//! Machine models for PolyTOPS post-processing heuristics.
+//! Machine models and the static performance model for PolyTOPS.
 //!
 //! The scheduler proper is machine-independent; tile-size selection,
 //! vectorization profitability and parallel speedup estimation (the
 //! "external decisions" of the paper's Fig. 1) consume a
-//! [`MachineModel`]. This crate currently ships the model structure and
-//! the simple derived quantities the heuristics need; calibrated
-//! per-target models are a later milestone.
+//! [`MachineModel`]. On top of the model structure and its derived
+//! quantities, the [`model`] module scores *scheduled* SCoPs: it
+//! extracts a machine-independent feature vector (outer parallelism,
+//! reuse distances, tile footprints, vectorizable statements) from a
+//! schedule plus its dependence set, and folds it with a
+//! [`MachineModel`] into estimated cycles — the oracle the autotuner
+//! (`polytops_core::tune`) ranks candidate configurations with. See
+//! `docs/MODEL.md` for the full formula and determinism contract.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
-/// A simple abstract machine: caches, SIMD and core counts.
+pub mod model;
+
+/// A simple abstract machine: caches, SIMD, core counts and the two
+/// cost constants the performance model charges for synchronization
+/// and cache misses.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MachineModel {
     /// Cache line size in bytes.
@@ -21,17 +30,24 @@ pub struct MachineModel {
     pub vector_bytes: u32,
     /// Hardware parallelism (cores × threads).
     pub num_cores: u32,
+    /// Estimated cycles per cache miss (the model's memory penalty).
+    pub miss_penalty_cycles: u32,
+    /// Estimated cycles per synchronization event (fork/join or
+    /// barrier).
+    pub sync_cycles: u32,
 }
 
 impl Default for MachineModel {
     /// A generic contemporary CPU: 64 B lines, 32 MiB LLC, 256-bit SIMD,
-    /// 16 cores.
+    /// 16 cores, 24-cycle misses, 2000-cycle barriers.
     fn default() -> MachineModel {
         MachineModel {
             cache_line_bytes: 64,
             cache_bytes: 32 << 20,
             vector_bytes: 32,
             num_cores: 16,
+            miss_penalty_cycles: 24,
+            sync_cycles: 2000,
         }
     }
 }

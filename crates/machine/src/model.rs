@@ -1,0 +1,478 @@
+//! The static performance model: machine-aware scoring of schedules.
+//!
+//! PolyTOPS's reconfiguration loop (paper Fig. 1) needs a way to *rank*
+//! the schedules different configurations produce without executing
+//! them — the paper routes tile sizes, vectorization and parallelization
+//! profitability through exactly such "external decisions". This module
+//! implements the two halves:
+//!
+//! 1. [`extract_features`] reads a scheduled SCoP — the schedule rows,
+//!    band/parallel/tiling/vectorization metadata, and the dependence
+//!    set — into a machine-*independent* [`ScheduleFeatures`] vector:
+//!    outermost parallelism, per-dependence reuse distances (iterations
+//!    between a value's definition and its reuse under the schedule),
+//!    tile footprints, vectorizable statements and estimated dynamic
+//!    work.
+//! 2. [`estimate_cycles`] folds a feature vector with a
+//!    [`MachineModel`] into an estimated cycle count; [`model_score`]
+//!    negates it into the "higher is better" orientation the scenario
+//!    engine's `winner_by` expects.
+//!
+//! # Determinism
+//!
+//! Everything here is exact integer arithmetic (saturating `i128`
+//! intermediates clamped into `i64`): the same schedule and machine
+//! always produce bit-identical features and scores, on any thread
+//! count — the property the autotuner's winner selection is built on.
+//! Iteration counts are *estimates* (every parametric loop is assumed
+//! to run [`extract_features`]'s `param_estimate` iterations), which is
+//! all a static model needs to rank transformations of one kernel
+//! against each other.
+
+use polytops_deps::{strongly_satisfies, Dependence};
+use polytops_ir::{Schedule, Scop, StmtId};
+
+use crate::MachineModel;
+
+/// Clamp for every estimated quantity: large enough to order any real
+/// kernel, small enough that sums of several terms never overflow `i64`.
+const CLAMP: i128 = i64::MAX as i128 / 8;
+
+fn clamp(v: i128) -> i64 {
+    v.clamp(-CLAMP, CLAMP) as i64
+}
+
+/// `⌈a / b⌉` for non-negative `a` and positive `b` (the `i128`
+/// `div_ceil` is unstable on this toolchain).
+fn ceil_div(a: i128, b: i128) -> i128 {
+    (a + b - 1) / b
+}
+
+/// The machine-independent feature vector of one scheduled SCoP.
+///
+/// Produced by [`extract_features`]; consumed by [`estimate_cycles`].
+/// All counts are estimates under the uniform trip-count assumption
+/// (see the module docs) and are exact integers, so feature vectors are
+/// bit-reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleFeatures {
+    /// Scheduling dimensions (including constant splitting levels).
+    pub dims: usize,
+    /// Statements in the SCoP.
+    pub num_stmts: usize,
+    /// Whether the outermost *executed* loop is parallel: the tile loop
+    /// of the first tiled band when the outermost loop dimension is
+    /// tiled, the point loop otherwise. Coarse-grain parallelism — one
+    /// fork/join for the whole SCoP.
+    pub outer_parallel: bool,
+    /// Parallel scheduling dimensions (point loops).
+    pub parallel_dims: usize,
+    /// Width of the widest permutable band (tilability).
+    pub max_band_width: usize,
+    /// Statements with a dimension marked for vectorization.
+    pub vectorized_stmts: usize,
+    /// Estimated dynamic arithmetic operations: Σ per statement of
+    /// `compute_ops × param_estimate^depth`.
+    pub total_ops: i64,
+    /// Estimated dynamic statement instances: Σ `param_estimate^depth`.
+    pub total_instances: i64,
+    /// Whether post-processing recorded any tiled band.
+    pub tiled: bool,
+    /// Estimated bytes a tile touches (first tiled band: distinct
+    /// arrays × element size × ∏ tile sizes) — or, untiled, the whole
+    /// working set (Σ arrays element size × ∏ estimated extents).
+    pub footprint_bytes: i64,
+    /// Per dependence: estimated iterations executed between the source
+    /// access and its dependent reuse — the schedule-induced reuse
+    /// distance. A dependence carried at dimension `c` waits for one
+    /// iteration of `c`, i.e. for every loop nested inside `c` to run;
+    /// tiling caps those inner trip counts at the tile sizes, which is
+    /// exactly how it improves locality in this model.
+    pub reuse_distances: Vec<i64>,
+    /// Dominant (maximum) element size of the SCoP's arrays, bytes.
+    pub element_size: u32,
+    /// Synchronization events: iterations of the sequential *executed*
+    /// loops — tile loops of tiled bands included — enclosing the first
+    /// parallel loop (one barrier each when parallelism is inner), or 1
+    /// when the outermost executed loop itself is parallel (a single
+    /// fork/join), or 0 without any parallelism.
+    pub sync_events: i64,
+}
+
+/// Whether schedule dimension `d` is a loop level for some statement.
+fn is_loop_dim(sched: &Schedule, d: usize) -> bool {
+    (0..sched.num_statements()).any(|s| !sched.stmt(StmtId(s)).row_is_constant(d))
+}
+
+/// `base^exp` saturating into the model clamp.
+fn pow_est(base: i64, exp: usize) -> i128 {
+    let mut acc: i128 = 1;
+    for _ in 0..exp {
+        acc = (acc * i128::from(base.max(1))).min(CLAMP);
+    }
+    acc
+}
+
+/// Extracts the feature vector of `sched` over `scop`.
+///
+/// `deps` must be the dependence analysis of `scop` (the reuse features
+/// walk it); `param_estimate` is the assumed trip count of every
+/// parametric loop (the scheduler's configs carry the same knob as
+/// `parameter_estimate`, default 64).
+///
+/// # Panics
+///
+/// Panics if `sched` is not a schedule of `scop` (statement count or
+/// row arity mismatch).
+pub fn extract_features(
+    scop: &Scop,
+    sched: &Schedule,
+    deps: &[Dependence],
+    param_estimate: i64,
+) -> ScheduleFeatures {
+    assert_eq!(
+        sched.num_statements(),
+        scop.statements.len(),
+        "schedule/scop statement count"
+    );
+    let dims = sched.dims();
+    let est = param_estimate.max(2);
+
+    // Per-dimension trip estimates: parametric for loop dims, 1 for
+    // constant levels, capped at the tile size for tiled point loops.
+    let mut trips: Vec<i64> = (0..dims)
+        .map(|d| if is_loop_dim(sched, d) { est } else { 1 })
+        .collect();
+    for tb in sched.tiling() {
+        for (k, &size) in tb.sizes.iter().enumerate() {
+            let d = tb.start + k;
+            trips[d] = trips[d].min(size.max(1));
+        }
+    }
+
+    // The *executed* loop sequence, outermost first: a tiled band runs
+    // its tile loops (trip ≈ est / size, parallelism from the stricter
+    // per-tile-loop flags) before its point loops, so outer parallelism
+    // and barrier counts must both be read off this sequence, not off
+    // the scheduling dimensions alone. Constant (splitting) levels
+    // contribute trip-1 sequential entries, harmless in every product.
+    let mut executed: Vec<(bool, i64)> = Vec::with_capacity(2 * dims);
+    let mut d = 0;
+    while d < dims {
+        if let Some(tb) = sched.tiling().iter().find(|tb| tb.start == d) {
+            for (k, &size) in tb.sizes.iter().enumerate() {
+                let tile_trip = clamp(ceil_div(i128::from(est), i128::from(size.max(1)))).max(1);
+                executed.push((tb.parallel[k], tile_trip));
+            }
+            for (p, &trip) in trips.iter().enumerate().take(tb.end).skip(tb.start) {
+                executed.push((sched.parallel()[p] && is_loop_dim(sched, p), trip));
+            }
+            d = tb.end;
+        } else {
+            executed.push((sched.parallel()[d] && is_loop_dim(sched, d), trips[d]));
+            d += 1;
+        }
+    }
+    let first_executed_loop = executed.iter().position(|&(_, trip)| trip > 1);
+    let outer_parallel = first_executed_loop.is_some_and(|i| executed[i].0);
+    let parallel_dims = sched.parallel().iter().filter(|&&p| p).count();
+    let max_band_width = sched
+        .band_ranges()
+        .into_iter()
+        .map(|(a, b)| b - a)
+        .max()
+        .unwrap_or(0);
+    let vectorized_stmts = sched.vector_dims().iter().flatten().count();
+
+    let mut total_ops: i128 = 0;
+    let mut total_instances: i128 = 0;
+    for s in &scop.statements {
+        let inst = pow_est(est, s.depth());
+        total_instances = (total_instances + inst).min(CLAMP);
+        total_ops = (total_ops + inst * i128::from(s.compute_ops.max(1))).min(CLAMP);
+    }
+
+    let element_size = scop
+        .arrays
+        .iter()
+        .map(|a| a.element_size)
+        .max()
+        .unwrap_or(8)
+        .max(1);
+    let tiled = !sched.tiling().is_empty();
+    let footprint_bytes = if let Some(tb) = sched.tiling().first() {
+        let tile_iters = tb
+            .sizes
+            .iter()
+            .fold(1i128, |acc, &s| (acc * i128::from(s.max(1))).min(CLAMP));
+        clamp(i128::from(scop.arrays.len().max(1) as i64) * i128::from(element_size) * tile_iters)
+    } else {
+        let mut bytes: i128 = 0;
+        for a in &scop.arrays {
+            bytes =
+                (bytes + i128::from(a.element_size.max(1)) * pow_est(est, a.dims.len())).min(CLAMP);
+        }
+        clamp(bytes)
+    };
+
+    // Reuse distance per dependence: iterations of everything nested
+    // inside the carrying dimension (1 when carried innermost or
+    // loop-independent — the reuse is immediate).
+    let reuse_distances: Vec<i64> = deps
+        .iter()
+        .map(|dep| {
+            let carry = (0..dims).find(|&d| {
+                strongly_satisfies(
+                    dep,
+                    &sched.stmt(dep.src).rows()[d],
+                    &sched.stmt(dep.dst).rows()[d],
+                )
+            });
+            let first_inner = carry.map_or(dims, |c| c + 1);
+            let inner: i128 = (first_inner..dims)
+                .map(|d| i128::from(trips[d]))
+                .fold(1, |acc, t| (acc * t).min(CLAMP));
+            clamp(inner)
+        })
+        .collect();
+
+    // Synchronization: one fork/join when the outermost executed loop
+    // is parallel; otherwise one barrier per iteration of the
+    // sequential executed loops *enclosing* the first parallel one —
+    // tile loops included, so a sequential tile loop over a parallel
+    // point loop is charged per tile step, not as a single fork/join.
+    let sync_events = match executed.iter().position(|&(parallel, _)| parallel) {
+        _ if outer_parallel => 1,
+        None => 0,
+        Some(first_parallel) => clamp(
+            executed[..first_parallel]
+                .iter()
+                .map(|&(_, trip)| i128::from(trip))
+                .fold(1, |acc, t| (acc * t).min(CLAMP)),
+        ),
+    };
+
+    ScheduleFeatures {
+        dims,
+        num_stmts: scop.statements.len(),
+        outer_parallel,
+        parallel_dims,
+        max_band_width,
+        vectorized_stmts,
+        total_ops: clamp(total_ops),
+        total_instances: clamp(total_instances),
+        tiled,
+        footprint_bytes,
+        reuse_distances,
+        element_size,
+        sync_events,
+    }
+}
+
+/// Estimated execution cycles of a scheduled SCoP on `machine`.
+///
+/// The formula, all saturating integer arithmetic:
+///
+/// ```text
+/// compute = total_ops, with the vectorized fraction of statements
+///           divided by the SIMD lane count
+/// compute /= num_cores          when any dimension is parallel
+/// sync    = sync_events × sync_cycles
+/// memory  = spilled_streams × total_instances × miss_penalty_cycles
+///                             / elements_per_line
+/// cycles  = compute + sync + memory
+/// ```
+///
+/// A dependence *spills* when its reuse distance times the element size
+/// exceeds the cache capacity (the value is evicted before its reuse);
+/// an overflowing tile (`footprint_bytes > cache_bytes` while tiled)
+/// counts as one more spilled stream. Misses are amortized over a cache
+/// line (unit-stride streaming assumption).
+///
+/// The result is strictly positive, finite, and — for a fixed feature
+/// vector — **monotonically non-increasing in
+/// [`num_cores`](MachineModel::num_cores)** whenever the schedule has
+/// any parallelism (only the compute term depends on the core count).
+pub fn estimate_cycles(machine: &MachineModel, f: &ScheduleFeatures) -> i64 {
+    let ops = i128::from(f.total_ops.max(1));
+    let lanes = i128::from(machine.vector_lanes(f.element_size).max(1));
+    let mut compute = if f.num_stmts == 0 {
+        ops
+    } else {
+        // Scale the vectorized fraction of the work by the lane count.
+        let vec_ops = ops * i128::from(f.vectorized_stmts as i64) / i128::from(f.num_stmts as i64);
+        (ops - vec_ops) + ceil_div(vec_ops, lanes)
+    };
+    if f.outer_parallel || f.parallel_dims > 0 {
+        compute = ceil_div(compute, i128::from(machine.num_cores.max(1)));
+    }
+
+    let sync = i128::from(f.sync_events) * i128::from(machine.sync_cycles);
+
+    let cache = i128::from(machine.cache_bytes.max(1));
+    let mut spilled = f
+        .reuse_distances
+        .iter()
+        .filter(|&&r| i128::from(r) * i128::from(f.element_size) > cache)
+        .count() as i128;
+    if f.tiled && i128::from(f.footprint_bytes) > cache {
+        spilled += 1;
+    }
+    let line = i128::from(machine.elements_per_line(f.element_size).max(1));
+    let memory =
+        spilled * i128::from(f.total_instances.max(1)) * i128::from(machine.miss_penalty_cycles)
+            / line;
+
+    clamp((compute + sync + memory).max(1))
+}
+
+/// The model as a scenario score: negated [`estimate_cycles`], so that
+/// "higher is better" matches `winner_by` and ties between equal-cost
+/// schedules resolve toward the earlier candidate.
+pub fn model_score(machine: &MachineModel, f: &ScheduleFeatures) -> i64 {
+    -estimate_cycles(machine, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polytops_ir::{Aff, ScopBuilder, StmtSchedule, TileBand};
+
+    /// `for t for i A[i] = A[i-1] + A[i+1];` — the stencil under test.
+    fn stencil() -> Scop {
+        let mut b = ScopBuilder::new("stencil");
+        let t = b.param("T");
+        let n = b.param("N");
+        let a = b.array("A", &[n.clone()], 8);
+        b.open_loop("t", Aff::val(0), t - 1);
+        b.open_loop("i", Aff::val(1), n - 2);
+        b.stmt("S0")
+            .read(a, &[Aff::var("i") - 1])
+            .read(a, &[Aff::var("i") + 1])
+            .write(a, &[Aff::var("i")])
+            .add(&mut b);
+        b.close_loop();
+        b.close_loop();
+        b.build().unwrap()
+    }
+
+    /// The identity (t, i) schedule of the stencil, one permutable band.
+    fn identity_schedule(tiled: Option<Vec<i64>>) -> Schedule {
+        let mut ss = StmtSchedule::new(2, 2);
+        ss.push_row(vec![1, 0, 0, 0, 0]);
+        ss.push_row(vec![0, 1, 0, 0, 0]);
+        let mut sched = Schedule::from_parts(vec![ss], vec![0, 0], vec![false, false]);
+        if let Some(sizes) = tiled {
+            let n = sizes.len();
+            sched.set_tiling(vec![TileBand {
+                start: 0,
+                end: n,
+                sizes,
+                parallel: vec![false; n],
+            }]);
+        }
+        sched
+    }
+
+    #[test]
+    fn tiled_stencil_has_bounded_footprint_and_reuse() {
+        let scop = stencil();
+        let deps = polytops_deps::analyze(&scop);
+        assert!(!deps.is_empty());
+
+        let plain = extract_features(&scop, &identity_schedule(None), &deps, 1024);
+        let tiled = extract_features(&scop, &identity_schedule(Some(vec![16, 16])), &deps, 1024);
+
+        // Untiled: the footprint is the whole (estimated) array; tiled:
+        // one 16×16 tile of it, independent of the parameter estimate.
+        assert_eq!(tiled.footprint_bytes, 8 * 16 * 16);
+        assert!(plain.footprint_bytes > tiled.footprint_bytes);
+        // Time-carried reuse waits a full row sweep untiled (1024
+        // iterations) but at most a tile row (16) tiled.
+        assert_eq!(plain.reuse_distances.iter().max(), Some(&1024));
+        assert!(tiled.reuse_distances.iter().all(|&r| r <= 16));
+
+        // On a machine whose cache holds a tile but not a row sweep,
+        // the model prefers the tiled schedule.
+        let small_cache = MachineModel {
+            cache_bytes: 4 << 10,
+            ..MachineModel::default()
+        };
+        assert!(
+            estimate_cycles(&small_cache, &tiled) < estimate_cycles(&small_cache, &plain),
+            "tiled {tiled:?} must beat plain {plain:?}"
+        );
+    }
+
+    #[test]
+    fn outer_parallelism_is_read_from_tile_or_point_flags() {
+        let scop = stencil();
+        let deps = polytops_deps::analyze(&scop);
+        let mut sched = identity_schedule(None);
+        assert!(!extract_features(&scop, &sched, &deps, 64).outer_parallel);
+
+        // Point flag on the outermost dimension.
+        sched.parallel_mut()[0] = true;
+        let f = extract_features(&scop, &sched, &deps, 64);
+        assert!(f.outer_parallel);
+        assert_eq!(f.sync_events, 1);
+
+        // Tiled with a sequential tile loop: the tile loop is the
+        // outermost executed loop, so outer parallelism is *its* flag
+        // even while the point flag stays true.
+        sched.set_tiling(vec![TileBand {
+            start: 0,
+            end: 2,
+            sizes: vec![8, 8],
+            parallel: vec![false, true],
+        }]);
+        let f = extract_features(&scop, &sched, &deps, 64);
+        assert!(!f.outer_parallel);
+        assert!(f.parallel_dims > 0);
+    }
+
+    #[test]
+    fn inner_parallelism_pays_barriers() {
+        let scop = stencil();
+        let deps = polytops_deps::analyze(&scop);
+        let mut sched = identity_schedule(None);
+        sched.parallel_mut()[1] = true; // parallel inner, sequential outer
+        let f = extract_features(&scop, &sched, &deps, 64);
+        assert!(!f.outer_parallel);
+        assert_eq!(f.sync_events, 64, "one barrier per outer iteration");
+
+        let m = MachineModel::default();
+        let mut outer = f.clone();
+        outer.outer_parallel = true;
+        outer.sync_events = 1;
+        assert!(
+            estimate_cycles(&m, &outer) < estimate_cycles(&m, &f),
+            "outer parallelism must beat inner at equal work"
+        );
+    }
+
+    #[test]
+    fn vectorization_reduces_compute() {
+        let scop = stencil();
+        let deps = polytops_deps::analyze(&scop);
+        let mut sched = identity_schedule(None);
+        let base = extract_features(&scop, &sched, &deps, 64);
+        sched.set_vector_dim(StmtId(0), Some(1));
+        let vec = extract_features(&scop, &sched, &deps, 64);
+        assert_eq!(vec.vectorized_stmts, 1);
+        let m = MachineModel::default();
+        assert!(estimate_cycles(&m, &vec) < estimate_cycles(&m, &base));
+    }
+
+    #[test]
+    fn scores_are_finite_under_extreme_estimates() {
+        let scop = stencil();
+        let deps = polytops_deps::analyze(&scop);
+        let sched = identity_schedule(Some(vec![1 << 20, 1 << 20]));
+        let f = extract_features(&scop, &sched, &deps, i64::MAX / 2);
+        let m = MachineModel::default();
+        let cycles = estimate_cycles(&m, &f);
+        assert!(cycles > 0);
+        assert_eq!(model_score(&m, &f), -cycles);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the static performance model (vendored proptest
+//! shim): scores stay finite under arbitrary feature vectors, and for
+//! parallel schedules the estimated cycle count is monotonically
+//! non-increasing in the machine's core count.
+
+use polytops_machine::model::{estimate_cycles, model_score, ScheduleFeatures};
+use polytops_machine::MachineModel;
+use proptest::prelude::*;
+
+/// A synthetic feature vector: the generator drives the quantities the
+/// cost formula actually reads.
+#[allow(clippy::too_many_arguments)]
+fn features(
+    outer_parallel: bool,
+    parallel_dims: usize,
+    vectorized_stmts: usize,
+    num_stmts: usize,
+    total_ops: i64,
+    reuse: Vec<i64>,
+    footprint_bytes: i64,
+    sync_events: i64,
+) -> ScheduleFeatures {
+    ScheduleFeatures {
+        dims: 3,
+        num_stmts,
+        outer_parallel,
+        parallel_dims,
+        max_band_width: 2,
+        vectorized_stmts: vectorized_stmts.min(num_stmts),
+        total_ops,
+        total_instances: total_ops,
+        tiled: footprint_bytes > 0,
+        footprint_bytes,
+        reuse_distances: reuse,
+        element_size: 8,
+        sync_events,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn scores_are_finite_and_negative_cycles(
+        (ops, sync) in (1i64..=i64::MAX / 16, 0i64..=1 << 40),
+        reuse in collection::vec(0i64..=i64::MAX / 16, 0..6),
+        footprint in 0i64..=i64::MAX / 16,
+        (outer, pdims, vstmts) in (0u8..=1, 0usize..=3, 0usize..=4),
+        cores in 1u32..=1024,
+    ) {
+        let f = features(outer == 1, pdims, vstmts, 4, ops, reuse, footprint, sync);
+        let machine = MachineModel { num_cores: cores, ..MachineModel::default() };
+        let cycles = estimate_cycles(&machine, &f);
+        prop_assert!(cycles > 0, "cycles must be positive, got {cycles}");
+        prop_assert!(cycles < i64::MAX / 2, "cycles must stay clamped, got {cycles}");
+        prop_assert_eq!(model_score(&machine, &f), -cycles);
+    }
+
+    #[test]
+    fn parallel_schedules_are_monotone_in_num_cores(
+        ops in 1i64..=1 << 50,
+        reuse in collection::vec(0i64..=1 << 50, 0..6),
+        (footprint, sync) in (0i64..=1 << 50, 0i64..=1 << 20),
+        (outer, extra_pdims, vstmts) in (0u8..=1, 0usize..=3, 0usize..=4),
+        (lo, hi) in (1u32..=512, 1u32..=512),
+    ) {
+        // Ensure the schedule is parallel one way or the other.
+        let pdims = if outer == 1 { extra_pdims } else { extra_pdims + 1 };
+        let f = features(outer == 1, pdims, vstmts, 4, ops, reuse, footprint, sync);
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let few = MachineModel { num_cores: lo, ..MachineModel::default() };
+        let many = MachineModel { num_cores: hi, ..MachineModel::default() };
+        prop_assert!(
+            estimate_cycles(&many, &f) <= estimate_cycles(&few, &f),
+            "more cores must never slow a parallel schedule: {lo} -> {hi} cores"
+        );
+    }
+}

@@ -13,8 +13,10 @@ use std::collections::BTreeMap;
 
 use polytops_core::json::Json;
 use polytops_core::scenario::{ScenarioReport, ScenarioResult};
+use polytops_core::tune::{MachineModel, TuneBudget, TuneOutcome};
 use polytops_core::{presets, PipelineStats, RegistryStats, SchedulerConfig};
 use polytops_ir::{parse_scop, Schedule, Scop, StmtId};
+use polytops_machine::model::ScheduleFeatures;
 
 /// One named configuration inside a schedule request.
 #[derive(Debug, Clone)]
@@ -41,11 +43,31 @@ pub struct ScheduleRequest {
     pub split_components: bool,
 }
 
+/// A parsed `"op": "autotune"` request.
+#[derive(Debug, Clone)]
+pub struct AutotuneRequest {
+    /// Request id, echoed verbatim in the response (`null` if absent).
+    pub id: Json,
+    /// The submitted SCoP.
+    pub scop: Scop,
+    /// The machine to tune for (daemon default plus any overrides the
+    /// request carried).
+    pub machine: MachineModel,
+    /// Maximum candidate configurations to explore.
+    pub max_candidates: usize,
+    /// Parametric-loop trip estimate for feature extraction.
+    pub param_estimate: i64,
+}
+
 /// Any request the daemon understands.
 #[derive(Debug, Clone)]
 pub enum Request {
     /// Schedule a SCoP under one or more configurations (batched).
     Schedule(Box<ScheduleRequest>),
+    /// Explore the machine-derived configuration lattice for a SCoP and
+    /// return the cost model's pick (runs on the engine pool,
+    /// independent of the admission window).
+    Autotune(Box<AutotuneRequest>),
     /// Report registry and service counters (immediate).
     Stats,
     /// Liveness probe (immediate).
@@ -73,8 +95,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         "schedule" => parse_schedule(obj).map(|r| Request::Schedule(Box::new(r))),
+        "autotune" => parse_autotune(obj).map(|r| Request::Autotune(Box::new(r))),
         other => Err(format!(
-            "unknown op `{other}` (expected schedule, stats, ping or shutdown)"
+            "unknown op `{other}` (expected schedule, autotune, stats, ping or shutdown)"
         )),
     }
 }
@@ -138,6 +161,70 @@ fn parse_schedule(obj: &BTreeMap<String, Json>) -> Result<ScheduleRequest, Strin
         scop,
         scenarios,
         split_components,
+    })
+}
+
+fn parse_autotune(obj: &BTreeMap<String, Json>) -> Result<AutotuneRequest, String> {
+    let id = obj.get("id").cloned().unwrap_or(Json::Null);
+    let scop_text = obj
+        .get("scop")
+        .and_then(Json::as_str)
+        .ok_or("missing string field `scop` (polyscop exchange text)")?;
+    let scop = parse_scop(scop_text).map_err(|e| e.to_string())?;
+    let mut machine = MachineModel::default();
+    if let Some(m) = obj.get("machine") {
+        let m = m.as_object().ok_or("`machine` must be an object")?;
+        for (key, value) in m {
+            let v = value
+                .as_int()
+                .ok_or_else(|| format!("`machine.{key}` must be an integer"))?;
+            let as_u32 = |v: i64, key: &str| {
+                u32::try_from(v).map_err(|_| format!("`machine.{key}` out of range"))
+            };
+            match key.as_str() {
+                "num_cores" => machine.num_cores = as_u32(v, key)?.max(1),
+                "cache_bytes" => {
+                    // Bounded at 1 TiB: `square_tile_edge` walks the
+                    // edge linearly (O(√capacity)), so an absurd
+                    // capacity would stall the reader thread while it
+                    // holds the daemon-wide autotune slot.
+                    machine.cache_bytes = u64::try_from(v)
+                        .ok()
+                        .filter(|&b| b <= 1 << 40)
+                        .ok_or("`machine.cache_bytes` out of range (max 2^40)")?
+                }
+                "cache_line_bytes" => machine.cache_line_bytes = as_u32(v, key)?.max(1),
+                "vector_bytes" => machine.vector_bytes = as_u32(v, key)?.max(1),
+                "miss_penalty_cycles" => machine.miss_penalty_cycles = as_u32(v, key)?,
+                "sync_cycles" => machine.sync_cycles = as_u32(v, key)?,
+                other => return Err(format!("unknown field `{other}` in `machine`")),
+            }
+        }
+    }
+    let budget = TuneBudget::default();
+    let max_candidates = match obj.get("max_candidates") {
+        None => budget.max_candidates,
+        Some(v) => usize::try_from(v.as_int().ok_or("`max_candidates` must be an integer")?)
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or("`max_candidates` must be at least 1")?,
+    };
+    let param_estimate = match obj.get("param_estimate") {
+        None => budget.param_estimate,
+        Some(v) => {
+            let v = v.as_int().ok_or("`param_estimate` must be an integer")?;
+            if v < 2 {
+                return Err("`param_estimate` must be at least 2".to_string());
+            }
+            v
+        }
+    };
+    Ok(AutotuneRequest {
+        id,
+        scop,
+        machine,
+        max_candidates,
+        param_estimate,
     })
 }
 
@@ -295,6 +382,63 @@ pub fn schedule_response(
     .compact()
 }
 
+/// Serializes the model's feature vector of a schedule (the
+/// `winner.features` object of an autotune response).
+pub fn features_to_json(f: &ScheduleFeatures) -> Json {
+    object(vec![
+        ("dims", Json::Int(f.dims as i64)),
+        ("num_stmts", Json::Int(f.num_stmts as i64)),
+        ("outer_parallel", Json::Bool(f.outer_parallel)),
+        ("parallel_dims", Json::Int(f.parallel_dims as i64)),
+        ("max_band_width", Json::Int(f.max_band_width as i64)),
+        ("vectorized_stmts", Json::Int(f.vectorized_stmts as i64)),
+        ("total_ops", Json::Int(f.total_ops)),
+        ("total_instances", Json::Int(f.total_instances)),
+        ("tiled", Json::Bool(f.tiled)),
+        ("footprint_bytes", Json::Int(f.footprint_bytes)),
+        (
+            "reuse_distances",
+            Json::Array(f.reuse_distances.iter().map(|&r| Json::Int(r)).collect()),
+        ),
+        ("element_size", Json::Int(i64::from(f.element_size))),
+        ("sync_events", Json::Int(f.sync_events)),
+    ])
+}
+
+/// A successful autotune response line: the winning candidate (name,
+/// model score, feature vector, schedule, oracle verdict) plus every
+/// candidate's score (`null` when that configuration failed to
+/// schedule), in lattice order. Deterministic byte-for-byte for a given
+/// (SCoP, machine, budget), like every other response.
+pub fn autotune_response(id: &Json, outcome: &TuneOutcome) -> String {
+    let candidates: Vec<Json> = outcome
+        .candidates
+        .iter()
+        .map(|(name, score)| {
+            object(vec![
+                ("name", Json::Str(name.clone())),
+                ("score", score.map_or(Json::Null, Json::Int)),
+            ])
+        })
+        .collect();
+    object(vec![
+        ("id", id.clone()),
+        ("ok", Json::Bool(true)),
+        (
+            "winner",
+            object(vec![
+                ("name", Json::Str(outcome.winner.name.clone())),
+                ("score", Json::Int(outcome.score)),
+                ("certified", Json::Bool(outcome.certified)),
+                ("features", features_to_json(&outcome.features)),
+                ("schedule", schedule_to_json(&outcome.winner.schedule)),
+            ]),
+        ),
+        ("candidates", Json::Array(candidates)),
+    ])
+    .compact()
+}
+
 /// An error response line (any op).
 pub fn error_response(id: &Json, message: &str) -> String {
     object(vec![
@@ -412,6 +556,68 @@ mod tests {
         assert_eq!(req.scenarios[1].name, "tuned");
         assert_eq!(req.scenarios[1].config.post.tile_sizes, vec![32]);
         assert!(!req.split_components);
+    }
+
+    #[test]
+    fn autotune_request_parses_with_machine_overrides() {
+        let line = object(vec![
+            ("op", Json::Str("autotune".into())),
+            ("id", Json::Str("t1".into())),
+            ("scop", Json::Str(print_scop(&stencil_chain()))),
+            (
+                "machine",
+                object(vec![
+                    ("num_cores", Json::Int(4)),
+                    ("cache_bytes", Json::Int(1 << 16)),
+                ]),
+            ),
+            ("max_candidates", Json::Int(5)),
+            ("param_estimate", Json::Int(128)),
+        ])
+        .compact();
+        let req = match parse_request(&line).unwrap() {
+            Request::Autotune(r) => r,
+            other => panic!("expected autotune, got {other:?}"),
+        };
+        assert_eq!(req.scop, stencil_chain());
+        assert_eq!(req.machine.num_cores, 4);
+        assert_eq!(req.machine.cache_bytes, 1 << 16);
+        // Untouched fields keep the daemon default.
+        assert_eq!(
+            req.machine.vector_bytes,
+            MachineModel::default().vector_bytes
+        );
+        assert_eq!(req.max_candidates, 5);
+        assert_eq!(req.param_estimate, 128);
+
+        let bad = line.replace("num_cores", "frequency_ghz");
+        assert!(parse_request(&bad).unwrap_err().contains("frequency_ghz"));
+    }
+
+    #[test]
+    fn autotune_response_serializes_winner_and_candidates() {
+        let scop = stencil_chain();
+        let outcome = polytops_core::tune::explore(
+            &scop,
+            &MachineModel::default(),
+            &TuneBudget {
+                max_candidates: 3,
+                threads: 1,
+                param_estimate: 64,
+            },
+        )
+        .unwrap();
+        let line = autotune_response(&Json::Str("t2".into()), &outcome);
+        let parsed = polytops_core::json::parse(&line).unwrap();
+        let obj = parsed.as_object().unwrap();
+        assert_eq!(obj["ok"].as_bool(), Some(true));
+        let winner = obj["winner"].as_object().unwrap();
+        assert_eq!(winner["certified"].as_bool(), Some(true));
+        assert_eq!(winner["score"].as_int(), Some(outcome.score));
+        assert!(winner["features"].as_object().unwrap()["total_ops"]
+            .as_int()
+            .is_some());
+        assert_eq!(obj["candidates"].as_array().unwrap().len(), 3);
     }
 
     #[test]

@@ -69,6 +69,12 @@ struct Shared {
     shutting_down: AtomicBool,
     requests: AtomicUsize,
     batches: AtomicUsize,
+    /// Serializes autotune explorations: each one spawns its own
+    /// `--threads`-wide engine pool, so without this N concurrent
+    /// autotune clients would run N pools and the thread knob would no
+    /// longer bound the daemon's parallelism (worst case stays one
+    /// batch pool + one tuner pool).
+    autotune: Mutex<()>,
 }
 
 impl Shared {
@@ -121,6 +127,7 @@ impl Server {
             shutting_down: AtomicBool::new(false),
             requests: AtomicUsize::new(0),
             batches: AtomicUsize::new(0),
+            autotune: Mutex::new(()),
         });
         // A bounded queue so a flood of requests applies backpressure to
         // readers instead of growing without bound.
@@ -231,6 +238,48 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>, tx: &SyncSender<Adm
             Ok(Request::Shutdown) => {
                 send_line(&reply, r#"{"ok":true,"shutting_down":true}"#);
                 shared.begin_shutdown();
+            }
+            Ok(Request::Autotune(req)) => {
+                if shared.is_shutting_down() {
+                    send_line(&reply, &protocol::error_response(&req.id, "shutting down"));
+                } else {
+                    // The tuner is its own batch: it synthesizes a whole
+                    // candidate lattice and runs it on the engine pool,
+                    // so it bypasses the admission window and answers
+                    // from the reader thread — one exploration at a
+                    // time (see `Shared::autotune`).
+                    shared.requests.fetch_add(1, Ordering::Relaxed);
+                    shared.batches.fetch_add(1, Ordering::Relaxed);
+                    let budget = polytops_core::tune::TuneBudget {
+                        max_candidates: req.max_candidates,
+                        threads: shared.config.threads,
+                        param_estimate: req.param_estimate,
+                    };
+                    // Repeated tuning of a known SCoP rides the same
+                    // registry residency as the schedule op: the entry's
+                    // dependence analysis and Farkas caches persist
+                    // across autotune requests and clients.
+                    let (entry, _) = shared.registry.resolve(&req.scop.name, &req.scop);
+                    // The guard protects no data, so a panic inside a
+                    // previous exploration must not poison the op for
+                    // the daemon's remaining lifetime.
+                    let _one_at_a_time = shared
+                        .autotune
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    let line =
+                        match polytops_core::tune::explore_entry(&entry, &req.machine, &budget) {
+                            Ok(outcome) if outcome.certified => {
+                                protocol::autotune_response(&req.id, &outcome)
+                            }
+                            Ok(_) => protocol::error_response(
+                                &req.id,
+                                "internal error: tuned schedule failed oracle certification",
+                            ),
+                            Err(e) => protocol::error_response(&req.id, &e.to_string()),
+                        };
+                    send_line(&reply, &line);
+                }
             }
             Ok(Request::Schedule(req)) => {
                 if shared.is_shutting_down() {

@@ -298,6 +298,70 @@ fn concurrent_clients_match_sequential_offline_runs() {
 }
 
 #[test]
+fn autotune_op_returns_a_certified_deterministic_winner() {
+    use std::collections::BTreeMap;
+    let line = Json::Object(BTreeMap::from([
+        ("op".to_string(), Json::Str("autotune".to_string())),
+        ("id".to_string(), Json::Str("tune/jacobi".to_string())),
+        (
+            "scop".to_string(),
+            Json::Str(polytops_ir::print_scop(&jacobi_1d())),
+        ),
+        (
+            "machine".to_string(),
+            Json::Object(BTreeMap::from([
+                ("num_cores".to_string(), Json::Int(8)),
+                ("cache_bytes".to_string(), Json::Int(1 << 20)),
+            ])),
+        ),
+        ("max_candidates".to_string(), Json::Int(8)),
+    ]))
+    .compact();
+
+    let handle = start(local_config());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let first = client.roundtrip(&line).unwrap();
+    let parsed = polytops_core::json::parse(&first).unwrap();
+    let obj = parsed.as_object().unwrap();
+    assert_eq!(obj["ok"].as_bool(), Some(true), "{first}");
+    let winner = obj["winner"].as_object().unwrap();
+    assert_eq!(winner["certified"].as_bool(), Some(true));
+    let winner_score = winner["score"].as_int().unwrap();
+    let candidates = obj["candidates"].as_array().unwrap();
+    assert_eq!(candidates.len(), 8);
+    // The winner's score is the maximum over every scored candidate —
+    // in particular it matches or beats the default preset (the first
+    // lattice entry, "pluto").
+    let first_candidate = candidates[0].as_object().unwrap();
+    assert_eq!(first_candidate["name"].as_str(), Some("pluto"));
+    for c in candidates {
+        if let Some(score) = c.as_object().unwrap()["score"].as_int() {
+            assert!(winner_score >= score);
+        }
+    }
+
+    // Same request, fresh connection: byte-identical answer, served
+    // from the now-resident registry entry (no re-analysis).
+    let mut second = Client::connect(handle.addr()).unwrap();
+    assert_eq!(
+        second.roundtrip(&line).unwrap(),
+        first,
+        "autotune responses must be deterministic"
+    );
+    let registry = handle.registry_stats();
+    assert_eq!(registry.entries, 1, "autotune SCoPs become resident");
+    assert_eq!(registry.hits, 1, "second autotune rides the registry");
+    // Autotune traffic shows up in the service counters.
+    let stats = second.stats().unwrap();
+    assert_eq!(
+        stats.as_object().unwrap()["requests"].as_int(),
+        Some(2),
+        "{stats:?}"
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn shutdown_op_stops_the_daemon() {
     let handle = start(local_config());
     let mut client = Client::connect(handle.addr()).unwrap();

@@ -152,6 +152,111 @@ pub fn jacobi_1d() -> Scop {
     b.build().expect("jacobi_1d builds")
 }
 
+/// `for t for i for j A[i][j] = A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1];`
+///
+/// An in-place 2-d heat/Seidel-style stencil: bidirectional space
+/// dependences in both `i` and `j` carried by the time loop. The 3-deep
+/// skewing candidate of the suite (jacobi_1d's big sibling) and the
+/// autotuner's hardest locality case — untiled, every sweep of the
+/// plane streams the whole array between reuses.
+pub fn heat_2d() -> Scop {
+    let mut b = ScopBuilder::new("heat_2d");
+    let t = b.param("T");
+    let n = b.param("N");
+    let a = b.array("A", &[n.clone(), n.clone()], 8);
+    b.open_loop("t", Aff::val(0), t - 1);
+    b.open_loop("i", Aff::val(1), n.clone() - 2);
+    b.open_loop("j", Aff::val(1), n - 2);
+    b.stmt("S0")
+        .read(a, &[Aff::var("i") - 1, Aff::var("j")])
+        .read(a, &[Aff::var("i") + 1, Aff::var("j")])
+        .read(a, &[Aff::var("i"), Aff::var("j") - 1])
+        .read(a, &[Aff::var("i"), Aff::var("j") + 1])
+        .write(a, &[Aff::var("i"), Aff::var("j")])
+        .ops(3)
+        .text("A[i][j] = A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1];")
+        .add(&mut b);
+    b.close_loop();
+    b.close_loop();
+    b.close_loop();
+    b.build().expect("heat_2d builds")
+}
+
+/// The PolyBench `gemver` composite: a rank-2 update feeding two
+/// matrix-vector products through a vector update.
+///
+/// ```c
+/// for (i) for (j) A[i][j] = A[i][j] + u1[i]*v1[j] + u2[i]*v2[j];  // S0
+/// for (i) for (j) x[i] = x[i] + A[j][i] * y[j];                   // S1
+/// for (i)         x[i] = x[i] + z[i];                             // S2
+/// for (i) for (j) w[i] = w[i] + A[i][j] * x[j];                   // S3
+/// ```
+///
+/// Four statements chained by flow dependences on `A` (transposed in
+/// S1) and `x`: the fusion/distribution stress case of the sweep, with
+/// per-statement parallel outer loops once distributed.
+pub fn gemver() -> Scop {
+    let mut b = ScopBuilder::new("gemver");
+    let n = b.param("N");
+    let a = b.array("A", &[n.clone(), n.clone()], 8);
+    let u1 = b.array("u1", &[n.clone()], 8);
+    let v1 = b.array("v1", &[n.clone()], 8);
+    let u2 = b.array("u2", &[n.clone()], 8);
+    let v2 = b.array("v2", &[n.clone()], 8);
+    let x = b.array("x", &[n.clone()], 8);
+    let y = b.array("y", &[n.clone()], 8);
+    let z = b.array("z", &[n.clone()], 8);
+    let w = b.array("w", &[n.clone()], 8);
+    b.open_loop("i", Aff::val(0), n.clone() - 1);
+    b.open_loop("j", Aff::val(0), n.clone() - 1);
+    b.stmt("S0")
+        .read(a, &[Aff::var("i"), Aff::var("j")])
+        .read(u1, &[Aff::var("i")])
+        .read(v1, &[Aff::var("j")])
+        .read(u2, &[Aff::var("i")])
+        .read(v2, &[Aff::var("j")])
+        .write(a, &[Aff::var("i"), Aff::var("j")])
+        .ops(4)
+        .text("A[i][j] = A[i][j] + u1[i]*v1[j] + u2[i]*v2[j];")
+        .add(&mut b);
+    b.close_loop();
+    b.close_loop();
+    b.open_loop("i", Aff::val(0), n.clone() - 1);
+    b.open_loop("j", Aff::val(0), n.clone() - 1);
+    b.stmt("S1")
+        .read(x, &[Aff::var("i")])
+        .read(a, &[Aff::var("j"), Aff::var("i")])
+        .read(y, &[Aff::var("j")])
+        .write(x, &[Aff::var("i")])
+        .ops(2)
+        .text("x[i] = x[i] + A[j][i] * y[j];")
+        .add(&mut b);
+    b.close_loop();
+    b.close_loop();
+    b.open_loop("i", Aff::val(0), n.clone() - 1);
+    b.stmt("S2")
+        .read(x, &[Aff::var("i")])
+        .read(z, &[Aff::var("i")])
+        .write(x, &[Aff::var("i")])
+        .ops(1)
+        .text("x[i] = x[i] + z[i];")
+        .add(&mut b);
+    b.close_loop();
+    b.open_loop("i", Aff::val(0), n.clone() - 1);
+    b.open_loop("j", Aff::val(0), n - 1);
+    b.stmt("S3")
+        .read(w, &[Aff::var("i")])
+        .read(a, &[Aff::var("i"), Aff::var("j")])
+        .read(x, &[Aff::var("j")])
+        .write(w, &[Aff::var("i")])
+        .ops(2)
+        .text("w[i] = w[i] + A[i][j] * x[j];")
+        .add(&mut b);
+    b.close_loop();
+    b.close_loop();
+    b.build().expect("gemver builds")
+}
+
 /// All kernels with their names, for sweep-style tests and benchmarks.
 pub fn all_kernels() -> Vec<(&'static str, Scop)> {
     vec![
@@ -160,6 +265,8 @@ pub fn all_kernels() -> Vec<(&'static str, Scop)> {
         ("producer_consumer", producer_consumer()),
         ("reversed_consumer", reversed_consumer()),
         ("jacobi_1d", jacobi_1d()),
+        ("heat_2d", heat_2d()),
+        ("gemver", gemver()),
     ]
 }
 
@@ -175,7 +282,11 @@ mod tests {
         assert_eq!(producer_consumer().statements.len(), 2);
         assert_eq!(reversed_consumer().statements.len(), 2);
         assert_eq!(jacobi_1d().nparams(), 2);
-        assert_eq!(all_kernels().len(), 5);
+        assert_eq!(heat_2d().max_depth(), 3);
+        assert_eq!(heat_2d().nparams(), 2);
+        assert_eq!(gemver().statements.len(), 4);
+        assert_eq!(gemver().max_depth(), 2);
+        assert_eq!(all_kernels().len(), 7);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub fn preset_grid() -> Vec<(&'static str, SchedulerConfig)> {
 }
 
 /// Builds the full standard sweep: [`all_kernels`] × [`preset_grid`]
-/// (5 kernels × 4 presets = 20 scenarios).
+/// (7 kernels × 4 presets = 28 scenarios).
 pub fn standard_sweep() -> ScenarioSet {
     let mut set = ScenarioSet::new();
     for (kernel, scop) in all_kernels() {
@@ -46,8 +46,13 @@ mod tests {
     #[test]
     fn standard_sweep_covers_the_grid() {
         let set = standard_sweep();
-        assert_eq!(set.scops().len(), 5);
-        assert_eq!(set.len(), 5 * preset_grid().len());
+        assert_eq!(set.scops().len(), 7);
+        assert_eq!(set.len(), 7 * preset_grid().len());
         assert!(set.scenarios().iter().any(|s| s.name == "matmul/wavefront"));
+        assert!(set
+            .scenarios()
+            .iter()
+            .any(|s| s.name == "heat_2d/wavefront"));
+        assert!(set.scenarios().iter().any(|s| s.name == "gemver/pluto"));
     }
 }

@@ -13,9 +13,11 @@
 //! * [`ir`](polytops_ir) — SCoPs, schedules, builders, frontends;
 //! * [`deps`](polytops_deps) — dependence analysis and legality oracles;
 //! * [`core`](polytops_core) — configurations, cost functions, the
-//!   iterative scheduling driver and the parallel scenario engine;
+//!   iterative scheduling driver, the parallel scenario engine and the
+//!   machine-driven autotuner ([`tune`]);
 //! * [`codegen`] — band-tree code generation and schedule printing;
-//! * [`machine`] — machine models;
+//! * [`machine`] — machine models and the static performance model
+//!   ([`machine::model`]) the autotuner scores schedules with;
 //! * [`workloads`] — reference polyhedral kernels, the standard
 //!   scenario sweep ([`workloads::sweep`]) and the service
 //!   request-stream generator ([`workloads::requests`]);
@@ -54,10 +56,10 @@ pub use polytops_workloads as workloads;
 
 pub use polytops_core::{
     json, presets, registry, scenario, schedule, schedule_with_options, schedule_with_strategy,
-    ConfigStrategy, CostFn, DimMap, DimSolution, DimensionPlan, Directive, DirectiveKind,
-    EngineOptions, FarkasCache, FusionControl, FusionHeuristic, IlpSpace, PipelineStats,
-    PostProcess, Reaction, RegistryStats, ScenarioReport, ScenarioResult, ScenarioSet,
-    ScheduleError, SchedulerConfig, ScopEntry, ScopRegistry, Strategy, StrategyState,
+    tune, ConfigStrategy, CostFn, DimMap, DimSolution, DimensionPlan, Directive, DirectiveKind,
+    EngineOptions, FarkasCache, FusionControl, FusionHeuristic, IlpSpace, MachineModel,
+    PipelineStats, PostProcess, Reaction, RegistryStats, ScenarioReport, ScenarioResult,
+    ScenarioSet, ScheduleError, SchedulerConfig, ScopEntry, ScopRegistry, Strategy, StrategyState,
 };
 pub use polytops_deps::{
     analyze, dependence_sccs, respects, schedule_respects_dependence, strongly_satisfies,
