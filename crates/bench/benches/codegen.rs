@@ -1,0 +1,161 @@
+//! Codegen benchmark: structural quality of the schedule-tree backend
+//! over the full kernel × preset sweep.
+//!
+//! For every scenario this bench generates the AST through
+//! [`polytops_codegen::generate`], counts loops, residual guards and the
+//! maximum loop depth, and compares the loop count against the
+//! flat-schedule Fourier–Motzkin scanner the tree backend replaced
+//! (captured at the last commit that carried it). Two contracts are
+//! **asserted** before any number is reported:
+//!
+//! 1. the tree backend never emits more loops than the old separation
+//!    did, and emits strictly fewer on at least one scenario (fused
+//!    statements no longer split into sibling nests);
+//! 2. per-scenario guard counts never regress against the committed
+//!    baseline in `crates/bench/baselines/codegen_guards.json`
+//!    (regenerate with `UPDATE_CODEGEN_BASELINE=1` after an intentional
+//!    change and review the diff).
+//!
+//! Results land in the `"codegen"` section of `BENCH_schedule.json`
+//! (other sections are preserved).
+
+use std::time::Instant;
+
+use polytops_bench::report::{self, int, object};
+use polytops_codegen::{generate, stats};
+use polytops_core::json::{self, Json};
+use polytops_core::schedule;
+use polytops_workloads::{all_kernels, sweep::preset_grid};
+
+/// Loop counts of the deleted flat-schedule scanner, per kernel over
+/// `[pluto, feautrier, isl_like, wavefront]`.
+const OLD_FM_LOOPS: [(&str, [usize; 4]); 7] = [
+    ("stencil_chain", [1, 1, 1, 2]),
+    ("matmul", [3, 3, 3, 6]),
+    ("producer_consumer", [1, 2, 1, 2]),
+    ("reversed_consumer", [2, 2, 2, 4]),
+    ("jacobi_1d", [2, 2, 2, 4]),
+    ("heat_2d", [3, 3, 3, 6]),
+    ("gemver", [3, 7, 7, 7]),
+];
+
+fn baseline_path() -> String {
+    format!(
+        "{}/baselines/codegen_guards.json",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn load_baseline(path: &str) -> Option<Json> {
+    let text = std::fs::read_to_string(path).ok()?;
+    json::parse(&text).ok()
+}
+
+fn main() {
+    let update = std::env::var_os("UPDATE_CODEGEN_BASELINE").is_some();
+    let path = baseline_path();
+    let baseline = load_baseline(&path);
+
+    let mut entries: Vec<Json> = Vec::new();
+    let mut new_baseline: Vec<(String, Json)> = Vec::new();
+    let mut saved_total = 0usize;
+    let mut strictly_fewer = 0usize;
+    let mut total_ns: u128 = 0;
+    for (kernel, scop) in all_kernels() {
+        let old_row = OLD_FM_LOOPS
+            .iter()
+            .find(|(k, _)| *k == kernel)
+            .map(|(_, row)| row);
+        for (pi, (preset, config)) in preset_grid().into_iter().enumerate() {
+            let name = format!("{kernel}/{preset}");
+            let sched = schedule(&scop, &config).expect("sweep kernel schedules");
+            let t0 = Instant::now();
+            let ast = generate(&scop, &sched).expect("sweep kernel lowers");
+            let generate_ns = t0.elapsed().as_nanos();
+            total_ns += generate_ns;
+            let s = stats(&ast);
+
+            let old_loops = old_row.map(|row| row[pi]);
+            if let Some(old) = old_loops {
+                assert!(
+                    s.loops <= old,
+                    "{name}: tree backend emits {} loops, old separation emitted {old}",
+                    s.loops
+                );
+                saved_total += old - s.loops;
+                if s.loops < old {
+                    strictly_fewer += 1;
+                }
+            }
+            if !update {
+                if let Some(base) = baseline
+                    .as_ref()
+                    .and_then(Json::as_object)
+                    .and_then(|o| o.get(name.as_str()))
+                    .and_then(Json::as_int)
+                {
+                    assert!(
+                        s.guards as i64 <= base,
+                        "{name}: {} residual guards regress the committed baseline {base} \
+                         (UPDATE_CODEGEN_BASELINE=1 regenerates after intentional changes)",
+                        s.guards
+                    );
+                }
+            }
+            new_baseline.push((name.clone(), int(s.guards as i64)));
+
+            println!(
+                "{name:<30} loops {:>2} (old fm {})  guards {:>2}  depth {:>2}  ({:.2} ms)",
+                s.loops,
+                old_loops.map_or_else(|| "?".into(), |o| o.to_string()),
+                s.guards,
+                s.max_depth,
+                generate_ns as f64 / 1e6,
+            );
+            entries.push(report::object([
+                ("scenario", Json::Str(name)),
+                ("loops", int(s.loops as i64)),
+                ("guards", int(s.guards as i64)),
+                ("max_depth", int(s.max_depth as i64)),
+                (
+                    "old_fm_loops",
+                    old_loops.map_or(Json::Null, |o| int(o as i64)),
+                ),
+                ("generate_ns", int(generate_ns as i64)),
+            ]));
+        }
+    }
+
+    assert!(
+        strictly_fewer > 0,
+        "at least one scenario must emit strictly fewer loops than the old separation"
+    );
+    println!(
+        "codegen: {strictly_fewer}/{} scenarios beat the old separation, {saved_total} \
+         duplicated loops eliminated ({:.1} ms total generation)",
+        entries.len(),
+        total_ns as f64 / 1e6
+    );
+
+    if update {
+        let obj = Json::Object(new_baseline.into_iter().collect());
+        std::fs::write(&path, format!("{}\n", obj)).expect("write baseline");
+        println!("-> {path} (baseline regenerated)");
+    } else if baseline.is_none() {
+        println!("note: no committed baseline at {path}; run with UPDATE_CODEGEN_BASELINE=1");
+    }
+
+    let out = report::default_path();
+    report::update_section(
+        &out,
+        "codegen",
+        object([
+            ("scenarios", int(entries.len() as i64)),
+            ("strictly_fewer_loops", int(strictly_fewer as i64)),
+            ("duplicated_loops_eliminated", int(saved_total as i64)),
+            ("generate_ns_total", int(total_ns as i64)),
+            ("entries", Json::Array(entries)),
+        ]),
+    );
+    println!("-> {out}");
+}

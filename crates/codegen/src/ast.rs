@@ -1,33 +1,37 @@
-//! Band-tree AST generation: a CLooG-lite polyhedral scanner.
+//! Schedule-tree code generation: a CLooG-lite polyhedral scanner over
+//! the explicit [`polytops_ir::ScheduleTree`].
 //!
-//! [`band_tree`] turns a [`Schedule`] (including the tiling metadata the
-//! post-processing stage records) into a [`BandNode`] tree, and
-//! [`emit_c`] lowers that tree to C-like text with explicit tile loops,
-//! `#pragma omp parallel for` markers and statement instances rewritten
-//! in terms of the scan variables.
+//! [`generate`] walks the schedule tree of a [`Schedule`] (lowering the
+//! flat form first when post-processing never ran) and produces an
+//! [`AstNode`] tree; [`emit_c`] lowers that tree to C-like text with
+//! explicit tile loops, `#pragma omp parallel for` / `#pragma omp simd`
+//! markers, and statement instances rewritten over the scan variables.
 //!
 //! The scanner works per statement with exact Fourier–Motzkin
-//! projection: the statement's iteration domain is lifted into the space
-//! `(scan variables…, iterators…, parameters…)`, each *point* scan
-//! variable is pinned to its schedule row, each *tile* scan variable is
-//! boxed around its point row (`T·v ≤ φ ≤ T·v + T − 1`), the original
-//! iterators are eliminated, and loop bounds for scan variable `k` are
-//! read off the projection onto the first `k + 1` scan variables.
+//! projection: the statement's iteration domain is lifted into the
+//! space `(scan variables…, auxiliary floor variables…, iterators…,
+//! parameters…)`; each affine band member pins its scan variable to its
+//! row, each tile member (single term, divisor > 1) is boxed around its
+//! row (`T·v ≤ φ ≤ T·v + T − 1`), and each quasi-affine member (a
+//! wavefront sum of floors) introduces one auxiliary variable per
+//! floored term. Auxiliary variables and the original iterators are
+//! eliminated, and loop bounds for scan variable `k` are read off the
+//! projection onto the first `k + 1` scan variables.
 //!
-//! Known approximations, documented rather than hidden:
-//!
-//! * projections of integer sets may over-approximate (no gist/guard
-//!   generation), which can execute no-op boundary iterations but never
-//!   reorders statement instances;
-//! * statements that share a loop level but disagree on bounds are split
-//!   into sibling loops ordered by statement id (the engine always
-//!   separates differently-scheduled statements with a constant level
-//!   first, so this is a formality).
+//! Unlike the flat-schedule scanner this module replaces, statements
+//! that share a band never split into sibling loops: every band member
+//! emits **one union loop** whose bounds cover all active statements
+//! (shared bounds are proven with an exact LP implication check, and a
+//! `min`/`max` combination of the per-statement bounds covers the rest)
+//! while per-statement *guards* at the leaves restore exactness.
+//! Guards implied by the enclosing loop bounds are eliminated
+//! gist-style with the same LP check, so a statement whose domain is
+//! fully described by its loops carries no guard at all.
 
 use std::fmt::Write as _;
 
-use polytops_ir::{Schedule, Scop, StmtId};
-use polytops_math::{ConstraintSystem, Rat, Result as MathResult, RowKind};
+use polytops_ir::{MarkKind, PathStep, Schedule, Scop, StmtId, TreeNode};
+use polytops_math::{ineq_implied, ConstraintSystem, Rat, Result as MathResult, RowKind};
 
 /// One bound term `⌈expr / div⌉` (lower) or `⌊expr / div⌋` (upper); the
 /// numerator is affine over `(outer scan vars…, params, 1)`.
@@ -40,23 +44,51 @@ pub struct BoundTerm {
     pub div: i64,
 }
 
-/// A loop in the generated AST.
+/// A loop in the generated AST, scanning one band member.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoopNode {
-    /// Scan-variable index (rendered as `c{var}`).
+    /// Scan-variable index (rendered as `c{var}`): the loop's nesting
+    /// level among band members on this path.
     pub var: usize,
-    /// The schedule dimension this loop scans.
-    pub dim: usize,
-    /// Tile size when this is a tile loop (the variable counts tiles).
+    /// Tile size when this member is a tile counter (a single floored
+    /// term with divisor > 1).
     pub tile: Option<i64>,
-    /// Whether the scanned dimension is parallel.
+    /// Whether this member was wavefront-skewed (sits under a
+    /// `Mark::Wavefront` as the band's outermost member).
+    pub wavefront: bool,
+    /// Whether the member is coincident: the loop may run in parallel.
     pub parallel: bool,
-    /// Lower bound: the maximum of these terms (ceiling division).
-    pub lb: Vec<BoundTerm>,
-    /// Upper bound: the minimum of these terms (floor division).
-    pub ub: Vec<BoundTerm>,
+    /// Whether a `Mark::Vectorize` covers every statement in this loop
+    /// and this is the band's innermost member.
+    pub simd: bool,
+    /// Lower bound: `min` over the outer list of (`max` over the inner
+    /// terms). A single-element outer list is a *shared* bound, valid
+    /// for every statement in the loop.
+    pub lb: Vec<Vec<BoundTerm>>,
+    /// Upper bound: `max` over the outer list of (`min` over the inner
+    /// terms).
+    pub ub: Vec<Vec<BoundTerm>>,
     /// Loop body.
-    pub body: Vec<BandNode>,
+    pub body: Vec<AstNode>,
+}
+
+/// One leaf guard of a statement: a residual condition the enclosing
+/// loops do not already imply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Guard {
+    /// `expr ≥ 0` with `expr` affine over `(scan vars…, params, 1)`.
+    Ineq(Vec<i64>),
+    /// `expr == 0` with `expr` affine over `(scan vars…, params, 1)`.
+    Eq(Vec<i64>),
+    /// `c{var} == Σⱼ ⌊exprⱼ / divⱼ⌋`: the exact coordinate check of a
+    /// quasi-affine (wavefront) member, which no affine relaxation can
+    /// express.
+    Floors {
+        /// The scan variable the floors must sum to.
+        var: usize,
+        /// The floored terms, each over `(scan vars…, params, 1)`.
+        terms: Vec<BoundTerm>,
+    },
 }
 
 /// A statement instance in the generated AST.
@@ -67,124 +99,116 @@ pub struct StmtNode {
     /// Statement name (e.g. `S0`).
     pub name: String,
     /// Original iterators expressed over `(scan vars…, params, 1)`;
-    /// `None` when the schedule's iterator part was not integrally
-    /// invertible.
+    /// `None` when the tree's affine members do not pin the iterators
+    /// integrally.
     pub iters: Option<Vec<Vec<i64>>>,
+    /// Residual guards (empty when the loops are exact for this
+    /// statement).
+    pub guards: Vec<Guard>,
 }
 
-/// A node of the band tree.
+/// A node of the generated AST.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum BandNode {
+pub enum AstNode {
     /// A loop over one scan variable.
     Loop(LoopNode),
-    /// Sequential composition (constant schedule levels, or sibling
-    /// loops with differing bounds).
-    Seq(Vec<BandNode>),
+    /// Sequential composition (tree `Sequence` children).
+    Seq(Vec<AstNode>),
     /// A statement instance.
     Stmt(StmtNode),
 }
 
-/// One scan variable: a tile counter or a point (time) dimension.
-#[derive(Debug, Clone, Copy)]
-struct ScanVar {
-    dim: usize,
-    tile: Option<i64>,
-    /// Tile loops carry the band's stricter flag (zero distance for
-    /// every dependence live at band entry); point loops carry the
-    /// schedule's per-dimension flag.
-    parallel: bool,
+/// Structural counters of a generated AST — the quantities the codegen
+/// benchmark tracks per kernel and preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CodegenStats {
+    /// Total `for` loops emitted.
+    pub loops: usize,
+    /// Total residual guard conditions across all statements.
+    pub guards: usize,
+    /// Maximum loop nesting depth.
+    pub max_depth: usize,
 }
 
-/// The scan order induced by bands and tiling: a tiled band contributes
-/// its tile counters first, then its point dimensions.
-fn scan_order(sched: &Schedule) -> Vec<ScanVar> {
-    let mut order = Vec::new();
-    for (start, end) in sched.band_ranges() {
-        if let Some(tb) = sched
-            .tiling()
-            .iter()
-            .find(|tb| tb.start == start && tb.end == end)
-        {
-            for d in start..end {
-                order.push(ScanVar {
-                    dim: d,
-                    tile: Some(tb.sizes[d - start]),
-                    parallel: tb.parallel[d - start],
-                });
+/// Counts loops, guard conditions and the maximum loop depth of an AST.
+pub fn stats(node: &AstNode) -> CodegenStats {
+    fn walk(node: &AstNode, depth: usize, s: &mut CodegenStats) {
+        match node {
+            AstNode::Seq(children) => children.iter().for_each(|c| walk(c, depth, s)),
+            AstNode::Stmt(st) => s.guards += st.guards.len(),
+            AstNode::Loop(l) => {
+                s.loops += 1;
+                s.max_depth = s.max_depth.max(depth + 1);
+                l.body.iter().for_each(|c| walk(c, depth + 1, s));
             }
         }
-        for d in start..end {
-            order.push(ScanVar {
-                dim: d,
-                tile: None,
-                parallel: sched.parallel().get(d).copied().unwrap_or(false),
-            });
-        }
     }
-    order
+    let mut s = CodegenStats::default();
+    walk(node, 0, &mut s);
+    s
 }
 
-/// Per-statement scanning data: loop bounds per scan variable.
+/// One band member a statement crosses, specialized to that statement.
+struct MemberData {
+    /// `(numerator row, divisor)` terms; rows over the statement's
+    /// `(iters, params, 1)` columns.
+    terms: Vec<(Vec<i64>, i64)>,
+    /// The member's coincidence flag.
+    coincident: bool,
+}
+
+/// Per-statement scanning data.
 struct StmtScan {
+    /// The member steps along the statement's root-to-leaf path.
+    members: Vec<MemberData>,
     /// `bounds[k] = (lb terms, ub terms)` over `(c_0..c_{k-1}, params, 1)`.
     bounds: Vec<(Vec<BoundTerm>, Vec<BoundTerm>)>,
+    /// The full projection onto `(c_0..c_{K-1}, params)` — the exact
+    /// (convex) description of the statement's scan space, the source
+    /// of leaf guards.
+    full: ConstraintSystem,
+    /// Original iterators over `(c_0..c_{K-1}, params, 1)`, when the
+    /// affine members pin them integrally.
+    iters: Option<Vec<Vec<i64>>>,
 }
 
-/// Builds the `(scan, iters, params)` system of one statement and
-/// projects out the iterators.
-fn stmt_projection(
-    scop: &Scop,
-    sched: &Schedule,
-    order: &[ScanVar],
-    sid: usize,
-) -> MathResult<ConstraintSystem> {
-    let stmt = &scop.statements[sid];
-    let d = stmt.depth();
-    let np = scop.nparams();
-    let k = order.len();
-    let mut sys = ConstraintSystem::new(k + d + np);
-    // Domain rows (over iters, params) lifted into the new layout.
-    for (kind, row) in stmt.domain.iter() {
-        let mut r = vec![0i64; k + d + np + 1];
-        r[k..k + d + np].copy_from_slice(&row[..d + np]);
-        r[k + d + np] = row[d + np];
+/// Drops every inequality row the remaining rows already imply (an
+/// exact LP check per row). Fourier–Motzkin cascades produce heavily
+/// redundant systems; pruning after each elimination keeps the cascade
+/// small and the extracted loop bounds readable.
+fn prune_redundant(cs: &ConstraintSystem) -> ConstraintSystem {
+    let rows = cs.rows();
+    let n = rows.len();
+    let mut keep = vec![true; n];
+    for i in 0..n {
+        if rows[i].0 == RowKind::Eq {
+            continue;
+        }
+        let mut rest = ConstraintSystem::new(cs.num_vars());
+        for j in 0..n {
+            if j == i || !keep[j] {
+                continue;
+            }
+            match rows[j].0 {
+                RowKind::Eq => rest.add_eq(rows[j].1.clone()),
+                RowKind::Ineq => rest.add_ineq(rows[j].1.clone()),
+            }
+        }
+        if ineq_implied(&rest, &rows[i].1) {
+            keep[i] = false;
+        }
+    }
+    let mut out = ConstraintSystem::new(cs.num_vars());
+    for (j, (kind, row)) in rows.iter().enumerate() {
+        if !keep[j] {
+            continue;
+        }
         match kind {
-            RowKind::Eq => sys.add_eq(r),
-            RowKind::Ineq => sys.add_ineq(r),
+            RowKind::Eq => out.add_eq(row.clone()),
+            RowKind::Ineq => out.add_ineq(row.clone()),
         }
     }
-    let ss = sched.stmt(StmtId(sid));
-    for (v, sv) in order.iter().enumerate() {
-        let row = &ss.rows()[sv.dim];
-        // φ(iters, params) spread into the lifted layout.
-        let mut phi = vec![0i64; k + d + np + 1];
-        phi[k..k + d + np].copy_from_slice(&row[..d + np]);
-        phi[k + d + np] = row[d + np];
-        match sv.tile {
-            None => {
-                // c_v == φ.
-                let mut eq = phi;
-                eq[v] -= 1;
-                sys.add_eq(eq);
-            }
-            Some(size) => {
-                // size·c_v ≤ φ ≤ size·c_v + size − 1.
-                let mut lo = phi.clone();
-                lo[v] -= size;
-                sys.add_ineq(lo);
-                let mut hi: Vec<i64> = phi.iter().map(|&c| -c).collect();
-                hi[v] += size;
-                hi[k + d + np] += size - 1;
-                sys.add_ineq(hi);
-            }
-        }
-    }
-    // Eliminate the original iterators (positions k..k+d).
-    let mut cur = sys;
-    for _ in 0..d {
-        cur = cur.eliminate_var(k)?;
-    }
-    Ok(cur)
+    out
 }
 
 /// Extracts lb/ub terms for scan variable `k` from the projection onto
@@ -226,7 +250,6 @@ fn extract_bounds(proj: &ConstraintSystem, k: usize) -> (Vec<BoundTerm>, Vec<Bou
         match kind {
             RowKind::Ineq => add(c, row),
             RowKind::Eq => {
-                // Both directions.
                 add(c, row);
                 let neg: Vec<i64> = row.iter().map(|&v| -v).collect();
                 add(-c, &neg);
@@ -236,53 +259,128 @@ fn extract_bounds(proj: &ConstraintSystem, k: usize) -> (Vec<BoundTerm>, Vec<Bou
     (lb, ub)
 }
 
-/// Computes the full per-statement scan data.
-fn scan_stmt(scop: &Scop, sched: &Schedule, order: &[ScanVar], sid: usize) -> MathResult<StmtScan> {
-    let k = order.len();
-    let mut projections: Vec<ConstraintSystem> = Vec::with_capacity(k);
-    let mut cur = stmt_projection(scop, sched, order, sid)?;
-    projections.push(cur.clone()); // onto (c_0..c_{K-1}, params)
-    for kk in (1..k).rev() {
-        cur = cur.eliminate_var(kk)?;
-        projections.push(cur.clone());
-    }
-    projections.reverse(); // projections[k] is onto (c_0..c_k, params)
-    let bounds = (0..k)
-        .map(|kk| extract_bounds(&projections[kk], kk))
-        .collect();
-    Ok(StmtScan { bounds })
-}
-
-/// Inverts the iterator part of a statement schedule: expresses each
-/// original iterator over `(scan vars…, params, 1)`. Returns `None` when
-/// no integral inverse exists.
-fn invert_iters(
-    scop: &Scop,
-    sched: &Schedule,
-    order: &[ScanVar],
-    sid: usize,
-) -> Option<Vec<Vec<i64>>> {
+/// Builds one statement's scan data: lift the domain and the member
+/// constraints, eliminate auxiliary floor variables and iterators, and
+/// read per-level bounds off successive projections.
+fn scan_stmt(scop: &Scop, sid: usize, members: Vec<MemberData>) -> MathResult<StmtScan> {
     let stmt = &scop.statements[sid];
     let d = stmt.depth();
     let np = scop.nparams();
-    let k = order.len();
+    let kk = members.len();
+    let aux: usize = members
+        .iter()
+        .filter(|m| m.terms.len() > 1)
+        .map(|m| m.terms.len())
+        .sum();
+    let total = kk + aux + d + np;
+    let mut sys = ConstraintSystem::new(total);
+    // Domain rows (over iters, params) lifted into the new layout.
+    for (kind, row) in stmt.domain.iter() {
+        let mut r = vec![0i64; total + 1];
+        r[kk + aux..kk + aux + d + np].copy_from_slice(&row[..d + np]);
+        r[total] = row[d + np];
+        match kind {
+            RowKind::Eq => sys.add_eq(r),
+            RowKind::Ineq => sys.add_ineq(r),
+        }
+    }
+    // φ(iters, params) spread into the lifted layout.
+    let lift = |row: &[i64]| {
+        let mut phi = vec![0i64; total + 1];
+        phi[kk + aux..kk + aux + d + np].copy_from_slice(&row[..d + np]);
+        phi[total] = row[d + np];
+        phi
+    };
+    // div·target ≤ φ ≤ div·target + div − 1.
+    let add_box = |sys: &mut ConstraintSystem, target: usize, row: &[i64], div: i64| {
+        let mut lo = lift(row);
+        lo[target] -= div;
+        sys.add_ineq(lo);
+        let mut hi: Vec<i64> = lift(row).iter().map(|&c| -c).collect();
+        hi[target] += div;
+        hi[total] += div - 1;
+        sys.add_ineq(hi);
+    };
+    let mut next_aux = kk;
+    for (v, md) in members.iter().enumerate() {
+        if let [(row, div)] = md.terms.as_slice() {
+            if *div == 1 {
+                // c_v == φ.
+                let mut eq = lift(row);
+                eq[v] -= 1;
+                sys.add_eq(eq);
+            } else {
+                add_box(&mut sys, v, row, *div);
+            }
+        } else {
+            // c_v == Σ w_j with each w_j = ⌊rowⱼ·x / divⱼ⌋.
+            let mut eq = vec![0i64; total + 1];
+            eq[v] = 1;
+            for (row, div) in &md.terms {
+                let w = next_aux;
+                next_aux += 1;
+                eq[w] -= 1;
+                if *div == 1 {
+                    let mut e = lift(row);
+                    e[w] -= 1;
+                    sys.add_eq(e);
+                } else {
+                    add_box(&mut sys, w, row, *div);
+                }
+            }
+            sys.add_eq(eq);
+        }
+    }
+    // Eliminate the auxiliary floor variables and the original
+    // iterators (positions kk..kk+aux+d).
+    let mut cur = sys;
+    for _ in 0..(aux + d) {
+        cur = prune_redundant(&cur.eliminate_var(kk)?);
+    }
+    let full = cur.clone();
+    // Successive projections onto (c_0..c_k, params).
+    let mut projections = vec![cur.clone()];
+    for k in (1..kk).rev() {
+        cur = prune_redundant(&cur.eliminate_var(k)?);
+        projections.push(cur.clone());
+    }
+    projections.reverse();
+    let bounds = (0..kk)
+        .map(|k| extract_bounds(&projections[k], k))
+        .collect();
+    let iters = invert_iters(scop, sid, &members);
+    Ok(StmtScan {
+        members,
+        bounds,
+        full,
+        iters,
+    })
+}
+
+/// Inverts the affine members pinning a statement's iterators:
+/// expresses each original iterator over `(scan vars…, params, 1)`.
+/// Returns `None` when no integral inverse exists.
+fn invert_iters(scop: &Scop, sid: usize, members: &[MemberData]) -> Option<Vec<Vec<i64>>> {
+    let stmt = &scop.statements[sid];
+    let d = stmt.depth();
+    let np = scop.nparams();
+    let kk = members.len();
     if d == 0 {
         return Some(Vec::new());
     }
-    let ss = sched.stmt(StmtId(sid));
-    // Greedily pick dims whose iterator rows form a rank-d basis, and
-    // remember the point scan variable of each picked dim.
+    // Greedily pick affine members whose iterator rows form a rank-d
+    // basis.
     let mut m = polytops_math::IntMatrix::zeros(0, d);
-    let mut picked: Vec<usize> = Vec::new(); // schedule dims
-    for dim in 0..ss.len() {
-        if ss.row_is_constant(dim) {
+    let mut picked: Vec<usize> = Vec::new();
+    for (k, md) in members.iter().enumerate() {
+        let [(row, 1)] = md.terms.as_slice() else {
             continue;
-        }
+        };
         let mut candidate = m.clone();
-        candidate.push_row(ss.rows()[dim][..d].to_vec());
+        candidate.push_row(row[..d].to_vec());
         if candidate.rank() == candidate.rows() {
             m = candidate;
-            picked.push(dim);
+            picked.push(k);
         }
         if m.rows() == d {
             break;
@@ -292,28 +390,23 @@ fn invert_iters(
         return None;
     }
     let inv = m.to_rat().inverse().ok()?;
-    // x = M⁻¹ · (c_sel − param/const parts of the picked rows).
-    let scan_of_dim = |dim: usize| {
-        order
-            .iter()
-            .position(|sv| sv.dim == dim && sv.tile.is_none())
-    };
+    // x = M⁻¹ · (c_picked − param/const parts of the picked rows).
     let mut out = Vec::with_capacity(d);
     for i in 0..d {
-        let mut expr_rat = vec![Rat::ZERO; k + np + 1];
-        for (j, &dim) in picked.iter().enumerate() {
+        let mut expr_rat = vec![Rat::ZERO; kk + np + 1];
+        for (j, &k) in picked.iter().enumerate() {
             let w = inv[(i, j)];
             if w == Rat::ZERO {
                 continue;
             }
-            let row = &ss.rows()[dim];
-            expr_rat[scan_of_dim(dim)?] += w;
+            let row = &members[k].terms[0].0;
+            expr_rat[k] += w;
             for p in 0..np {
-                expr_rat[k + p] -= w * Rat::from(row[d + p]);
+                expr_rat[kk + p] -= w * Rat::from(row[d + p]);
             }
-            expr_rat[k + np] -= w * Rat::from(row[d + np]);
+            expr_rat[kk + np] -= w * Rat::from(row[d + np]);
         }
-        let mut expr = Vec::with_capacity(k + np + 1);
+        let mut expr = Vec::with_capacity(kk + np + 1);
         for v in expr_rat {
             expr.push(i64::try_from(v.to_integer()?).ok()?);
         }
@@ -322,113 +415,368 @@ fn invert_iters(
     Some(out)
 }
 
-/// Builds the band tree for a scheduled SCoP.
+/// Lifts a bound on `c_k` (over `(c_0..c_{k-1}, params, 1)`) into a
+/// statement's full `(c_0..c_{K-1}, params)` row: `div·c_k − expr ≥ 0`
+/// for lower bounds, `expr − div·c_k ≥ 0` for upper bounds.
+fn lift_bound(term: &BoundTerm, k: usize, kk: usize, np: usize, lower: bool) -> Vec<i64> {
+    let sign = if lower { -1 } else { 1 };
+    let mut row = vec![0i64; kk + np + 1];
+    for (i, &c) in term.expr[..k].iter().enumerate() {
+        row[i] = sign * c;
+    }
+    for (p, &c) in term.expr[k..].iter().enumerate() {
+        row[kk + p] = sign * c;
+    }
+    row[k] = -sign * term.div;
+    row
+}
+
+/// Whether `term` is a valid `c_k` bound for every point of `scan`'s
+/// statement (an exact LP implication over the full projection).
+fn bound_valid(scan: &StmtScan, k: usize, term: &BoundTerm, lower: bool, np: usize) -> bool {
+    let row = lift_bound(term, k, scan.members.len(), np, lower);
+    ineq_implied(&scan.full, &row)
+}
+
+/// The union bound of one loop level: the shared terms every active
+/// statement satisfies when such terms exist, otherwise the per-
+/// statement bound lists combined with an outer `min`/`max`.
+fn union_bounds(
+    scans: &[StmtScan],
+    active: &[usize],
+    k: usize,
+    lower: bool,
+    np: usize,
+) -> Vec<Vec<BoundTerm>> {
+    let list_of = |s: usize| -> &Vec<BoundTerm> {
+        let (lb, ub) = &scans[s].bounds[k];
+        if lower {
+            lb
+        } else {
+            ub
+        }
+    };
+    let mut candidates: Vec<BoundTerm> = Vec::new();
+    for &s in active {
+        for t in list_of(s) {
+            if !candidates.contains(t) {
+                candidates.push(t.clone());
+            }
+        }
+    }
+    let shared: Vec<BoundTerm> = candidates
+        .into_iter()
+        .filter(|t| {
+            active
+                .iter()
+                .all(|&s| bound_valid(&scans[s], k, t, lower, np))
+        })
+        .collect();
+    if !shared.is_empty() {
+        return vec![shared];
+    }
+    let mut lists: Vec<Vec<BoundTerm>> = Vec::new();
+    for &s in active {
+        let l = list_of(s).clone();
+        if !lists.contains(&l) {
+            lists.push(l);
+        }
+    }
+    lists
+}
+
+/// Marks pending from enclosing `Mark` nodes, consumed by the next band.
+#[derive(Default, Clone, Copy)]
+struct PendingMarks<'a> {
+    wavefront: bool,
+    simd_stmts: Option<&'a [usize]>,
+}
+
+/// The leaf guards of one statement: the exact floor checks of its
+/// quasi-affine members plus every full-projection row the enclosing
+/// loop bounds do not imply.
+fn leaf_guards(scan: &StmtScan, loop_bounds: &[(usize, bool, BoundTerm)], np: usize) -> Vec<Guard> {
+    let kk = scan.members.len();
+    let mut ctx = ConstraintSystem::new(kk + np);
+    for (k, lower, term) in loop_bounds {
+        ctx.add_ineq(lift_bound(term, *k, kk, np, *lower));
+    }
+    let mut out = Vec::new();
+    // Exact floor guards for quasi-affine members, plus their linear
+    // relaxation (`D·c_v` between the div-weighted term sums) so the
+    // projection rows derived from the same facts are recognized as
+    // implied below.
+    for (v, md) in scan.members.iter().enumerate() {
+        if md.terms.len() < 2 {
+            continue;
+        }
+        let Some(terms) = floor_terms(scan, md) else {
+            continue;
+        };
+        let d_all: i64 = terms.iter().map(|t| t.div).product();
+        let mut lo = vec![0i64; kk + np + 1];
+        let mut hi = vec![0i64; kk + np + 1];
+        lo[v] = d_all;
+        hi[v] = -d_all;
+        for t in &terms {
+            let w = d_all / t.div;
+            for (i, &c) in t.expr.iter().enumerate() {
+                lo[i] -= w * c;
+                hi[i] += w * c;
+            }
+            lo[kk + np] += w * (t.div - 1);
+        }
+        ctx.add_ineq(lo);
+        ctx.add_ineq(hi);
+        out.push(Guard::Floors { var: v, terms });
+    }
+    for (kind, row) in scan.full.iter() {
+        match kind {
+            RowKind::Ineq => {
+                if !ineq_implied(&ctx, row) {
+                    out.push(Guard::Ineq(row.to_vec()));
+                    ctx.add_ineq(row.to_vec());
+                }
+            }
+            RowKind::Eq => {
+                let neg: Vec<i64> = row.iter().map(|&c| -c).collect();
+                if !(ineq_implied(&ctx, row) && ineq_implied(&ctx, &neg)) {
+                    out.push(Guard::Eq(row.to_vec()));
+                    ctx.add_eq(row.to_vec());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The floored terms of a quasi-affine member rewritten over the scan
+/// variables (requires the statement's iterators to be invertible).
+fn floor_terms(scan: &StmtScan, md: &MemberData) -> Option<Vec<BoundTerm>> {
+    let iters = scan.iters.as_ref()?;
+    let kk = scan.members.len();
+    let width = scan.full.num_vars() + 1; // kk + np + 1
+    let np = width - kk - 1;
+    let d = iters.len();
+    let mut out = Vec::with_capacity(md.terms.len());
+    for (row, div) in &md.terms {
+        let mut e = vec![0i64; width];
+        for (i, x) in iters.iter().enumerate() {
+            for (pos, &c) in x.iter().enumerate() {
+                e[pos] += row[i] * c;
+            }
+        }
+        for p in 0..np {
+            e[kk + p] += row[d + p];
+        }
+        e[kk + np] += row[d + np];
+        out.push(BoundTerm { expr: e, div: *div });
+    }
+    Some(out)
+}
+
+/// Recursively builds the AST of one tree node for the active
+/// statements.
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    scop: &Scop,
+    scans: &[StmtScan],
+    node: &TreeNode,
+    active: &[usize],
+    level: usize,
+    loop_bounds: &mut Vec<(usize, bool, BoundTerm)>,
+    marks: PendingMarks<'_>,
+) -> Vec<AstNode> {
+    if active.is_empty() {
+        return Vec::new();
+    }
+    let np = scop.nparams();
+    match node {
+        TreeNode::Leaf => active
+            .iter()
+            .map(|&sid| {
+                AstNode::Stmt(StmtNode {
+                    id: StmtId(sid),
+                    name: scop.statements[sid].name.clone(),
+                    iters: scans[sid].iters.clone(),
+                    guards: leaf_guards(&scans[sid], loop_bounds, np),
+                })
+            })
+            .collect(),
+        TreeNode::Filter { stmts, child } => {
+            let inner: Vec<usize> = active
+                .iter()
+                .copied()
+                .filter(|s| stmts.contains(s))
+                .collect();
+            walk(scop, scans, child, &inner, level, loop_bounds, marks)
+        }
+        TreeNode::Sequence(children) => {
+            let mut out = Vec::new();
+            for c in children {
+                out.extend(walk(
+                    scop,
+                    scans,
+                    c,
+                    active,
+                    level,
+                    loop_bounds,
+                    PendingMarks::default(),
+                ));
+            }
+            out
+        }
+        TreeNode::Mark { kind, child } => {
+            let next = match kind {
+                MarkKind::Tile(_) => marks,
+                MarkKind::Wavefront => PendingMarks {
+                    wavefront: true,
+                    ..marks
+                },
+                MarkKind::Vectorize(stmts) => PendingMarks {
+                    simd_stmts: Some(stmts),
+                    ..marks
+                },
+            };
+            walk(scop, scans, child, active, level, loop_bounds, next)
+        }
+        TreeNode::Band { members, child, .. } => {
+            let n = members.len();
+            build_member(scop, scans, active, level, n, 0, child, loop_bounds, marks)
+        }
+    }
+}
+
+/// Builds the `j`-th member loop of a band (and, recursively, the
+/// members inside it, then the band's child).
+#[allow(clippy::too_many_arguments)]
+fn build_member(
+    scop: &Scop,
+    scans: &[StmtScan],
+    active: &[usize],
+    level: usize,
+    n: usize,
+    j: usize,
+    child: &TreeNode,
+    loop_bounds: &mut Vec<(usize, bool, BoundTerm)>,
+    marks: PendingMarks<'_>,
+) -> Vec<AstNode> {
+    if j == n {
+        return walk(
+            scop,
+            scans,
+            child,
+            active,
+            level + n,
+            loop_bounds,
+            PendingMarks::default(),
+        );
+    }
+    let k = level + j;
+    let np = scop.nparams();
+    let lb = union_bounds(scans, active, k, true, np);
+    let ub = union_bounds(scans, active, k, false, np);
+    // Shared bounds join the gist context of every nested statement.
+    let pushed = {
+        let mut pushed = 0;
+        if let [terms] = lb.as_slice() {
+            for t in terms {
+                loop_bounds.push((k, true, t.clone()));
+                pushed += 1;
+            }
+        }
+        if let [terms] = ub.as_slice() {
+            for t in terms {
+                loop_bounds.push((k, false, t.clone()));
+                pushed += 1;
+            }
+        }
+        pushed
+    };
+    let body = build_member(
+        scop,
+        scans,
+        active,
+        level,
+        n,
+        j + 1,
+        child,
+        loop_bounds,
+        marks,
+    );
+    for _ in 0..pushed {
+        loop_bounds.pop();
+    }
+    let md = &scans[active[0]].members[k];
+    let tile = match md.terms.as_slice() {
+        [(_, div)] if *div > 1 => Some(*div),
+        _ => None,
+    };
+    let simd = j + 1 == n
+        && marks
+            .simd_stmts
+            .is_some_and(|stmts| active.iter().all(|s| stmts.contains(s)));
+    vec![AstNode::Loop(LoopNode {
+        var: k,
+        tile,
+        wavefront: j == 0 && marks.wavefront,
+        parallel: md.coincident,
+        simd,
+        lb,
+        ub,
+        body,
+    })]
+}
+
+/// Generates the AST of a scheduled SCoP by walking its schedule tree
+/// (lowering the flat schedule when no tree was recorded).
 ///
 /// # Errors
 ///
 /// Propagates arithmetic overflow from the exact projections.
-pub fn band_tree(scop: &Scop, sched: &Schedule) -> MathResult<BandNode> {
-    let order = scan_order(sched);
-    let nstmts = scop.statements.len();
-    let mut scans = Vec::with_capacity(nstmts);
-    let mut iters = Vec::with_capacity(nstmts);
-    for sid in 0..nstmts {
-        scans.push(scan_stmt(scop, sched, &order, sid)?);
-        iters.push(invert_iters(scop, sched, &order, sid));
-    }
-    let active: Vec<usize> = (0..nstmts).collect();
-    let body = build_level(scop, sched, &order, &scans, &iters, 0, &active);
-    Ok(match body.len() {
-        1 => body.into_iter().next().expect("nonempty"),
-        _ => BandNode::Seq(body),
-    })
-}
-
-/// Recursively builds the nodes of scan level `k` for the active
-/// statements.
-fn build_level(
-    scop: &Scop,
-    sched: &Schedule,
-    order: &[ScanVar],
-    scans: &[StmtScan],
-    iters: &[Option<Vec<Vec<i64>>>],
-    k: usize,
-    active: &[usize],
-) -> Vec<BandNode> {
-    if active.is_empty() {
-        return Vec::new();
-    }
-    if k == order.len() {
-        return active
+///
+/// # Panics
+///
+/// Panics if `sched` is not a schedule of `scop`.
+pub fn generate(scop: &Scop, sched: &Schedule) -> MathResult<AstNode> {
+    let tree = sched.tree_or_lowered();
+    assert_eq!(
+        tree.nstmts,
+        scop.statements.len(),
+        "schedule/scop statement count"
+    );
+    let paths = tree.stmt_paths();
+    let mut scans = Vec::with_capacity(paths.len());
+    for (sid, path) in paths.iter().enumerate() {
+        let members = path
             .iter()
-            .map(|&sid| {
-                BandNode::Stmt(StmtNode {
-                    id: StmtId(sid),
-                    name: scop.statements[sid].name.clone(),
-                    iters: iters[sid].clone(),
-                })
+            .filter_map(|step| match step {
+                PathStep::Member {
+                    terms, coincident, ..
+                } => Some(MemberData {
+                    terms: terms.clone(),
+                    coincident: *coincident,
+                }),
+                PathStep::Seq { .. } => None,
             })
             .collect();
+        scans.push(scan_stmt(scop, sid, members)?);
     }
-    let sv = order[k];
-    let constant_level = sv.tile.is_none()
-        && active
-            .iter()
-            .all(|&sid| sched.stmt(StmtId(sid)).row_is_constant(sv.dim));
-    if constant_level {
-        // A splitting level: group by the row's (constant, param) value
-        // in ascending order; no loop is emitted.
-        let np = scop.nparams();
-        let mut groups: Vec<(Vec<i64>, Vec<usize>)> = Vec::new();
-        for &sid in active {
-            let stmt = &scop.statements[sid];
-            let row = &sched.stmt(StmtId(sid)).rows()[sv.dim];
-            let mut key = vec![row[stmt.depth() + np]];
-            key.extend_from_slice(&row[stmt.depth()..stmt.depth() + np]);
-            match groups.iter_mut().find(|(g, _)| *g == key) {
-                Some((_, members)) => members.push(sid),
-                None => groups.push((key, vec![sid])),
-            }
-        }
-        groups.sort_by(|(a, _), (b, _)| a.cmp(b));
-        let mut out = Vec::new();
-        for (_, members) in groups {
-            out.extend(build_level(
-                scop,
-                sched,
-                order,
-                scans,
-                iters,
-                k + 1,
-                &members,
-            ));
-        }
-        return out;
-    }
-    // A loop level: group active statements by identical bounds.
-    type BoundPair = (Vec<BoundTerm>, Vec<BoundTerm>);
-    let mut groups: Vec<(&BoundPair, Vec<usize>)> = Vec::new();
-    for &sid in active {
-        let b = &scans[sid].bounds[k];
-        match groups.iter_mut().find(|(g, _)| *g == b) {
-            Some((_, members)) => members.push(sid),
-            None => groups.push((b, vec![sid])),
-        }
-    }
-    groups
-        .into_iter()
-        .map(|((lb, ub), members)| {
-            BandNode::Loop(LoopNode {
-                var: k,
-                dim: sv.dim,
-                tile: sv.tile,
-                parallel: sv.parallel,
-                lb: lb.clone(),
-                ub: ub.clone(),
-                body: build_level(scop, sched, order, scans, iters, k + 1, &members),
-            })
-        })
-        .collect()
+    let active: Vec<usize> = (0..scop.statements.len()).collect();
+    let mut loop_bounds = Vec::new();
+    let body = walk(
+        scop,
+        &scans,
+        &tree.root,
+        &active,
+        0,
+        &mut loop_bounds,
+        PendingMarks::default(),
+    );
+    Ok(match body.len() {
+        1 => body.into_iter().next().expect("nonempty"),
+        _ => AstNode::Seq(body),
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -436,8 +784,7 @@ fn build_level(
 // ---------------------------------------------------------------------
 
 /// Renders an affine numerator over `(c_0.., params, 1)`; the scan-var
-/// count is implied by the expression length (bound terms at level `k`
-/// only see the `k` outer scan variables).
+/// count is implied by the expression length.
 fn render_affine(expr: &[i64], params: &[&str]) -> String {
     let nvars = expr.len() - 1 - params.len();
     let mut out = String::new();
@@ -496,8 +843,8 @@ fn render_term(term: &BoundTerm, lower: bool, params: &[&str]) -> String {
     }
 }
 
-/// Renders a max-of/min-of bound list.
-fn render_bound(terms: &[BoundTerm], lower: bool, params: &[&str]) -> String {
+/// Renders a max-of/min-of list of bound terms.
+fn render_terms(terms: &[BoundTerm], lower: bool, params: &[&str]) -> String {
     let rendered: Vec<String> = terms
         .iter()
         .map(|t| render_term(t, lower, params))
@@ -513,15 +860,55 @@ fn render_bound(terms: &[BoundTerm], lower: bool, params: &[&str]) -> String {
     }
 }
 
-fn emit_node(node: &BandNode, params: &[&str], indent: usize, in_parallel: bool, out: &mut String) {
+/// Renders a full loop bound: the outer `min`/`max` over per-statement
+/// term lists (a single list renders without the outer combinator).
+fn render_bound(lists: &[Vec<BoundTerm>], lower: bool, params: &[&str]) -> String {
+    let rendered: Vec<String> = lists
+        .iter()
+        .map(|terms| render_terms(terms, lower, params))
+        .collect();
+    match rendered.len() {
+        0 => if lower { "-INF" } else { "INF" }.to_string(),
+        1 => rendered.into_iter().next().expect("nonempty"),
+        _ => format!(
+            "{}({})",
+            if lower { "min" } else { "max" },
+            rendered.join(", ")
+        ),
+    }
+}
+
+/// Renders one guard condition.
+fn render_guard(g: &Guard, params: &[&str]) -> String {
+    match g {
+        Guard::Ineq(row) => format!("{} >= 0", render_affine(row, params)),
+        Guard::Eq(row) => format!("{} == 0", render_affine(row, params)),
+        Guard::Floors { var, terms } => {
+            let sum: Vec<String> = terms
+                .iter()
+                .map(|t| {
+                    let e = render_affine(&t.expr, params);
+                    if t.div == 1 {
+                        format!("({e})")
+                    } else {
+                        format!("floord({e}, {})", t.div)
+                    }
+                })
+                .collect();
+            format!("c{var} == {}", sum.join(" + "))
+        }
+    }
+}
+
+fn emit_node(node: &AstNode, params: &[&str], indent: usize, in_parallel: bool, out: &mut String) {
     let pad = "  ".repeat(indent);
     match node {
-        BandNode::Seq(children) => {
+        AstNode::Seq(children) => {
             for c in children {
                 emit_node(c, params, indent, in_parallel, out);
             }
         }
-        BandNode::Loop(l) => {
+        AstNode::Loop(l) => {
             let v = format!("c{}", l.var);
             let lb = render_bound(&l.lb, true, params);
             let ub = render_bound(&l.ub, false, params);
@@ -529,17 +916,23 @@ fn emit_node(node: &BandNode, params: &[&str], indent: usize, in_parallel: bool,
             if mark_parallel {
                 let _ = writeln!(out, "{pad}#pragma omp parallel for");
             }
-            let tile = match l.tile {
-                Some(size) => format!(" // tile loop (size {size})"),
-                None => String::new(),
-            };
-            let _ = writeln!(out, "{pad}for ({v} = {lb}; {v} <= {ub}; {v}++) {{{tile}");
+            if l.simd {
+                let _ = writeln!(out, "{pad}#pragma omp simd");
+            }
+            let mut note = String::new();
+            if let Some(size) = l.tile {
+                let _ = write!(note, " // tile loop (size {size})");
+            }
+            if l.wavefront {
+                let _ = write!(note, " // wavefront");
+            }
+            let _ = writeln!(out, "{pad}for ({v} = {lb}; {v} <= {ub}; {v}++) {{{note}");
             for c in &l.body {
                 emit_node(c, params, indent + 1, in_parallel || mark_parallel, out);
             }
             let _ = writeln!(out, "{pad}}}");
         }
-        BandNode::Stmt(s) => {
+        AstNode::Stmt(s) => {
             let args = match &s.iters {
                 Some(exprs) => exprs
                     .iter()
@@ -548,22 +941,30 @@ fn emit_node(node: &BandNode, params: &[&str], indent: usize, in_parallel: bool,
                     .join(", "),
                 None => "...".to_string(),
             };
-            let _ = writeln!(out, "{pad}{}({args});", s.name);
+            if s.guards.is_empty() {
+                let _ = writeln!(out, "{pad}{}({args});", s.name);
+            } else {
+                let conds: Vec<String> = s.guards.iter().map(|g| render_guard(g, params)).collect();
+                let _ = writeln!(out, "{pad}if ({}) {}({args});", conds.join(" && "), s.name);
+            }
         }
     }
 }
 
-/// Lowers a scheduled SCoP to C-like text through the band tree.
+/// Lowers a scheduled SCoP to C-like text through the schedule-tree
+/// AST.
 ///
 /// The output uses CLooG-style `floord`/`ceild` integer divisions and
-/// `max`/`min` bound combinators; tile loops are annotated with their
-/// size and parallel dimensions carry an OpenMP pragma.
+/// `max`/`min` bound combinators; tile loops and wavefront loops are
+/// annotated, parallel members carry an OpenMP pragma, vectorized
+/// members carry `#pragma omp simd`, and residual per-statement guards
+/// render as `if (...)` conditions.
 ///
 /// # Errors
 ///
 /// Propagates arithmetic overflow from the exact projections.
 pub fn emit_c(scop: &Scop, sched: &Schedule) -> MathResult<String> {
-    let tree = band_tree(scop, sched)?;
+    let tree = generate(scop, sched)?;
     let params: Vec<&str> = scop.params.iter().map(String::as_str).collect();
     let mut out = String::new();
     emit_node(&tree, &params, 0, false, &mut out);

@@ -2,22 +2,26 @@
 //!
 //! Two backends:
 //!
-//! * the **band-tree AST** ([`band_tree`], [`emit_c`] in [`ast`]) — a
-//!   CLooG-lite scanner producing `BandNode::{Loop, Seq, Stmt}` trees
-//!   with explicit tile loops (from the schedule's [`polytops_ir::TileBand`]
-//!   metadata) and lowering them to C-like text;
+//! * the **schedule-tree AST** ([`generate`], [`emit_c`] in [`ast`]) — a
+//!   CLooG-lite polyhedral scanner that walks the explicit
+//!   [`polytops_ir::ScheduleTree`] of a schedule, emits one union loop
+//!   per band member (no per-statement sibling splitting), eliminates
+//!   guards implied by the enclosing loop bounds gist-style, and lowers
+//!   the result to C-like text;
 //! * the human-readable renderings the tools and benchmarks use:
 //!   [`schedule_table`] — per-statement scheduling rows with named
 //!   iterators and parameters plus band/parallel annotations — and
 //!   [`emit_pseudo`] — a compact pseudo-code view listing each statement
 //!   under its timestamp expressions.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod ast;
 
-pub use ast::{band_tree, emit_c, BandNode, BoundTerm, LoopNode, StmtNode};
+pub use ast::{
+    emit_c, generate, stats, AstNode, BoundTerm, CodegenStats, Guard, LoopNode, StmtNode,
+};
 
 use std::fmt::Write as _;
 

@@ -1,19 +1,20 @@
-//! Band-tree codegen integration tests: schedule real kernels with the
-//! core pipeline and check the lowered loop nests.
+//! Schedule-tree codegen integration tests: schedule real kernels with
+//! the core pipeline and check the generated loop nests.
 
-use polytops_codegen::{band_tree, emit_c, BandNode};
+use polytops_codegen::{emit_c, generate, stats, AstNode};
 use polytops_core::{presets, schedule, SchedulerConfig};
-use polytops_workloads::{jacobi_1d, matmul, producer_consumer};
+use polytops_ir::MarkKind;
+use polytops_workloads::{gemver, heat_2d, jacobi_1d, matmul, producer_consumer};
 
-/// Counts the loops (tile and point) of a band tree.
-fn count_loops(node: &BandNode) -> (usize, usize) {
+/// Counts the loops (tile and point) of a generated AST.
+fn count_loops(node: &AstNode) -> (usize, usize) {
     match node {
-        BandNode::Stmt(_) => (0, 0),
-        BandNode::Seq(children) => children.iter().fold((0, 0), |(t, p), c| {
+        AstNode::Stmt(_) => (0, 0),
+        AstNode::Seq(children) => children.iter().fold((0, 0), |(t, p), c| {
             let (ct, cp) = count_loops(c);
             (t + ct, p + cp)
         }),
-        BandNode::Loop(l) => {
+        AstNode::Loop(l) => {
             let (t, p) = l.body.iter().fold((0, 0), |(t, p), c| {
                 let (ct, cp) = count_loops(c);
                 (t + ct, p + cp)
@@ -31,7 +32,7 @@ fn count_loops(node: &BandNode) -> (usize, usize) {
 fn matmul_lowers_to_three_nested_point_loops() {
     let scop = matmul();
     let sched = schedule(&scop, &presets::pluto()).unwrap();
-    let tree = band_tree(&scop, &sched).unwrap();
+    let tree = generate(&scop, &sched).unwrap();
     assert_eq!(count_loops(&tree), (0, 3));
     let text = emit_c(&scop, &sched).unwrap();
     assert_eq!(text.matches("for (").count(), 3, "{text}");
@@ -53,8 +54,12 @@ fn tiled_jacobi_materializes_tile_loops() {
     let mut cfg = SchedulerConfig::default();
     cfg.post.tile_sizes = vec![32, 32];
     let sched = schedule(&scop, &cfg).unwrap();
-    assert!(!sched.tiling().is_empty(), "jacobi band must tile");
-    let tree = band_tree(&scop, &sched).unwrap();
+    let marks = sched.tree().expect("post sets a tree").marks();
+    assert!(
+        marks.iter().any(|m| matches!(m, MarkKind::Tile(_))),
+        "jacobi band must tile"
+    );
+    let tree = generate(&scop, &sched).unwrap();
     let (tile_loops, point_loops) = count_loops(&tree);
     assert_eq!(tile_loops, 2, "one tile loop per band dimension");
     assert_eq!(point_loops, 2);
@@ -81,8 +86,40 @@ fn fused_producer_consumer_shares_one_loop() {
 fn untiled_tree_matches_schedule_dims() {
     let scop = matmul();
     let sched = schedule(&scop, &presets::feautrier()).unwrap();
-    let tree = band_tree(&scop, &sched).unwrap();
+    let tree = generate(&scop, &sched).unwrap();
     let (tile_loops, point_loops) = count_loops(&tree);
     assert_eq!(tile_loops, 0);
     assert_eq!(point_loops, 3);
+}
+
+#[test]
+fn wavefront_emits_exact_floor_guard_or_clean_skew() {
+    let scop = heat_2d();
+    let sched = schedule(&scop, &presets::wavefront()).unwrap();
+    let text = emit_c(&scop, &sched).unwrap();
+    // The skewed tile band is annotated and the program still names
+    // every statement exactly once per loop nest.
+    assert!(text.contains("// wavefront"), "{text}");
+    assert_eq!(text.matches("S0(").count(), 1, "{text}");
+}
+
+#[test]
+fn fused_statements_do_not_split_into_sibling_loops() {
+    // gemver under feautrier fuses four statements with staggered
+    // domains; the old flat-schedule scanner split them into four
+    // sibling nests per level. The tree scanner must emit union loops
+    // with per-statement guards instead.
+    let scop = gemver();
+    let sched = schedule(&scop, &presets::feautrier()).unwrap();
+    let tree = generate(&scop, &sched).unwrap();
+    let s = stats(&tree);
+    // Old flat-schedule scanner: 7 loops across sibling nests.
+    assert!(
+        s.loops < 7,
+        "expected fewer union loops than the old separation, got {s:?}"
+    );
+    let text = emit_c(&scop, &sched).unwrap();
+    for name in ["S0(", "S1(", "S2(", "S3("] {
+        assert_eq!(text.matches(name).count(), 1, "{text}");
+    }
 }

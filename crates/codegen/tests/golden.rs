@@ -1,0 +1,66 @@
+//! Golden-C snapshots of the full kernel × preset sweep.
+//!
+//! Every scenario of the standard sweep (7 kernels × 4 presets) is
+//! scheduled through the core pipeline, lowered through the
+//! schedule-tree backend, and compared byte-for-byte against the
+//! checked-in snapshot `tests/golden/<kernel>__<preset>.c`.
+//!
+//! After an *intentional* codegen change, regenerate the snapshots
+//! with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p polytops_codegen --test golden
+//! ```
+//!
+//! and review the resulting diff like any other code change.
+
+use std::fs;
+use std::path::PathBuf;
+
+use polytops_codegen::emit_c;
+use polytops_core::schedule;
+use polytops_workloads::{all_kernels, sweep::preset_grid};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+#[test]
+fn sweep_matches_golden_snapshots() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let dir = golden_dir();
+    let mut failures = Vec::new();
+    for (kernel, scop) in all_kernels() {
+        for (preset, config) in preset_grid() {
+            let sched = schedule(&scop, &config)
+                .unwrap_or_else(|e| panic!("{kernel}/{preset} schedules: {e:?}"));
+            let text =
+                emit_c(&scop, &sched).unwrap_or_else(|e| panic!("{kernel}/{preset} lowers: {e:?}"));
+            let path = dir.join(format!("{kernel}__{preset}.c"));
+            if update {
+                fs::create_dir_all(&dir).expect("golden dir");
+                fs::write(&path, &text).expect("write snapshot");
+                continue;
+            }
+            let want = fs::read_to_string(&path).unwrap_or_else(|_| {
+                panic!(
+                    "missing snapshot {}; run with UPDATE_GOLDEN=1 to create it",
+                    path.display()
+                )
+            });
+            if want != text {
+                failures.push(format!(
+                    "{kernel}/{preset}: emitted C differs from {}\n--- golden\n{want}\
+                     --- emitted\n{text}",
+                    path.display()
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} snapshot mismatches (UPDATE_GOLDEN=1 regenerates after intentional changes):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

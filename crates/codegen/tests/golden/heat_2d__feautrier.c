@@ -1,0 +1,8 @@
+for (c0 = 2; c0 <= 2*T + 2*N - 6; c0++) {
+  #pragma omp parallel for
+  for (c1 = max(1, c0 - T - N + 3, ceild(c0 - N + 3, 2)); c1 <= min(c0 - 1, T + N - 3, floord(c0 + N - 3, 2)); c1++) {
+    for (c2 = max(0, c1 - N + 2, c0 - c1 - N + 2); c2 <= min(T - 1, c1 - 1, c0 - c1 - 1); c2++) {
+      S0(c2, c1 - c2, c0 - c1 - c2);
+    }
+  }
+}

@@ -1,0 +1,6 @@
+for (c0 = 1; c0 <= 2*T + N - 4; c0++) {
+  #pragma omp parallel for
+  for (c1 = max(0, ceild(c0 - N + 2, 2)); c1 <= min(T - 1, floord(c0 - 1, 2)); c1++) {
+    S0(c1, c0 - 2*c1);
+  }
+}

@@ -1,0 +1,12 @@
+#pragma omp parallel for
+for (c0 = 0; c0 <= floord(N - 1, 32); c0++) { // tile loop (size 32)
+  for (c1 = max(0, 32*c0); c1 <= min(N - 1, 32*c0 + 31); c1++) {
+    S0(c1);
+  }
+}
+#pragma omp parallel for
+for (c0 = 0; c0 <= floord(N - 1, 32); c0++) { // tile loop (size 32)
+  for (c1 = max(0, 32*c0); c1 <= min(N - 1, 32*c0 + 31); c1++) {
+    S1(c1);
+  }
+}

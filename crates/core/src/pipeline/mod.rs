@@ -18,11 +18,12 @@
 //!   tie-break) over the engine's fixed [`IlpSpace`](crate::IlpSpace);
 //! * [`solve`] — the iterative driver: warm-started lexicographic ILP
 //!   solves with SCC-cut fallback, producing rows plus band metadata;
-//! * [`postprocess`] — verified tiling metadata, wavefront skewing and
-//!   intra-tile vectorization applied to the solver's schedule.
+//! * [`postprocess`] — the solver's schedule lowered to an explicit
+//!   schedule tree, then tiling, wavefront skewing and intra-tile
+//!   vectorization applied as certified tree-to-tree rewrites.
 //!
-//! Code generation (the band-tree backend) lives in `polytops_codegen`,
-//! downstream of this module.
+//! Code generation (the tree-walking backend) lives in
+//! `polytops_codegen`, downstream of this module.
 
 pub mod legality;
 pub mod objectives;

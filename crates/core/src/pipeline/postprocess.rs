@@ -1,60 +1,260 @@
-//! PostProcess stage: tiling, wavefront skewing and intra-tile
-//! vectorization applied to the solver's schedule (paper Fig. 1's
-//! post-processing block).
+//! PostProcess stage: tree-to-tree transformations of the solver's
+//! schedule (paper Fig. 1's post-processing block).
+//!
+//! The stage lowers the engine's flat schedule into an explicit
+//! [`ScheduleTree`] and expresses every transformation structurally:
+//!
+//! * **Tiling** replaces a point band with a `Mark::Tile` over a *tile
+//!   band* (one member `⌊row·x / size⌋` per point member) over the
+//!   original point band.
+//! * **Wavefront** skews the outermost member of a *tile* band into the
+//!   sum of the band's members (`Σ ⌊rowⱼ·x / sizeⱼ⌋` — inexpressible in
+//!   the flat row form, which is one reason the tree exists), falling
+//!   back to point bands when the schedule is untiled. The skew commits
+//!   only when it *increases* the number of coincident members: a
+//!   dependence crossing tiles always crosses the skewed outer member
+//!   first, so inner tile members become parallel (Pluto §5.3 lifted to
+//!   tile space).
+//! * **Intra-tile vectorization** rotates a coincident point member to
+//!   the innermost position of its tiled band (tile members and sizes
+//!   follow), and vectorization directives/auto-detection become
+//!   `Mark::Vectorize` annotations.
 //!
 //! Every transformation is **verified before it is committed**: the
-//! candidate schedule must pass the independent legality oracle
-//! ([`polytops_deps::schedule_respects_dependence`]) for every
-//! dependence, and tiling additionally requires the band to be
-//! permutable (each band row individually legal for every dependence
-//! not carried before the band). A transformation that fails
-//! verification is silently dropped — post-processing, like directives,
-//! is best-effort and never breaks legality.
-//!
-//! * **Tiling** records [`TileBand`] metadata on the schedule (rows are
-//!   unchanged — tile loops are materialized by the band-tree code
-//!   generator in `polytops_codegen`).
-//! * **Wavefront** replaces the first row of a band whose outer
-//!   dimension is sequential but whose inner dimensions contain
-//!   parallelism with the sum of the band's rows, exposing the inner
-//!   parallelism (Pluto §5.3); parallel flags are recomputed afterwards.
-//! * **Intra-tile vectorization** permutes a parallel point loop to the
-//!   innermost position of its tiled band.
+//! candidate tree's instance order must pass the independent dependence
+//! oracle ([`polytops_deps::steps_respect_dependence`]) for every
+//! dependence. A transformation that fails verification is silently
+//! dropped — post-processing, like directives, is best-effort and never
+//! breaks legality. Coincidence flags of transformed bands are
+//! recomputed with the *conditioned* oracle
+//! ([`polytops_deps::step_coincident`]: zero distance given equal outer
+//! coordinates); untransformed bands keep the engine's flags so model
+//! scores of plain schedules are unchanged.
+
+use std::collections::HashMap;
 
 use polytops_deps::{
-    respects, schedule_respects_dependence, strongly_satisfies, zero_distance, Dependence,
+    step_coincident, steps_respect_dependence, strongly_satisfies, zero_distance, Dependence,
+    OrderStep,
 };
-use polytops_ir::{Schedule, StmtId, TileBand};
+use polytops_ir::{
+    BandMember, MarkKind, MemberTerm, PathStep, Schedule, ScheduleTree, StmtId, TreeNode,
+};
 
-use crate::config::PostProcess;
+use crate::config::{DirectiveKind, SchedulerConfig};
+use crate::pipeline::objectives::expand_targets;
 
-/// Applies the configured post-processing to `sched` in place.
-pub fn apply(deps: &[Dependence], sched: &mut Schedule, post: &PostProcess) {
-    if post.wavefront {
-        wavefront(deps, sched);
-    }
+/// Applies the configured post-processing to `sched` in place: lowers
+/// the schedule to a tree, transforms it, and attaches the result
+/// (every schedule leaves this stage with an explicit tree).
+pub fn apply(deps: &[Dependence], sched: &mut Schedule, config: &SchedulerConfig) {
+    let mut tree = sched.tree_or_lowered();
+    let post = &config.post;
     if !post.tile_sizes.is_empty() {
-        tile(deps, sched, &post.tile_sizes);
-        if post.intra_tile_vectorize {
-            intra_tile_vectorize(deps, sched);
+        tile(deps, sched, &mut tree, &post.tile_sizes);
+    }
+    if post.wavefront {
+        wavefront(deps, &mut tree);
+    }
+    if post.intra_tile_vectorize && !post.tile_sizes.is_empty() {
+        intra_tile_vectorize(deps, &mut tree);
+    }
+    vectorize_marks(sched, &mut tree, config);
+    sched.set_tree(tree);
+}
+
+// ---------------------------------------------------------------------
+// Oracle plumbing.
+// ---------------------------------------------------------------------
+
+/// Whether every dependence is respected by the tree's instance order
+/// (the commit gate of every transformation).
+fn tree_respects_all(deps: &[Dependence], tree: &ScheduleTree) -> bool {
+    let paths = tree.stmt_paths();
+    deps.iter().all(|dep| {
+        let steps = aligned_steps(&paths[dep.src.0], &paths[dep.dst.0]).0;
+        steps_respect_dependence(dep, &steps)
+    })
+}
+
+/// [`polytops_deps::order_steps`] plus the structural node id of each
+/// member step (needed to attribute conditioned properties back to tree
+/// members).
+fn aligned_steps(src: &[PathStep], dst: &[PathStep]) -> (Vec<OrderStep>, Vec<Option<usize>>) {
+    let mut steps = Vec::new();
+    let mut ids = Vec::new();
+    for (a, b) in src.iter().zip(dst.iter()) {
+        match (a, b) {
+            (
+                PathStep::Member {
+                    node: na,
+                    terms: ta,
+                    ..
+                },
+                PathStep::Member {
+                    node: nb,
+                    terms: tb,
+                    ..
+                },
+            ) if na == nb => {
+                steps.push(OrderStep::Value {
+                    src: ta.clone(),
+                    dst: tb.clone(),
+                });
+                ids.push(Some(*na));
+            }
+            (PathStep::Seq { node: na, pos: pa }, PathStep::Seq { node: nb, pos: pb })
+                if na == nb =>
+            {
+                steps.push(OrderStep::Position { src: *pa, dst: *pb });
+                ids.push(None);
+                if pa != pb {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    (steps, ids)
+}
+
+/// Conditioned coincidence of every member node id in the tree: a
+/// member is coincident iff, for every dependence, its step distance is
+/// zero given equal coordinates on all *prefix* steps (dependences that
+/// never reach the member — separated earlier or filtered apart — are
+/// vacuously fine).
+fn conditioned_flags(deps: &[Dependence], tree: &ScheduleTree) -> HashMap<usize, bool> {
+    let paths = tree.stmt_paths();
+    let mut flags: HashMap<usize, bool> = HashMap::new();
+    for path in &paths {
+        for step in path {
+            if let PathStep::Member { node, .. } = step {
+                flags.entry(*node).or_insert(true);
+            }
+        }
+    }
+    for dep in deps {
+        let (steps, ids) = aligned_steps(&paths[dep.src.0], &paths[dep.dst.0]);
+        for (j, id) in ids.iter().enumerate() {
+            let Some(id) = id else { continue };
+            let entry = flags.entry(*id).or_insert(true);
+            if *entry {
+                *entry = step_coincident(dep, &steps[..j], &steps[j]);
+            }
+        }
+    }
+    flags
+}
+
+// ---------------------------------------------------------------------
+// Band location.
+// ---------------------------------------------------------------------
+
+/// Where a band sits when the rewrite walk reaches it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BandCtx {
+    /// An ordinary (point) band.
+    Plain,
+    /// Directly under a `Mark::Tile` (possibly through other marks): a
+    /// tile band.
+    UnderTileMark,
+    /// Directly under another band: the point band of a tiled nest.
+    UnderBand,
+}
+
+/// Total number of bands in the subtree.
+fn count_bands(node: &TreeNode) -> usize {
+    match node {
+        TreeNode::Leaf => 0,
+        TreeNode::Filter { child, .. } | TreeNode::Mark { child, .. } => count_bands(child),
+        TreeNode::Band { child, .. } => 1 + count_bands(child),
+        TreeNode::Sequence(children) => children.iter().map(count_bands).sum(),
+    }
+}
+
+/// Callback of [`rewrite_nth_band`]: sees a band's context and parts
+/// and returns the replacement node (or `None` to decline).
+type BandRewrite<'a> = dyn FnMut(BandCtx, &[BandMember], bool, &TreeNode) -> Option<TreeNode> + 'a;
+
+/// Rewrites the `target`-th band (depth-first order, the numbering of
+/// [`count_bands`] and [`ScheduleTree::for_each_band`]) with `f`, which
+/// sees the band's context and parts and returns the replacement node
+/// (or `None` to decline). Returns `None` when nothing was rewritten.
+fn rewrite_nth_band(
+    node: &TreeNode,
+    count: &mut usize,
+    target: usize,
+    ctx: BandCtx,
+    f: &mut BandRewrite<'_>,
+) -> Option<TreeNode> {
+    match node {
+        TreeNode::Leaf => None,
+        TreeNode::Filter { stmts, child } => {
+            rewrite_nth_band(child, count, target, BandCtx::Plain, f).map(|c| TreeNode::Filter {
+                stmts: stmts.clone(),
+                child: c.boxed(),
+            })
+        }
+        TreeNode::Mark { kind, child } => {
+            let ctx = if matches!(kind, MarkKind::Tile(_)) {
+                BandCtx::UnderTileMark
+            } else {
+                ctx
+            };
+            rewrite_nth_band(child, count, target, ctx, f).map(|c| TreeNode::Mark {
+                kind: kind.clone(),
+                child: c.boxed(),
+            })
+        }
+        TreeNode::Sequence(children) => {
+            for (i, c) in children.iter().enumerate() {
+                if let Some(nc) = rewrite_nth_band(c, count, target, BandCtx::Plain, f) {
+                    let mut out = children.clone();
+                    out[i] = nc;
+                    return Some(TreeNode::Sequence(out));
+                }
+            }
+            None
+        }
+        TreeNode::Band {
+            members,
+            permutable,
+            child,
+        } => {
+            let idx = *count;
+            *count += 1;
+            if idx == target {
+                return f(ctx, members, *permutable, child);
+            }
+            rewrite_nth_band(child, count, target, BandCtx::UnderBand, f).map(|c| TreeNode::Band {
+                members: members.clone(),
+                permutable: *permutable,
+                child: c.boxed(),
+            })
         }
     }
 }
 
-/// Whether schedule dimension `d` is a loop level (some statement has a
-/// non-constant row there).
-fn is_loop_dim(sched: &Schedule, d: usize) -> bool {
-    (0..sched.num_statements()).any(|s| !sched.stmt(StmtId(s)).row_is_constant(d))
-}
-
-/// Whether every dependence is respected by the whole candidate schedule.
-fn schedule_is_legal(deps: &[Dependence], sched: &Schedule) -> bool {
-    deps.iter().all(|dep| {
-        schedule_respects_dependence(dep, sched.stmt(dep.src).rows(), sched.stmt(dep.dst).rows())
+/// Convenience: runs [`rewrite_nth_band`] over a whole tree.
+fn rewrite_band(
+    tree: &ScheduleTree,
+    target: usize,
+    f: &mut BandRewrite<'_>,
+) -> Option<ScheduleTree> {
+    let mut count = 0;
+    rewrite_nth_band(&tree.root, &mut count, target, BandCtx::Plain, f).map(|root| ScheduleTree {
+        nstmts: tree.nstmts,
+        root,
     })
 }
 
-/// Dependences not strongly carried by any dimension before `start`.
+// ---------------------------------------------------------------------
+// Flat-schedule helpers (tile-loop parallelism uses the engine's
+// unconditioned rule so plain-tiling model scores match the engine).
+// ---------------------------------------------------------------------
+
+/// Dependences not strongly carried by any flat dimension before
+/// `start`.
 fn live_at(deps: &[Dependence], sched: &Schedule, start: usize) -> Vec<usize> {
     let mut live: Vec<usize> = (0..deps.len()).collect();
     for d in 0..start {
@@ -70,152 +270,431 @@ fn live_at(deps: &[Dependence], sched: &Schedule, start: usize) -> Vec<usize> {
     live
 }
 
-/// Whether band `start..end` is permutable: every band row is
-/// individually legal (`Δ ≥ 0`) for every dependence live at the band.
-fn band_is_permutable(deps: &[Dependence], sched: &Schedule, start: usize, end: usize) -> bool {
-    live_at(deps, sched, start).iter().all(|&e| {
-        let dep = &deps[e];
-        (start..end).all(|d| {
-            respects(
-                dep,
-                &sched.stmt(dep.src).rows()[d],
-                &sched.stmt(dep.dst).rows()[d],
-            )
-        })
-    })
-}
+// ---------------------------------------------------------------------
+// Tiling.
+// ---------------------------------------------------------------------
 
-/// Recomputes the parallel flag of every dimension from scratch with the
-/// engine's rule: a loop dimension is parallel iff every dependence not
-/// carried earlier has zero distance on it; constant (splitting) levels
-/// are sequential.
-fn recompute_parallel(deps: &[Dependence], sched: &mut Schedule) {
-    let dims = sched.dims();
-    let mut live: Vec<usize> = (0..deps.len()).collect();
-    let mut flags = Vec::with_capacity(dims);
-    for d in 0..dims {
-        let parallel = is_loop_dim(sched, d)
-            && live.iter().all(|&e| {
-                let dep = &deps[e];
-                zero_distance(
-                    dep,
-                    &sched.stmt(dep.src).rows()[d],
-                    &sched.stmt(dep.dst).rows()[d],
-                )
-            });
-        flags.push(parallel);
-        live.retain(|&e| {
-            let dep = &deps[e];
-            !strongly_satisfies(
-                dep,
-                &sched.stmt(dep.src).rows()[d],
-                &sched.stmt(dep.dst).rows()[d],
-            )
-        });
-    }
-    *sched.parallel_mut() = flags;
-}
-
-/// Wavefront skewing: when a band's outer dimension is sequential but an
-/// inner one is parallel, replacing the outer row with the sum of the
-/// band's rows carries the band's dependences on the outer (wavefront)
-/// dimension and leaves the inner dimensions parallel.
-fn wavefront(deps: &[Dependence], sched: &mut Schedule) {
-    for (start, end) in sched.band_ranges() {
-        if end - start < 2 || !(start..end).all(|d| is_loop_dim(sched, d)) {
-            continue;
-        }
-        if sched.parallel()[start] || !(start + 1..end).any(|d| sched.parallel()[d]) {
-            continue;
-        }
-        let mut candidate = sched.clone();
-        for s in 0..sched.num_statements() {
-            let ss = sched.stmt(StmtId(s));
-            let mut sum = ss.rows()[start].clone();
-            for d in start + 1..end {
-                for (acc, v) in sum.iter_mut().zip(&ss.rows()[d]) {
-                    *acc += v;
-                }
-            }
-            candidate.stmt_mut(StmtId(s)).set_row(start, sum);
-        }
-        if schedule_is_legal(deps, &candidate) {
-            *sched = candidate;
-            recompute_parallel(deps, sched);
-        }
-    }
-}
-
-/// Records tiling metadata for every permutable band of loop dimensions.
+/// Tiles every point band: `Mark::Tile` over a tile band over the point
+/// band, the candidate certified against the oracle before committing.
 /// `tile_sizes` supplies one size per band depth and is cycled when the
 /// band is deeper.
-fn tile(deps: &[Dependence], sched: &mut Schedule, tile_sizes: &[i64]) {
-    let mut tiling = Vec::new();
-    for (start, end) in sched.band_ranges() {
-        if !(start..end).all(|d| is_loop_dim(sched, d)) {
-            continue;
-        }
-        if !band_is_permutable(deps, sched, start, end) {
-            continue;
-        }
-        let sizes: Vec<i64> = (0..end - start)
-            .map(|i| tile_sizes[i % tile_sizes.len()].max(1))
-            .collect();
-        // A tile loop executes outside the band's point loops, so it is
-        // parallel only when every dependence live at *band entry* has
-        // zero distance on its dimension — a dependence carried by an
-        // earlier dimension of the same band still crosses tiles.
-        let live = live_at(deps, sched, start);
-        let parallel: Vec<bool> = (start..end)
-            .map(|d| {
-                live.iter().all(|&e| {
-                    let dep = &deps[e];
-                    zero_distance(
-                        dep,
-                        &sched.stmt(dep.src).rows()[d],
-                        &sched.stmt(dep.dst).rows()[d],
-                    )
+fn tile(deps: &[Dependence], sched: &Schedule, tree: &mut ScheduleTree, tile_sizes: &[i64]) {
+    let mut bi = 0;
+    while bi < count_bands(&tree.root) {
+        let candidate = rewrite_band(tree, bi, &mut |ctx, members, permutable, child| {
+            if ctx != BandCtx::Plain || !members.iter().all(BandMember::is_affine) {
+                return None;
+            }
+            let sizes: Vec<i64> = (0..members.len())
+                .map(|i| tile_sizes[i % tile_sizes.len()].max(1))
+                .collect();
+            // A tile loop executes outside the band's point loops, so it
+            // is parallel only when every dependence live at *band
+            // entry* has zero distance on its dimension — a dependence
+            // carried by an earlier member of the same band still
+            // crosses tiles.
+            let start = members[0].source_dim();
+            let live = live_at(deps, sched, start);
+            let tile_members: Vec<BandMember> = members
+                .iter()
+                .zip(&sizes)
+                .map(|(m, &size)| {
+                    let t = &m.terms[0];
+                    let parallel = live.iter().all(|&e| {
+                        let dep = &deps[e];
+                        zero_distance(
+                            dep,
+                            &sched.stmt(dep.src).rows()[t.source_dim],
+                            &sched.stmt(dep.dst).rows()[t.source_dim],
+                        )
+                    });
+                    BandMember {
+                        terms: vec![MemberTerm {
+                            rows: t.rows.clone(),
+                            div: size,
+                            source_dim: t.source_dim,
+                        }],
+                        coincident: parallel,
+                    }
                 })
+                .collect();
+            Some(TreeNode::Mark {
+                kind: MarkKind::Tile(sizes),
+                child: TreeNode::Band {
+                    members: tile_members,
+                    permutable,
+                    child: TreeNode::Band {
+                        members: members.to_vec(),
+                        permutable,
+                        child: child.clone().boxed(),
+                    }
+                    .boxed(),
+                }
+                .boxed(),
             })
-            .collect();
-        tiling.push(TileBand {
-            start,
-            end,
-            sizes,
-            parallel,
         });
+        match candidate {
+            Some(c) if tree_respects_all(deps, &c) => {
+                *tree = c;
+                // The rewrite put two bands (tile + point) where one
+                // was; continue past both.
+                bi += 2;
+            }
+            _ => bi += 1,
+        }
     }
-    sched.set_tiling(tiling);
 }
 
-/// Moves a parallel point loop to the innermost position of its tiled
-/// band (row swap, verified against the oracle).
-fn intra_tile_vectorize(deps: &[Dependence], sched: &mut Schedule) {
-    let tiling = sched.tiling().to_vec();
-    for (ti, tb) in tiling.iter().enumerate() {
-        let innermost = tb.end - 1;
-        if sched.parallel()[innermost] {
-            continue;
+// ---------------------------------------------------------------------
+// Wavefront skewing.
+// ---------------------------------------------------------------------
+
+/// Coincident-member count of the `target`-th band.
+fn coincident_count(tree: &ScheduleTree, target: usize) -> usize {
+    let mut n = 0;
+    let mut k = 0;
+    tree.for_each_band(|_, members| {
+        if k == target {
+            n = members.iter().filter(|m| m.coincident).count();
         }
-        let Some(p) = (tb.start..innermost).rev().find(|&d| sched.parallel()[d]) else {
+        k += 1;
+    });
+    n
+}
+
+/// Recomputes the coincidence flags of the `target`-th band with the
+/// conditioned oracle (other bands keep their flags).
+fn refresh_band_flags(deps: &[Dependence], tree: &mut ScheduleTree, target: usize) {
+    let flags = conditioned_flags(deps, tree);
+    let mut k = 0;
+    tree.for_each_band_mut(|first, members| {
+        if k == target {
+            for (j, m) in members.iter_mut().enumerate() {
+                m.coincident = flags.get(&(first + j)).copied().unwrap_or(false);
+            }
+        }
+        k += 1;
+    });
+}
+
+/// Wavefront-skews bands whose outermost member is sequential: the
+/// outer member becomes the sum of the band's members. Tile bands are
+/// preferred (the terms concatenate into a sum of floors); untiled
+/// point bands fall back to the classic affine row sum. A skew commits
+/// only when it is certified against every dependence and loses no
+/// coincident members (the user asked for a wavefront; pipelining an
+/// already-parallel-inside band is allowed, degrading one is not).
+fn wavefront(deps: &[Dependence], tree: &mut ScheduleTree) {
+    let mut bi = 0;
+    while bi < count_bands(&tree.root) {
+        let candidate = rewrite_band(tree, bi, &mut |ctx, members, _permutable, child| {
+            if members.len() < 2 || members[0].coincident {
+                return None;
+            }
+            let skewed = match ctx {
+                BandCtx::UnderBand => return None,
+                BandCtx::UnderTileMark => BandMember {
+                    terms: members.iter().flat_map(|m| m.terms.clone()).collect(),
+                    coincident: false,
+                },
+                BandCtx::Plain => {
+                    if !members.iter().all(BandMember::is_affine) {
+                        return None;
+                    }
+                    let t0 = &members[0].terms[0];
+                    let rows: Vec<Vec<i64>> = (0..t0.rows.len())
+                        .map(|s| {
+                            let mut sum = t0.rows[s].clone();
+                            for m in &members[1..] {
+                                for (acc, v) in sum.iter_mut().zip(&m.terms[0].rows[s]) {
+                                    *acc += v;
+                                }
+                            }
+                            sum
+                        })
+                        .collect();
+                    BandMember {
+                        terms: vec![MemberTerm {
+                            rows,
+                            div: 1,
+                            source_dim: t0.source_dim,
+                        }],
+                        coincident: false,
+                    }
+                }
+            };
+            let mut out = members.to_vec();
+            out[0] = skewed;
+            Some(TreeNode::Mark {
+                kind: MarkKind::Wavefront,
+                child: TreeNode::Band {
+                    members: out,
+                    // The skewed member is not freely interchangeable
+                    // with the others.
+                    permutable: false,
+                    child: child.clone().boxed(),
+                }
+                .boxed(),
+            })
+        });
+        if let Some(mut c) = candidate {
+            refresh_band_flags(deps, &mut c, bi);
+            if tree_respects_all(deps, &c) && coincident_count(&c, bi) >= coincident_count(tree, bi)
+            {
+                *tree = c;
+            }
+        }
+        bi += 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Intra-tile vectorization.
+// ---------------------------------------------------------------------
+
+/// Rotates a coincident point member to the innermost position of its
+/// tiled band so it can be vectorized; the corresponding tile member
+/// and the mark's size list follow. Rewrites the first eligible tiled
+/// nest starting at `skip` (depth-first over `Mark::Tile` nodes).
+fn rotate_tiled_nest(node: &TreeNode, skip: &mut isize) -> Option<TreeNode> {
+    match node {
+        TreeNode::Leaf => None,
+        TreeNode::Filter { stmts, child } => {
+            rotate_tiled_nest(child, skip).map(|c| TreeNode::Filter {
+                stmts: stmts.clone(),
+                child: c.boxed(),
+            })
+        }
+        TreeNode::Sequence(children) => {
+            for (i, c) in children.iter().enumerate() {
+                if let Some(nc) = rotate_tiled_nest(c, skip) {
+                    let mut out = children.clone();
+                    out[i] = nc;
+                    return Some(TreeNode::Sequence(out));
+                }
+            }
+            None
+        }
+        TreeNode::Band {
+            members,
+            permutable,
+            child,
+        } => rotate_tiled_nest(child, skip).map(|c| TreeNode::Band {
+            members: members.clone(),
+            permutable: *permutable,
+            child: c.boxed(),
+        }),
+        TreeNode::Mark { kind, child } => {
+            if let MarkKind::Tile(sizes) = kind {
+                let my_turn = *skip == 0;
+                *skip -= 1;
+                if my_turn {
+                    if let Some((under, sizes)) = rotate_under_tile_mark(child, sizes) {
+                        return Some(TreeNode::Mark {
+                            kind: MarkKind::Tile(sizes),
+                            child: under.boxed(),
+                        });
+                    }
+                }
+                None
+            } else {
+                rotate_tiled_nest(child, skip).map(|c| TreeNode::Mark {
+                    kind: kind.clone(),
+                    child: c.boxed(),
+                })
+            }
+        }
+    }
+}
+
+/// The swap itself: given the subtree under a `Mark::Tile`, finds the
+/// tile band and its point band, picks the rightmost coincident point
+/// member `p` (when the innermost is sequential) and swaps `p` with the
+/// innermost in both bands; returns the rebuilt subtree plus the
+/// reordered size list.
+fn rotate_under_tile_mark(under: &TreeNode, sizes: &[i64]) -> Option<(TreeNode, Vec<i64>)> {
+    match under {
+        // The tile band may sit under further marks (e.g. wavefront).
+        TreeNode::Mark { kind, child } => rotate_under_tile_mark(child, sizes).map(|(c, sizes)| {
+            (
+                TreeNode::Mark {
+                    kind: kind.clone(),
+                    child: c.boxed(),
+                },
+                sizes,
+            )
+        }),
+        TreeNode::Band {
+            members: tile_members,
+            permutable,
+            child,
+        } => {
+            let TreeNode::Band {
+                members: point_members,
+                permutable: point_permutable,
+                child: body,
+            } = child.as_ref()
+            else {
+                return None;
+            };
+            let n = point_members.len();
+            if n < 2 || point_members[n - 1].coincident {
+                return None;
+            }
+            let p = (0..n - 1).rev().find(|&d| point_members[d].coincident)?;
+            // A wavefronted tile band owns a skewed member 0 that no
+            // longer corresponds 1:1 to a point member; only swap tile
+            // members that do.
+            let mut tiles = tile_members.clone();
+            if tiles.len() == n {
+                tiles.swap(p, n - 1);
+            }
+            let mut points = point_members.clone();
+            points.swap(p, n - 1);
+            let mut sizes = sizes.to_vec();
+            if sizes.len() == n {
+                sizes.swap(p, n - 1);
+            }
+            Some((
+                TreeNode::Band {
+                    members: tiles,
+                    permutable: *permutable,
+                    child: TreeNode::Band {
+                        members: points,
+                        permutable: *point_permutable,
+                        child: body.clone().boxed(),
+                    }
+                    .boxed(),
+                },
+                sizes,
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Driver: tries each tiled nest in turn, committing certified
+/// rotations (flags of both bands of a rotated nest are recomputed with
+/// the conditioned oracle — the permutation changes every prefix).
+fn intra_tile_vectorize(deps: &[Dependence], tree: &mut ScheduleTree) {
+    let ntiles = tree
+        .marks()
+        .iter()
+        .filter(|m| matches!(m, MarkKind::Tile(_)))
+        .count();
+    for nest in 0..ntiles {
+        let mut skip = nest as isize;
+        let Some(root) = rotate_tiled_nest(&tree.root, &mut skip) else {
             continue;
         };
-        let mut candidate = sched.clone();
-        for s in 0..sched.num_statements() {
-            let rows = sched.stmt(StmtId(s)).rows();
-            let (a, b) = (rows[p].clone(), rows[innermost].clone());
-            candidate.stmt_mut(StmtId(s)).set_row(p, b);
-            candidate.stmt_mut(StmtId(s)).set_row(innermost, a);
+        let mut candidate = ScheduleTree {
+            nstmts: tree.nstmts,
+            root,
+        };
+        // Locate the rotated nest's two bands: they are the bands whose
+        // members differ from `tree`'s at the same index.
+        let mut before = Vec::new();
+        tree.for_each_band(|_, m| before.push(m.to_vec()));
+        let mut changed = Vec::new();
+        let mut k = 0;
+        candidate.for_each_band(|_, m| {
+            if before.get(k).map(Vec::as_slice) != Some(m) {
+                changed.push(k);
+            }
+            k += 1;
+        });
+        for &b in &changed {
+            refresh_band_flags(deps, &mut candidate, b);
         }
-        // Tile metadata follows its row: swap the per-dimension size and
-        // tile-parallel entries along with the rows.
-        let mut tiling = candidate.tiling().to_vec();
-        tiling[ti].sizes.swap(p - tb.start, innermost - tb.start);
-        tiling[ti].parallel.swap(p - tb.start, innermost - tb.start);
-        candidate.set_tiling(tiling);
-        if schedule_is_legal(deps, &candidate) {
-            *sched = candidate;
-            recompute_parallel(deps, sched);
+        if tree_respects_all(deps, &candidate) {
+            *tree = candidate;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Vectorization marks.
+// ---------------------------------------------------------------------
+
+/// Attaches `Mark::Vectorize` annotations: explicit directives first
+/// (the statement's last member using the directive's iterator), then
+/// the auto-vectorize heuristic (the statement's innermost member, when
+/// coincident). Marks carry the statement sets and wrap the member's
+/// band.
+fn vectorize_marks(sched: &Schedule, tree: &mut ScheduleTree, config: &SchedulerConfig) {
+    let nstmts = tree.nstmts;
+    let paths = tree.stmt_paths();
+    // Per statement: the structural node id of its vector member.
+    let mut choice: Vec<Option<usize>> = vec![None; nstmts];
+    for d in &config.directives {
+        if d.kind != DirectiveKind::Vectorize {
+            continue;
+        }
+        for s in expand_targets(d.stmts.as_ref(), nstmts) {
+            let depth = sched.stmt(StmtId(s)).depth();
+            if d.iterator >= depth {
+                continue;
+            }
+            let last = paths[s].iter().rev().find_map(|step| match step {
+                PathStep::Member { node, terms, .. }
+                    if terms.iter().any(|(row, _)| row[d.iterator] != 0) =>
+                {
+                    Some(*node)
+                }
+                _ => None,
+            });
+            if last.is_some() {
+                choice[s] = last;
+            }
+        }
+    }
+    if config.auto_vectorize {
+        for (s, c) in choice.iter_mut().enumerate() {
+            if c.is_some() {
+                continue;
+            }
+            // Strictly the innermost member: an outer coincident member
+            // is not vectorizable in place.
+            *c = paths[s]
+                .iter()
+                .rev()
+                .find_map(|step| match step {
+                    PathStep::Member {
+                        node, coincident, ..
+                    } => Some((*node, *coincident)),
+                    _ => None,
+                })
+                .and_then(|(node, coincident)| coincident.then_some(node));
+        }
+    }
+    // Group statements by the band owning their chosen member.
+    let mut bands: Vec<(usize, usize)> = Vec::new(); // (first member id, len)
+    tree.for_each_band(|first, members| bands.push((first, members.len())));
+    let mut by_band: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (s, c) in choice.iter().enumerate() {
+        let Some(id) = c else { continue };
+        if let Some(bi) = bands
+            .iter()
+            .position(|&(first, len)| (first..first + len).contains(id))
+        {
+            by_band.entry(bi).or_default().push(s);
+        }
+    }
+    for (bi, mut stmts) in by_band {
+        stmts.sort_unstable();
+        let rewritten = rewrite_band(tree, bi, &mut |_, members, permutable, child| {
+            Some(TreeNode::Mark {
+                kind: MarkKind::Vectorize(stmts.clone()),
+                child: TreeNode::Band {
+                    members: members.to_vec(),
+                    permutable,
+                    child: child.clone().boxed(),
+                }
+                .boxed(),
+            })
+        });
+        if let Some(t) = rewritten {
+            *tree = t;
         }
     }
 }
@@ -223,7 +702,6 @@ fn intra_tile_vectorize(deps: &[Dependence], sched: &mut Schedule) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::PostProcess;
     use polytops_deps::analyze;
     use polytops_ir::{Aff, Scop, ScopBuilder};
 
@@ -245,32 +723,82 @@ mod tests {
         b.build().unwrap()
     }
 
-    #[test]
-    fn tiling_requires_permutability() {
-        let scop = jacobi();
-        let deps = analyze(&scop);
-        let sched = crate::schedule(&scop, &crate::SchedulerConfig::default()).unwrap();
-        // The engine's jacobi band is permutable (skewed by proximity);
-        // tiling must record exactly one band over the loop dims.
-        let mut tiled = sched.clone();
-        tile(&deps, &mut tiled, &[16]);
-        assert!(
-            tiled
-                .tiling()
-                .iter()
-                .all(|tb| band_is_permutable(&deps, &tiled, tb.start, tb.end)),
-            "recorded bands must be permutable"
-        );
+    /// The first tile-marked nest of the tree: (sizes, tile band
+    /// members, point band members).
+    fn tiled_nest(tree: &ScheduleTree) -> Option<(Vec<i64>, Vec<BandMember>, Vec<BandMember>)> {
+        fn walk(node: &TreeNode) -> Option<(Vec<i64>, Vec<BandMember>, Vec<BandMember>)> {
+            match node {
+                TreeNode::Leaf => None,
+                TreeNode::Filter { child, .. } => walk(child),
+                TreeNode::Band { child, .. } => walk(child),
+                TreeNode::Sequence(children) => children.iter().find_map(walk),
+                TreeNode::Mark { kind, child } => match kind {
+                    MarkKind::Tile(sizes) => {
+                        let mut under = child.as_ref();
+                        while let TreeNode::Mark { child, .. } = under {
+                            under = child.as_ref();
+                        }
+                        let TreeNode::Band {
+                            members: tiles,
+                            child,
+                            ..
+                        } = under
+                        else {
+                            return None;
+                        };
+                        let TreeNode::Band {
+                            members: points, ..
+                        } = child.as_ref()
+                        else {
+                            return None;
+                        };
+                        Some((sizes.clone(), tiles.clone(), points.clone()))
+                    }
+                    _ => walk(child),
+                },
+            }
+        }
+        walk(&tree.root)
     }
 
     #[test]
-    fn recompute_parallel_matches_engine_flags() {
+    fn tiling_builds_a_certified_tile_band() {
         let scop = jacobi();
         let deps = analyze(&scop);
-        let mut sched = crate::schedule(&scop, &crate::SchedulerConfig::default()).unwrap();
-        let engine_flags = sched.parallel().to_vec();
-        recompute_parallel(&deps, &mut sched);
-        assert_eq!(sched.parallel(), engine_flags.as_slice());
+        let mut cfg = crate::SchedulerConfig::default();
+        cfg.post.tile_sizes = vec![16];
+        let sched = crate::schedule(&scop, &cfg).unwrap();
+        let tree = sched.tree().expect("post-processing attaches a tree");
+        let (sizes, tiles, points) = tiled_nest(tree).expect("jacobi band tiles");
+        assert_eq!(sizes, vec![16, 16]);
+        assert_eq!(tiles.len(), 2);
+        assert_eq!(points.len(), 2);
+        assert!(tiles.iter().all(|m| m.terms[0].div == 16));
+        assert!(tree_respects_all(&deps, tree));
+    }
+
+    #[test]
+    fn wavefront_skews_the_tile_band_and_exposes_coincidence() {
+        let scop = jacobi();
+        let deps = analyze(&scop);
+        let sched = crate::schedule(&scop, &crate::presets::wavefront()).unwrap();
+        let tree = sched.tree().expect("tree attached");
+        let (_, tiles, _) = tiled_nest(tree).expect("tiled");
+        // The outer tile member is the wavefront: a sum of two floored
+        // terms — and the skew makes the inner tile member coincident.
+        assert_eq!(tiles[0].terms.len(), 2, "skewed outer member");
+        assert!(!tiles[0].coincident);
+        assert!(
+            tiles[1].coincident,
+            "wavefront exposes tile-level parallelism"
+        );
+        assert!(
+            tree.marks()
+                .iter()
+                .any(|m| matches!(m, MarkKind::Wavefront)),
+            "wavefront mark present"
+        );
+        assert!(tree_respects_all(&deps, tree));
     }
 
     #[test]
@@ -296,27 +824,96 @@ mod tests {
         let mut cfg = crate::SchedulerConfig::default();
         cfg.post.tile_sizes = vec![8, 8];
         let sched = crate::schedule(&scop, &cfg).unwrap();
-        assert_eq!(sched.tiling().len(), 1, "band must tile");
-        let tb = &sched.tiling()[0];
+        let (_, tiles, points) = tiled_nest(sched.tree().unwrap()).expect("band must tile");
         assert!(
-            sched.parallel()[tb.end - 1],
-            "inner point dimension is parallel: {:?}",
-            sched.parallel()
+            points.last().unwrap().coincident,
+            "inner point dimension is parallel"
         );
         assert!(
-            tb.parallel.iter().all(|&p| !p),
-            "no tile loop may be parallel here: {:?}",
-            tb.parallel
+            tiles.iter().all(|m| !m.coincident),
+            "no tile loop may be parallel here"
         );
     }
 
     #[test]
-    fn apply_is_a_no_op_for_default_postprocess() {
+    fn apply_lowers_but_otherwise_preserves_default_postprocess() {
         let scop = jacobi();
         let deps = analyze(&scop);
         let mut sched = crate::schedule(&scop, &crate::SchedulerConfig::default()).unwrap();
         let before = sched.clone();
-        apply(&deps, &mut sched, &PostProcess::default());
-        assert_eq!(sched, before);
+        apply(&deps, &mut sched, &crate::SchedulerConfig::default());
+        // Rows, bands and flags untouched; the tree is exactly the
+        // lowering of the flat schedule.
+        assert_eq!(
+            sched.tree(),
+            Some(&ScheduleTree::lower(&before)),
+            "default post-processing attaches the plain lowering"
+        );
+    }
+
+    #[test]
+    fn intra_tile_vectorize_rotates_a_coincident_member_innermost() {
+        // matmul-like: C[i][j] += A[i][k] * B[k][j]. i and j are
+        // parallel, k carries; pluto orders (i, j, k) with k innermost
+        // and sequential, so intra-tile vectorization must rotate a
+        // coincident member to the innermost point position.
+        let mut b = ScopBuilder::new("mm");
+        let n = b.param("N");
+        let a = b.array("A", &[n.clone(), n.clone()], 8);
+        let c = b.array("C", &[n.clone(), n.clone()], 8);
+        b.open_loop("i", Aff::val(0), n.clone() - 1);
+        b.open_loop("j", Aff::val(0), n.clone() - 1);
+        b.open_loop("k", Aff::val(0), n - 1);
+        b.stmt("S0")
+            .read(a, &[Aff::var("i"), Aff::var("k")])
+            .read(c, &[Aff::var("i"), Aff::var("j")])
+            .write(c, &[Aff::var("i"), Aff::var("j")])
+            .add(&mut b);
+        b.close_loop();
+        b.close_loop();
+        b.close_loop();
+        let scop = b.build().unwrap();
+        let deps = analyze(&scop);
+        let mut cfg = crate::SchedulerConfig::default();
+        cfg.post.tile_sizes = vec![8];
+        cfg.post.intra_tile_vectorize = true;
+        let sched = crate::schedule(&scop, &cfg).unwrap();
+        let tree = sched.tree().unwrap();
+        let (_, _, points) = tiled_nest(tree).expect("tiled");
+        assert!(
+            points.last().unwrap().coincident,
+            "rotation must leave a coincident member innermost: {:?}",
+            points.iter().map(|m| m.coincident).collect::<Vec<_>>()
+        );
+        assert!(tree_respects_all(&deps, tree));
+    }
+
+    #[test]
+    fn auto_vectorize_marks_the_innermost_coincident_member() {
+        // Parallel copy loop: innermost (only) member is coincident.
+        let mut b = ScopBuilder::new("copy");
+        let n = b.param("N");
+        let a = b.array("A", &[n.clone()], 8);
+        let c = b.array("B", &[n.clone()], 8);
+        b.open_loop("i", Aff::val(0), n - 1);
+        b.stmt("S0")
+            .read(a, &[Aff::var("i")])
+            .write(c, &[Aff::var("i")])
+            .add(&mut b);
+        b.close_loop();
+        let scop = b.build().unwrap();
+        let cfg = crate::SchedulerConfig {
+            auto_vectorize: true,
+            ..Default::default()
+        };
+        let sched = crate::schedule(&scop, &cfg).unwrap();
+        let tree = sched.tree().unwrap();
+        assert!(
+            tree.marks()
+                .iter()
+                .any(|m| matches!(m, MarkKind::Vectorize(stmts) if stmts == &vec![0])),
+            "vectorize mark on the copy statement: {:?}",
+            tree.marks()
+        );
     }
 }

@@ -22,7 +22,7 @@
 use std::sync::Arc;
 
 use polytops_deps::{analyze, sccs_topological, strongly_satisfies, zero_distance, Dependence};
-use polytops_ir::{Schedule, Scop, StmtId, StmtSchedule};
+use polytops_ir::{Schedule, Scop, StmtSchedule};
 use polytops_math::{ilp_lexmin_stats, ilp_lexmin_warm, IlpStats, IntMatrix};
 
 use crate::config::{DirectiveKind, FusionHeuristic, SchedulerConfig};
@@ -682,54 +682,16 @@ impl<'a> Engine<'a> {
         }
         let mut sched = Schedule::from_parts(per_stmt, self.bands.clone(), self.parallel.clone());
 
-        // Post-processing stage: tiling metadata, wavefront skewing and
-        // intra-tile vectorization, each verified against the dependence
-        // oracle before being committed. This runs BEFORE vectorization
-        // marking so the marks see the final rows, positions and
-        // parallel flags (wavefront replaces rows, intra-tile
-        // vectorization swaps them).
-        postprocess::apply(&self.deps, &mut sched, &self.config.post);
-
-        // Vectorization marking: explicit directives first, then the
-        // auto-vectorize heuristic (innermost parallel-ish dimension).
-        for d in &self.config.directives {
-            if d.kind != DirectiveKind::Vectorize {
-                continue;
-            }
-            for s in expand_targets(d.stmts.as_ref(), nstmts) {
-                if let Some(dim) = last_iter_dim(&sched, s, d.iterator) {
-                    sched.set_vector_dim(StmtId(s), Some(dim));
-                }
-            }
-        }
-        if self.config.auto_vectorize {
-            for s in 0..nstmts {
-                if sched.vector_dims()[s].is_some() {
-                    continue;
-                }
-                let ss = sched.stmt(StmtId(s));
-                let innermost = (0..ss.len()).rev().find(|&d| !ss.row_is_constant(d));
-                if let Some(d) = innermost {
-                    if sched.parallel().get(d).copied().unwrap_or(false) {
-                        sched.set_vector_dim(StmtId(s), Some(d));
-                    }
-                }
-            }
-        }
+        // Post-processing stage: lowers the schedule to its tree form
+        // and applies tiling, wavefront skewing, intra-tile
+        // vectorization and vectorize marks as tree-to-tree transforms,
+        // each verified against the dependence oracle before being
+        // committed.
+        postprocess::apply(&self.deps, &mut sched, self.config);
 
         stats.dimensions = sched.dims();
         stats.farkas_hits = self.cache.hits();
         stats.farkas_misses = self.cache.misses();
         Ok((sched, stats))
     }
-}
-
-/// The last schedule dimension whose row uses iterator `q` of statement
-/// `s`, if any.
-fn last_iter_dim(sched: &Schedule, s: usize, q: usize) -> Option<usize> {
-    let ss = sched.stmt(StmtId(s));
-    if q >= ss.depth() {
-        return None;
-    }
-    (0..ss.len()).rev().find(|&d| ss.rows()[d][q] != 0)
 }

@@ -72,7 +72,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use polytops_deps::{analyze, Dependence};
-use polytops_ir::{Schedule, Scop, StmtId, StmtSchedule};
+use polytops_ir::{Schedule, ScheduleTree, Scop, StmtId, StmtSchedule, TreeNode};
 
 use crate::config::SchedulerConfig;
 use crate::error::ScheduleError;
@@ -213,8 +213,8 @@ impl ScenarioSet {
     /// dependence graph has several weakly connected components — and
     /// whose configuration sets no fusion controls, directives, custom
     /// constraints (those reference global statement ids) or tile sizes
-    /// (tiling metadata is global per band and would be lost in
-    /// stitching) — are solved as one sub-job per component and
+    /// (tiling decisions are taken per band over the whole SCoP) — are
+    /// solved as one sub-job per component and
     /// stitched back together under a leading constant distribution
     /// dimension. Configurations that do set any of those keep their
     /// whole-SCoP solve even when splitting is enabled.
@@ -651,9 +651,10 @@ fn solve_one(
 
 /// Whether a configuration can be applied per component: fusion
 /// controls, directives and custom constraints all reference global
-/// statement ids, and tiling metadata is global per band (stitching
-/// would silently discard it), so any of them pins the scenario to a
-/// whole-SCoP solve.
+/// statement ids, and tiling decisions are taken per band over the
+/// whole SCoP (a split would tile each component against only its own
+/// dependences, changing which bands tile), so any of them pins the
+/// scenario to a whole-SCoP solve.
 fn config_splittable(config: &SchedulerConfig) -> bool {
     config.fusion.is_empty()
         && config.directives.is_empty()
@@ -744,10 +745,10 @@ fn component_scop(scop: &Scop, stmts: &[usize], comp: usize) -> Scop {
 ///   components that actually contribute a row, and band boundaries are
 ///   taken wherever *any* contributing component starts a band (the
 ///   conservative common refinement);
-/// * per-statement vectorization marks shift by one. Tiling metadata is
-///   not carried over — it is global per-band and components could
-///   disagree — which is why [`config_splittable`] pins tiled
-///   configurations to whole-SCoP solves in the first place.
+/// * the combined schedule *tree* is a [`TreeNode::Sequence`] of
+///   [`TreeNode::Filter`]s over the component trees, remapped to parent
+///   statement ids and shifted past the distribution level — marks and
+///   band structure carry over verbatim.
 fn stitch(
     scop: &Scop,
     plans: &[ComponentPlan],
@@ -809,10 +810,29 @@ fn stitch(
     }
 
     let mut combined = Schedule::from_parts(per_stmt, bands, parallel);
-    for (s, &(c, local)) in home.iter().enumerate() {
-        let (sched, _) = &solved[c];
-        combined.set_vector_dim(StmtId(s), sched.vector_dims()[local].map(|v| v + 1));
-    }
+    // The combined tree is a sequence of filters over the component
+    // trees: component `c` at position `c`, its statements renumbered
+    // to the parent ids and every term's source dimension shifted past
+    // the distribution level. Marks (tile sizes, wavefront, vectorize)
+    // ride along structurally instead of being re-derived.
+    let children: Vec<TreeNode> = plans
+        .iter()
+        .enumerate()
+        .map(|(c, plan)| {
+            let (sched, _) = &solved[c];
+            let sub = sched.tree_or_lowered().remap(nstmts, &plan.stmts, 1);
+            let mut stmts = plan.stmts.clone();
+            stmts.sort_unstable();
+            TreeNode::Filter {
+                stmts,
+                child: sub.root.boxed(),
+            }
+        })
+        .collect();
+    combined.set_tree(ScheduleTree {
+        nstmts,
+        root: TreeNode::Sequence(children),
+    });
     let mut stats = PipelineStats::default();
     for (_, comp_stats) in &solved {
         stats.farkas_hits += comp_stats.farkas_hits;
@@ -918,9 +938,9 @@ mod tests {
 
     #[test]
     fn tiled_configs_keep_their_whole_scop_solve_when_splitting() {
-        // Tiling metadata is global per band; splitting would silently
-        // drop it, so a tiled scenario must pin to a whole-SCoP solve
-        // (and keep its tile bands) even with splitting enabled.
+        // Tiling decisions are taken per band over the whole SCoP, so a
+        // tiled scenario must pin to a whole-SCoP solve (and keep its
+        // tile bands in the tree) even with splitting enabled.
         let mut set = ScenarioSet::new();
         let scop = set.add_scop("indep", two_components());
         let mut tiled = presets::pluto();
@@ -931,7 +951,13 @@ mod tests {
         let results = set.run_sequential();
         let tiled_report = results[0].as_ref().unwrap();
         assert_eq!(tiled_report.sub_jobs, 1, "tiled scenario must not split");
-        assert!(!tiled_report.schedule.tiling().is_empty(), "tiling kept");
+        let tree = tiled_report.schedule.tree().expect("tree attached");
+        assert!(
+            tree.marks()
+                .iter()
+                .any(|m| matches!(m, polytops_ir::MarkKind::Tile(_))),
+            "tile marks kept"
+        );
         assert_eq!(results[1].as_ref().unwrap().sub_jobs, 2);
     }
 

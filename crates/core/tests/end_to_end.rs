@@ -7,11 +7,97 @@
 use polytops_core::{
     presets, schedule, schedule_with_options, EngineOptions, FusionHeuristic, SchedulerConfig,
 };
-use polytops_deps::{analyze, schedule_respects_dependence, strongly_satisfies};
-use polytops_ir::{Schedule, Scop, StmtId};
+use polytops_deps::{
+    analyze, order_steps, schedule_respects_dependence, steps_respect_dependence,
+    strongly_satisfies,
+};
+use polytops_ir::{BandMember, MarkKind, Schedule, Scop, StmtId, TreeNode};
 use polytops_workloads::{
     all_kernels, jacobi_1d, matmul, producer_consumer, reversed_consumer, stencil_chain,
 };
+
+/// Certifies the schedule *tree* against every dependence via the
+/// instance-order oracle (the flat oracle in [`assert_legal`] does not
+/// see tile or wavefront members).
+fn assert_tree_legal(name: &str, scop: &Scop, sched: &Schedule) {
+    let tree = sched.tree().unwrap_or_else(|| panic!("{name}: want tree"));
+    let paths = tree.stmt_paths();
+    for (e, dep) in analyze(scop).iter().enumerate() {
+        let steps = order_steps(&paths[dep.src.0], &paths[dep.dst.0]);
+        assert!(
+            steps_respect_dependence(dep, &steps),
+            "{name}: tree violates dependence {e} (S{} -> S{})",
+            dep.src.0,
+            dep.dst.0,
+        );
+    }
+}
+
+/// The `(sizes, tile_members, point_members)` of every tile nest in the
+/// tree, outermost first.
+fn tile_nests(node: &TreeNode) -> Vec<(Vec<i64>, Vec<BandMember>, Vec<BandMember>)> {
+    fn peel(mut n: &TreeNode) -> &TreeNode {
+        while let TreeNode::Mark { child, .. } = n {
+            n = child;
+        }
+        n
+    }
+    fn walk(node: &TreeNode, out: &mut Vec<(Vec<i64>, Vec<BandMember>, Vec<BandMember>)>) {
+        if let TreeNode::Mark {
+            kind: MarkKind::Tile(sizes),
+            child,
+        } = node
+        {
+            if let TreeNode::Band {
+                members: tiles,
+                child: inner,
+                ..
+            } = peel(child)
+            {
+                if let TreeNode::Band {
+                    members: points,
+                    child: rest,
+                    ..
+                } = peel(inner)
+                {
+                    out.push((sizes.clone(), tiles.clone(), points.clone()));
+                    walk(rest, out);
+                    return;
+                }
+            }
+        }
+        match node {
+            TreeNode::Band { child, .. }
+            | TreeNode::Filter { child, .. }
+            | TreeNode::Mark { child, .. } => walk(child, out),
+            TreeNode::Sequence(children) => children.iter().for_each(|c| walk(c, out)),
+            TreeNode::Leaf => {}
+        }
+    }
+    let mut out = Vec::new();
+    walk(node, &mut out);
+    out
+}
+
+/// The members of the first band under a `Mark::Wavefront`.
+fn wavefront_band(node: &TreeNode) -> Option<Vec<BandMember>> {
+    match node {
+        TreeNode::Mark {
+            kind: MarkKind::Wavefront,
+            child,
+        } => {
+            if let TreeNode::Band { members, .. } = child.as_ref() {
+                return Some(members.clone());
+            }
+            wavefront_band(child)
+        }
+        TreeNode::Band { child, .. }
+        | TreeNode::Filter { child, .. }
+        | TreeNode::Mark { child, .. } => wavefront_band(child),
+        TreeNode::Sequence(children) => children.iter().find_map(wavefront_band),
+        TreeNode::Leaf => None,
+    }
+}
 
 /// Every configuration a kernel must stay legal under.
 fn configs() -> Vec<(&'static str, SchedulerConfig)> {
@@ -206,16 +292,25 @@ fn fusion_entry_without_groups_is_a_no_op() {
 #[test]
 fn tiled_stencil_is_legal_and_records_tile_bands() {
     // The PostProcess stage tiles jacobi's permutable (t, t+i) band; the
-    // schedule rows are untouched, so legality must hold verbatim.
+    // flat schedule rows are untouched, so legality must hold verbatim,
+    // and the tree gains a tile band over the point band.
     let scop = jacobi_1d();
     let mut cfg = presets::pluto();
     cfg.post.tile_sizes = vec![32, 32];
     let sched = schedule(&scop, &cfg).unwrap();
     assert_legal("jacobi_1d/tiled", &scop, &sched);
-    assert_eq!(sched.tiling().len(), 1, "one tiled band");
-    let tb = &sched.tiling()[0];
-    assert_eq!((tb.start, tb.end), (0, 2), "the full loop band is tiled");
-    assert_eq!(tb.sizes, vec![32, 32]);
+    assert_tree_legal("jacobi_1d/tiled", &scop, &sched);
+    let nests = tile_nests(&sched.tree().unwrap().root);
+    assert_eq!(nests.len(), 1, "one tiled band");
+    let (sizes, tiles, points) = &nests[0];
+    assert_eq!(sizes, &vec![32, 32]);
+    assert_eq!(points.len(), 2, "the full loop band is tiled");
+    // Tile counters are the point members' floors by the tile size.
+    for (t, p) in tiles.iter().zip(points) {
+        assert_eq!(t.terms.len(), 1);
+        assert_eq!(t.terms[0].div, 32);
+        assert_eq!(t.terms[0].rows, p.terms[0].rows);
+    }
 }
 
 #[test]
@@ -228,21 +323,23 @@ fn wavefronted_matmul_is_legal_and_exposes_inner_parallelism() {
     let plain = schedule(&scop, &presets::feautrier()).unwrap();
     let sched = schedule(&scop, &cfg).unwrap();
     assert_legal("matmul/wavefront", &scop, &sched);
-    // The outer row became the band sum (a genuine transformation)…
-    let expected: Vec<i64> = (0..3)
+    assert_tree_legal("matmul/wavefront", &scop, &sched);
+    // The flat rows are untouched — the wavefront lives on the tree…
+    assert_eq!(sched.stmt(StmtId(0)).rows(), plain.stmt(StmtId(0)).rows());
+    let band = wavefront_band(&sched.tree().unwrap().root).expect("a wavefronted band");
+    // …whose outer member became the band sum (a genuine transformation)…
+    let expected: Vec<i64> = (0..5)
         .map(|c| (0..3).map(|d| plain.stmt(StmtId(0)).rows()[d][c]).sum())
-        .chain([
-            (0..3).map(|d| plain.stmt(StmtId(0)).rows()[d][3]).sum(),
-            (0..3).map(|d| plain.stmt(StmtId(0)).rows()[d][4]).sum(),
-        ])
         .collect();
-    assert_eq!(sched.stmt(StmtId(0)).rows()[0], expected);
-    // …and the inner dimensions stay parallel behind the wavefront.
-    assert!(!sched.parallel()[0], "wavefront dimension is sequential");
+    assert_eq!(band[0].terms.len(), 1, "affine skew of an untiled band");
+    assert_eq!(band[0].terms[0].div, 1);
+    assert_eq!(band[0].terms[0].rows[0], expected);
+    // …and the inner members stay coincident behind the wavefront.
+    assert!(!band[0].coincident, "wavefront member is sequential");
     assert!(
-        sched.parallel()[1] && sched.parallel()[2],
-        "inner dimensions parallel: {:?}",
-        sched.parallel()
+        band[1].coincident && band[2].coincident,
+        "inner members coincident: {:?}",
+        band.iter().map(|m| m.coincident).collect::<Vec<_>>()
     );
 }
 
@@ -258,25 +355,30 @@ fn intra_tile_vectorize_moves_the_parallel_loop_innermost() {
     cfg.post.intra_tile_vectorize = true;
     let sched = schedule(&scop, &cfg).unwrap();
     assert_legal("matmul/intra-tile-vec", &scop, &sched);
-    let last = sched.dims() - 1;
+    assert_tree_legal("matmul/intra-tile-vec", &scop, &sched);
+    let nests = tile_nests(&sched.tree().unwrap().root);
+    assert_eq!(nests.len(), 1);
+    let (_, _, points) = &nests[0];
     assert!(
-        sched.parallel()[last],
-        "innermost dimension must end up parallel: {:?}",
-        sched.parallel()
+        points.last().unwrap().coincident,
+        "innermost point member must end up coincident: {:?}",
+        points.iter().map(|m| m.coincident).collect::<Vec<_>>()
     );
     // Compare against the same config without the swap: the innermost
-    // dimension used to be the carrying (sequential) one.
+    // member used to be the carrying (sequential) one.
     let mut plain_cfg = presets::pluto();
     plain_cfg.post.tile_sizes = vec![16];
     let plain = schedule(&scop, &plain_cfg).unwrap();
+    let plain_nests = tile_nests(&plain.tree().unwrap().root);
+    let (_, _, plain_points) = &plain_nests[0];
     assert!(
-        !plain.parallel()[last],
+        !plain_points.last().unwrap().coincident,
         "without the swap k stays innermost"
     );
     assert_eq!(
-        sched.stmt(StmtId(0)).rows()[last],
-        plain.stmt(StmtId(0)).rows()[last - 1],
-        "the parallel row moved innermost"
+        points.last().unwrap().terms[0].rows,
+        plain_points[plain_points.len() - 2].terms[0].rows,
+        "the coincident member moved innermost"
     );
 }
 

@@ -17,7 +17,13 @@ fn tiled_stencil_has_bounded_footprint() {
     let scop = jacobi_1d();
     let deps = analyze(&scop);
     let tiled = schedule(&scop, &presets::wavefront()).unwrap();
-    assert!(!tiled.tiling().is_empty(), "wavefront preset tiles");
+    let marks = tiled.tree().expect("post-processing sets a tree").marks();
+    assert!(
+        marks
+            .iter()
+            .any(|m| matches!(m, polytops_ir::MarkKind::Tile(_))),
+        "wavefront preset tiles"
+    );
     let f = extract_features(&scop, &tiled, &deps, 4096);
     assert!(f.tiled);
     assert_eq!(f.footprint_bytes, 8 * 32 * 32, "one double array, one tile");
@@ -128,5 +134,11 @@ fn for_machine_preset_schedules_and_certifies() {
             sched.stmt(d.dst).rows(),
         )
     }));
-    assert!(!sched.tiling().is_empty(), "machine preset tiles");
+    let marks = sched.tree().expect("post-processing sets a tree").marks();
+    assert!(
+        marks
+            .iter()
+            .any(|m| matches!(m, polytops_ir::MarkKind::Tile(_))),
+        "machine preset tiles"
+    );
 }

@@ -41,5 +41,7 @@ mod satisfy;
 pub use analysis::{analyze, common_loops, DepKind, Dependence};
 pub use graph::{dependence_sccs, sccs_topological};
 pub use satisfy::{
-    distance_row, respects, schedule_respects_dependence, strongly_satisfies, zero_distance,
+    distance_row, order_steps, respects, schedule_respects_dependence, step_carries,
+    step_coincident, step_legal, steps_respect_dependence, strongly_satisfies, zero_distance,
+    OrderStep,
 };

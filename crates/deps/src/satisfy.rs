@@ -130,6 +130,435 @@ pub fn schedule_respects_dependence(
     !ilp_feasible(&sys)
 }
 
+// ---------------------------------------------------------------------
+// Quasi-affine step oracle (schedule trees).
+// ---------------------------------------------------------------------
+
+/// One step of a schedule-tree instance order, specialized to a
+/// dependence's endpoint pair.
+///
+/// Built by [`order_steps`] from the two statements' tree paths; each
+/// step is either a band-member *value* comparison (quasi-affine: sums
+/// of floored terms on both sides) or a static sequence *position*
+/// comparison. The `step_*` oracles below answer satisfaction questions
+/// about such steps inside the same exact integer-feasibility machinery
+/// as the affine row tests above, by extending the dependence
+/// polyhedron with auxiliary integer variables:
+///
+/// * an affine term (divisor 1) contributes its distance exactly;
+/// * a floored term pair `⌊row_dst·x/div⌋ − ⌊row_src·x/div⌋` is
+///   abstracted by one integer variable `w` with the exact window
+///   `δ − div + 1 ≤ div·w ≤ δ + div − 1` (where `δ = row_dst·x −
+///   row_src·x`), the tightest linear envelope of a floor difference.
+///   The variable is **shared** between steps referencing the same
+///   `(src row, dst row, div)` term, which is what correlates a
+///   wavefronted tile member with the plain tile members it sums.
+///
+/// The floored-term windows over-approximate the true floor difference,
+/// so the oracle is *sound but conservative*: it never certifies an
+/// illegal instance order and never reports a non-coincident member
+/// coincident, but it may reject a legal transform (never observed for
+/// permutable bands, where the windows are tight enough).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderStep {
+    /// A band member: `(numerator row, divisor)` terms per side, the
+    /// source side over `(it_src, params, 1)` and the destination side
+    /// over `(it_dst, params, 1)`.
+    Value {
+        /// The source statement's floored terms.
+        src: Vec<(Vec<i64>, i64)>,
+        /// The destination statement's floored terms.
+        dst: Vec<(Vec<i64>, i64)>,
+    },
+    /// A sequence node: static child positions of the two statements.
+    Position {
+        /// The source statement's position.
+        src: i64,
+        /// The destination statement's position.
+        dst: i64,
+    },
+}
+
+/// Pairs two statements' tree paths into the dependence's step sequence:
+/// steps are zipped while the paths traverse the same structural nodes,
+/// and a sequence node where the positions differ (which decides the
+/// order statically) terminates the sequence.
+pub fn order_steps(
+    src_path: &[polytops_ir::PathStep],
+    dst_path: &[polytops_ir::PathStep],
+) -> Vec<OrderStep> {
+    use polytops_ir::PathStep as P;
+    let mut out = Vec::new();
+    for (a, b) in src_path.iter().zip(dst_path.iter()) {
+        match (a, b) {
+            (
+                P::Member {
+                    node: na,
+                    terms: ta,
+                    ..
+                },
+                P::Member {
+                    node: nb,
+                    terms: tb,
+                    ..
+                },
+            ) if na == nb => out.push(OrderStep::Value {
+                src: ta.clone(),
+                dst: tb.clone(),
+            }),
+            (P::Seq { node: na, pos: pa }, P::Seq { node: nb, pos: pb }) if na == nb => {
+                let decided = pa != pb;
+                out.push(OrderStep::Position { src: *pa, dst: *pb });
+                if decided {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    out
+}
+
+/// The distance of one step over the extended variable space: either a
+/// static constant (sequence positions) or a linear row over
+/// `(it_src, it_dst, params, aux…, 1)`.
+enum StepDelta {
+    Const(i64),
+    Linear(Vec<i64>),
+}
+
+/// The dependence polyhedron widened with the auxiliary floor variables
+/// of a step sequence, plus each step's distance expression.
+struct StepEncoding {
+    sys: polytops_math::ConstraintSystem,
+    deltas: Vec<StepDelta>,
+}
+
+/// A distinct floored term needing one auxiliary variable: either a
+/// source/destination pair of the same member term (encoded as a
+/// difference window) or a lone side term (encoded as a floor box).
+#[derive(PartialEq, Eq, Hash, Clone)]
+enum AuxKey {
+    Pair(Vec<i64>, Vec<i64>, i64),
+    Side(bool, Vec<i64>, i64),
+}
+
+impl StepEncoding {
+    fn new(dep: &Dependence, steps: &[OrderStep]) -> StepEncoding {
+        let ds = dep.src_depth;
+        let dr = dep.dst_depth;
+        let nv = dep.poly.num_vars();
+        let np = nv - ds - dr;
+        // First pass: one auxiliary variable per distinct floored term,
+        // paired across sides when a member contributes the same
+        // index-aligned term to both (always the case for terms built
+        // from tree paths).
+        let mut keys: Vec<AuxKey> = Vec::new();
+        let mut index: std::collections::HashMap<AuxKey, usize> = std::collections::HashMap::new();
+        let intern = |keys: &mut Vec<AuxKey>,
+                      index: &mut std::collections::HashMap<AuxKey, usize>,
+                      key: AuxKey|
+         -> usize {
+            *index.entry(key.clone()).or_insert_with(|| {
+                keys.push(key);
+                keys.len() - 1
+            })
+        };
+        for step in steps {
+            if let OrderStep::Value { src, dst } = step {
+                let paired = src.len() == dst.len()
+                    && src.iter().zip(dst).all(|((_, da), (_, db))| da == db);
+                if paired {
+                    for ((rs, div), (rd, _)) in src.iter().zip(dst) {
+                        if *div > 1 {
+                            intern(
+                                &mut keys,
+                                &mut index,
+                                AuxKey::Pair(rs.clone(), rd.clone(), *div),
+                            );
+                        }
+                    }
+                } else {
+                    for (row, div) in src {
+                        if *div > 1 {
+                            intern(&mut keys, &mut index, AuxKey::Side(true, row.clone(), *div));
+                        }
+                    }
+                    for (row, div) in dst {
+                        if *div > 1 {
+                            intern(
+                                &mut keys,
+                                &mut index,
+                                AuxKey::Side(false, row.clone(), *div),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        let next = nv + keys.len();
+        let mut sys = polytops_math::ConstraintSystem::new(next);
+        for (kind, row) in dep.poly.iter() {
+            let mut r = vec![0i64; next + 1];
+            r[..nv].copy_from_slice(&row[..nv]);
+            r[next] = row[nv];
+            match kind {
+                polytops_math::RowKind::Eq => sys.add_eq(r),
+                polytops_math::RowKind::Ineq => sys.add_ineq(r),
+            }
+        }
+        // Lifts a per-side row over (iters, params, 1) into the
+        // extended space.
+        let lift = |row: &[i64], is_src: bool| -> Vec<i64> {
+            let d = if is_src { ds } else { dr };
+            debug_assert_eq!(row.len(), d + np + 1, "side row arity");
+            let mut r = vec![0i64; next + 1];
+            let base = if is_src { 0 } else { ds };
+            r[base..base + d].copy_from_slice(&row[..d]);
+            for j in 0..np {
+                r[ds + dr + j] = row[d + j];
+            }
+            r[next] = row[d + np];
+            r
+        };
+        // Defining constraints, once per auxiliary variable.
+        for (i, key) in keys.iter().enumerate() {
+            let q = nv + i;
+            match key {
+                AuxKey::Pair(rs, rd, div) => {
+                    // w ≈ ⌊rd·x/div⌋ − ⌊rs·x/div⌋, windowed by
+                    // δ − div + 1 ≤ div·w ≤ δ + div − 1 with
+                    // δ = rd·x − rs·x.
+                    let s = lift(rs, true);
+                    let d = lift(rd, false);
+                    let mut hi: Vec<i64> = d.iter().zip(&s).map(|(a, b)| a - b).collect();
+                    hi[q] -= div;
+                    hi[next] += div - 1;
+                    sys.add_ineq(hi);
+                    let mut lo: Vec<i64> = s.iter().zip(&d).map(|(a, b)| a - b).collect();
+                    lo[q] += div;
+                    lo[next] += div - 1;
+                    sys.add_ineq(lo);
+                    // Monotonicity cut: the floor function is monotone,
+                    // so a sign-definite δ over the dependence
+                    // polyhedron forces the same sign on the true floor
+                    // difference. The window alone admits |w| < 1 of
+                    // rational slack per term, which sends the
+                    // certification of a *legal* wavefront (Σ wⱼ ≤ −1
+                    // integrally infeasible but rationally feasible)
+                    // into deep branch and bound; the cut makes it a
+                    // pure LP refutation.
+                    let mut base_delta = vec![0i64; nv + 1];
+                    for (j, &c) in rd[..dr].iter().enumerate() {
+                        base_delta[ds + j] += c;
+                    }
+                    for (j, &c) in rs[..ds].iter().enumerate() {
+                        base_delta[j] -= c;
+                    }
+                    for j in 0..np {
+                        base_delta[ds + dr + j] += rd[dr + j] - rs[ds + j];
+                    }
+                    base_delta[nv] += rd[dr + np] - rs[ds + np];
+                    if polytops_math::ineq_implied(&dep.poly, &base_delta) {
+                        let mut cut = vec![0i64; next + 1];
+                        cut[q] = 1;
+                        sys.add_ineq(cut);
+                    } else {
+                        let neg: Vec<i64> = base_delta.iter().map(|&c| -c).collect();
+                        if polytops_math::ineq_implied(&dep.poly, &neg) {
+                            let mut cut = vec![0i64; next + 1];
+                            cut[q] = -1;
+                            sys.add_ineq(cut);
+                        }
+                    }
+                }
+                AuxKey::Side(is_src, row, div) => {
+                    // q = ⌊row·x / div⌋ via div·q ≤ row·x ≤ div·q + div − 1.
+                    let mut lo = lift(row, *is_src);
+                    lo[q] -= div;
+                    sys.add_ineq(lo);
+                    let mut hi: Vec<i64> = lift(row, *is_src).iter().map(|&c| -c).collect();
+                    hi[q] += div;
+                    hi[next] += div - 1;
+                    sys.add_ineq(hi);
+                }
+            }
+        }
+        // Second pass: per-step distance expressions over the extended
+        // space.
+        let mut deltas = Vec::with_capacity(steps.len());
+        for step in steps {
+            match step {
+                OrderStep::Position { src, dst } => deltas.push(StepDelta::Const(dst - src)),
+                OrderStep::Value { src, dst } => {
+                    let mut delta = vec![0i64; next + 1];
+                    let paired = src.len() == dst.len()
+                        && src.iter().zip(dst).all(|((_, da), (_, db))| da == db);
+                    if paired {
+                        for ((rs, div), (rd, _)) in src.iter().zip(dst) {
+                            if *div == 1 {
+                                for ((acc, a), b) in
+                                    delta.iter_mut().zip(lift(rd, false)).zip(lift(rs, true))
+                                {
+                                    *acc += a - b;
+                                }
+                            } else {
+                                delta[nv + index[&AuxKey::Pair(rs.clone(), rd.clone(), *div)]] += 1;
+                            }
+                        }
+                    } else {
+                        let mut add_side = |terms: &[(Vec<i64>, i64)], sign: i64, is_src: bool| {
+                            for (row, div) in terms {
+                                if *div == 1 {
+                                    for (acc, v) in delta.iter_mut().zip(lift(row, is_src)) {
+                                        *acc += sign * v;
+                                    }
+                                } else {
+                                    let key = AuxKey::Side(is_src, row.clone(), *div);
+                                    delta[nv + index[&key]] += sign;
+                                }
+                            }
+                        };
+                        add_side(src, -1, true);
+                        add_side(dst, 1, false);
+                    }
+                    deltas.push(StepDelta::Linear(delta));
+                }
+            }
+        }
+        StepEncoding { sys, deltas }
+    }
+}
+
+/// Verifies a schedule-tree instance order against a dependence: the
+/// destination instance must come strictly after the source instance
+/// for every point of the polyhedron. This is the tree-side counterpart
+/// of [`schedule_respects_dependence`], sharing the same independent
+/// integer-feasibility machinery (no code path in common with the
+/// scheduler's Farkas construction).
+pub fn steps_respect_dependence(dep: &Dependence, steps: &[OrderStep]) -> bool {
+    let enc = StepEncoding::new(dep, steps);
+    let mut sys = enc.sys;
+    for delta in &enc.deltas {
+        match delta {
+            StepDelta::Const(c) => {
+                if *c < 0 {
+                    // Every instance still equal on the prefix is
+                    // ordered backwards here.
+                    return !ilp_feasible(&sys);
+                }
+                if *c > 0 {
+                    // Strictly ordered wherever the prefix is equal;
+                    // nothing can remain unordered below.
+                    return true;
+                }
+            }
+            StepDelta::Linear(row) => {
+                let mut v = sys.clone();
+                let mut neg: Vec<i64> = row.iter().map(|&x| -x).collect();
+                let n = neg.len() - 1;
+                neg[n] -= 1; // Δ ≤ −1
+                v.add_ineq(neg);
+                if ilp_feasible(&v) {
+                    return false;
+                }
+                sys.add_eq(row.clone());
+            }
+        }
+    }
+    // Violated if some instance pair is equal on every step (no strict
+    // order at all).
+    !ilp_feasible(&sys)
+}
+
+/// Builds the system conditioned on every prefix step having distance 0,
+/// plus the queried step's delta. Returns `None` when the prefix is
+/// statically unsatisfiable (a sequence already separates the pair), in
+/// which case every conditioned property holds vacuously.
+fn conditioned(
+    dep: &Dependence,
+    prefix: &[OrderStep],
+    step: &OrderStep,
+) -> Option<(polytops_math::ConstraintSystem, StepDelta)> {
+    let mut steps: Vec<OrderStep> = prefix.to_vec();
+    steps.push(step.clone());
+    let enc = StepEncoding::new(dep, &steps);
+    let mut sys = enc.sys;
+    let mut deltas = enc.deltas;
+    let last = deltas.pop().expect("queried step");
+    for delta in &deltas {
+        match delta {
+            StepDelta::Const(0) => {}
+            StepDelta::Const(_) => return None,
+            StepDelta::Linear(row) => sys.add_eq(row.clone()),
+        }
+    }
+    Some((sys, last))
+}
+
+/// Whether the step's distance is 0 for every dependence instance with
+/// equal coordinates on all `prefix` steps — the tree notion of
+/// coincidence (the member's loop may run in parallel at that position
+/// of the schedule). Conditioning on the prefix is what lets a
+/// wavefronted tile band expose coincident inner tile members: a
+/// dependence crossing tiles always crosses the skewed outer member
+/// first.
+pub fn step_coincident(dep: &Dependence, prefix: &[OrderStep], step: &OrderStep) -> bool {
+    match conditioned(dep, prefix, step) {
+        None => true,
+        Some((sys, StepDelta::Const(c))) => c == 0 || !ilp_feasible(&sys),
+        Some((sys, StepDelta::Linear(row))) => {
+            let n = row.len() - 1;
+            let mut up = sys.clone();
+            let mut r = row.clone();
+            r[n] -= 1; // Δ ≥ 1
+            up.add_ineq(r);
+            if ilp_feasible(&up) {
+                return false;
+            }
+            let mut down = sys;
+            let mut r: Vec<i64> = row.iter().map(|&x| -x).collect();
+            r[n] -= 1; // Δ ≤ −1
+            down.add_ineq(r);
+            !ilp_feasible(&down)
+        }
+    }
+}
+
+/// Whether the step's distance is ≥ 0 for every dependence instance with
+/// equal coordinates on all `prefix` steps (the member is individually
+/// legal at that position — the per-member half of band permutability).
+pub fn step_legal(dep: &Dependence, prefix: &[OrderStep], step: &OrderStep) -> bool {
+    match conditioned(dep, prefix, step) {
+        None => true,
+        Some((sys, StepDelta::Const(c))) => c >= 0 || !ilp_feasible(&sys),
+        Some((sys, StepDelta::Linear(row))) => {
+            let n = row.len() - 1;
+            let mut down = sys;
+            let mut r: Vec<i64> = row.iter().map(|&x| -x).collect();
+            r[n] -= 1; // Δ ≤ −1
+            down.add_ineq(r);
+            !ilp_feasible(&down)
+        }
+    }
+}
+
+/// Whether the step's distance is ≥ 1 for every dependence instance with
+/// equal coordinates on all `prefix` steps (the step *carries* the
+/// dependence at that position: nothing below needs to order it).
+pub fn step_carries(dep: &Dependence, prefix: &[OrderStep], step: &OrderStep) -> bool {
+    match conditioned(dep, prefix, step) {
+        None => true,
+        Some((sys, StepDelta::Const(c))) => c >= 1 || !ilp_feasible(&sys),
+        Some((sys, StepDelta::Linear(row))) => {
+            let mut down = sys;
+            // Δ ≤ 0 feasible?
+            down.add_ineq(row.iter().map(|&x| -x).collect());
+            !ilp_feasible(&down)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +633,121 @@ mod tests {
             &[vec![-1, 0, 0]],
             &[vec![-1, 0, 0]]
         ));
+    }
+
+    /// A single-term affine step for the chain dep (φ = row on both
+    /// sides).
+    fn affine_step(row: Vec<i64>) -> OrderStep {
+        OrderStep::Value {
+            src: vec![(row.clone(), 1)],
+            dst: vec![(row, 1)],
+        }
+    }
+
+    #[test]
+    fn affine_steps_match_the_row_oracle() {
+        let dep = flow_dep();
+        let id = affine_step(vec![1, 0, 0]);
+        let rev = affine_step(vec![-1, 0, 0]);
+        let cst = affine_step(vec![0, 0, 7]);
+        // The step oracle must agree with the affine row oracle when
+        // every term has divisor 1.
+        assert!(steps_respect_dependence(&dep, &[id.clone()]));
+        assert!(!steps_respect_dependence(&dep, &[rev.clone()]));
+        assert!(!steps_respect_dependence(&dep, &[cst.clone()]));
+        assert!(step_carries(&dep, &[], &id));
+        assert!(!step_coincident(&dep, &[], &id));
+        assert!(step_coincident(&dep, &[], &cst));
+        assert!(step_legal(&dep, &[], &id));
+        assert!(!step_legal(&dep, &[], &rev));
+    }
+
+    #[test]
+    fn sequence_positions_decide_statically() {
+        let dep = flow_dep();
+        // Source before destination: respected without any value step.
+        assert!(steps_respect_dependence(
+            &dep,
+            &[OrderStep::Position { src: 0, dst: 1 }]
+        ));
+        // Destination before source: violated (polyhedron nonempty).
+        assert!(!steps_respect_dependence(
+            &dep,
+            &[OrderStep::Position { src: 1, dst: 0 }]
+        ));
+        // A separating prefix makes every conditioned property vacuous.
+        let rev = affine_step(vec![-1, 0, 0]);
+        assert!(step_coincident(
+            &dep,
+            &[OrderStep::Position { src: 0, dst: 1 }],
+            &rev
+        ));
+    }
+
+    #[test]
+    fn tile_steps_follow_the_floors() {
+        let dep = flow_dep(); // distance exactly 1 on i
+        let tile = OrderStep::Value {
+            src: vec![(vec![1, 0, 0], 4)],
+            dst: vec![(vec![1, 0, 0], 4)],
+        };
+        let point = affine_step(vec![1, 0, 0]);
+        // ⌊i/4⌋ neither carries (same-tile pairs exist) nor is
+        // coincident (tile-crossing pairs exist), but it is legal.
+        assert!(!step_carries(&dep, &[], &tile));
+        assert!(!step_coincident(&dep, &[], &tile));
+        assert!(step_legal(&dep, &[], &tile));
+        // Within equal tiles the point step still carries; the full
+        // (tile, point) order is respected.
+        assert!(step_carries(&dep, &[tile.clone()], &point));
+        assert!(steps_respect_dependence(&dep, &[tile, point]));
+    }
+
+    #[test]
+    fn wavefront_of_tiles_exposes_coincidence() {
+        // for t for i: A[i] = A[i-1] + A[i+1] under the skewed schedule
+        // (t, t+i): tile members q0 = ⌊t/4⌋, q1 = ⌊(t+i)/4⌋. Neither is
+        // coincident alone, but given the wavefronted outer member
+        // q0 + q1 equal, q1 is (the classic tile-wavefront win).
+        let mut b = ScopBuilder::new("jacobi");
+        let tp = b.param("T");
+        let n = b.param("N");
+        let a = b.array("A", &[n.clone()], 8);
+        b.open_loop("t", Aff::val(0), tp - 1);
+        b.open_loop("i", Aff::val(1), n - 2);
+        b.stmt("S0")
+            .read(a, &[Aff::var("i") - 1])
+            .read(a, &[Aff::var("i") + 1])
+            .write(a, &[Aff::var("i")])
+            .add(&mut b);
+        b.close_loop();
+        b.close_loop();
+        let scop = b.build().unwrap();
+        let deps = analyze(&scop);
+        assert!(!deps.is_empty());
+        let t_row = vec![1i64, 0, 0, 0, 0]; // t over (t, i, T, N, 1)
+        let skew_row = vec![1i64, 1, 0, 0, 0]; // t + i
+        let q0 = (t_row, 4i64);
+        let q1 = (skew_row, 4i64);
+        let tile_q1 = OrderStep::Value {
+            src: vec![q1.clone()],
+            dst: vec![q1.clone()],
+        };
+        let wave = OrderStep::Value {
+            src: vec![q0.clone(), q1.clone()],
+            dst: vec![q0.clone(), q1.clone()],
+        };
+        for dep in &deps {
+            assert!(
+                !step_coincident(dep, &[], &tile_q1),
+                "q1 alone crosses tiles"
+            );
+            assert!(
+                step_coincident(dep, &[wave.clone()], &tile_q1),
+                "q1 is coincident under the wavefront"
+            );
+            assert!(step_legal(dep, &[], &wave), "wavefront member legal");
+        }
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //!
 //! Scheduling results are represented by [`Schedule`] (per-statement
 //! affine rows plus band/parallelism metadata), shared by the scheduler,
-//! the code generator and the machine models.
+//! the code generator and the machine models. Post-processing attaches
+//! a structured [`ScheduleTree`] view (isl-style Band / Filter /
+//! Sequence / Mark nodes, module [`tree`]) on which tiling, wavefront
+//! skewing and vectorization are expressed as tree-to-tree transforms.
 //!
 //! # Example
 //!
@@ -45,9 +48,13 @@ pub mod frontend;
 mod openscop;
 mod schedule;
 mod scop;
+pub mod tree;
 
 pub use builder::{BuildError, ScopBuilder, StmtSpec, SubSpec};
 pub use expr::{Aff, AffineExpr};
 pub use openscop::{parse_scop, print_scop, ParseScopError};
-pub use schedule::{Schedule, StmtSchedule, TileBand};
+pub use schedule::{Schedule, StmtSchedule};
 pub use scop::{Access, AccessKind, ArrayId, ArrayInfo, Scop, Statement, StmtId, Subscript};
+pub use tree::{
+    instance_cmp_paths, BandMember, MarkKind, MemberTerm, PathStep, ScheduleTree, TreeNode,
+};

@@ -4,6 +4,7 @@ use std::fmt;
 
 use crate::expr::AffineExpr;
 use crate::scop::{Scop, StmtId};
+use crate::tree::ScheduleTree;
 
 /// The schedule of one statement: one affine row per scheduling dimension,
 /// each over the statement's `(iters, params, 1)` columns.
@@ -99,34 +100,11 @@ impl StmtSchedule {
     }
 }
 
-/// A tiled band: scheduling dimensions `start..end` are rectangularly
-/// tiled with one size per band dimension.
-///
-/// This is post-processing *metadata*: the schedule rows themselves are
-/// unchanged (tiling is not an affine transformation), and code
-/// generation materializes the tile loops when lowering to an AST.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TileBand {
-    /// First scheduling dimension of the band (inclusive).
-    pub start: usize,
-    /// One past the last scheduling dimension of the band.
-    pub end: usize,
-    /// Tile size per band dimension (`sizes.len() == end - start`, each
-    /// size at least 1).
-    pub sizes: Vec<i64>,
-    /// Whether the *tile* loop of each band dimension may run in
-    /// parallel. This is stricter than the point dimension's flag: a
-    /// point dimension is parallel when every dependence live at *that
-    /// dimension* has zero distance, but tile loops execute outside the
-    /// band's point loops, so they must have zero distance for every
-    /// dependence live at the *band entry* (a dependence carried by an
-    /// earlier dimension of the same band still crosses tiles).
-    pub parallel: Vec<bool>,
-}
-
 /// A complete schedule for a [`Scop`]: per-statement rows plus band and
 /// parallelism metadata produced by the scheduler (paper Algorithm 1's
-/// `Bands` and `ParallelDimension` outputs).
+/// `Bands` and `ParallelDimension` outputs), and — after the
+/// post-processing stage — the structured [`ScheduleTree`] view that
+/// tiling, wavefronting and vectorization are expressed on.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
     per_stmt: Vec<StmtSchedule>,
@@ -135,11 +113,10 @@ pub struct Schedule {
     bands: Vec<usize>,
     /// Whether each scheduling dimension is parallel.
     parallel: Vec<bool>,
-    /// Per statement: the scheduling dimension marked for vectorization
-    /// (`None` when the statement has no vectorizable innermost loop).
-    vector_dims: Vec<Option<usize>>,
-    /// Tiled bands recorded by post-processing (empty when untiled).
-    tiling: Vec<TileBand>,
+    /// The structured schedule-tree view. `None` until post-processing
+    /// lowers the flat rows (tiling, wavefronting and vectorization are
+    /// tree transforms and live here, not in the rows).
+    tree: Option<ScheduleTree>,
 }
 
 impl Schedule {
@@ -153,8 +130,7 @@ impl Schedule {
                 .collect(),
             bands: Vec::new(),
             parallel: Vec::new(),
-            vector_dims: vec![None; scop.statements.len()],
-            tiling: Vec::new(),
+            tree: None,
         }
     }
 
@@ -207,13 +183,11 @@ impl Schedule {
         // Bands: every loop level is its own band in the 2d+1 form.
         let bands = (0..nrows).collect();
         let parallel = vec![false; nrows];
-        let nstmts = per_stmt.len();
         Schedule {
             per_stmt,
             bands,
             parallel,
-            vector_dims: vec![None; nstmts],
-            tiling: Vec::new(),
+            tree: None,
         }
     }
 
@@ -233,28 +207,31 @@ impl Schedule {
         }
         assert_eq!(bands.len(), dims, "bands length");
         assert_eq!(parallel.len(), dims, "parallel length");
-        let nstmts = per_stmt.len();
         Schedule {
             per_stmt,
             bands,
             parallel,
-            vector_dims: vec![None; nstmts],
-            tiling: Vec::new(),
+            tree: None,
         }
     }
 
-    /// The dimension marked for vectorization for each statement.
-    pub fn vector_dims(&self) -> &[Option<usize>] {
-        &self.vector_dims
+    /// The structured schedule-tree view (attached by post-processing;
+    /// `None` on a raw solver schedule).
+    pub fn tree(&self) -> Option<&ScheduleTree> {
+        self.tree.as_ref()
     }
 
-    /// Marks a statement's vector dimension.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the id is out of range.
-    pub fn set_vector_dim(&mut self, id: StmtId, dim: Option<usize>) {
-        self.vector_dims[id.0] = dim;
+    /// The schedule-tree view, lowering the flat rows on the fly when no
+    /// tree has been attached yet.
+    pub fn tree_or_lowered(&self) -> ScheduleTree {
+        self.tree
+            .clone()
+            .unwrap_or_else(|| ScheduleTree::lower(self))
+    }
+
+    /// Attaches (or replaces) the structured schedule-tree view.
+    pub fn set_tree(&mut self, tree: ScheduleTree) {
+        self.tree = Some(tree);
     }
 
     /// Number of scheduling dimensions (equal across statements).
@@ -298,27 +275,6 @@ impl Schedule {
     /// Mutable parallel flags (post-processing).
     pub fn parallel_mut(&mut self) -> &mut Vec<bool> {
         &mut self.parallel
-    }
-
-    /// Tiled bands recorded by post-processing (empty when untiled).
-    pub fn tiling(&self) -> &[TileBand] {
-        &self.tiling
-    }
-
-    /// Records the tiled bands (post-processing).
-    ///
-    /// # Panics
-    ///
-    /// Panics if a band range is out of bounds, empty, reversed, or has a
-    /// size-count mismatch or non-positive size.
-    pub fn set_tiling(&mut self, tiling: Vec<TileBand>) {
-        for tb in &tiling {
-            assert!(tb.start < tb.end && tb.end <= self.dims(), "band range");
-            assert_eq!(tb.sizes.len(), tb.end - tb.start, "tile size count");
-            assert!(tb.sizes.iter().all(|&s| s >= 1), "tile sizes");
-            assert_eq!(tb.parallel.len(), tb.end - tb.start, "tile parallel");
-        }
-        self.tiling = tiling;
     }
 
     /// Timestamp of a statement instance.

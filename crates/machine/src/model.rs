@@ -7,8 +7,10 @@
 //! implements the two halves:
 //!
 //! 1. [`extract_features`] reads a scheduled SCoP — the schedule rows,
-//!    band/parallel/tiling/vectorization metadata, and the dependence
-//!    set — into a machine-*independent* [`ScheduleFeatures`] vector:
+//!    band/parallel metadata, the schedule *tree* (tiling, wavefront
+//!    and vectorization live there as marks and per-member coincidence
+//!    flags), and the dependence set — into a machine-*independent*
+//!    [`ScheduleFeatures`] vector:
 //!    outermost parallelism, per-dependence reuse distances (iterations
 //!    between a value's definition and its reuse under the schedule),
 //!    tile footprints, vectorizable statements and estimated dynamic
@@ -30,9 +32,81 @@
 //! against each other.
 
 use polytops_deps::{strongly_satisfies, Dependence};
-use polytops_ir::{Schedule, Scop, StmtId};
+use polytops_ir::{MarkKind, Schedule, Scop, StmtId, TreeNode};
 
 use crate::MachineModel;
+
+/// Tiling facts read off one `Mark::Tile` nest of the schedule tree:
+/// the tile band over the point band, flattened back into the
+/// per-dimension shape the trip/footprint estimates work in.
+struct TileFact {
+    /// Flat scheduling dimension of each point-band member, in member
+    /// order (permuted from ascending when post-processing rotated a
+    /// coincident member innermost).
+    point_dims: Vec<usize>,
+    /// Tile size of each member, aligned with `point_dims`.
+    sizes: Vec<i64>,
+    /// Coincidence flag of each tile-band member.
+    tile_parallel: Vec<bool>,
+    /// Coincidence flag of each point-band member.
+    point_parallel: Vec<bool>,
+}
+
+/// Skips over any run of marks (wavefront, vectorize) to the node they
+/// annotate.
+fn peel_marks(mut node: &TreeNode) -> &TreeNode {
+    while let TreeNode::Mark { child, .. } = node {
+        node = child;
+    }
+    node
+}
+
+/// Collects one [`TileFact`] per tile nest (a `Mark::Tile` whose
+/// subtree is a tile band over a point band of matching width) in
+/// depth-first order, i.e. outermost nest first.
+fn collect_tile_facts(node: &TreeNode, out: &mut Vec<TileFact>) {
+    if let TreeNode::Mark {
+        kind: MarkKind::Tile(sizes),
+        child,
+    } = node
+    {
+        if let TreeNode::Band {
+            members: tiles,
+            child: inner,
+            ..
+        } = peel_marks(child)
+        {
+            if let TreeNode::Band {
+                members: points,
+                child: rest,
+                ..
+            } = peel_marks(inner)
+            {
+                if points.len() == sizes.len() && tiles.len() == sizes.len() {
+                    out.push(TileFact {
+                        point_dims: points.iter().map(|m| m.source_dim()).collect(),
+                        sizes: sizes.clone(),
+                        tile_parallel: tiles.iter().map(|m| m.coincident).collect(),
+                        point_parallel: points.iter().map(|m| m.coincident).collect(),
+                    });
+                }
+                collect_tile_facts(rest, out);
+                return;
+            }
+        }
+    }
+    match node {
+        TreeNode::Band { child, .. }
+        | TreeNode::Filter { child, .. }
+        | TreeNode::Mark { child, .. } => collect_tile_facts(child, out),
+        TreeNode::Sequence(children) => {
+            for c in children {
+                collect_tile_facts(c, out);
+            }
+        }
+        TreeNode::Leaf => {}
+    }
+}
 
 /// Clamp for every estimated quantity: large enough to order any real
 /// kernel, small enough that sums of several terms never overflow `i64`.
@@ -138,36 +212,60 @@ pub fn extract_features(
     let dims = sched.dims();
     let est = param_estimate.max(2);
 
+    // Tiling and vectorization facts live on the schedule tree; a
+    // schedule that never went through post-processing has no tree and
+    // therefore neither transformation.
+    let facts: Vec<TileFact> = match sched.tree() {
+        Some(tree) => {
+            let mut v = Vec::new();
+            collect_tile_facts(&tree.root, &mut v);
+            v
+        }
+        None => Vec::new(),
+    };
+
     // Per-dimension trip estimates: parametric for loop dims, 1 for
     // constant levels, capped at the tile size for tiled point loops.
     let mut trips: Vec<i64> = (0..dims)
         .map(|d| if is_loop_dim(sched, d) { est } else { 1 })
         .collect();
-    for tb in sched.tiling() {
-        for (k, &size) in tb.sizes.iter().enumerate() {
-            let d = tb.start + k;
+    for f in &facts {
+        for (&d, &size) in f.point_dims.iter().zip(&f.sizes) {
             trips[d] = trips[d].min(size.max(1));
+        }
+    }
+
+    // A tile fact covers a contiguous run of flat dimensions (possibly
+    // permuted within the run by the innermost-coincident rotation);
+    // index it by the run's first dimension for the executed-loop walk.
+    let mut fact_at: Vec<Option<&TileFact>> = vec![None; dims];
+    for f in &facts {
+        if let (Some(&lo), Some(&hi)) = (f.point_dims.iter().min(), f.point_dims.iter().max()) {
+            if hi - lo + 1 == f.point_dims.len() && hi < dims {
+                fact_at[lo] = Some(f);
+            }
         }
     }
 
     // The *executed* loop sequence, outermost first: a tiled band runs
     // its tile loops (trip ≈ est / size, parallelism from the stricter
-    // per-tile-loop flags) before its point loops, so outer parallelism
-    // and barrier counts must both be read off this sequence, not off
-    // the scheduling dimensions alone. Constant (splitting) levels
-    // contribute trip-1 sequential entries, harmless in every product.
+    // tile-member coincidence flags) before its point loops, so outer
+    // parallelism and barrier counts must both be read off this
+    // sequence, not off the scheduling dimensions alone. Constant
+    // (splitting) levels contribute trip-1 sequential entries, harmless
+    // in every product.
     let mut executed: Vec<(bool, i64)> = Vec::with_capacity(2 * dims);
     let mut d = 0;
     while d < dims {
-        if let Some(tb) = sched.tiling().iter().find(|tb| tb.start == d) {
-            for (k, &size) in tb.sizes.iter().enumerate() {
+        if let Some(f) = fact_at[d] {
+            for (k, &size) in f.sizes.iter().enumerate() {
                 let tile_trip = clamp(ceil_div(i128::from(est), i128::from(size.max(1)))).max(1);
-                executed.push((tb.parallel[k], tile_trip));
+                executed.push((f.tile_parallel[k], tile_trip));
             }
-            for (p, &trip) in trips.iter().enumerate().take(tb.end).skip(tb.start) {
-                executed.push((sched.parallel()[p] && is_loop_dim(sched, p), trip));
+            for (k, &p) in f.point_dims.iter().enumerate() {
+                executed.push((f.point_parallel[k] && is_loop_dim(sched, p), trips[p]));
             }
-            d = tb.end;
+            d += f.point_dims.len();
         } else {
             executed.push((sched.parallel()[d] && is_loop_dim(sched, d), trips[d]));
             d += 1;
@@ -182,7 +280,24 @@ pub fn extract_features(
         .map(|(a, b)| b - a)
         .max()
         .unwrap_or(0);
-    let vectorized_stmts = sched.vector_dims().iter().flatten().count();
+    let vectorized_stmts = {
+        let mut marked: Vec<usize> = sched
+            .tree()
+            .map(|tree| {
+                tree.marks()
+                    .into_iter()
+                    .filter_map(|m| match m {
+                        MarkKind::Vectorize(stmts) => Some(stmts.iter().copied()),
+                        _ => None,
+                    })
+                    .flatten()
+                    .collect()
+            })
+            .unwrap_or_default();
+        marked.sort_unstable();
+        marked.dedup();
+        marked.len()
+    };
 
     let mut total_ops: i128 = 0;
     let mut total_instances: i128 = 0;
@@ -199,9 +314,9 @@ pub fn extract_features(
         .max()
         .unwrap_or(8)
         .max(1);
-    let tiled = !sched.tiling().is_empty();
-    let footprint_bytes = if let Some(tb) = sched.tiling().first() {
-        let tile_iters = tb
+    let tiled = !facts.is_empty();
+    let footprint_bytes = if let Some(f) = facts.first() {
+        let tile_iters = f
             .sizes
             .iter()
             .fold(1i128, |acc, &s| (acc * i128::from(s.max(1))).min(CLAMP));
@@ -336,7 +451,7 @@ pub fn model_score(machine: &MachineModel, f: &ScheduleFeatures) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use polytops_ir::{Aff, ScopBuilder, StmtSchedule, TileBand};
+    use polytops_ir::{Aff, BandMember, MemberTerm, ScheduleTree, ScopBuilder, StmtSchedule};
 
     /// `for t for i A[i] = A[i-1] + A[i+1];` — the stencil under test.
     fn stencil() -> Scop {
@@ -356,6 +471,52 @@ mod tests {
         b.build().unwrap()
     }
 
+    /// A single-term band member `⌊row·x / div⌋` of the one-statement
+    /// stencil, whose flat rows are over `(t, i, T, N, 1)`.
+    fn member(d: usize, div: i64, coincident: bool) -> BandMember {
+        let mut row = vec![0i64; 5];
+        row[d] = 1;
+        BandMember {
+            terms: vec![MemberTerm {
+                rows: vec![row],
+                div,
+                source_dim: d,
+            }],
+            coincident,
+        }
+    }
+
+    /// The tree of the identity schedule tiled with `sizes`: a
+    /// `Mark::Tile` over a tile band over the point band.
+    fn tiled_tree(
+        sizes: Vec<i64>,
+        tile_parallel: Vec<bool>,
+        point_parallel: Vec<bool>,
+    ) -> ScheduleTree {
+        let n = sizes.len();
+        let tiles = (0..n)
+            .map(|d| member(d, sizes[d], tile_parallel[d]))
+            .collect();
+        let points = (0..n).map(|d| member(d, 1, point_parallel[d])).collect();
+        ScheduleTree {
+            nstmts: 1,
+            root: TreeNode::Mark {
+                kind: MarkKind::Tile(sizes),
+                child: TreeNode::Band {
+                    members: tiles,
+                    permutable: true,
+                    child: TreeNode::Band {
+                        members: points,
+                        permutable: true,
+                        child: TreeNode::Leaf.boxed(),
+                    }
+                    .boxed(),
+                }
+                .boxed(),
+            },
+        }
+    }
+
     /// The identity (t, i) schedule of the stencil, one permutable band.
     fn identity_schedule(tiled: Option<Vec<i64>>) -> Schedule {
         let mut ss = StmtSchedule::new(2, 2);
@@ -364,12 +525,7 @@ mod tests {
         let mut sched = Schedule::from_parts(vec![ss], vec![0, 0], vec![false, false]);
         if let Some(sizes) = tiled {
             let n = sizes.len();
-            sched.set_tiling(vec![TileBand {
-                start: 0,
-                end: n,
-                sizes,
-                parallel: vec![false; n],
-            }]);
+            sched.set_tree(tiled_tree(sizes, vec![false; n], vec![false; n]));
         }
         sched
     }
@@ -418,14 +574,9 @@ mod tests {
         assert_eq!(f.sync_events, 1);
 
         // Tiled with a sequential tile loop: the tile loop is the
-        // outermost executed loop, so outer parallelism is *its* flag
-        // even while the point flag stays true.
-        sched.set_tiling(vec![TileBand {
-            start: 0,
-            end: 2,
-            sizes: vec![8, 8],
-            parallel: vec![false, true],
-        }]);
+        // outermost executed loop, so outer parallelism is *its*
+        // coincidence flag even while the point flag stays true.
+        sched.set_tree(tiled_tree(vec![8, 8], vec![false, true], vec![true, false]));
         let f = extract_features(&scop, &sched, &deps, 64);
         assert!(!f.outer_parallel);
         assert!(f.parallel_dims > 0);
@@ -457,7 +608,14 @@ mod tests {
         let deps = polytops_deps::analyze(&scop);
         let mut sched = identity_schedule(None);
         let base = extract_features(&scop, &sched, &deps, 64);
-        sched.set_vector_dim(StmtId(0), Some(1));
+        let inner = sched.tree_or_lowered();
+        sched.set_tree(ScheduleTree {
+            nstmts: inner.nstmts,
+            root: TreeNode::Mark {
+                kind: MarkKind::Vectorize(vec![0]),
+                child: inner.root.boxed(),
+            },
+        });
         let vec = extract_features(&scop, &sched, &deps, 64);
         assert_eq!(vec.vectorized_stmts, 1);
         let m = MachineModel::default();

@@ -15,7 +15,7 @@ use polytops_core::json::Json;
 use polytops_core::scenario::{ScenarioReport, ScenarioResult};
 use polytops_core::tune::{MachineModel, TuneBudget, TuneOutcome};
 use polytops_core::{presets, PipelineStats, RegistryStats, SchedulerConfig};
-use polytops_ir::{parse_scop, Schedule, Scop, StmtId};
+use polytops_ir::{parse_scop, MarkKind, Schedule, Scop, StmtId, TreeNode};
 use polytops_machine::model::ScheduleFeatures;
 
 /// One named configuration inside a schedule request.
@@ -253,41 +253,114 @@ fn object(pairs: Vec<(&str, Json)>) -> Json {
     )
 }
 
+/// Serializes one schedule-tree node recursively (the `tree` field of
+/// [`schedule_to_json`]): every node carries a `kind` tag, band members
+/// carry their quasi-affine terms and coincidence flags, marks carry
+/// their tile sizes / vectorized statements.
+fn tree_node_to_json(node: &TreeNode) -> Json {
+    match node {
+        TreeNode::Band {
+            members,
+            permutable,
+            child,
+        } => {
+            let members: Vec<Json> = members
+                .iter()
+                .map(|m| {
+                    let terms: Vec<Json> = m
+                        .terms
+                        .iter()
+                        .map(|t| {
+                            object(vec![
+                                ("div", Json::Int(t.div)),
+                                ("source_dim", Json::Int(t.source_dim as i64)),
+                                (
+                                    "rows",
+                                    Json::Array(
+                                        t.rows
+                                            .iter()
+                                            .map(|row| {
+                                                Json::Array(
+                                                    row.iter().map(|&c| Json::Int(c)).collect(),
+                                                )
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect();
+                    object(vec![
+                        ("coincident", Json::Bool(m.coincident)),
+                        ("terms", Json::Array(terms)),
+                    ])
+                })
+                .collect();
+            object(vec![
+                ("kind", Json::Str("band".into())),
+                ("permutable", Json::Bool(*permutable)),
+                ("members", Json::Array(members)),
+                ("child", tree_node_to_json(child)),
+            ])
+        }
+        TreeNode::Filter { stmts, child } => object(vec![
+            ("kind", Json::Str("filter".into())),
+            (
+                "stmts",
+                Json::Array(stmts.iter().map(|&s| Json::Int(s as i64)).collect()),
+            ),
+            ("child", tree_node_to_json(child)),
+        ]),
+        TreeNode::Sequence(children) => object(vec![
+            ("kind", Json::Str("sequence".into())),
+            (
+                "children",
+                Json::Array(children.iter().map(tree_node_to_json).collect()),
+            ),
+        ]),
+        TreeNode::Mark { kind, child } => {
+            let mut pairs = vec![("kind", Json::Str("mark".into()))];
+            match kind {
+                MarkKind::Tile(sizes) => {
+                    pairs.push(("mark", Json::Str("tile".into())));
+                    pairs.push((
+                        "sizes",
+                        Json::Array(sizes.iter().map(|&s| Json::Int(s)).collect()),
+                    ));
+                }
+                MarkKind::Wavefront => pairs.push(("mark", Json::Str("wavefront".into()))),
+                MarkKind::Vectorize(stmts) => {
+                    pairs.push(("mark", Json::Str("vectorize".into())));
+                    pairs.push((
+                        "stmts",
+                        Json::Array(stmts.iter().map(|&s| Json::Int(s as i64)).collect()),
+                    ));
+                }
+            }
+            pairs.push(("child", tree_node_to_json(child)));
+            object(pairs)
+        }
+        TreeNode::Leaf => object(vec![("kind", Json::Str("leaf".into()))]),
+    }
+}
+
 /// Serializes a schedule: per-statement rows (over `(iters, params, 1)`
-/// columns) plus band, parallelism, tiling and vectorization metadata.
+/// columns) plus band and parallelism metadata, and the schedule tree
+/// (tiling, wavefront and vectorization all live there as marks and
+/// quasi-affine band members; `null` when post-processing never ran).
 pub fn schedule_to_json(sched: &Schedule) -> Json {
     let statements: Vec<Json> = (0..sched.num_statements())
         .map(|s| {
             let ss = sched.stmt(StmtId(s));
-            object(vec![
-                (
-                    "rows",
-                    Json::Array(
-                        ss.rows()
-                            .iter()
-                            .map(|row| Json::Array(row.iter().map(|&c| Json::Int(c)).collect()))
-                            .collect(),
-                    ),
+            object(vec![(
+                "rows",
+                Json::Array(
+                    ss.rows()
+                        .iter()
+                        .map(|row| Json::Array(row.iter().map(|&c| Json::Int(c)).collect()))
+                        .collect(),
                 ),
-                (
-                    "vector_dim",
-                    sched.vector_dims()[s].map_or(Json::Null, |d| Json::Int(d as i64)),
-                ),
-            ])
-        })
-        .collect();
-    let tiling: Vec<Json> = sched
-        .tiling()
-        .iter()
-        .map(|tb| {
-            object(vec![
-                ("start", Json::Int(tb.start as i64)),
-                ("end", Json::Int(tb.end as i64)),
-                (
-                    "sizes",
-                    Json::Array(tb.sizes.iter().map(|&s| Json::Int(s)).collect()),
-                ),
-            ])
+            )])
         })
         .collect();
     object(vec![
@@ -301,7 +374,12 @@ pub fn schedule_to_json(sched: &Schedule) -> Json {
             Json::Array(sched.parallel().iter().map(|&p| Json::Bool(p)).collect()),
         ),
         ("statements", Json::Array(statements)),
-        ("tiling", Json::Array(tiling)),
+        (
+            "tree",
+            sched
+                .tree()
+                .map_or(Json::Null, |t| tree_node_to_json(&t.root)),
+        ),
     ])
 }
 

@@ -15,7 +15,7 @@
 //! * [`core`](polytops_core) — configurations, cost functions, the
 //!   iterative scheduling driver, the parallel scenario engine and the
 //!   machine-driven autotuner ([`tune`]);
-//! * [`codegen`] — band-tree code generation and schedule printing;
+//! * [`codegen`] — schedule-tree code generation and schedule printing;
 //! * [`machine`] — machine models and the static performance model
 //!   ([`machine::model`]) the autotuner scores schedules with;
 //! * [`workloads`] — reference polyhedral kernels, the standard
@@ -62,12 +62,13 @@ pub use polytops_core::{
     ScenarioSet, ScheduleError, SchedulerConfig, ScopEntry, ScopRegistry, Strategy, StrategyState,
 };
 pub use polytops_deps::{
-    analyze, dependence_sccs, respects, schedule_respects_dependence, strongly_satisfies,
-    zero_distance, DepKind, Dependence,
+    analyze, dependence_sccs, order_steps, respects, schedule_respects_dependence,
+    steps_respect_dependence, strongly_satisfies, zero_distance, DepKind, Dependence, OrderStep,
 };
 pub use polytops_ir::{
-    frontend, parse_scop, print_scop, Aff, AffineExpr, ArrayId, ArrayInfo, Schedule, Scop,
-    ScopBuilder, Statement, StmtId, StmtSchedule, Subscript,
+    frontend, parse_scop, print_scop, Aff, AffineExpr, ArrayId, ArrayInfo, BandMember, MarkKind,
+    MemberTerm, PathStep, Schedule, ScheduleTree, Scop, ScopBuilder, Statement, StmtId,
+    StmtSchedule, Subscript, TreeNode,
 };
 pub use polytops_math::{
     farkas_nonneg, ilp_feasible, ilp_lexmin, ilp_minimize, lp_minimize, ConstraintSystem,
