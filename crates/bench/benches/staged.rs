@@ -23,6 +23,7 @@ fn main() {
     let cold_options = EngineOptions {
         farkas_cache: false,
         warm_start: false,
+        ..EngineOptions::default()
     };
     let configs = [
         ("pluto", presets::pluto()),

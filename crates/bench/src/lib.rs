@@ -6,7 +6,7 @@
 //! scheduling problem from [`polytops_workloads`] and reports
 //! nanoseconds per iteration.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod report;

@@ -1,6 +1,6 @@
 //! Golden-C snapshots of the full kernel × preset sweep.
 //!
-//! Every scenario of the standard sweep (7 kernels × 4 presets) is
+//! Every reference-kernel × preset scenario (7 kernels × 5 presets) is
 //! scheduled through the core pipeline, lowered through the
 //! schedule-tree backend, and compared byte-for-byte against the
 //! checked-in snapshot `tests/golden/<kernel>__<preset>.c`.

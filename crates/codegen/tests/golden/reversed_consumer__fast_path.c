@@ -1,0 +1,8 @@
+#pragma omp parallel for
+for (c0 = 0; c0 <= N - 1; c0++) {
+  S0(c0);
+}
+#pragma omp parallel for
+for (c0 = 0; c0 <= N - 1; c0++) {
+  S1(c0);
+}

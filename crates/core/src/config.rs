@@ -185,6 +185,14 @@ pub struct SchedulerConfig {
     /// Use the isl strategy: recompute a dimension with Feautrier's cost
     /// when the proximity solution is not parallel.
     pub isl_fallback: bool,
+    /// Try the heuristic fast path before each dimension's ILP solve: a
+    /// fusion + dimension-matching pass proposes per-statement
+    /// permutation/shift rows from the dependence structure, validates
+    /// them with the exact legality check, and falls back to the full
+    /// ILP cascade for the dimension when validation fails. Ignores
+    /// cost functions (a legal permutation wins over an optimal one),
+    /// so large SCoPs schedule in time linear in the dependence count.
+    pub heuristic_fast_path: bool,
     /// Box bound on iterator coefficients.
     pub coefficient_bound: i64,
     /// Box bound on schedule constants.
@@ -212,6 +220,7 @@ impl Default for SchedulerConfig {
             negative_coefficients: false,
             parametric_shift: false,
             isl_fallback: false,
+            heuristic_fast_path: false,
             coefficient_bound: 4,
             constant_bound: 16,
             bound_bound: 32,
@@ -341,6 +350,7 @@ impl SchedulerConfig {
             "negative_coefficients",
             "parametric_shift",
             "isl_fallback",
+            "heuristic_fast_path",
             "coefficient_bound",
             "parameter_estimate",
             "tile_sizes",
@@ -536,6 +546,9 @@ impl SchedulerConfig {
         if let Some(v) = js.get("isl_fallback") {
             cfg.isl_fallback = want_bool(v, "isl_fallback")?;
         }
+        if let Some(v) = js.get("heuristic_fast_path") {
+            cfg.heuristic_fast_path = want_bool(v, "heuristic_fast_path")?;
+        }
         if let Some(v) = js.get("coefficient_bound") {
             cfg.coefficient_bound = want_int(v, "coefficient_bound")?;
         }
@@ -650,6 +663,7 @@ mod tests {
                 "auto_vectorize": true,
                 "fusion_heuristic": "maxfuse",
                 "negative_coefficients": true,
+                "heuristic_fast_path": true,
                 "tile_sizes": [32, 32],
                 "wavefront": true }}"#,
         )
@@ -657,6 +671,7 @@ mod tests {
         assert!(cfg.auto_vectorize);
         assert_eq!(cfg.fusion_heuristic, FusionHeuristic::MaxFuse);
         assert!(cfg.negative_coefficients);
+        assert!(cfg.heuristic_fast_path);
         assert_eq!(cfg.post.tile_sizes, vec![32, 32]);
         assert!(cfg.post.wavefront);
     }

@@ -18,6 +18,10 @@
 //!   tie-break) over the engine's fixed [`IlpSpace`](crate::IlpSpace);
 //! * [`solve`] — the iterative driver: warm-started lexicographic ILP
 //!   solves with SCC-cut fallback, producing rows plus band metadata;
+//!   with [`SchedulerConfig::heuristic_fast_path`](crate::SchedulerConfig)
+//!   set, a fusion + dimension-matching heuristic (`fastpath`) proposes
+//!   each dimension from the dependence structure first and only falls
+//!   back to the ILP when validation fails;
 //! * [`postprocess`] — the solver's schedule lowered to an explicit
 //!   schedule tree, then tiling, wavefront skewing and intra-tile
 //!   vectorization applied as certified tree-to-tree rewrites.
@@ -25,10 +29,11 @@
 //! Code generation (the tree-walking backend) lives in
 //! `polytops_codegen`, downstream of this module.
 
+pub(crate) mod fastpath;
 pub mod legality;
 pub mod objectives;
 pub mod postprocess;
 pub mod solve;
 
 pub use legality::{CacheSession, FarkasCache};
-pub use solve::{EngineOptions, PipelineStats};
+pub use solve::{EngineOptions, PipelineStats, SeedStore};

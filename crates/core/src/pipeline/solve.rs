@@ -19,14 +19,16 @@
 //! exist for *all* dependences, pinned to zero while unused) so cached
 //! Farkas systems and warm-start points stay valid across dimensions.
 
-use std::sync::Arc;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 use polytops_deps::{analyze, sccs_topological, strongly_satisfies, zero_distance, Dependence};
 use polytops_ir::{Schedule, Scop, StmtSchedule};
-use polytops_math::{ilp_lexmin_stats, ilp_lexmin_warm, IlpStats, IntMatrix};
+use polytops_math::{ilp_lexmin_canonical, ilp_lexmin_stats, ilp_lexmin_warm, IlpStats, IntMatrix};
 
 use crate::config::{DirectiveKind, FusionHeuristic, SchedulerConfig};
 use crate::error::ScheduleError;
+use crate::pipeline::fastpath;
 use crate::pipeline::legality::{CacheSession, FarkasCache};
 use crate::pipeline::objectives::{self, expand_targets, DimensionContext};
 use crate::pipeline::postprocess;
@@ -36,14 +38,68 @@ use crate::strategy::{DimSolution, DimensionPlan, Reaction, Strategy, StrategySt
 /// Hard cap on strategy-driven recomputations of one dimension.
 const MAX_RECOMPUTE: usize = 3;
 
+/// A cross-run store of per-dimension ILP solution points, shared by
+/// runs scheduling the same SCoP under the same variable layout.
+///
+/// The scenario engine hands one store to every scenario of a
+/// (SCoP, ILP layout) group (see
+/// [`ScenarioSet::share_warm_starts`](crate::scenario::ScenarioSet::share_warm_starts)):
+/// the first run to solve dimension `d` publishes its optimum, and
+/// every later (or concurrent) run seeds its own dimension-`d` solve
+/// from that point. Donated seeds only ever *accelerate* a solve —
+/// consumers switch to [`ilp_lexmin_canonical`], whose canonical
+/// tie-break makes the answer independent of the seed, so sharing
+/// cannot change any schedule (bit-determinism at any thread count
+/// survives). A seed that is infeasible for the consumer's system —
+/// sibling configurations may constrain the space differently — is
+/// silently ignored by the solver.
+#[derive(Debug, Default)]
+pub struct SeedStore {
+    /// Dimension index → first published solution point. First writer
+    /// wins; under concurrency the *winner* may vary, but canonical
+    /// solves make every choice equivalent.
+    points: Mutex<BTreeMap<usize, Vec<i64>>>,
+}
+
+impl SeedStore {
+    /// Creates an empty store.
+    pub fn new() -> SeedStore {
+        SeedStore::default()
+    }
+
+    /// The published seed for dimension `dim`, if any run got there.
+    pub fn seed_for(&self, dim: usize) -> Option<Vec<i64>> {
+        self.points
+            .lock()
+            .expect("seed store lock")
+            .get(&dim)
+            .cloned()
+    }
+
+    /// Publishes a solved point for dimension `dim` (first writer wins).
+    pub fn publish(&self, dim: usize, point: &[i64]) {
+        self.points
+            .lock()
+            .expect("seed store lock")
+            .entry(dim)
+            .or_insert_with(|| point.to_vec());
+    }
+}
+
 /// Pipeline feature toggles, mainly for benchmarking the staged pipeline
 /// against the cold path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct EngineOptions {
     /// Replay cached Farkas eliminations across dimensions.
     pub farkas_cache: bool,
     /// Seed each ILP solve with the previous optimum (MIP start).
     pub warm_start: bool,
+    /// Cross-run warm-start sharing: when set, every ILP solve is seeded
+    /// from (and publishes to) this store's per-dimension points and
+    /// runs in canonical-optimum mode ([`ilp_lexmin_canonical`]), which
+    /// keeps results independent of whichever sibling donated the seed.
+    /// `None` (the default) keeps warm starts private to the run.
+    pub shared_seeds: Option<Arc<SeedStore>>,
 }
 
 impl Default for EngineOptions {
@@ -51,6 +107,7 @@ impl Default for EngineOptions {
         EngineOptions {
             farkas_cache: true,
             warm_start: true,
+            shared_seeds: None,
         }
     }
 }
@@ -64,6 +121,14 @@ pub struct PipelineStats {
     pub farkas_misses: usize,
     /// Scheduling dimensions emitted (including constant levels).
     pub dimensions: usize,
+    /// ILP solves seeded from a sibling run's published point (only
+    /// nonzero when [`EngineOptions::shared_seeds`] is set).
+    pub shared_seed_hits: usize,
+    /// Dimensions scheduled by the heuristic fast path (no ILP solve).
+    pub fast_path_dims: usize,
+    /// Dimensions where the fast path was attempted but could not
+    /// produce a legal proposal, falling back to the ILP cascade.
+    pub fast_path_fallbacks: usize,
     /// Aggregated ILP solver effort.
     pub ilp: IlpStats,
 }
@@ -89,6 +154,20 @@ impl PipelineStats {
     pub fn fractional_stages(&self) -> usize {
         self.ilp.fractional_stages
     }
+
+    /// Dual-simplex pivots spent re-optimizing pinned lexicographic
+    /// stages ([`IlpStats::dual_pivots`]) — the cheap replacement for
+    /// the artificial-variable mini phase-1 the solver used to run.
+    pub fn dual_pivots(&self) -> usize {
+        self.ilp.dual_pivots
+    }
+
+    /// Artificial-variable phase-1 fallbacks the dual simplex could not
+    /// avoid ([`IlpStats::phase1_passes`]); zero on every reference
+    /// kernel.
+    pub fn phase1_passes(&self) -> usize {
+        self.ilp.phase1_passes
+    }
 }
 
 /// Runs the full staged pipeline for one SCoP and reports statistics.
@@ -102,7 +181,7 @@ pub fn run(
     strategy: &mut dyn Strategy,
     options: &EngineOptions,
 ) -> Result<(Schedule, PipelineStats), ScheduleError> {
-    Engine::new(scop, config, *options, None, None).run(strategy)
+    Engine::new(scop, config, options.clone(), None, None).run(strategy)
 }
 
 /// [`run`] with externally owned dependence analysis and
@@ -132,7 +211,7 @@ pub fn run_shared(
     deps: Arc<Vec<Dependence>>,
     cache: Arc<FarkasCache>,
 ) -> Result<(Schedule, PipelineStats), ScheduleError> {
-    Engine::new(scop, config, *options, Some(deps), Some(cache)).run(strategy)
+    Engine::new(scop, config, options.clone(), Some(deps), Some(cache)).run(strategy)
 }
 
 /// Mutable scheduling state threaded through the iterative algorithm.
@@ -326,13 +405,38 @@ impl<'a> Engine<'a> {
         if let Some(groups) = &plan.distribute {
             return Ok((self.distribute(groups, true)?, false));
         }
-        if let Some(solution) = self.solve_ilp(plan, true, stats, warm)? {
+        // Heuristic fast path: propose per-statement permutation/shift
+        // rows directly from the dependence structure and validate them
+        // with the exact legality check — no lexmin solve. Only plain
+        // dimensions qualify: anything that shapes the ILP beyond
+        // legality (custom constraints, user variables, directives)
+        // needs the real cascade to be honored.
+        if self.config.heuristic_fast_path
+            && plan.extra_constraints.is_empty()
+            && self.config.new_variables.is_empty()
+            && self.config.directives.is_empty()
+        {
+            let legality = self.legality_deps();
+            let live = self.live_deps();
+            if let Some(solution) = fastpath::propose(
+                self.scop,
+                &self.basis,
+                &legality,
+                &live,
+                self.config.constant_bound,
+            ) {
+                stats.fast_path_dims += 1;
+                return Ok((solution, false));
+            }
+            stats.fast_path_fallbacks += 1;
+        }
+        if let Some(solution) = self.solve_ilp(plan, dim, true, stats, warm)? {
             return Ok((solution, false));
         }
         // The band's permutability constraints may be what blocks the
         // dimension: close the band and retry with live legality only.
         if self.has_in_band_carried() {
-            if let Some(solution) = self.solve_ilp(plan, false, stats, warm)? {
+            if let Some(solution) = self.solve_ilp(plan, dim, false, stats, warm)? {
                 return Ok((solution, true));
             }
         }
@@ -346,7 +450,7 @@ impl<'a> Engine<'a> {
                 extra_constraints: Vec::new(),
             };
             if self
-                .solve_ilp(&unconstrained, false, stats, warm)?
+                .solve_ilp(&unconstrained, dim, false, stats, warm)?
                 .is_some()
             {
                 return Err(ScheduleError::InfeasibleCustomConstraints { dimension: dim });
@@ -363,6 +467,7 @@ impl<'a> Engine<'a> {
     fn solve_ilp(
         &self,
         plan: &DimensionPlan,
+        dim: usize,
         in_band_legality: bool,
         stats: &mut PipelineStats,
         warm: &mut Option<Vec<i64>>,
@@ -385,7 +490,18 @@ impl<'a> Engine<'a> {
         let (sys, objectives) = objectives::assemble(&ctx, plan)?;
 
         let mut ilp_stats = IlpStats::default();
-        let point = if self.options.warm_start {
+        let point = if let Some(store) = &self.options.shared_seeds {
+            // Prefer a sibling run's same-dimension optimum over this
+            // run's previous-dimension point; the canonical tie-break
+            // keeps the answer identical whichever seed (or none) is
+            // used, so sharing never perturbs a schedule.
+            let donated = store.seed_for(dim);
+            if donated.is_some() {
+                stats.shared_seed_hits += 1;
+            }
+            let hint = donated.as_deref().or(warm.as_deref());
+            ilp_lexmin_canonical(&sys, &objectives, hint, &mut ilp_stats)
+        } else if self.options.warm_start {
             ilp_lexmin_warm(&sys, &objectives, warm.as_deref(), &mut ilp_stats)
         } else {
             ilp_lexmin_stats(&sys, &objectives, &mut ilp_stats)
@@ -394,6 +510,9 @@ impl<'a> Engine<'a> {
         let Some(point) = point else {
             return Ok(None);
         };
+        if let Some(store) = &self.options.shared_seeds {
+            store.publish(dim, &point);
+        }
 
         let rows: Vec<Vec<i64>> = (0..self.scop.statements.len())
             .map(|s| self.space.extract_row(&point, s))

@@ -39,6 +39,18 @@ pub fn isl_like() -> SchedulerConfig {
     }
 }
 
+/// Heuristic fast-path preset: the fusion + dimension-matching pass
+/// proposes every dimension directly from the dependence structure
+/// (validated by the exact legality check, ILP fallback per dimension).
+/// Trades schedule optimality for solve time — the preset of choice for
+/// SCoPs with hundreds of statements, where the joint ILP dominates.
+pub fn fast_path() -> SchedulerConfig {
+    SchedulerConfig {
+        heuristic_fast_path: true,
+        ..SchedulerConfig::default()
+    }
+}
+
 /// Wavefront/tiling preset: the pluto-style search followed by the full
 /// post-processing stage — 32×32 rectangular tiling of permutable bands
 /// and wavefront (pipelined) skewing when the outer band dimension is
@@ -94,6 +106,7 @@ mod tests {
         assert!(pluto_plus().parametric_shift);
         assert_eq!(feautrier().cost_functions.get(0), &vec![CostFn::Feautrier]);
         assert!(isl_like().isl_fallback);
+        assert!(fast_path().heuristic_fast_path);
         assert!(wavefront().post.wavefront);
         assert_eq!(wavefront().post.tile_sizes, vec![32, 32]);
     }

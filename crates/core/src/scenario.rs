@@ -32,12 +32,18 @@
 //!
 //! Sharded execution is **bit-identical** to sequential execution: a
 //! cache hit replays a constraint system equal to what a recomputation
-//! would build, and ILP warm-start seeds — which *can* steer tie-breaks
-//! between equally optimal points — are deliberately kept per-run
-//! rather than shared, so no result depends on which thread finished
-//! first. Only the per-scenario hit/miss *split* may vary under
-//! concurrency (two scenarios can race to eliminate the same entry);
-//! their sum, and every schedule, is reproducible.
+//! would build, so no result depends on which thread finished first.
+//! ILP warm-start seeds — which *can* steer tie-breaks between equally
+//! optimal points — are kept per-run by default; opting into
+//! [`ScenarioSet::share_warm_starts`] lets scenarios of one
+//! (SCoP, ILP layout) group seed each other's solves from a completed
+//! sibling's per-dimension optimum, and preserves bit-identity by
+//! switching those solves to the canonical-optimum tie-break
+//! ([`polytops_math::ilp_lexmin_canonical`]): the answer is a pure
+//! function of the constraint system, whichever sibling (or none)
+//! donated the seed. Only per-scenario *counter* splits may vary under
+//! concurrency (cache hit/miss, seed hits, branch-and-bound node
+//! counts); every schedule is reproducible at any thread count.
 //!
 //! # Example
 //!
@@ -77,7 +83,7 @@ use polytops_ir::{Schedule, ScheduleTree, Scop, StmtId, StmtSchedule, TreeNode};
 use crate::config::SchedulerConfig;
 use crate::error::ScheduleError;
 use crate::pipeline::legality::FarkasCache;
-use crate::pipeline::solve::{self, EngineOptions, PipelineStats};
+use crate::pipeline::solve::{self, EngineOptions, PipelineStats, SeedStore};
 use crate::registry::{CacheLayout, ScopEntry};
 use crate::strategy::ConfigStrategy;
 
@@ -135,6 +141,7 @@ pub struct ScenarioSet {
     resident: Vec<Option<Arc<ScopEntry>>>,
     scenarios: Vec<Scenario>,
     split_components: bool,
+    share_warm_starts: bool,
 }
 
 impl ScenarioSet {
@@ -229,6 +236,24 @@ impl ScenarioSet {
     /// splitting is off.
     pub fn split_components(&mut self, enabled: bool) {
         self.split_components = enabled;
+    }
+
+    /// Enables or disables cross-scenario warm-start sharing (off by
+    /// default): scenarios of one (SCoP, ILP layout) group — the same
+    /// groups that share a Farkas cache — seed each dimension's ILP
+    /// solve from the first sibling optimum published for that
+    /// dimension, and run in canonical-optimum mode so the donated seed
+    /// can only *accelerate* the solve, never change its answer.
+    ///
+    /// Schedules are therefore bit-identical at any thread count, and
+    /// to a sequential sharing run — but **not** necessarily to a
+    /// non-sharing run: the canonical tie-break (lexicographically
+    /// smallest coefficient vector among optima) may pick a different
+    /// equally-optimal point than the history-dependent warm path does.
+    /// That is why sharing is an explicit opt-in rather than the
+    /// default.
+    pub fn share_warm_starts(&mut self, enabled: bool) {
+        self.share_warm_starts = enabled;
     }
 
     /// The registered scenarios.
@@ -407,6 +432,7 @@ enum Job {
         scenario: usize,
         deps: Arc<Vec<Dependence>>,
         cache: Arc<FarkasCache>,
+        seeds: Option<Arc<SeedStore>>,
     },
     /// Solve one dependence component of a split scenario.
     Component {
@@ -414,6 +440,7 @@ enum Job {
         comp: usize,
         deps: Arc<Vec<Dependence>>,
         cache: Arc<FarkasCache>,
+        seeds: Option<Arc<SeedStore>>,
     },
 }
 
@@ -517,10 +544,23 @@ impl<'a> Runner<'a> {
     /// instead of once per scenario.
     fn jobs(&self) -> Vec<Job> {
         let mut caches: BTreeMap<CacheKey, Arc<FarkasCache>> = BTreeMap::new();
+        // Warm-start sharing (opt-in) uses the same grouping as the
+        // Farkas caches: one seed store per (SCoP, component, layout).
+        // Stores are always per-run, even for registry-resident SCoPs —
+        // a seed is only an accelerator, so nothing is lost by not
+        // persisting them.
+        let mut seed_stores: BTreeMap<CacheKey, Arc<SeedStore>> = BTreeMap::new();
         let mut analyses = self.analyses.clone();
         let mut jobs = Vec::new();
         for (i, sc) in self.set.scenarios.iter().enumerate() {
             let layout: CacheLayout = crate::registry::layout_of(&sc.config);
+            let mut seeds_for = |comp: Option<usize>| {
+                if !self.set.share_warm_starts {
+                    return None;
+                }
+                let key = (sc.scop, comp, layout.0, layout.1, layout.2.clone());
+                Some(Arc::clone(seed_stores.entry(key).or_default()))
+            };
             let mut shared_for = |comp: Option<usize>, scop: &Scop| {
                 // A resident whole-SCoP job draws both the analysis and
                 // the cache from the registry entry, so its state
@@ -552,6 +592,7 @@ impl<'a> Runner<'a> {
                         comp: c,
                         deps,
                         cache,
+                        seeds: seeds_for(Some(c)),
                     });
                 }
             } else {
@@ -560,6 +601,7 @@ impl<'a> Runner<'a> {
                     scenario: i,
                     deps,
                     cache,
+                    seeds: seeds_for(None),
                 });
             }
         }
@@ -572,10 +614,11 @@ impl<'a> Runner<'a> {
                 scenario,
                 deps,
                 cache,
+                seeds,
             } => {
                 let sc = &self.set.scenarios[scenario];
                 let scop = &self.set.scops[sc.scop].1;
-                let outcome = solve_one(scop, &sc.config, &sc.options, deps, cache);
+                let outcome = solve_one(scop, &sc.config, &sc.options, deps, cache, seeds);
                 let _ = slots.whole[scenario].set(outcome);
             }
             Job::Component {
@@ -583,10 +626,11 @@ impl<'a> Runner<'a> {
                 comp,
                 deps,
                 cache,
+                seeds,
             } => {
                 let sc = &self.set.scenarios[scenario];
                 let plan = &self.comp_sets[sc.scop].as_ref().expect("split has comps")[comp];
-                let outcome = solve_one(&plan.scop, &sc.config, &sc.options, deps, cache);
+                let outcome = solve_one(&plan.scop, &sc.config, &sc.options, deps, cache, seeds);
                 let _ = slots.comps[scenario][comp].set(outcome);
             }
         }
@@ -637,16 +681,22 @@ impl<'a> Runner<'a> {
     }
 }
 
-/// Runs one engine job under shared analysis and cache.
+/// Runs one engine job under shared analysis, cache and (optional)
+/// warm-start seed store.
 fn solve_one(
     scop: &Scop,
     config: &SchedulerConfig,
     options: &EngineOptions,
     deps: Arc<Vec<Dependence>>,
     cache: Arc<FarkasCache>,
+    seeds: Option<Arc<SeedStore>>,
 ) -> EngineOutcome {
     let mut strategy = ConfigStrategy::new(config.clone());
-    solve::run_shared(scop, config, &mut strategy, options, deps, cache)
+    let mut options = options.clone();
+    if seeds.is_some() {
+        options.shared_seeds = seeds;
+    }
+    solve::run_shared(scop, config, &mut strategy, &options, deps, cache)
 }
 
 /// Whether a configuration can be applied per component: fusion
@@ -837,6 +887,9 @@ fn stitch(
     for (_, comp_stats) in &solved {
         stats.farkas_hits += comp_stats.farkas_hits;
         stats.farkas_misses += comp_stats.farkas_misses;
+        stats.shared_seed_hits += comp_stats.shared_seed_hits;
+        stats.fast_path_dims += comp_stats.fast_path_dims;
+        stats.fast_path_fallbacks += comp_stats.fast_path_fallbacks;
         stats.ilp.absorb(&comp_stats.ilp);
     }
     stats.dimensions = combined.dims();
@@ -959,6 +1012,40 @@ mod tests {
             "tile marks kept"
         );
         assert_eq!(results[1].as_ref().unwrap().sub_jobs, 2);
+    }
+
+    #[test]
+    fn warm_start_sharing_is_bit_identical_at_any_thread_count() {
+        // Four same-layout scenarios over the hardest warm-start kernel
+        // (jacobi_1d goes fractional), so sibling seeds really flow.
+        let build = |share: bool| {
+            let mut set = ScenarioSet::new();
+            let scop = set.add_scop("jacobi_1d", polytops_workloads::jacobi_1d());
+            set.add_scenario(scop, "pluto", presets::pluto());
+            set.add_scenario(scop, "pluto2", presets::pluto());
+            set.add_scenario(scop, "feautrier", presets::feautrier());
+            set.add_scenario(scop, "isl_like", presets::isl_like());
+            set.share_warm_starts(share);
+            set
+        };
+        let seq = build(true).run_sequential();
+        let total_hits: usize = seq
+            .iter()
+            .map(|r| r.as_ref().unwrap().stats.shared_seed_hits)
+            .sum();
+        assert!(total_hits > 0, "sibling seeds must actually be consumed");
+        for threads in [1, 2, 4] {
+            let par = build(true).run_sharded(threads);
+            for (a, b) in seq.iter().zip(&par) {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                assert_eq!(a.schedule, b.schedule, "{} @ {threads} threads", a.name);
+            }
+        }
+        // Sharing stays off by default.
+        let plain = build(false).run_sequential();
+        assert!(plain
+            .iter()
+            .all(|r| r.as_ref().unwrap().stats.shared_seed_hits == 0));
     }
 
     #[test]

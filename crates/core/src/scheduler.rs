@@ -210,6 +210,7 @@ mod tests {
             &EngineOptions {
                 farkas_cache: false,
                 warm_start: false,
+                ..EngineOptions::default()
             },
         )
         .unwrap();
@@ -220,5 +221,119 @@ mod tests {
             hot.ilp.nodes <= cold.ilp.nodes,
             "warm start cannot explore more nodes"
         );
+    }
+
+    #[test]
+    fn fast_path_schedules_the_chain_without_ilp() {
+        let scop = chain();
+        let (sched, stats) = schedule_with_options(
+            &scop,
+            &crate::presets::fast_path(),
+            &EngineOptions::default(),
+        )
+        .unwrap();
+        assert!(stats.fast_path_dims > 0, "{stats:?}");
+        assert_eq!(stats.fast_path_fallbacks, 0, "{stats:?}");
+        assert_eq!(stats.ilp.lp_stages, 0, "no ILP stage may run: {stats:?}");
+        assert_eq!(stats.ilp.nodes, 0, "no B&B may run: {stats:?}");
+        // Same schedule the ILP cascade finds: φ = i.
+        assert_eq!(sched.stmt(StmtId(0)).rows()[0], vec![1, 0, 0]);
+        for dep in analyze(&scop) {
+            assert!(schedule_respects_dependence(
+                &dep,
+                sched.stmt(dep.src).rows(),
+                sched.stmt(dep.dst).rows(),
+            ));
+        }
+    }
+
+    #[test]
+    fn fast_path_falls_back_to_ilp_when_the_proposal_is_illegal() {
+        // The reversed consumer has no legal fused permutation row, so
+        // the dimension-matching proposal must fail and the ILP cascade
+        // (with its SCC cut) must take over — and stay oracle-legal.
+        let scop = polytops_workloads::reversed_consumer();
+        let (sched, stats) = schedule_with_options(
+            &scop,
+            &crate::presets::fast_path(),
+            &EngineOptions::default(),
+        )
+        .unwrap();
+        assert!(stats.fast_path_fallbacks > 0, "{stats:?}");
+        for dep in analyze(&scop) {
+            assert!(schedule_respects_dependence(
+                &dep,
+                sched.stmt(dep.src).rows(),
+                sched.stmt(dep.dst).rows(),
+            ));
+        }
+    }
+
+    #[test]
+    fn fast_path_shifts_a_negative_offset_producer() {
+        // S0 writes B[i]; S1 reads B[j+1]: under the fused identity
+        // proposal Δ = j - i with j = i - 1, i.e. Δ = -1 — the shift
+        // repair must raise S1's constant by one instead of falling
+        // back to the ILP.
+        let mut b = ScopBuilder::new("shifted");
+        let n = b.param("N");
+        let bb = b.array("B", &[n.clone()], 8);
+        let c = b.array("C", &[n.clone()], 8);
+        b.open_loop("i", Aff::val(0), n.clone() - 1);
+        b.stmt("S0").write(bb, &[Aff::var("i")]).add(&mut b);
+        b.close_loop();
+        b.open_loop("j", Aff::val(0), n - 2);
+        b.stmt("S1")
+            .read(bb, &[Aff::var("j") + 1])
+            .write(c, &[Aff::var("j")])
+            .add(&mut b);
+        b.close_loop();
+        let scop = b.build().unwrap();
+        let (sched, stats) = schedule_with_options(
+            &scop,
+            &crate::presets::fast_path(),
+            &EngineOptions::default(),
+        )
+        .unwrap();
+        assert!(stats.fast_path_dims > 0, "{stats:?}");
+        assert_eq!(stats.fast_path_fallbacks, 0, "{stats:?}");
+        assert_eq!(sched.stmt(StmtId(0)).rows()[0], vec![1, 0, 0]);
+        assert_eq!(sched.stmt(StmtId(1)).rows()[0], vec![1, 0, 1], "shifted");
+        for dep in analyze(&scop) {
+            assert!(schedule_respects_dependence(
+                &dep,
+                sched.stmt(dep.src).rows(),
+                sched.stmt(dep.dst).rows(),
+            ));
+        }
+    }
+
+    #[test]
+    fn shared_seed_store_accelerates_without_changing_the_schedule() {
+        use crate::pipeline::SeedStore;
+        use std::sync::Arc;
+        let scop = polytops_workloads::jacobi_1d();
+        let cfg = SchedulerConfig::default();
+        let store = Arc::new(SeedStore::new());
+        let shared = EngineOptions {
+            shared_seeds: Some(Arc::clone(&store)),
+            ..EngineOptions::default()
+        };
+        // First run populates the store, second consumes it.
+        let (first, _) = schedule_with_options(&scop, &cfg, &shared).unwrap();
+        let (second, stats) = schedule_with_options(&scop, &cfg, &shared).unwrap();
+        assert_eq!(first, second, "seeding must not change the schedule");
+        assert!(stats.shared_seed_hits > 0, "{stats:?}");
+        // And a store-less canonical run agrees bit for bit.
+        let (solo, _) = schedule_with_options(
+            &scop,
+            &cfg,
+            &EngineOptions {
+                shared_seeds: Some(Arc::new(SeedStore::new())),
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(first, solo);
     }
 }

@@ -402,6 +402,7 @@ fn farkas_cache_hits_across_dimensions() {
         &EngineOptions {
             farkas_cache: false,
             warm_start: false,
+            ..EngineOptions::default()
         },
     )
     .unwrap();
@@ -422,6 +423,7 @@ fn warm_start_reduces_solver_nodes_on_the_kernel_suite() {
             &EngineOptions {
                 farkas_cache: false,
                 warm_start: false,
+                ..EngineOptions::default()
             },
         )
         .unwrap();

@@ -55,6 +55,13 @@ pub struct IlpStats {
     /// Solves short-circuited entirely by a seed (a feasible seed under a
     /// zero objective is optimal without any search).
     pub seed_shortcuts: usize,
+    /// Dual-simplex pivots spent pinning stage optima on the shared
+    /// incremental tableau (the re-optimization that replaced the
+    /// artificial-based mini phase-1).
+    pub dual_pivots: usize,
+    /// Artificial-based phase-1 fallback passes during pinning (the dual
+    /// pivot loop hit its safety cap; zero on every known workload).
+    pub phase1_passes: usize,
 }
 
 impl IlpStats {
@@ -65,6 +72,8 @@ impl IlpStats {
         self.fractional_stages += other.fractional_stages;
         self.seeds_accepted += other.seeds_accepted;
         self.seed_shortcuts += other.seed_shortcuts;
+        self.dual_pivots += other.dual_pivots;
+        self.phase1_passes += other.phase1_passes;
     }
 }
 
@@ -331,6 +340,40 @@ pub fn ilp_lexmin_warm(
     warm: Option<&[i64]>,
     stats: &mut IlpStats,
 ) -> Option<Vec<i64>> {
+    lexmin_warm_impl(cs, objectives, warm, stats, false)
+}
+
+/// [`ilp_lexmin_warm`] with a **canonical-optimum tie-break**: after the
+/// objective cascade, the coordinates themselves are lexicographically
+/// minimized (in variable order), so among all points optimal for the
+/// cascade the *lexicographically smallest coefficient vector* is
+/// returned.
+///
+/// This makes the answer a pure function of `(cs, objectives)` —
+/// independent of the warm seed, of the shared tableau's pivot history,
+/// and of any branch-and-bound exploration order. That basis
+/// independence is what lets callers share warm seeds across
+/// concurrently solved siblings without giving up bit-determinism (see
+/// `polytops_core::scenario`): a seed can only *accelerate* the solve,
+/// never steer its result. A stage truncated by the node budget is
+/// deterministically re-run unseeded so even pathological systems cannot
+/// leak the seed into the answer.
+pub fn ilp_lexmin_canonical(
+    cs: &ConstraintSystem,
+    objectives: &[Vec<i64>],
+    warm: Option<&[i64]>,
+    stats: &mut IlpStats,
+) -> Option<Vec<i64>> {
+    lexmin_warm_impl(cs, objectives, warm, stats, true)
+}
+
+fn lexmin_warm_impl(
+    cs: &ConstraintSystem,
+    objectives: &[Vec<i64>],
+    warm: Option<&[i64]>,
+    stats: &mut IlpStats,
+    canonical: bool,
+) -> Option<Vec<i64>> {
     let n = cs.num_vars();
     // Normalize once (gcd tightening, dedup, subsumption) — the same
     // reduction every branch-and-bound root performs — so the shared
@@ -348,7 +391,21 @@ pub fn ilp_lexmin_warm(
         .filter(|p| p.len() == n && cs.contains_point(p))
         .map(<[i64]>::to_vec);
     let mut last_point: Option<Vec<i64>> = None;
-    for obj in objectives {
+    // The canonical tie-break is itself a lexmin cascade: unit
+    // objectives over every variable in order, appended after the
+    // caller's objectives.
+    let canon_objs: Vec<Vec<i64>> = if canonical {
+        (0..n)
+            .map(|j| {
+                let mut e = vec![0i64; n];
+                e[j] = 1;
+                e
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    for obj in objectives.iter().chain(&canon_objs) {
         assert_eq!(obj.len(), n, "objective length mismatch");
         // Stage attempt 1: pure LP re-optimization. An integral optimal
         // vertex of the relaxation is the integer optimum of the stage;
@@ -392,34 +449,69 @@ pub fn ilp_lexmin_warm(
         // seeded with the previous stage's optimum, rooted at the
         // already-solved relaxation, and stopped early at the LP-proven
         // lower bound.
-        let lp_solved = stage_point.is_some();
         let (value, point) = match stage_point {
             Some(vp) => vp,
             None => {
-                match ilp_minimize_impl(&cur, obj, hint.as_deref(), stage_lb, stage_root, stats) {
-                    IlpOutcome::Optimal { value, point }
-                    | IlpOutcome::NodeLimit {
+                match ilp_minimize_impl(
+                    &cur,
+                    obj,
+                    hint.as_deref(),
+                    stage_lb,
+                    stage_root.clone(),
+                    stats,
+                ) {
+                    IlpOutcome::Optimal { value, point } => (value, point),
+                    IlpOutcome::NodeLimit {
                         best: Some((value, point)),
-                    } => (value, point),
+                    } => {
+                        if canonical && hint.is_some() {
+                            // A truncated stage reports its best
+                            // incumbent, which the seed may have steered.
+                            // Canonical mode re-runs the stage unseeded:
+                            // the deterministic exploration order makes
+                            // the (still best-effort) answer a function
+                            // of the system alone.
+                            match ilp_minimize_impl(&cur, obj, None, stage_lb, stage_root, stats) {
+                                IlpOutcome::Optimal { value, point }
+                                | IlpOutcome::NodeLimit {
+                                    best: Some((value, point)),
+                                } => (value, point),
+                                _ => return None,
+                            }
+                        } else {
+                            (value, point)
+                        }
+                    }
                     _ => return None,
                 }
             }
         };
-        // Pin the stage optimum. Once a stage went fractional the
-        // remaining cascade almost always does too — stop paying for
-        // tableau maintenance and branch-and-bound both, and run the
-        // rest seeded-cold.
+        // Pin the stage optimum. A pin is cheap now — dual-simplex
+        // pivots on the existing basis, no artificial, no phase-1 pass —
+        // so the tableau stays alive across fractional stages too: the
+        // next stage still gets an LP lower bound and a solved root
+        // relaxation even when this one had to branch.
         let mut row = obj.clone();
         row.push(-value);
-        if lp_alive && lp_solved {
+        if lp_alive {
             lp_alive = lp.pin_eq(&row);
-        } else {
-            lp_alive = false;
         }
         cur.add_eq(row);
-        hint = Some(point.clone());
+        // In canonical mode, keep a warm point that also attains this
+        // stage's optimum (it is still feasible after the pin): a
+        // sibling's exact canonical answer then short-circuits every
+        // remaining branch-and-bound stage at zero nodes. The answer is
+        // seed-independent either way; retention only skips work. The
+        // plain warm path keeps its historical fall-forward seeding so
+        // its (deterministic, history-dependent) answers do not shift.
+        let keep_hint = canonical && hint.as_ref().is_some_and(|h| cur.contains_point(h));
+        if !keep_hint {
+            hint = Some(point.clone());
+        }
         last_point = Some(point);
     }
+    stats.dual_pivots += lp.dual_pivots();
+    stats.phase1_passes += lp.phase1_passes();
     match last_point {
         Some(p) => Some(p),
         None => hint.or_else(|| ilp_feasible_point(&cur)),
@@ -668,6 +760,8 @@ mod tests {
             fractional_stages: 5,
             seeds_accepted: 2,
             seed_shortcuts: 3,
+            dual_pivots: 6,
+            phase1_passes: 7,
         };
         a.absorb(&IlpStats {
             nodes: 10,
@@ -675,12 +769,81 @@ mod tests {
             fractional_stages: 50,
             seeds_accepted: 20,
             seed_shortcuts: 30,
+            dual_pivots: 60,
+            phase1_passes: 70,
         });
         assert_eq!(a.nodes, 11);
         assert_eq!(a.lp_stages, 44);
         assert_eq!(a.fractional_stages, 55);
         assert_eq!(a.seeds_accepted, 22);
         assert_eq!(a.seed_shortcuts, 33);
+        assert_eq!(a.dual_pivots, 66);
+        assert_eq!(a.phase1_passes, 77);
+    }
+
+    #[test]
+    fn pins_never_fall_back_to_phase1() {
+        // A cascade whose middle stage is fractional: the tableau stays
+        // alive across it (dual-simplex pin of the integer optimum) and
+        // the final stage resolves on the LP path again.
+        let mut cs = ConstraintSystem::new(3);
+        cs.add_ineq(vec![1, 0, 0, 0]);
+        cs.add_ineq(vec![0, 1, 0, 0]);
+        cs.add_ineq(vec![0, 0, 1, 0]);
+        cs.add_ineq(vec![0, 0, -1, 3]);
+        cs.add_ineq(vec![-4, -1, 0, 4]); // 4x + y <= 4
+        cs.add_ineq(vec![-1, -4, 0, 4]); // x + 4y <= 4
+        let objectives = [vec![-1, -1, 0], vec![0, 0, 1]];
+        let mut stats = IlpStats::default();
+        let p = ilp_lexmin_warm(&cs, &objectives, None, &mut stats).unwrap();
+        assert_eq!(p[0] + p[1], 1, "integer max of x + y is 1: {p:?}");
+        assert_eq!(p[2], 0);
+        assert_eq!(stats.fractional_stages, 1, "{stats:?}");
+        assert_eq!(stats.phase1_passes, 0, "{stats:?}");
+        assert!(stats.dual_pivots >= 1, "{stats:?}");
+        assert!(
+            stats.lp_stages >= 1,
+            "the post-fractional stage must resolve on the LP path: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn canonical_lexmin_is_seed_independent() {
+        // After minimizing x + y over the box-bounded half-plane
+        // x + y >= 2, many optima remain; the canonical tie-break must
+        // pick the lexicographically smallest one no matter the seed.
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_ineq(vec![1, 0, 0]);
+        cs.add_ineq(vec![-1, 0, 4]);
+        cs.add_ineq(vec![0, 1, 0]);
+        cs.add_ineq(vec![0, -1, 4]);
+        cs.add_ineq(vec![1, 1, -2]);
+        let objectives = [vec![1, 1]];
+        let mut stats = IlpStats::default();
+        let unseeded = ilp_lexmin_canonical(&cs, &objectives, None, &mut stats).unwrap();
+        assert_eq!(unseeded, vec![0, 2], "lexicographically smallest optimum");
+        for seed in [[2, 0], [1, 1], [0, 2], [4, 4]] {
+            let mut stats = IlpStats::default();
+            let seeded = ilp_lexmin_canonical(&cs, &objectives, Some(&seed), &mut stats).unwrap();
+            assert_eq!(seeded, unseeded, "seed {seed:?} steered the result");
+        }
+    }
+
+    #[test]
+    fn canonical_agrees_with_warm_when_the_optimum_is_unique() {
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_ineq(vec![1, 0, 0]);
+        cs.add_ineq(vec![-1, 0, 2]);
+        cs.add_ineq(vec![0, 1, 0]);
+        cs.add_ineq(vec![0, -1, 2]);
+        cs.add_ineq(vec![1, 1, -2]);
+        let objectives = [vec![1, 0], vec![0, 1]];
+        let mut s1 = IlpStats::default();
+        let mut s2 = IlpStats::default();
+        let warm = ilp_lexmin_warm(&cs, &objectives, None, &mut s1).unwrap();
+        let canon = ilp_lexmin_canonical(&cs, &objectives, None, &mut s2).unwrap();
+        assert_eq!(warm, canon);
+        assert_eq!(warm, vec![0, 2]);
     }
 
     #[test]

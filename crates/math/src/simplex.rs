@@ -64,7 +64,18 @@ struct Tableau {
     rows: Vec<Vec<Rat>>, // m rows of length ncols + nart, plus rhs column appended
     rhs: Vec<Rat>,
     basis: Vec<usize>, // basic column per row
+    /// Dual-simplex pivots spent restoring feasibility after
+    /// [`add_eq_row`](Tableau::add_eq_row) appended a row.
+    dual_pivots: usize,
+    /// Times the guarded artificial-based fallback ran instead (the dual
+    /// pivot loop hit its cap; never expected on scheduler systems).
+    phase1_passes: usize,
 }
+
+/// Sentinel basis entry for a freshly appended row before its first
+/// pivot assigns a real basic column. Never read as a column index: the
+/// appending code pivots (or discards the row) before returning.
+const NO_BASIS: usize = usize::MAX;
 
 impl Tableau {
     fn build(cs: &ConstraintSystem) -> Tableau {
@@ -110,6 +121,8 @@ impl Tableau {
             rows,
             rhs,
             basis,
+            dual_pivots: 0,
+            phase1_passes: 0,
         }
     }
 
@@ -153,10 +166,18 @@ impl Tableau {
     }
 
     /// Appends the equality `row · x + c == 0` to a solved tableau and
-    /// restores feasibility by re-pivoting **only** on the new row (one
-    /// fresh artificial, one restricted phase-1 pass) instead of
-    /// rebuilding and re-solving from scratch. Returns `false` when the
-    /// system becomes infeasible.
+    /// restores feasibility with **dual-simplex** pivots on the existing
+    /// basis: after reducing the new row by the basic columns, the
+    /// tableau is primal-infeasible by exactly that row, and dual pivots
+    /// repair it without any artificial variable or phase-1 pass.
+    /// Returns `false` when the pinned system becomes infeasible.
+    ///
+    /// The pivot rule is Bland's dual rule under the zero cost vector:
+    /// every reduced cost is identically zero, so the tableau is
+    /// trivially dual-feasible throughout, every entering ratio ties at
+    /// zero, and smallest-index tie-breaks make the walk finite (and
+    /// deterministic). A guarded artificial-based fallback remains for
+    /// the pivot-cap case and is counted in `phase1_passes`.
     fn add_eq_row(&mut self, row: &[i64]) -> bool {
         let n = self.n;
         let width = self.ncols + self.nart;
@@ -185,26 +206,99 @@ impl Tableau {
             }
             b -= f * pivot_rhs;
         }
-        if b.is_negative() {
+        // Dual-simplex sign convention: the appended row enters with a
+        // non-positive residual so it reads as the one infeasible row.
+        if b.is_positive() {
             for v in &mut r {
                 *v = -*v;
             }
             b = -b;
         }
-        // Fresh artificial column, basic in the new row.
-        for rr in &mut self.rows {
-            rr.push(Rat::ZERO);
+        if r[..self.ncols].iter().all(|v| v.is_zero()) {
+            // No structural support left after reduction: the equality
+            // is implied (zero residual) or contradicts the system. The
+            // residual may still touch artificial columns, but those are
+            // zero on every feasible point, so they cannot carry it.
+            return b.is_zero();
         }
-        r.push(Rat::ONE);
         self.rows.push(r);
         self.rhs.push(b);
-        self.nart += 1;
-        let art_col = self.ncols + self.nart - 1;
-        self.basis.push(art_col);
-        // Mini phase 1: drive just the new artificial to zero (entering
-        // columns stay restricted to structurals and slacks).
+        self.basis.push(NO_BASIS);
+        if b.is_zero() {
+            // The current vertex already satisfies the equality: one
+            // degenerate pivot gives the row a basic column without
+            // moving the point (rhs 0 leaves every other row intact).
+            let new_row = self.rows.len() - 1;
+            let je = (0..self.ncols)
+                .find(|&j| !self.rows[new_row][j].is_zero())
+                .expect("structural support checked above");
+            self.pivot(new_row, je);
+            return true;
+        }
+        self.dual_reoptimize()
+    }
+
+    /// The dual-simplex loop: while some row is primal-infeasible
+    /// (negative rhs), pivot it feasible. Returns `false` on proven
+    /// primal infeasibility. Falls back to the artificial-based repair
+    /// (counted in `phase1_passes`) if the pivot cap is hit.
+    fn dual_reoptimize(&mut self) -> bool {
+        let cap = 4 * (self.ncols + self.nart + self.rows.len());
+        let mut steps = 0usize;
+        loop {
+            // Leaving row: Bland — smallest basic index among the
+            // infeasible rows (a fresh `NO_BASIS` row sorts last but is
+            // the only infeasible row when it is present).
+            let Some(li) = (0..self.rows.len())
+                .filter(|&i| self.rhs[i].is_negative())
+                .min_by_key(|&i| self.basis[i])
+            else {
+                return true;
+            };
+            if steps >= cap {
+                self.phase1_passes += 1;
+                return self.restore_feasibility_phase1();
+            }
+            steps += 1;
+            // Entering column: smallest-index eligible column with a
+            // negative entry (all reduced-cost ratios tie at zero under
+            // the zero cost vector — see `add_eq_row`).
+            let Some(je) = (0..self.ncols)
+                .find(|&j| self.rows[li][j].is_negative() && !self.basis.contains(&j))
+            else {
+                return false; // the row cannot be made feasible
+            };
+            self.dual_pivots += 1;
+            self.pivot(li, je);
+        }
+    }
+
+    /// Artificial-based feasibility repair: every infeasible row is
+    /// sign-normalized and given a fresh basic artificial, then one
+    /// restricted phase-1 pass drives the artificials back to zero. The
+    /// guarded fallback of [`dual_reoptimize`](Tableau::dual_reoptimize).
+    fn restore_feasibility_phase1(&mut self) -> bool {
+        let width = self.ncols + self.nart;
+        let bad: Vec<usize> = (0..self.rows.len())
+            .filter(|&i| self.rhs[i].is_negative())
+            .collect();
+        for (k, &i) in bad.iter().enumerate() {
+            for v in &mut self.rows[i] {
+                *v = -*v;
+            }
+            self.rhs[i] = -self.rhs[i];
+            self.basis[i] = width + k;
+        }
+        for (i, rr) in self.rows.iter_mut().enumerate() {
+            for &bi in &bad {
+                rr.push(if i == bi { Rat::ONE } else { Rat::ZERO });
+            }
+        }
+        self.nart += bad.len();
         let mut cost = vec![Rat::ZERO; self.ncols + self.nart];
-        cost[art_col] = Rat::ONE;
+        for k in 0..bad.len() {
+            cost[width + k] = Rat::ONE;
+        }
         let Some((z, _)) = self.optimize(&cost, /*restrict_arts=*/ true) else {
             return false;
         };
@@ -404,9 +498,9 @@ impl IncrementalLp {
     }
 
     /// Pins the equality `row · x + c == 0` (`row` has `n + 1` entries)
-    /// and restores feasibility by re-pivoting on the new row only.
-    /// Returns `false` (and stays infeasible) when the pinned system has
-    /// no solution.
+    /// and restores feasibility with dual-simplex pivots on the existing
+    /// basis. Returns `false` (and stays infeasible) when the pinned
+    /// system has no solution.
     pub fn pin_eq(&mut self, row: &[i64]) -> bool {
         assert_eq!(row.len(), self.tab.n + 1, "row length mismatch");
         if !self.feasible {
@@ -414,6 +508,19 @@ impl IncrementalLp {
         }
         self.feasible = self.tab.add_eq_row(row);
         self.feasible
+    }
+
+    /// Dual-simplex pivots spent by [`pin_eq`](IncrementalLp::pin_eq)
+    /// calls so far.
+    pub fn dual_pivots(&self) -> usize {
+        self.tab.dual_pivots
+    }
+
+    /// Artificial-based phase-1 fallback passes taken by
+    /// [`pin_eq`](IncrementalLp::pin_eq) (the dual pivot loop hit its
+    /// cap; zero on every known workload).
+    pub fn phase1_passes(&self) -> usize {
+        self.tab.phase1_passes
     }
 }
 
@@ -493,6 +600,91 @@ mod tests {
         let mut cs = ConstraintSystem::new(1);
         cs.add_ineq(vec![2, -1]);
         assert_eq!(optimal(&cs, &[1]).0, Rat::new(1, 2));
+    }
+
+    #[test]
+    fn pin_cutting_off_the_vertex_uses_dual_pivots() {
+        // Box [0,3]², minimize x + y -> vertex (0,0). Pinning
+        // x + y == 2 cuts that vertex off: feasibility comes back via
+        // dual pivots (no artificial, no phase-1 pass).
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_ineq(vec![1, 0, 0]);
+        cs.add_ineq(vec![-1, 0, 3]);
+        cs.add_ineq(vec![0, 1, 0]);
+        cs.add_ineq(vec![0, -1, 3]);
+        let mut lp = IncrementalLp::new(&cs);
+        let LpOutcome::Optimal { value, .. } = lp.minimize(&[1, 1]) else {
+            panic!()
+        };
+        assert_eq!(value, Rat::from(0));
+        assert!(lp.pin_eq(&[1, 1, -2]));
+        assert!(lp.dual_pivots() >= 1, "the pin must re-pivot");
+        assert_eq!(lp.phase1_passes(), 0, "no artificial fallback");
+        let LpOutcome::Optimal { value, point } = lp.minimize(&[1, 0]) else {
+            panic!()
+        };
+        assert_eq!(value, Rat::from(0));
+        assert_eq!(point, vec![Rat::from(0), Rat::from(2)]);
+    }
+
+    #[test]
+    fn pin_already_satisfied_is_a_degenerate_pivot() {
+        // Minimize x on x ∈ [1, 4]: vertex x = 1 already satisfies the
+        // pinned x == 1, so no dual pivot is needed at all.
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_ineq(vec![1, -1]);
+        cs.add_ineq(vec![-1, 4]);
+        let mut lp = IncrementalLp::new(&cs);
+        let LpOutcome::Optimal { value, .. } = lp.minimize(&[1]) else {
+            panic!()
+        };
+        assert_eq!(value, Rat::from(1));
+        assert!(lp.pin_eq(&[1, -1]));
+        assert_eq!(lp.dual_pivots(), 0);
+        assert_eq!(lp.phase1_passes(), 0);
+        let LpOutcome::Optimal { value, .. } = lp.minimize(&[-1]) else {
+            panic!()
+        };
+        assert_eq!(value, Rat::from(-1), "the pin holds x at 1");
+    }
+
+    #[test]
+    fn contradictory_pin_is_infeasible() {
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_ineq(vec![1, 0]); // x >= 0
+        cs.add_ineq(vec![-1, 2]); // x <= 2
+        let mut lp = IncrementalLp::new(&cs);
+        assert!(!lp.pin_eq(&[1, -7])); // x == 7 is out of the box
+        assert!(!lp.is_feasible());
+        assert_eq!(lp.minimize(&[1]), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn chained_pins_stay_exact() {
+        // Lexmin over the 3-simplex x + y + z == 6, all >= 0: pin the
+        // first two coordinates one after the other.
+        let mut cs = ConstraintSystem::new(3);
+        cs.add_eq(vec![1, 1, 1, -6]);
+        cs.add_ineq(vec![1, 0, 0, 0]);
+        cs.add_ineq(vec![0, 1, 0, 0]);
+        cs.add_ineq(vec![0, 0, 1, 0]);
+        let mut lp = IncrementalLp::new(&cs);
+        let LpOutcome::Optimal { value, .. } = lp.minimize(&[1, 0, 0]) else {
+            panic!()
+        };
+        assert_eq!(value, Rat::from(0));
+        assert!(lp.pin_eq(&[1, 0, 0, 0]));
+        let LpOutcome::Optimal { value, .. } = lp.minimize(&[0, 1, 0]) else {
+            panic!()
+        };
+        assert_eq!(value, Rat::from(0));
+        assert!(lp.pin_eq(&[0, 1, 0, 0]));
+        let LpOutcome::Optimal { value, point } = lp.minimize(&[0, 0, 1]) else {
+            panic!()
+        };
+        assert_eq!(value, Rat::from(6));
+        assert_eq!(point[2], Rat::from(6));
+        assert_eq!(lp.phase1_passes(), 0);
     }
 
     #[test]

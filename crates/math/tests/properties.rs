@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use polytops_math::{
-    ilp_feasible, ilp_lexmin, ilp_minimize, lp_minimize, orthogonal_complement, ConstraintSystem,
-    IlpOutcome, IntMatrix, LpOutcome, Rat,
+    ilp_feasible, ilp_lexmin, ilp_lexmin_canonical, ilp_lexmin_warm, ilp_minimize, lp_minimize,
+    orthogonal_complement, ConstraintSystem, IlpOutcome, IlpStats, IntMatrix, LpOutcome, Rat,
 };
 
 fn small_rat() -> impl Strategy<Value = Rat> {
@@ -185,6 +185,47 @@ proptest! {
         ) {
             prop_assert!(value <= Rat::from(bv), "LP relaxation must lower-bound ILP");
         }
+    }
+
+    #[test]
+    fn warm_lexmin_matches_cold_for_any_seed(
+        (cs, bounds) in boxed_system(),
+        seed in proptest::collection::vec(-5i64..=5, 3),
+        use_seed in 0u8..=1,
+    ) {
+        // The dual-simplex warm path must be a pure optimization: same
+        // answer as the cold solver whatever seed it is handed —
+        // feasible, infeasible, or absent. The full identity cascade
+        // makes the lexmin point unique, so equality is exact.
+        let _ = bounds;
+        let objs = vec![vec![1, 0, 0], vec![0, 1, 0], vec![0, 0, 1]];
+        let cold = ilp_lexmin(&cs, &objs);
+        let mut stats = IlpStats::default();
+        let warm = ilp_lexmin_warm(&cs, &objs, (use_seed == 1).then_some(seed.as_slice()), &mut stats);
+        prop_assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn canonical_lexmin_is_seed_independent_and_lex_minimal(
+        (cs, bounds) in boxed_system(),
+        obj in proptest::collection::vec(-2i64..=2, 3),
+        seed in proptest::collection::vec(-5i64..=5, 3),
+    ) {
+        // A single (possibly degenerate) objective leaves ties for the
+        // canonical cascade to break: the result must be the
+        // lexicographically smallest point among the objective's optima,
+        // and the seed must never change it.
+        let objs = vec![obj.clone()];
+        let mut s = IlpStats::default();
+        let unseeded = ilp_lexmin_canonical(&cs, &objs, None, &mut s);
+        let mut s = IlpStats::default();
+        let seeded = ilp_lexmin_canonical(&cs, &objs, Some(&seed), &mut s);
+        prop_assert_eq!(&seeded, &unseeded);
+        let pts = brute_points(&cs, &bounds);
+        let value = |p: &Vec<i64>| p.iter().zip(&obj).map(|(a, b)| a * b).sum::<i64>();
+        let best = pts.iter().map(value).min();
+        let want = pts.iter().filter(|p| Some(value(p)) == best).min().cloned();
+        prop_assert_eq!(unseeded, want);
     }
 
     #[test]

@@ -237,9 +237,10 @@ pub fn preset_by_name(name: &str) -> Result<SchedulerConfig, String> {
         "feautrier" => Ok(presets::feautrier()),
         "isl_like" => Ok(presets::isl_like()),
         "wavefront" => Ok(presets::wavefront()),
+        "fast_path" => Ok(presets::fast_path()),
         other => Err(format!(
-            "unknown preset `{other}` (expected pluto, pluto_plus, feautrier, isl_like \
-             or wavefront)"
+            "unknown preset `{other}` (expected pluto, pluto_plus, feautrier, isl_like, \
+             wavefront or fast_path)"
         )),
     }
 }
@@ -393,6 +394,14 @@ pub fn stats_to_json(stats: &PipelineStats) -> Json {
             "fractional_stages",
             Json::Int(stats.fractional_stages() as i64),
         ),
+        ("dual_pivots", Json::Int(stats.dual_pivots() as i64)),
+        ("phase1_passes", Json::Int(stats.phase1_passes() as i64)),
+        ("shared_seed_hits", Json::Int(stats.shared_seed_hits as i64)),
+        ("fast_path_dims", Json::Int(stats.fast_path_dims as i64)),
+        (
+            "fast_path_fallbacks",
+            Json::Int(stats.fast_path_fallbacks as i64),
+        ),
     ])
 }
 
@@ -527,8 +536,35 @@ pub fn error_response(id: &Json, message: &str) -> String {
     .compact()
 }
 
+/// Cumulative solver counters over every batch the daemon has run,
+/// surfaced by the `stats` op (the per-request split travels in each
+/// schedule response's `stats` field — see [`stats_to_json`]).
+///
+/// All five are diagnostic sums: under concurrency the per-scenario
+/// split can vary (racing seed publication, cache elimination), but the
+/// schedules themselves stay bit-identical — see
+/// `polytops_core::scenario`'s determinism contract.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SolverTotals {
+    /// Dual-simplex re-optimization pivots across all ILP stages.
+    pub dual_pivots: usize,
+    /// Mini phase-1 fallbacks the dual simplex could not avoid.
+    pub phase1_passes: usize,
+    /// Lexmin stages seeded from a sibling scenario's published point.
+    pub shared_seed_hits: usize,
+    /// Schedule dimensions solved by the heuristic fast path.
+    pub fast_path_dims: usize,
+    /// Fast-path proposals that failed validation and fell back to ILP.
+    pub fast_path_fallbacks: usize,
+}
+
 /// The `stats` response line.
-pub fn stats_response(registry: RegistryStats, batches: usize, requests: usize) -> String {
+pub fn stats_response(
+    registry: RegistryStats,
+    batches: usize,
+    requests: usize,
+    solver: SolverTotals,
+) -> String {
     object(vec![
         ("ok", Json::Bool(true)),
         (
@@ -539,6 +575,22 @@ pub fn stats_response(registry: RegistryStats, batches: usize, requests: usize) 
                 ("hits", Json::Int(registry.hits as i64)),
                 ("misses", Json::Int(registry.misses as i64)),
                 ("evictions", Json::Int(registry.evictions as i64)),
+            ]),
+        ),
+        (
+            "solver",
+            object(vec![
+                ("dual_pivots", Json::Int(solver.dual_pivots as i64)),
+                ("phase1_passes", Json::Int(solver.phase1_passes as i64)),
+                (
+                    "shared_seed_hits",
+                    Json::Int(solver.shared_seed_hits as i64),
+                ),
+                ("fast_path_dims", Json::Int(solver.fast_path_dims as i64)),
+                (
+                    "fast_path_fallbacks",
+                    Json::Int(solver.fast_path_fallbacks as i64),
+                ),
             ]),
         ),
         ("batches", Json::Int(batches as i64)),

@@ -61,6 +61,44 @@ impl Default for ServerConfig {
     }
 }
 
+/// Cumulative solver counters across every batch (the `stats` op's
+/// `solver` object). Relaxed atomics: these are diagnostic sums, never
+/// part of the bit-identity contract.
+#[derive(Default)]
+struct SolverCounters {
+    dual_pivots: AtomicUsize,
+    phase1_passes: AtomicUsize,
+    shared_seed_hits: AtomicUsize,
+    fast_path_dims: AtomicUsize,
+    fast_path_fallbacks: AtomicUsize,
+}
+
+impl SolverCounters {
+    /// Folds one scenario's pipeline statistics into the totals.
+    fn accumulate(&self, stats: &polytops_core::PipelineStats) {
+        self.dual_pivots
+            .fetch_add(stats.dual_pivots(), Ordering::Relaxed);
+        self.phase1_passes
+            .fetch_add(stats.phase1_passes(), Ordering::Relaxed);
+        self.shared_seed_hits
+            .fetch_add(stats.shared_seed_hits, Ordering::Relaxed);
+        self.fast_path_dims
+            .fetch_add(stats.fast_path_dims, Ordering::Relaxed);
+        self.fast_path_fallbacks
+            .fetch_add(stats.fast_path_fallbacks, Ordering::Relaxed);
+    }
+
+    fn totals(&self) -> protocol::SolverTotals {
+        protocol::SolverTotals {
+            dual_pivots: self.dual_pivots.load(Ordering::Relaxed),
+            phase1_passes: self.phase1_passes.load(Ordering::Relaxed),
+            shared_seed_hits: self.shared_seed_hits.load(Ordering::Relaxed),
+            fast_path_dims: self.fast_path_dims.load(Ordering::Relaxed),
+            fast_path_fallbacks: self.fast_path_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// State shared by every daemon thread.
 struct Shared {
     config: ServerConfig,
@@ -69,6 +107,7 @@ struct Shared {
     shutting_down: AtomicBool,
     requests: AtomicUsize,
     batches: AtomicUsize,
+    solver: SolverCounters,
     /// Serializes autotune explorations: each one spawns its own
     /// `--threads`-wide engine pool, so without this N concurrent
     /// autotune clients would run N pools and the thread knob would no
@@ -127,6 +166,7 @@ impl Server {
             shutting_down: AtomicBool::new(false),
             requests: AtomicUsize::new(0),
             batches: AtomicUsize::new(0),
+            solver: SolverCounters::default(),
             autotune: Mutex::new(()),
         });
         // A bounded queue so a flood of requests applies backpressure to
@@ -233,6 +273,7 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>, tx: &SyncSender<Adm
                     shared.registry.stats(),
                     shared.batches.load(Ordering::Relaxed),
                     shared.requests.load(Ordering::Relaxed),
+                    shared.solver.totals(),
                 ),
             ),
             Ok(Request::Shutdown) => {
@@ -385,6 +426,9 @@ fn process_group(shared: &Arc<Shared>, group: Vec<Admitted>, split: bool) {
     }
 
     let results = set.run_sharded(shared.config.threads);
+    for result in results.iter().flatten() {
+        shared.solver.accumulate(&result.stats);
+    }
 
     for slot in slots {
         let deps = slot.entry.deps();

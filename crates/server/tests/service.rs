@@ -111,9 +111,14 @@ fn warm_requests_hit_the_registry_and_replay_everything() {
     let (ok, hit, warm) = unpack(&response);
     assert!(ok && hit, "second sight must be a registry hit");
     assert_eq!(cold, warm, "warm results must be bit-identical to cold");
-    for (hits, misses) in pipeline_stats(&response) {
+    // The fast_path scenario can schedule without ever building Farkas
+    // constraints (heuristic proposal, no lexmin), so it legitimately
+    // reports zero cache traffic; every scenario that *does* consult
+    // the cache must hit, and the ILP presets guarantee at least one.
+    let pairs = pipeline_stats(&response);
+    assert!(pairs.iter().any(|&(hits, _)| hits > 0));
+    for (_, misses) in pairs {
         assert_eq!(misses, 0, "warm run must not re-eliminate");
-        assert!(hits > 0);
     }
 
     let stats = handle.registry_stats();

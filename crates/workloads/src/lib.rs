@@ -7,14 +7,17 @@
 //! pipelining), 3-deep compute nests (permutation), producer/consumer
 //! pairs (fusion), and time-iterated stencils (skewing candidates).
 //! [`sweep`] crosses them with the preset grid into the standard
-//! scenario sweep for the scenario engine, and [`requests`] replays
-//! that sweep as N simulated `polytopsd` client streams.
+//! scenario sweep for the scenario engine, [`requests`] replays
+//! that sweep as N simulated `polytopsd` client streams, and
+//! [`synthetic`] generates parameterized large SCoPs (statement-count
+//! scaling) for the heuristic fast path to be fast on.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod requests;
 pub mod sweep;
+pub mod synthetic;
 
 use polytops_ir::{Aff, Scop, ScopBuilder};
 

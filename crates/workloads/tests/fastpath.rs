@@ -1,0 +1,38 @@
+//! Oracle certification of the heuristic fast path across the suite.
+//!
+//! The fast path proposes schedule rows without a lexmin solve, so its
+//! only safety net is the validation pass inside the scheduler plus the
+//! independent dependence oracle. This test closes the loop: every
+//! sweep kernel (and both synthetic generators at a size the reference
+//! kernels never reach) is scheduled under the `fast_path` preset and
+//! every dependence is re-checked with
+//! [`polytops_deps::schedule_respects_dependence`] — the same oracle
+//! the daemon uses to certify responses.
+
+use polytops_core::{presets, schedule};
+use polytops_deps::{analyze, schedule_respects_dependence};
+use polytops_workloads::{all_kernels, synthetic};
+
+#[test]
+fn fast_path_schedules_are_oracle_legal_on_every_sweep_kernel() {
+    let mut kernels = all_kernels();
+    kernels.push(("long_chain_24", synthetic::long_chain(24)));
+    kernels.push(("wide_scop_16", synthetic::wide_scop(16)));
+    for (name, scop) in kernels {
+        let sched = schedule(&scop, &presets::fast_path())
+            .unwrap_or_else(|e| panic!("{name} schedules under fast_path: {e:?}"));
+        for dep in analyze(&scop) {
+            assert!(
+                schedule_respects_dependence(
+                    &dep,
+                    sched.stmt(dep.src).rows(),
+                    sched.stmt(dep.dst).rows(),
+                ),
+                "{name}: fast-path schedule violates a dependence \
+                 ({:?} -> {:?})",
+                dep.src,
+                dep.dst,
+            );
+        }
+    }
+}
