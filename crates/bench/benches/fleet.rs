@@ -1,0 +1,314 @@
+//! Fleet benchmark: the `polytopsd` serving layer under fire.
+//!
+//! Three phases, every number asserted before it is reported:
+//!
+//! 1. **100-client kill/restart** — 100 concurrent clients drive
+//!    single-preset requests through a daemon scripted to crash after
+//!    its second admission window; a second generation takes over the
+//!    same listener (socket-activation handoff) and restores the
+//!    registry from the journal. Every client's answer must be
+//!    bit-identical to the offline engine, and a post-restart probe of
+//!    every distinct (kernel, preset) must replay with **zero** fresh
+//!    Farkas eliminations.
+//! 2. **Graceful rotation** — the second generation shuts down
+//!    (rotating a full snapshot); a third boots from the snapshot alone
+//!    and must serve every probe warm. Its startup time is the
+//!    restore+prewarm cost a restart actually pays.
+//! 3. **Router pass-through** — two fresh shards behind a
+//!    consistent-hash router, versus one fresh direct daemon: responses
+//!    must be byte-identical (`results` field), with both shards
+//!    serving a share.
+//!
+//! Results land in the `"fleet"` section of `BENCH_schedule.json`
+//! (other sections are preserved).
+
+use std::collections::BTreeMap;
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use polytops_bench::report::{self, int, object, ratio};
+use polytops_core::json::{self, Json};
+use polytops_server::protocol::{self, Request};
+use polytops_server::{
+    Client, FaultPlan, RetryClient, RetryPolicy, Router, RouterConfig, Server, ServerConfig,
+};
+use polytops_workloads::requests::fleet_request_streams;
+
+fn patient() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 120,
+        base_delay: Duration::from_millis(10),
+        max_delay: Duration::from_millis(250),
+    }
+}
+
+/// (registry hit, total farkas misses, results compact text).
+fn unpack(response: &str) -> (bool, i64, String) {
+    let parsed = json::parse(response).expect("response parses");
+    let obj = parsed.as_object().expect("response object");
+    assert_eq!(obj["ok"].as_bool(), Some(true), "daemon error: {response}");
+    let hit = obj["registry"].as_object().unwrap()["hit"]
+        .as_bool()
+        .unwrap();
+    let misses = obj["stats"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|e| {
+            e.as_object().unwrap()["pipeline"].as_object().unwrap()["farkas_misses"]
+                .as_int()
+                .unwrap()
+        })
+        .sum();
+    (hit, misses, obj["results"].compact())
+}
+
+/// The `c<c>/r<i>/` prefix stripped from a fleet request id: the
+/// `(kernel, preset)` key that indexes the offline golden runs.
+fn golden_key(id: &str) -> &str {
+    id.splitn(3, '/').nth(2).expect("fleet id shape")
+}
+
+/// Offline golden `results` per distinct (kernel, preset) in `streams`.
+fn goldens(streams: &[Vec<String>]) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    for line in streams.iter().flatten() {
+        let req = match protocol::parse_request(line).expect("request parses") {
+            Request::Schedule(req) => req,
+            other => panic!("fleet stream must be schedule requests, got {other:?}"),
+        };
+        let key = match &req.id {
+            Json::Str(id) => golden_key(id).to_string(),
+            other => panic!("fleet ids are strings, got {other:?}"),
+        };
+        map.entry(key)
+            .or_insert_with(|| protocol::offline_results(&req).compact());
+    }
+    map
+}
+
+/// Checks one response against its golden run, returning the id.
+fn check(line: &str, response: &str, golden: &BTreeMap<String, String>) {
+    let (_, _, results) = unpack(response);
+    let parsed = json::parse(line).unwrap();
+    let id = parsed.as_object().unwrap()["id"]
+        .as_str()
+        .unwrap()
+        .to_string();
+    let want = &golden[golden_key(&id)];
+    assert_eq!(
+        &results, want,
+        "{id}: response must be bit-identical to the offline engine"
+    );
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("polytops-fleet-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+    let snapshot_dir = dir.display().to_string();
+    let fleet_config = || ServerConfig {
+        window_ms: 2,
+        snapshot_dir: Some(snapshot_dir.clone()),
+        rotate_every: 64,
+        ..ServerConfig::default()
+    };
+
+    // ---- phase 1: 100 clients through a kill/restart ----------------
+    let clients = 100usize;
+    let streams = fleet_request_streams(clients, 1);
+    let golden = goldens(&streams);
+    println!(
+        "fleet: {clients} clients, {} distinct (kernel, preset) golden runs",
+        golden.len()
+    );
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fleet port");
+    let addr = listener.local_addr().unwrap().to_string();
+    let first = Server::start_on(
+        listener.try_clone().expect("clone listener"),
+        ServerConfig {
+            faults: FaultPlan {
+                kill_after_batches: Some(2),
+                ..FaultPlan::default()
+            },
+            ..fleet_config()
+        },
+    )
+    .expect("start first generation");
+
+    let t0 = Instant::now();
+    let addr_ref: &str = &addr;
+    let golden_ref = &golden;
+    let (restart_ns, second) = std::thread::scope(|s| {
+        let workers: Vec<_> = streams
+            .iter()
+            .map(|stream| {
+                s.spawn(move || {
+                    let mut client = RetryClient::new(addr_ref, patient());
+                    for line in stream {
+                        let response = client.roundtrip(line).expect("retry rides the restart");
+                        check(line, &response, golden_ref);
+                    }
+                })
+            })
+            .collect();
+
+        while !first.crashed() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        first.join();
+        let t_restart = Instant::now();
+        let second = Server::start_on(
+            listener.try_clone().expect("clone listener"),
+            fleet_config(),
+        )
+        .expect("start second generation");
+        // start_on restores + prewarms synchronously: this is the
+        // serve-warm restart cost.
+        let restart_ns = t_restart.elapsed().as_nanos();
+
+        for worker in workers {
+            worker.join().expect("client thread");
+        }
+        (restart_ns, second)
+    });
+    let kill_restart_ns = t0.elapsed().as_nanos();
+    let totals = second.persist_totals().expect("persistence enabled");
+    assert!(totals.restored_entries > 0, "{totals:?}");
+    println!(
+        "fleet: {clients} clients survived the kill/restart in {} ms \
+         (restart restored {} entries / {} layouts in {} ms)",
+        kill_restart_ns / 1_000_000,
+        totals.restored_entries,
+        totals.prewarmed_layouts,
+        restart_ns / 1_000_000
+    );
+
+    // Post-restart warm probe: every distinct (kernel, preset) replays
+    // with zero fresh eliminations — the headline restart guarantee.
+    let mut probe = Client::connect(second.addr()).expect("connect probe");
+    let mut restart_warm_misses = 0i64;
+    for stream in &streams {
+        for line in stream {
+            let response = probe.roundtrip(line).expect("warm probe");
+            let (hit, misses, _) = unpack(&response);
+            assert!(hit, "post-restart probe must be a registry hit");
+            restart_warm_misses += misses;
+            check(line, &response, &golden);
+        }
+    }
+    assert_eq!(
+        restart_warm_misses, 0,
+        "restart-warm replay must not re-run any Farkas elimination"
+    );
+    println!("fleet: restart-warm probe over {clients} requests: farkas_misses == 0");
+
+    // ---- phase 2: graceful rotation, third generation ---------------
+    second.shutdown(); // rotates a full snapshot on the way out
+    let t_gen3 = Instant::now();
+    let third = Server::start_on(
+        listener.try_clone().expect("clone listener"),
+        fleet_config(),
+    )
+    .expect("start third generation");
+    let snapshot_boot_ns = t_gen3.elapsed().as_nanos();
+    let gen3 = third.persist_totals().expect("persistence enabled");
+    assert!(gen3.restored_entries > 0, "{gen3:?}");
+    assert_eq!(
+        gen3.replayed_events, 0,
+        "a graceful shutdown leaves everything in the snapshot: {gen3:?}"
+    );
+    let mut probe = Client::connect(third.addr()).expect("connect probe");
+    let mut snapshot_warm_misses = 0i64;
+    for line in streams.iter().flatten().take(golden.len()) {
+        let response = probe.roundtrip(line).expect("snapshot probe");
+        let (hit, misses, _) = unpack(&response);
+        assert!(hit, "snapshot-booted probe must be a registry hit");
+        snapshot_warm_misses += misses;
+        check(line, &response, &golden);
+    }
+    assert_eq!(snapshot_warm_misses, 0, "snapshot boot must serve warm");
+    third.shutdown();
+    println!(
+        "fleet: snapshot-only boot restored {} entries / {} layouts in {} ms, probes warm",
+        gen3.restored_entries,
+        gen3.prewarmed_layouts,
+        snapshot_boot_ns / 1_000_000
+    );
+
+    // ---- phase 3: router pass-through vs direct daemon --------------
+    let shard_a = Server::start(ServerConfig::default()).expect("shard a");
+    let shard_b = Server::start(ServerConfig::default()).expect("shard b");
+    let direct = Server::start(ServerConfig::default()).expect("direct daemon");
+    let router = Router::start(RouterConfig {
+        shards: vec![shard_a.addr().to_string(), shard_b.addr().to_string()],
+        ..RouterConfig::default()
+    })
+    .expect("router");
+    let mut via_router = Client::connect(router.addr()).expect("connect router");
+    let mut via_direct = Client::connect(direct.addr()).expect("connect direct");
+    let router_streams = fleet_request_streams(4, 4);
+    let mut routed_requests = 0i64;
+    for line in router_streams.iter().flatten() {
+        let routed = via_router.roundtrip(line).expect("routed");
+        let straight = via_direct.roundtrip(line).expect("direct");
+        let (_, _, routed_results) = unpack(&routed);
+        let (_, _, direct_results) = unpack(&straight);
+        assert_eq!(
+            routed_results, direct_results,
+            "router-fronted results must be byte-identical to the direct daemon"
+        );
+        routed_requests += 1;
+    }
+    let stats = via_router
+        .roundtrip_json(r#"{"op":"stats"}"#)
+        .expect("fleet stats");
+    let shard_stats = stats.as_object().unwrap()["shards"].as_array().unwrap();
+    let shard_requests: Vec<i64> = shard_stats
+        .iter()
+        .map(|s| s.as_object().unwrap()["requests"].as_int().unwrap())
+        .collect();
+    assert!(
+        shard_requests.iter().all(|&r| r > 0),
+        "both shards must serve a share: {shard_requests:?}"
+    );
+    println!(
+        "fleet: {routed_requests} routed requests byte-identical to direct \
+         (shard split {shard_requests:?})"
+    );
+    router.shutdown();
+    shard_a.shutdown();
+    shard_b.shutdown();
+    direct.shutdown();
+
+    let out = report::default_path();
+    report::update_section(
+        &out,
+        "fleet",
+        object([
+            ("clients", int(clients as i64)),
+            ("golden_runs", int(golden.len() as i64)),
+            ("kill_restart_ns", int(kill_restart_ns as i64)),
+            ("restart_restore_ns", int(restart_ns as i64)),
+            ("snapshot_boot_ns", int(snapshot_boot_ns as i64)),
+            ("restored_entries", int(totals.restored_entries as i64)),
+            ("prewarmed_layouts", int(totals.prewarmed_layouts as i64)),
+            ("snapshot_boot_layouts", int(gen3.prewarmed_layouts as i64)),
+            ("restart_warm_farkas_misses", int(restart_warm_misses)),
+            ("snapshot_warm_farkas_misses", int(snapshot_warm_misses)),
+            ("routed_requests", int(routed_requests)),
+            (
+                "shard_split_min",
+                int(*shard_requests.iter().min().unwrap()),
+            ),
+            (
+                "restart_vs_boot",
+                ratio(restart_ns as f64 / snapshot_boot_ns.max(1) as f64),
+            ),
+            ("bit_identical", Json::Bool(true)),
+        ]),
+    );
+    println!("-> {out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

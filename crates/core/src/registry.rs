@@ -37,10 +37,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use polytops_deps::{analyze, Dependence};
-use polytops_ir::{AccessKind, Scop, Subscript};
+use polytops_ir::{parse_scop, print_scop, AccessKind, Scop, Subscript};
+use polytops_math::ConstraintSystem;
 
 use crate::config::SchedulerConfig;
+use crate::error::ScheduleError;
 use crate::pipeline::legality::FarkasCache;
+use crate::space::IlpSpace;
 
 /// The configuration fields that shape the ILP variable layout — SCoPs
 /// only share a [`FarkasCache`] between configurations agreeing on all
@@ -122,6 +125,88 @@ impl ScopEntry {
     pub fn layouts(&self) -> usize {
         self.caches.lock().expect("cache map lock").len()
     }
+
+    /// The layout keys of every resident cache, in deterministic
+    /// (`BTreeMap`) order — what a snapshot records so a restore can
+    /// [`prewarm_layout`](ScopEntry::prewarm_layout) each one.
+    pub fn layout_keys(&self) -> Vec<CacheLayout> {
+        self.caches
+            .lock()
+            .expect("cache map lock")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Eagerly performs every Farkas elimination for `layout`, so later
+    /// scheduling runs under that layout replay from the cache instead
+    /// of paying fresh eliminations (the restore path's "serve warm"
+    /// guarantee: a request against a restored entry reports
+    /// `farkas_misses == 0`).
+    ///
+    /// The [`IlpSpace`] built here is exactly the one the solve stage
+    /// builds for a configuration with this layout, so the cache's
+    /// pinned-space check accepts the prewarmed entries. Idempotent:
+    /// already-filled slots are replayed, not rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arithmetic overflow from an elimination (which would
+    /// equally have failed when the entry was first scheduled).
+    pub fn prewarm_layout(&self, layout: &CacheLayout) -> Result<(), ScheduleError> {
+        let cache = self.cache_for_layout(layout);
+        let &(negative, shift, ref vars) = layout;
+        let space = IlpSpace::new(&self.scop, vars.clone(), self.deps.len(), negative, shift);
+        for (e, dep) in self.deps.iter().enumerate() {
+            // The appended rows are discarded: only the cache-slot fill
+            // matters here.
+            let mut sink = ConstraintSystem::new(space.total());
+            cache.extend_with_validity(e, dep, &space, &mut sink)?;
+            let mut sink = ConstraintSystem::new(space.total());
+            cache.extend_with_proximity(e, dep, &space, &mut sink)?;
+            let mut sink = ConstraintSystem::new(space.total());
+            cache.extend_with_feautrier(e, dep, &space, &mut sink)?;
+        }
+        Ok(())
+    }
+}
+
+/// One registry entry as captured by [`ScopRegistry::snapshot`]: the
+/// representative SCoP serialized as polyscop exchange text (the format
+/// round-trips exactly, and the dependence analysis plus every
+/// [`FarkasCache`] rebuild deterministically from it) together with the
+/// cache layouts that were resident at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotEntry {
+    /// The name the SCoP was first registered under.
+    pub name: String,
+    /// [`print_scop`] text of the representative SCoP.
+    pub scop_text: String,
+    /// Resident cache layouts, in deterministic order.
+    pub layouts: Vec<CacheLayout>,
+}
+
+/// A point-in-time, self-contained image of a [`ScopRegistry`]:
+/// entries in LRU order (coldest first), each reduced to canonical SCoP
+/// text plus its resident cache layouts. Everything else — canonical
+/// identity, fingerprints, dependence analyses, Farkas eliminations —
+/// is a deterministic function of that text, which is what makes
+/// snapshot → [`restore`](ScopRegistry::restore) → snapshot an exact
+/// round trip.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegistrySnapshot {
+    /// Entries in LRU order: front = coldest, back = warmest.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+/// What [`ScopRegistry::restore`] rebuilt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RestoreReport {
+    /// Entries registered (and re-analyzed) by the restore.
+    pub entries: usize,
+    /// Cache layouts prewarmed (every Farkas elimination re-run
+    /// eagerly, off the serving path).
+    pub layouts: usize,
 }
 
 /// Registry counters, taken with [`ScopRegistry::stats`].
@@ -246,6 +331,76 @@ impl ScopRegistry {
         Some(entry)
     }
 
+    /// Captures the registry as a [`RegistrySnapshot`]: every resident
+    /// entry in LRU order, reduced to canonical SCoP text plus resident
+    /// cache layouts. The snapshot is a pure value — serialize it
+    /// however persistence wants (the `polytopsd` daemon writes it as
+    /// checksummed JSON; see `polytops_server`).
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let lru = self.lru.lock().expect("registry lock");
+        RegistrySnapshot {
+            entries: lru
+                .iter()
+                .map(|(_, entry)| SnapshotEntry {
+                    name: entry.name().to_string(),
+                    scop_text: print_scop(entry.scop()),
+                    layouts: entry.layout_keys(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds registry state from a snapshot: each entry is parsed,
+    /// registered through the normal [`resolve`](ScopRegistry::resolve)
+    /// path (re-running its dependence analysis), and every recorded
+    /// cache layout is [prewarmed](ScopEntry::prewarm_layout) so the
+    /// first request after a restart replays instead of re-eliminating.
+    ///
+    /// Entries are applied in snapshot (LRU) order, so a restore into an
+    /// empty registry reproduces the captured LRU order exactly; a
+    /// registry with a *smaller* capacity simply evicts the coldest
+    /// entries as it fills, like any admission sequence would.
+    ///
+    /// Restores count as ordinary misses in [`RegistryStats`] (the
+    /// analyses really do run again); the warm-serving guarantee is
+    /// about *Farkas eliminations during requests*, which a restored
+    /// entry never pays.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first entry that fails to parse or
+    /// prewarm, leaving previously restored entries resident.
+    pub fn restore(&self, snapshot: &RegistrySnapshot) -> Result<RestoreReport, String> {
+        let mut report = RestoreReport::default();
+        for entry in &snapshot.entries {
+            let scop = parse_scop(&entry.scop_text)
+                .map_err(|e| format!("snapshot entry `{}`: {e}", entry.name))?;
+            let (resident, hit) = self.resolve(&entry.name, &scop);
+            if !hit {
+                report.entries += 1;
+            }
+            for layout in &entry.layouts {
+                resident
+                    .prewarm_layout(layout)
+                    .map_err(|e| format!("prewarm `{}`: {e}", entry.name))?;
+                report.layouts += 1;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Looks up a resident entry by canonical fingerprint *without*
+    /// warming its LRU position (the journal-replay path: replays must
+    /// not perturb the order the snapshot captured). Fingerprints can
+    /// collide in principle; a collision here would prewarm the wrong
+    /// entry's caches — harmless, as prewarming never changes answers.
+    pub fn find_by_fingerprint(&self, fingerprint: u64) -> Option<Arc<ScopEntry>> {
+        let lru = self.lru.lock().expect("registry lock");
+        lru.iter()
+            .find(|(_, entry)| entry.fingerprint() == fingerprint)
+            .map(|(_, entry)| Arc::clone(entry))
+    }
+
     /// Number of resident entries.
     pub fn len(&self) -> usize {
         self.lru.lock().expect("registry lock").len()
@@ -347,8 +502,10 @@ pub fn fingerprint(scop: &Scop) -> u64 {
     fnv1a(canonical_text(scop).as_bytes())
 }
 
-/// FNV-1a, 64 bit.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a, 64 bit — the hash behind [`fingerprint`], exposed so the
+/// persistence layer (snapshot checksums) and the consistent-hash
+/// router share one definition.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);

@@ -1,0 +1,114 @@
+//! `polytops-router` — the consistent-hash front for a `polytopsd`
+//! fleet.
+//!
+//! ```text
+//! polytops-router --shards HOST:PORT[,HOST:PORT...]
+//!                 [--addr A] [--vnodes V]
+//! ```
+//!
+//! Clients speak the ordinary `polytopsd` protocol to the router;
+//! schedule and autotune requests are routed by SCoP fingerprint over a
+//! consistent-hash ring so each SCoP always lands on the same shard
+//! (and its warm registry entry). Responses are forwarded byte-for-byte
+//! — the fleet is bit-identical to a single daemon. A `shutdown` op
+//! stops every shard, then the router. Topology: docs/SERVICE.md.
+
+use polytops_server::{Router, RouterConfig};
+
+const USAGE: &str = "polytops-router — consistent-hash front for a polytopsd fleet
+
+USAGE:
+  polytops-router --shards HOST:PORT[,HOST:PORT...]
+                  [--addr A] [--vnodes V]
+      Listen on A (default 127.0.0.1:7226) and route schedule/autotune
+      requests across the shard daemons by SCoP fingerprint. Responses
+      are forwarded byte-for-byte; a shutdown op stops the shards and
+      then the router. Protocol and topology: docs/SERVICE.md.
+
+  polytops-router help
+      Print this text.
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if matches!(
+        args.first().map(String::as_str),
+        Some("help") | Some("--help") | Some("-h")
+    ) {
+        print!("{USAGE}");
+        std::process::exit(0);
+    }
+    let parsed = (|| -> Result<RouterConfig, String> {
+        check_flags(&args, &["--addr", "--shards", "--vnodes"])?;
+        let shards: Vec<String> = flag_value(&args, "--shards")
+            .ok_or("--shards is required")?
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if shards.is_empty() {
+            return Err("--shards needs at least one address".to_string());
+        }
+        let defaults = RouterConfig::default();
+        Ok(RouterConfig {
+            addr: flag_value(&args, "--addr")
+                .unwrap_or("127.0.0.1:7226")
+                .to_string(),
+            shards,
+            virtual_nodes: match flag_value(&args, "--vnodes") {
+                None => defaults.virtual_nodes,
+                Some(text) => text
+                    .parse()
+                    .map_err(|_| format!("bad value `{text}` for --vnodes"))?,
+            },
+            retry: defaults.retry,
+        })
+    })();
+    let config = match parsed {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("polytops-router: {e}");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let shards = config.shards.len();
+    match Router::start(config) {
+        Ok(handle) => {
+            println!(
+                "polytops-router listening on {} ({shards} shards)",
+                handle.addr()
+            );
+            // The router runs until a client's shutdown op stops it.
+            handle.join();
+            println!("polytops-router stopped");
+        }
+        Err(e) => {
+            eprintln!("polytops-router: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Pulls `--flag value` from an option list, complaining about anything
+/// unknown.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn check_flags(args: &[String], known: &[&str]) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        if !known.contains(&args[i].as_str()) {
+            return Err(format!("unknown option `{}`", args[i]));
+        }
+        if i + 1 >= args.len() {
+            return Err(format!("missing value for `{}`", args[i]));
+        }
+        i += 2;
+    }
+    Ok(())
+}

@@ -3,6 +3,8 @@
 //! ```text
 //! polytopsd serve  [--addr A] [--window-ms W] [--max-batch B]
 //!                  [--threads T] [--registry-capacity C]
+//!                  [--snapshot-dir D] [--rotate-every E]
+//!                  [--max-connections M]
 //! polytopsd replay [--addr A] [--clients N] [--connect-timeout-ms T]
 //!                  [--shutdown]
 //! ```
@@ -24,8 +26,13 @@ const USAGE: &str = "polytopsd — the PolyTOPS batching scheduler daemon
 USAGE:
   polytopsd serve  [--addr A] [--window-ms W] [--max-batch B]
                    [--threads T] [--registry-capacity C]
+                   [--snapshot-dir D] [--rotate-every E]
+                   [--max-connections M]
       Run the daemon (default addr 127.0.0.1:7225) until it receives a
-      {\"op\":\"shutdown\"} request. Protocol: docs/SERVICE.md.
+      {\"op\":\"shutdown\"} request. --snapshot-dir enables registry
+      persistence: the daemon restores (and prewarms) its registry from
+      D at startup and journals admissions into D while serving.
+      Protocol: docs/SERVICE.md.
 
   polytopsd replay [--addr A] [--clients N] [--connect-timeout-ms T]
                    [--shutdown]
@@ -102,6 +109,9 @@ fn serve(args: &[String]) -> i32 {
                 "--max-batch",
                 "--threads",
                 "--registry-capacity",
+                "--snapshot-dir",
+                "--rotate-every",
+                "--max-connections",
             ],
         )?;
         let defaults = ServerConfig::default();
@@ -113,6 +123,10 @@ fn serve(args: &[String]) -> i32 {
             max_batch: parse(args, "--max-batch", defaults.max_batch)?,
             threads: parse(args, "--threads", defaults.threads)?,
             registry_capacity: parse(args, "--registry-capacity", defaults.registry_capacity)?,
+            snapshot_dir: flag_value(args, "--snapshot-dir").map(str::to_string),
+            rotate_every: parse(args, "--rotate-every", defaults.rotate_every)?,
+            max_connections: parse(args, "--max-connections", defaults.max_connections)?,
+            ..defaults
         })
     })();
     let config = match parsed {

@@ -1,4 +1,6 @@
-//! A small blocking client for the `polytopsd` line protocol.
+//! A small blocking client for the `polytopsd` line protocol, plus
+//! [`RetryClient`] — the restart-riding wrapper that resubmits through
+//! daemon kills and connection drops.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -130,5 +132,140 @@ impl Client {
     /// Same contract as [`roundtrip_json`](Client::roundtrip_json).
     pub fn shutdown(&mut self) -> std::io::Result<Json> {
         self.roundtrip_json(r#"{"op":"shutdown"}"#)
+    }
+}
+
+/// Bounded exponential backoff for [`RetryClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum attempts per request (connect + send + receive counts as
+    /// one attempt).
+    pub attempts: u32,
+    /// Delay after the first failed attempt; doubles per retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 10,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `retry` (0-based).
+    fn delay(&self, retry: u32) -> Duration {
+        let factor = 1u32 << retry.min(10);
+        self.base_delay.saturating_mul(factor).min(self.max_delay)
+    }
+}
+
+/// Whether an error is worth a reconnect-and-resend. Connection-level
+/// failures (the daemon died, is restarting, or dropped us mid-stream)
+/// qualify; protocol-level errors (a well-formed error response) do
+/// not — those arrive as successful roundtrips.
+///
+/// `InvalidData` is retryable because the daemon never *writes* invalid
+/// JSON: a response that fails to parse is the truncated tail of a
+/// dying connection.
+fn retryable(kind: std::io::ErrorKind) -> bool {
+    use std::io::ErrorKind;
+    matches!(
+        kind,
+        ErrorKind::ConnectionRefused
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe
+            | ErrorKind::UnexpectedEof
+            | ErrorKind::TimedOut
+            | ErrorKind::NotConnected
+            | ErrorKind::Interrupted
+            | ErrorKind::InvalidData
+    )
+}
+
+/// A client that survives daemon restarts: on any connection-level
+/// failure it reconnects (with [`RetryPolicy`] backoff) and resends the
+/// request. Safe because the daemon's responses are deterministic and
+/// requests are idempotent — a resend can only produce the same bytes,
+/// so a request submitted during a kill/restart window still gets its
+/// bit-identical answer.
+#[derive(Debug)]
+pub struct RetryClient {
+    addr: String,
+    policy: RetryPolicy,
+    inner: Option<Client>,
+}
+
+impl RetryClient {
+    /// Creates a lazy retrying client for `addr` (no connection is
+    /// attempted until the first request).
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> RetryClient {
+        RetryClient {
+            addr: addr.into(),
+            policy,
+            inner: None,
+        }
+    }
+
+    /// The configured daemon address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// One attempt: reuse (or establish) the connection, send, receive,
+    /// and validate that the response parses as JSON (a torn line from
+    /// a dying daemon must count as a failed attempt, not a response).
+    fn attempt(&mut self, line: &str) -> std::io::Result<String> {
+        if self.inner.is_none() {
+            self.inner = Some(Client::connect(&self.addr)?);
+        }
+        let client = self.inner.as_mut().expect("connected above");
+        let response = client.roundtrip(line)?;
+        json::parse(&response)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        Ok(response)
+    }
+
+    /// Sends a request, retrying through connection failures, and
+    /// returns the response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last error once the attempt budget is exhausted, or
+    /// immediately for non-retryable I/O errors.
+    pub fn roundtrip(&mut self, line: &str) -> std::io::Result<String> {
+        let mut retry = 0;
+        loop {
+            match self.attempt(line) {
+                Ok(response) => return Ok(response),
+                Err(e) => {
+                    // The connection is suspect after any failure;
+                    // rebuild it on the next attempt.
+                    self.inner = None;
+                    if !retryable(e.kind()) || retry + 1 >= self.policy.attempts {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.policy.delay(retry));
+                    retry += 1;
+                }
+            }
+        }
+    }
+
+    /// [`roundtrip`](RetryClient::roundtrip), parsed as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`roundtrip`](RetryClient::roundtrip); the
+    /// response is already parse-validated.
+    pub fn roundtrip_json(&mut self, line: &str) -> std::io::Result<Json> {
+        let response = self.roundtrip(line)?;
+        json::parse(&response).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 }

@@ -31,6 +31,16 @@
 //!   comparator), every returned schedule is certified by the
 //!   independent dependence oracle before it leaves the daemon, and
 //!   response serialization is byte-deterministic.
+//! * **Fleet serving** — the registry persists across restarts
+//!   ([`persist`]: checksummed snapshots of canonical SCoP text plus an
+//!   append-only journal; a restarted daemon prewarms every Farkas
+//!   cache so warm replays pay zero re-eliminations), connections are
+//!   served by a nonblocking readiness loop (one thread for all
+//!   sockets, not thread-per-connection), and [`Router`] fronts N
+//!   daemon shards behind one address by consistent-hashing SCoP
+//!   fingerprints ([`HashRing`]). [`RetryClient`] rides restarts with
+//!   reconnect-and-resend backoff; scripted [`FaultPlan`]s drive the
+//!   fault-injection suite that proves bit-identity through kills.
 //!
 //! # In-process use
 //!
@@ -48,10 +58,14 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod persist;
 pub mod protocol;
+pub mod router;
 
 mod client;
+mod poll;
 mod service;
 
-pub use client::Client;
-pub use service::{Server, ServerConfig, ServerHandle};
+pub use client::{Client, RetryClient, RetryPolicy};
+pub use router::{HashRing, Router, RouterConfig, RouterHandle};
+pub use service::{FaultPlan, Server, ServerConfig, ServerHandle};

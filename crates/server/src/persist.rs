@@ -1,0 +1,503 @@
+//! Registry persistence: checksummed snapshots plus an append-only
+//! journal, so a restarted daemon serves warm with zero re-eliminations.
+//!
+//! ## On-disk layout
+//!
+//! A snapshot directory holds up to four files:
+//!
+//! ```text
+//! snapshot        current full registry image
+//! snapshot.prev   previous rotation (torn-write fallback)
+//! journal         events admitted since `snapshot` was written
+//! journal.prev    events admitted since `snapshot.prev` was written
+//! ```
+//!
+//! A snapshot file is one header line
+//! `polytops-snapshot v1 <payload-len> <fnv1a-hex>` followed by a
+//! compact-JSON payload:
+//!
+//! ```text
+//! {"entries":[{"layouts":[{"neg":false,"shift":false,"vars":[]}],
+//!              "name":"matmul","scop":"<polyscop> ..."}]}
+//! ```
+//!
+//! Entries are in LRU order (coldest first), each carrying the SCoP's
+//! *canonical text* — the registry's identity representation — plus the
+//! [`CacheLayout`]s that had resident Farkas caches. Nothing derived is
+//! stored: dependence analyses and cache contents rebuild
+//! deterministically from the text on load (see
+//! [`ScopRegistry::restore`]), which is what makes a snapshot immune to
+//! solver/code drift across daemon versions.
+//!
+//! The journal is one compact-JSON event per line:
+//!
+//! ```text
+//! {"event":"admit","name":"matmul","scop":"<polyscop> ..."}
+//! {"event":"layout","fp":"9f…","neg":false,"shift":false,"vars":[]}
+//! ```
+//!
+//! Events are idempotent, so replay after a crash mid-append is safe; a
+//! torn final line (the only line a single-writer crash can tear) is
+//! detected by its parse failure and dropped.
+//!
+//! ## Rotation
+//!
+//! [`Persister::rotate`] writes `snapshot.tmp` (fsynced), renames
+//! `snapshot` → `snapshot.prev`, renames the tmp into place, shifts
+//! `journal` → `journal.prev`, and starts a fresh journal. Every rename
+//! is atomic on POSIX, and each crash window leaves a state
+//! `load`'s fallback chain recovers from: a corrupt or
+//! missing `snapshot` falls back to `snapshot.prev` + both journals
+//! (replay idempotency makes the over-approximation harmless).
+
+use std::collections::{BTreeSet, HashMap};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use polytops_core::json::{parse, Json};
+use polytops_core::registry::{
+    fingerprint, fnv1a, CacheLayout, RegistrySnapshot, ScopRegistry, SnapshotEntry,
+};
+use polytops_ir::{parse_scop, print_scop, Scop};
+
+use crate::protocol::PersistTotals;
+
+/// Magic prefix of the snapshot header line.
+const MAGIC: &str = "polytops-snapshot v1";
+
+/// What `load` found on disk and rebuilt.
+#[derive(Debug, Default, Clone)]
+pub struct LoadOutcome {
+    /// Registry entries restored (snapshot plus journal replay).
+    pub restored_entries: usize,
+    /// Cache layouts prewarmed during restore.
+    pub prewarmed_layouts: usize,
+    /// Whether the current snapshot was unusable and the previous
+    /// rotation was used instead.
+    pub recovered_from_prev: bool,
+    /// Journal events replayed on top of the snapshot.
+    pub replayed_events: usize,
+    /// Malformed journal lines skipped (a torn tail counts as one).
+    pub torn_events: usize,
+}
+
+/// Journal/rotation state behind the persister's lock.
+struct PersistState {
+    /// Open handle on the current journal, append mode.
+    journal: File,
+    /// Events appended to the current journal since it was opened.
+    events: usize,
+    /// Events appended since startup (monotonic; survives rotation).
+    events_total: usize,
+    /// Rotations performed since startup.
+    rotations: usize,
+    /// Per-fingerprint layouts already journaled or snapshotted, so the
+    /// post-batch diff appends each `layout` event exactly once.
+    known: HashMap<u64, BTreeSet<CacheLayout>>,
+}
+
+/// The daemon's persistence engine: owns the snapshot directory, the
+/// journal handle, and the layout diff state. One per daemon; all
+/// methods are `&self` (internally locked) so the batcher and the
+/// shutdown path can share it.
+pub struct Persister {
+    dir: PathBuf,
+    /// Rotate once the current journal holds this many events.
+    rotate_every: usize,
+    state: Mutex<PersistState>,
+    /// What `load` found, echoed in stats.
+    loaded: LoadOutcome,
+}
+
+impl Persister {
+    /// Opens (creating if needed) the snapshot directory, restores the
+    /// registry from whatever is on disk, and leaves the journal open
+    /// for appends. Rotation is *not* performed here: the freshly
+    /// replayed journal stays valid until the daemon's first natural
+    /// rotation point, so a crash loop cannot destroy both rotations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the directory or journal cannot be
+    /// created. Corrupt *contents* never error — the fallback chain
+    /// degrades to a cold start instead, because refusing to serve is
+    /// worse than serving cold.
+    pub fn open(
+        dir: &Path,
+        rotate_every: usize,
+        registry: &ScopRegistry,
+    ) -> Result<Persister, String> {
+        fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let loaded = load(dir, registry);
+        // Journal replay re-admitted the journal's own events; seed the
+        // diff state from the registry so they are not re-appended.
+        let mut known: HashMap<u64, BTreeSet<CacheLayout>> = HashMap::new();
+        for entry in &registry.snapshot().entries {
+            let scop = parse_scop(&entry.scop_text)
+                .expect("snapshot of a live registry always round-trips");
+            known.insert(fingerprint(&scop), entry.layouts.iter().cloned().collect());
+        }
+        let journal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join("journal"))
+            .map_err(|e| format!("open journal: {e}"))?;
+        Ok(Persister {
+            dir: dir.to_path_buf(),
+            rotate_every: rotate_every.max(1),
+            state: Mutex::new(PersistState {
+                journal,
+                events: 0,
+                events_total: 0,
+                rotations: 0,
+                known,
+            }),
+            loaded,
+        })
+    }
+
+    /// What startup restored (for stats and the fault suite).
+    pub fn load_outcome(&self) -> &LoadOutcome {
+        &self.loaded
+    }
+
+    /// Current counters for the `stats` op.
+    pub fn totals(&self) -> PersistTotals {
+        let state = self.state.lock().expect("persist lock");
+        PersistTotals {
+            restored_entries: self.loaded.restored_entries,
+            prewarmed_layouts: self.loaded.prewarmed_layouts,
+            recovered_from_prev: self.loaded.recovered_from_prev,
+            replayed_events: self.loaded.replayed_events,
+            journal_events: state.events_total,
+            rotations: state.rotations,
+            dir: self.dir.display().to_string(),
+        }
+    }
+
+    /// Records the state a finished batch left behind: an `admit` event
+    /// for each entry the diff state has not seen, and a `layout` event
+    /// for each newly resident cache layout. Called with the entries
+    /// the batch touched; rotates afterwards if the journal has grown
+    /// past `rotate_every`. I/O errors are swallowed (persistence is
+    /// best-effort; serving must not depend on the disk).
+    pub fn record(&self, registry: &ScopRegistry, touched: &[(String, Scop)]) {
+        let mut state = self.state.lock().expect("persist lock");
+        for (name, scop) in touched {
+            let fp = fingerprint(scop);
+            if !state.known.contains_key(&fp) {
+                let event = Json::Object(std::collections::BTreeMap::from([
+                    ("event".to_string(), Json::Str("admit".to_string())),
+                    ("name".to_string(), Json::Str(name.clone())),
+                    ("scop".to_string(), Json::Str(print_scop(scop))),
+                ]));
+                append(&mut state, &event);
+                state.known.insert(fp, BTreeSet::new());
+            }
+            let Some(entry) = registry.find_by_fingerprint(fp) else {
+                continue; // evicted between batch and record; nothing to pin
+            };
+            let resident: BTreeSet<CacheLayout> = entry.layout_keys().into_iter().collect();
+            let seen = state.known.get(&fp).cloned().unwrap_or_default();
+            for layout in resident.difference(&seen) {
+                let &(neg, shift, ref vars) = layout;
+                let event = Json::Object(std::collections::BTreeMap::from([
+                    ("event".to_string(), Json::Str("layout".to_string())),
+                    ("fp".to_string(), Json::Str(format!("{fp:016x}"))),
+                    ("neg".to_string(), Json::Bool(neg)),
+                    ("shift".to_string(), Json::Bool(shift)),
+                    (
+                        "vars".to_string(),
+                        Json::Array(vars.iter().map(|v| Json::Str(v.clone())).collect()),
+                    ),
+                ]));
+                append(&mut state, &event);
+            }
+            state.known.insert(fp, resident);
+        }
+        if state.events >= self.rotate_every {
+            drop(state);
+            self.rotate(registry);
+        }
+    }
+
+    /// Writes a fresh checksummed snapshot of `registry` and rotates
+    /// the journal. Crash-safe: every step is a whole-file write to a
+    /// temp name or an atomic rename, and `load`'s fallback chain
+    /// covers every intermediate state. Errors are swallowed — a failed
+    /// rotation leaves the previous snapshot + journal, which still
+    /// restore correctly.
+    pub fn rotate(&self, registry: &ScopRegistry) {
+        let mut state = self.state.lock().expect("persist lock");
+        let snap = registry.snapshot();
+        let tmp = self.dir.join("snapshot.tmp");
+        if write_snapshot_file(&tmp, &snap).is_err() {
+            return;
+        }
+        let snapshot = self.dir.join("snapshot");
+        let prev = self.dir.join("snapshot.prev");
+        if snapshot.exists() {
+            let _ = fs::rename(&snapshot, &prev);
+        }
+        if fs::rename(&tmp, &snapshot).is_err() {
+            return;
+        }
+        // The old journal's events are inside the new snapshot; keep
+        // them one generation as the fallback chain's companion.
+        let journal = self.dir.join("journal");
+        let _ = fs::rename(&journal, self.dir.join("journal.prev"));
+        let Ok(fresh) = OpenOptions::new().create(true).append(true).open(&journal) else {
+            return;
+        };
+        state.journal = fresh;
+        state.events = 0;
+        state.rotations += 1;
+        // Everything resident is now in the snapshot; reset the diff
+        // baseline to match.
+        state.known.clear();
+        for entry in &snap.entries {
+            if let Ok(scop) = parse_scop(&entry.scop_text) {
+                state
+                    .known
+                    .insert(fingerprint(&scop), entry.layouts.iter().cloned().collect());
+            }
+        }
+    }
+}
+
+/// Appends one journal event line, fsyncing so a subsequent daemon kill
+/// cannot lose an acknowledged batch's admissions.
+fn append(state: &mut PersistState, event: &Json) {
+    let mut line = event.compact();
+    line.push('\n');
+    if state.journal.write_all(line.as_bytes()).is_ok() {
+        let _ = state.journal.sync_data();
+        state.events += 1;
+        state.events_total += 1;
+    }
+}
+
+/// Serializes a snapshot payload (compact JSON, entries in LRU order).
+fn snapshot_payload(snap: &RegistrySnapshot) -> String {
+    let entries: Vec<Json> = snap
+        .entries
+        .iter()
+        .map(|entry| {
+            Json::Object(std::collections::BTreeMap::from([
+                ("name".to_string(), Json::Str(entry.name.clone())),
+                ("scop".to_string(), Json::Str(entry.scop_text.clone())),
+                (
+                    "layouts".to_string(),
+                    Json::Array(entry.layouts.iter().map(layout_to_json).collect()),
+                ),
+            ]))
+        })
+        .collect();
+    Json::Object(std::collections::BTreeMap::from([(
+        "entries".to_string(),
+        Json::Array(entries),
+    )]))
+    .compact()
+}
+
+fn layout_to_json(layout: &CacheLayout) -> Json {
+    let &(neg, shift, ref vars) = layout;
+    Json::Object(std::collections::BTreeMap::from([
+        ("neg".to_string(), Json::Bool(neg)),
+        ("shift".to_string(), Json::Bool(shift)),
+        (
+            "vars".to_string(),
+            Json::Array(vars.iter().map(|v| Json::Str(v.clone())).collect()),
+        ),
+    ]))
+}
+
+fn layout_from_json(json: &Json) -> Option<CacheLayout> {
+    let obj = json.as_object()?;
+    let neg = obj.get("neg")?.as_bool()?;
+    let shift = obj.get("shift")?.as_bool()?;
+    let vars = obj
+        .get("vars")?
+        .as_array()?
+        .iter()
+        .map(|v| v.as_str().map(str::to_string))
+        .collect::<Option<Vec<String>>>()?;
+    Some((neg, shift, vars))
+}
+
+/// Writes one snapshot file: checksummed header line + payload, fsynced
+/// before return so the caller's rename publishes durable bytes.
+fn write_snapshot_file(path: &Path, snap: &RegistrySnapshot) -> std::io::Result<()> {
+    let payload = snapshot_payload(snap);
+    let header = format!(
+        "{MAGIC} {} {:016x}\n",
+        payload.len(),
+        fnv1a(payload.as_bytes())
+    );
+    let mut file = File::create(path)?;
+    file.write_all(header.as_bytes())?;
+    file.write_all(payload.as_bytes())?;
+    file.sync_data()
+}
+
+/// Parses and checksum-verifies a snapshot file. `None` for any defect:
+/// missing, truncated (torn write), checksum mismatch, malformed JSON.
+fn read_snapshot_file(path: &Path) -> Option<RegistrySnapshot> {
+    let mut text = String::new();
+    File::open(path).ok()?.read_to_string(&mut text).ok()?;
+    let (header, payload) = text.split_once('\n')?;
+    let rest = header.strip_prefix(MAGIC)?.trim();
+    let (len_text, sum_text) = rest.split_once(' ')?;
+    let len: usize = len_text.parse().ok()?;
+    let sum = u64::from_str_radix(sum_text, 16).ok()?;
+    if payload.len() != len || fnv1a(payload.as_bytes()) != sum {
+        return None;
+    }
+    let root = parse(payload).ok()?;
+    let mut entries = Vec::new();
+    for item in root.as_object()?.get("entries")?.as_array()? {
+        let obj = item.as_object()?;
+        entries.push(SnapshotEntry {
+            name: obj.get("name")?.as_str()?.to_string(),
+            scop_text: obj.get("scop")?.as_str()?.to_string(),
+            layouts: obj
+                .get("layouts")?
+                .as_array()?
+                .iter()
+                .map(layout_from_json)
+                .collect::<Option<Vec<CacheLayout>>>()?,
+        });
+    }
+    Some(RegistrySnapshot { entries })
+}
+
+/// Replays one journal file into the registry. Returns
+/// `(events_applied, torn_lines, layouts_prewarmed)`; malformed lines
+/// (the torn tail of a killed daemon, at most one per file) are
+/// skipped, and events that fail to apply (unparseable SCoP from a
+/// corrupted disk) are counted as torn rather than fatal.
+fn replay_journal(path: &Path, registry: &ScopRegistry) -> (usize, usize, usize) {
+    let Ok(text) = fs::read_to_string(path) else {
+        return (0, 0, 0);
+    };
+    let (mut applied, mut torn, mut layouts) = (0, 0, 0);
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse(line).ok().and_then(|e| apply_event(&e, registry)) {
+            Some(prewarmed) => {
+                applied += 1;
+                layouts += usize::from(prewarmed);
+            }
+            None => torn += 1,
+        }
+    }
+    (applied, torn, layouts)
+}
+
+/// Applies one journal event, returning whether it prewarmed a cache
+/// layout. Idempotent: `admit` rides the registry's dedupe, `layout`
+/// rides prewarm's replay-from-cache no-op.
+fn apply_event(event: &Json, registry: &ScopRegistry) -> Option<bool> {
+    let obj = event.as_object()?;
+    match obj.get("event")?.as_str()? {
+        "admit" => {
+            let name = obj.get("name")?.as_str()?;
+            let scop = parse_scop(obj.get("scop")?.as_str()?).ok()?;
+            registry.resolve(name, &scop);
+            Some(false)
+        }
+        "layout" => {
+            let fp = u64::from_str_radix(obj.get("fp")?.as_str()?, 16).ok()?;
+            let layout = layout_from_json(event)?;
+            // The entry may have been evicted by later journal events'
+            // admissions; a missing target is not corruption.
+            if let Some(entry) = registry.find_by_fingerprint(fp) {
+                entry.prewarm_layout(&layout).ok()?;
+                return Some(true);
+            }
+            Some(false)
+        }
+        _ => None,
+    }
+}
+
+/// The startup fallback chain: newest usable snapshot, then every
+/// journal generation that could hold events missing from it.
+fn load(dir: &Path, registry: &ScopRegistry) -> LoadOutcome {
+    let mut outcome = LoadOutcome::default();
+    let current = read_snapshot_file(&dir.join("snapshot"));
+    let (snapshot, journals): (Option<RegistrySnapshot>, Vec<PathBuf>) = match current {
+        Some(snap) => (Some(snap), vec![dir.join("journal")]),
+        None => {
+            let prev = read_snapshot_file(&dir.join("snapshot.prev"));
+            if prev.is_some() && dir.join("snapshot").exists() {
+                // There *was* a current snapshot and it failed its
+                // checksum — the torn-rotation case the fault suite
+                // exercises.
+                outcome.recovered_from_prev = true;
+            }
+            // Without the current snapshot, the previous journal's
+            // events may not be covered; replay both (idempotent).
+            (prev, vec![dir.join("journal.prev"), dir.join("journal")])
+        }
+    };
+    if let Some(snap) = snapshot {
+        match registry.restore(&snap) {
+            Ok(report) => {
+                outcome.restored_entries = report.entries;
+                outcome.prewarmed_layouts = report.layouts;
+            }
+            Err(_) => outcome.torn_events += 1,
+        }
+    }
+    let before = registry.stats().misses;
+    for journal in journals {
+        let (applied, torn, layouts) = replay_journal(&journal, registry);
+        outcome.replayed_events += applied;
+        outcome.torn_events += torn;
+        outcome.prewarmed_layouts += layouts;
+    }
+    // Journal admissions of SCoPs the snapshot missed count as restored
+    // entries too (they show up as fresh registry misses).
+    outcome.restored_entries += registry.stats().misses.saturating_sub(before);
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_file_round_trips_and_rejects_corruption() {
+        let dir = std::env::temp_dir().join(format!("polytops-persist-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot");
+        let snap = RegistrySnapshot {
+            entries: vec![SnapshotEntry {
+                name: "k".to_string(),
+                scop_text: "<polyscop>\n".to_string(),
+                layouts: vec![(false, false, vec![]), (true, true, vec!["x".to_string()])],
+            }],
+        };
+        write_snapshot_file(&path, &snap).unwrap();
+        assert_eq!(read_snapshot_file(&path), Some(snap.clone()));
+
+        // Truncation (torn write) must be detected.
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 3]).unwrap();
+        assert_eq!(read_snapshot_file(&path), None);
+
+        // Bit corruption inside the payload must be detected.
+        let mut flipped = full.clone();
+        let last = flipped.len() - 2;
+        flipped[last] ^= 0x20;
+        fs::write(&path, &flipped).unwrap();
+        assert_eq!(read_snapshot_file(&path), None);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

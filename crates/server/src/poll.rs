@@ -1,0 +1,351 @@
+//! The readiness event loop: one thread, nonblocking sockets, every
+//! connection.
+//!
+//! The crate forbids `unsafe` and takes no libc dependency, so there is
+//! no raw `poll(2)`/`epoll(7)` here; instead the loop is the safe-Rust
+//! equivalent of a readiness loop — every socket is nonblocking, and
+//! one thread sweeps them all, treating `WouldBlock` as "not ready".
+//! When a sweep makes no progress the loop parks on the outbound
+//! response channel with a sub-millisecond timeout, so an idle daemon
+//! costs ~2k wakeups/s instead of a spinning core, and a computed
+//! response wakes it immediately. The trade against a real poller is a
+//! bounded idle latency (≤ [`IDLE_PARK`]) per quiet sweep — well under
+//! the admission window it feeds.
+//!
+//! Per connection the loop keeps a read buffer (bytes up to the next
+//! `\n`) and a write buffer (queued response lines); only this thread
+//! touches either, which is what makes response bytes on one
+//! connection impossible to interleave.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::protocol::{self, Request};
+use crate::service::{Admitted, Shared, TuneJob};
+
+/// How long a no-progress sweep parks on the response channel.
+const IDLE_PARK: Duration = Duration::from_micros(500);
+
+/// How long a graceful shutdown keeps flushing write buffers before
+/// abandoning unread responses (the client stopped reading).
+const FLUSH_GRACE: Duration = Duration::from_secs(2);
+
+/// A response line on its way from a worker thread to a connection.
+pub(crate) struct Outbound {
+    /// Target connection id (from [`Conn::id`]); a since-closed id is
+    /// silently dropped, like a vanished client's response always was.
+    pub(crate) conn: u64,
+    /// The response line, without the trailing newline.
+    pub(crate) line: String,
+}
+
+/// One live connection's state.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes received but not yet terminated by `\n`.
+    rbuf: Vec<u8>,
+    /// Response bytes accepted but not yet written to the socket.
+    wbuf: Vec<u8>,
+    /// Close (after flushing `wbuf`) instead of reading further — set
+    /// by protocol errors that poison the stream framing, and by the
+    /// `drop_response` fault.
+    close_after_flush: bool,
+    /// Remove this connection at the end of the sweep.
+    dead: bool,
+}
+
+impl Conn {
+    /// Queues one line (newline appended) for writing.
+    fn push_line(&mut self, line: &str) {
+        self.wbuf.reserve(line.len() + 1);
+        self.wbuf.extend_from_slice(line.as_bytes());
+        self.wbuf.push(b'\n');
+    }
+}
+
+/// Runs the daemon's event loop until shutdown or crash. Owns the
+/// listener, all connections, the admission sender and the tune sender
+/// — dropping them on exit is what lets the batcher and tuner observe
+/// disconnection and finish.
+pub(crate) fn event_loop(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    admit: &SyncSender<Admitted>,
+    tune: &Sender<TuneJob>,
+    out: &Receiver<Outbound>,
+) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_id: u64 = 0;
+    let mut outbound_open = true;
+    let mut flush_deadline: Option<Instant> = None;
+    loop {
+        if shared.is_crashed() {
+            // A crash drops every connection unflushed: clients observe
+            // EOF (possibly mid-response) exactly as with `kill -9`.
+            return;
+        }
+        let mut progress = false;
+
+        // Accept as long as the backlog has connections (not while
+        // shutting down — the next generation owns new clients).
+        while !shared.is_shutting_down() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    progress = true;
+                    if conns.len() >= shared.config.max_connections {
+                        // Beyond capacity: close immediately; clients
+                        // see EOF and retry with backoff.
+                        drop(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // Responses are complete lines; never hold them
+                    // back for coalescing.
+                    let _ = stream.set_nodelay(true);
+                    let id = next_id;
+                    next_id += 1;
+                    conns.insert(
+                        id,
+                        Conn {
+                            stream,
+                            rbuf: Vec::new(),
+                            wbuf: Vec::new(),
+                            close_after_flush: false,
+                            dead: false,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+
+        // Drain computed responses into their connections' buffers.
+        while let Ok(outbound) = out.try_recv() {
+            progress = true;
+            queue_response(shared, &mut conns, outbound);
+        }
+
+        // Sweep every connection: read what's ready, handle complete
+        // lines, write what fits.
+        let ids: Vec<u64> = conns.keys().copied().collect();
+        for id in ids {
+            let conn = conns.get_mut(&id).expect("swept conn exists");
+            if !conn.close_after_flush && read_ready(conn, shared.config.max_line_bytes) {
+                progress = true;
+            }
+            // Handle complete lines (may queue inline responses or
+            // forward to workers).
+            loop {
+                let conn = conns.get_mut(&id).expect("swept conn exists");
+                if conn.dead || conn.close_after_flush {
+                    break;
+                }
+                let Some(pos) = conn.rbuf.iter().position(|&b| b == b'\n') else {
+                    break;
+                };
+                let line: Vec<u8> = conn.rbuf.drain(..=pos).collect();
+                let text = String::from_utf8_lossy(&line[..pos]).into_owned();
+                if !text.trim().is_empty() {
+                    handle_line(
+                        shared,
+                        conns.get_mut(&id).expect("swept conn"),
+                        id,
+                        &text,
+                        admit,
+                        tune,
+                    );
+                }
+            }
+            let conn = conns.get_mut(&id).expect("swept conn exists");
+            if write_ready(conn) {
+                progress = true;
+            }
+            if conn.close_after_flush && conn.wbuf.is_empty() {
+                conn.dead = true;
+            }
+        }
+        conns.retain(|_, conn| !conn.dead);
+
+        // Graceful exit: workers drained, responses delivered (or the
+        // flush grace expired on clients that stopped reading).
+        if shared.is_shutting_down() {
+            let deadline = *flush_deadline.get_or_insert_with(|| Instant::now() + FLUSH_GRACE);
+            let workers_done = shared.batcher_done.load(Ordering::SeqCst)
+                && shared.tuner_done.load(Ordering::SeqCst);
+            let flushed = conns.values().all(|c| c.wbuf.is_empty());
+            if workers_done && !outbound_open && (flushed || Instant::now() >= deadline) {
+                return;
+            }
+        }
+
+        if !progress {
+            if outbound_open {
+                // Park on the response channel: a computed response is
+                // the latency-critical wakeup.
+                match out.recv_timeout(IDLE_PARK) {
+                    Ok(outbound) => queue_response(shared, &mut conns, outbound),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => outbound_open = false,
+                }
+            } else {
+                std::thread::sleep(IDLE_PARK);
+            }
+        }
+    }
+}
+
+/// Queues one worker response, applying the `drop_response` fault: the
+/// Nth response daemon-wide is truncated at half its bytes and its
+/// connection closed — a torn line then EOF, from the client's side.
+fn queue_response(shared: &Arc<Shared>, conns: &mut HashMap<u64, Conn>, outbound: Outbound) {
+    let Some(conn) = conns.get_mut(&outbound.conn) else {
+        return; // client vanished; drop the response as always
+    };
+    let nth = shared.responses.fetch_add(1, Ordering::Relaxed) + 1;
+    if shared.config.faults.drop_response == Some(nth) {
+        conn.wbuf
+            .extend_from_slice(&outbound.line.as_bytes()[..outbound.line.len() / 2]);
+        conn.close_after_flush = true;
+        return;
+    }
+    conn.push_line(&outbound.line);
+}
+
+/// Reads everything the socket has ready into `rbuf`. Returns whether
+/// any bytes arrived. EOF and hard errors mark the connection dead; a
+/// line overflowing `max_line_bytes` queues a protocol error and closes
+/// (resynchronizing mid-stream is not worth the buffer exposure).
+fn read_ready(conn: &mut Conn, max_line_bytes: usize) -> bool {
+    let mut any = false;
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => {
+                any = true;
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                if conn.rbuf.len() > max_line_bytes && !conn.rbuf.contains(&b'\n') {
+                    conn.push_line(&protocol::error_response(
+                        &polytops_core::json::Json::Null,
+                        "request line exceeds the size limit",
+                    ));
+                    conn.close_after_flush = true;
+                    conn.rbuf.clear();
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    any
+}
+
+/// Writes as much buffered response data as the socket accepts.
+/// Returns whether any bytes left. A hard write error marks the
+/// connection dead (the response was undeliverable anyway).
+fn write_ready(conn: &mut Conn) -> bool {
+    let mut written = 0;
+    while written < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[written..]) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    conn.wbuf.drain(..written);
+    written > 0
+}
+
+/// Handles one complete request line: immediate ops are answered into
+/// the connection's write buffer; schedule/autotune are forwarded to
+/// their worker threads.
+fn handle_line(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    id: u64,
+    line: &str,
+    admit: &SyncSender<Admitted>,
+    tune: &Sender<TuneJob>,
+) {
+    match protocol::parse_request(line) {
+        Err(e) => conn.push_line(&protocol::error_response(
+            &polytops_core::json::Json::Null,
+            &e,
+        )),
+        Ok(Request::Ping) => conn.push_line(r#"{"ok":true,"pong":true}"#),
+        Ok(Request::Stats) => conn.push_line(&shared.stats_line()),
+        Ok(Request::Shutdown) => {
+            conn.push_line(r#"{"ok":true,"shutting_down":true}"#);
+            shared.begin_shutdown();
+        }
+        Ok(Request::Autotune(req)) => {
+            if shared.is_shutting_down() {
+                conn.push_line(&protocol::error_response(&req.id, "shutting down"));
+            } else if let Err(e) = tune.send(TuneJob {
+                req: *req,
+                conn: id,
+            }) {
+                conn.push_line(&protocol::error_response(&e.0.req.id, "shutting down"));
+            }
+        }
+        Ok(Request::Schedule(req)) => {
+            if shared.is_shutting_down() {
+                conn.push_line(&protocol::error_response(&req.id, "shutting down"));
+                return;
+            }
+            let mut admitted = Admitted {
+                req: *req,
+                conn: id,
+            };
+            // The admission channel is bounded; brief full intervals
+            // apply backpressure to this one connection's request,
+            // briefly pausing the sweep — which is the point: a flood
+            // must slow intake, not grow memory.
+            loop {
+                match admit.try_send(admitted) {
+                    Ok(()) => break,
+                    Err(TrySendError::Full(back)) => {
+                        if shared.is_shutting_down() || shared.is_crashed() {
+                            conn.push_line(&protocol::error_response(
+                                &back.req.id,
+                                "shutting down",
+                            ));
+                            break;
+                        }
+                        admitted = back;
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    Err(TrySendError::Disconnected(back)) => {
+                        conn.push_line(&protocol::error_response(&back.req.id, "shutting down"));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}

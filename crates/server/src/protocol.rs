@@ -558,12 +558,57 @@ pub struct SolverTotals {
     pub fast_path_fallbacks: usize,
 }
 
+/// Persistence counters surfaced by the `stats` op's `persist` object
+/// (absent/`null` when the daemon runs without `--snapshot-dir`).
+///
+/// Like [`SolverTotals`] these are diagnostics, not part of the
+/// bit-identity contract — but the fault-injection suite asserts on
+/// them (`recovered_from_prev` proves the torn-snapshot fallback fired,
+/// `restored_entries`/`prewarmed_layouts` prove the daemon served warm).
+#[derive(Debug, Default, Clone)]
+pub struct PersistTotals {
+    /// Registry entries rebuilt from the snapshot + journal at startup.
+    pub restored_entries: usize,
+    /// Farkas cache layouts eagerly prewarmed during restore.
+    pub prewarmed_layouts: usize,
+    /// Whether the load fell back to the previous snapshot rotation
+    /// (current snapshot missing or corrupt).
+    pub recovered_from_prev: bool,
+    /// Journal events replayed on top of the snapshot at startup.
+    pub replayed_events: usize,
+    /// Journal events appended since startup.
+    pub journal_events: usize,
+    /// Snapshot rotations performed since startup.
+    pub rotations: usize,
+    /// The snapshot directory, echoed for operators.
+    pub dir: String,
+}
+
+impl PersistTotals {
+    /// The `persist` stats object.
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("restored_entries", Json::Int(self.restored_entries as i64)),
+            (
+                "prewarmed_layouts",
+                Json::Int(self.prewarmed_layouts as i64),
+            ),
+            ("recovered_from_prev", Json::Bool(self.recovered_from_prev)),
+            ("replayed_events", Json::Int(self.replayed_events as i64)),
+            ("journal_events", Json::Int(self.journal_events as i64)),
+            ("rotations", Json::Int(self.rotations as i64)),
+            ("dir", Json::Str(self.dir.clone())),
+        ])
+    }
+}
+
 /// The `stats` response line.
 pub fn stats_response(
     registry: RegistryStats,
     batches: usize,
     requests: usize,
     solver: SolverTotals,
+    persist: Option<&PersistTotals>,
 ) -> String {
     object(vec![
         ("ok", Json::Bool(true)),
@@ -592,6 +637,10 @@ pub fn stats_response(
                     Json::Int(solver.fast_path_fallbacks as i64),
                 ),
             ]),
+        ),
+        (
+            "persist",
+            persist.map_or(Json::Null, PersistTotals::to_json),
         ),
         ("batches", Json::Int(batches as i64)),
         ("requests", Json::Int(requests as i64)),

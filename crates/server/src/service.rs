@@ -1,34 +1,70 @@
-//! The daemon: listener, per-connection readers, the admission-window
-//! batcher, and graceful shutdown.
+//! The daemon: a readiness event loop over nonblocking sockets, the
+//! admission-window batcher, a dedicated tuner worker, optional
+//! registry persistence, and graceful shutdown.
 //!
 //! Thread shape (see `docs/ARCHITECTURE.md` for the request lifecycle):
 //!
 //! ```text
-//! accept thread ──► one reader thread per connection
-//!                        │  parse line → Request
-//!                        │  ping/stats/shutdown: answered immediately
-//!                        ▼  schedule: admitted into the batch channel
-//!                   batcher thread: first request opens a window,
-//!                   window_ms/max_batch close it → one ScenarioSet
-//!                   (SCoPs resolved through the ScopRegistry) →
-//!                   run_sharded(threads) → per-request responses
+//! event-loop thread: nonblocking listener + every connection
+//!      │  accept / read / parse line → Request
+//!      │  ping/stats/shutdown: answered inline into the write buffer
+//!      │  schedule ──► bounded admission channel ──► batcher thread
+//!      │  autotune ──► unbounded tune channel ─────► tuner thread
+//!      ▼
+//! batcher thread: first request opens a window, window_ms/max_batch
+//! close it → one ScenarioSet (SCoPs resolved through the
+//! ScopRegistry) → run_sharded(threads) → per-request response lines,
+//! journaled to the persister, queued back to the event loop
 //! ```
 //!
-//! Responses to one connection are serialized under a per-connection
-//! write lock, one line each, so batches never interleave bytes.
+//! Exactly one thread (the event loop) touches sockets, so thousands
+//! of idle connections cost one `Conn` struct each instead of a parked
+//! thread, and responses to one connection can never interleave bytes.
+//! The batcher and tuner communicate with it only through channels.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use polytops_core::registry::{ScopEntry, ScopRegistry};
 use polytops_core::scenario::ScenarioSet;
+use polytops_ir::Scop;
 
-use crate::protocol::{self, Request, ScheduleRequest};
+use crate::persist::Persister;
+use crate::poll::{event_loop, Outbound};
+use crate::protocol::{self, AutotuneRequest, ScheduleRequest};
+
+/// Deterministic fault injection for the restart test harness. All
+/// fields default to "no fault"; production configs never set them.
+/// Faults are *scripted*, not random — the suite's assertions depend on
+/// knowing exactly which batch dies.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Crash the daemon (drop every connection unflushed, stop all
+    /// threads) immediately after the Nth admission window finishes
+    /// computing — after its journal events are durable, before any of
+    /// its responses are queued. Models `kill -9` at the worst moment.
+    pub kill_after_batches: Option<usize>,
+    /// Truncate the Nth queued response (daemon-wide, 1-based) to half
+    /// its bytes and then drop that connection: a client observes a
+    /// torn line followed by EOF mid-response.
+    pub drop_response: Option<usize>,
+    /// On crash, additionally truncate the current snapshot file to
+    /// this many bytes — a snapshot rotation torn by the kill.
+    pub torn_snapshot_bytes: Option<u64>,
+}
+
+impl FaultPlan {
+    /// True when no fault is armed (the production fast path).
+    pub fn is_empty(&self) -> bool {
+        self.kill_after_batches.is_none()
+            && self.drop_response.is_none()
+            && self.torn_snapshot_bytes.is_none()
+    }
+}
 
 /// Daemon configuration. Every knob is also a `polytopsd serve` flag
 /// (see `docs/CONFIG.md`).
@@ -47,6 +83,19 @@ pub struct ServerConfig {
     pub threads: usize,
     /// LRU bound of the SCoP registry (resident SCoPs).
     pub registry_capacity: usize,
+    /// Snapshot directory for registry persistence; `None` disables
+    /// persistence (the registry dies with the process).
+    pub snapshot_dir: Option<String>,
+    /// Rotate the snapshot once the journal holds this many events.
+    pub rotate_every: usize,
+    /// Maximum simultaneously open connections; excess accepts are
+    /// closed immediately (clients retry with backoff).
+    pub max_connections: usize,
+    /// Maximum bytes of one request line before the connection is
+    /// dropped as malformed (protects the event loop's read buffers).
+    pub max_line_bytes: usize,
+    /// Scripted faults (tests only).
+    pub faults: FaultPlan,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +106,11 @@ impl Default for ServerConfig {
             max_batch: 64,
             threads: std::thread::available_parallelism().map_or(2, |n| n.get().clamp(2, 8)),
             registry_capacity: 128,
+            snapshot_dir: None,
+            rotate_every: 64,
+            max_connections: 1024,
+            max_line_bytes: 16 << 20,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -65,7 +119,7 @@ impl Default for ServerConfig {
 /// `solver` object). Relaxed atomics: these are diagnostic sums, never
 /// part of the bit-identity contract.
 #[derive(Default)]
-struct SolverCounters {
+pub(crate) struct SolverCounters {
     dual_pivots: AtomicUsize,
     phase1_passes: AtomicUsize,
     shared_seed_hits: AtomicUsize,
@@ -88,7 +142,7 @@ impl SolverCounters {
             .fetch_add(stats.fast_path_fallbacks, Ordering::Relaxed);
     }
 
-    fn totals(&self) -> protocol::SolverTotals {
+    pub(crate) fn totals(&self) -> protocol::SolverTotals {
         protocol::SolverTotals {
             dual_pivots: self.dual_pivots.load(Ordering::Relaxed),
             phase1_passes: self.phase1_passes.load(Ordering::Relaxed),
@@ -100,54 +154,74 @@ impl SolverCounters {
 }
 
 /// State shared by every daemon thread.
-struct Shared {
-    config: ServerConfig,
-    addr: SocketAddr,
-    registry: ScopRegistry,
-    shutting_down: AtomicBool,
-    requests: AtomicUsize,
-    batches: AtomicUsize,
-    solver: SolverCounters,
-    /// Serializes autotune explorations: each one spawns its own
-    /// `--threads`-wide engine pool, so without this N concurrent
-    /// autotune clients would run N pools and the thread knob would no
-    /// longer bound the daemon's parallelism (worst case stays one
-    /// batch pool + one tuner pool).
-    autotune: Mutex<()>,
+pub(crate) struct Shared {
+    pub(crate) config: ServerConfig,
+    pub(crate) addr: SocketAddr,
+    pub(crate) registry: ScopRegistry,
+    /// Registry persistence, when `snapshot_dir` is configured.
+    pub(crate) persist: Option<Persister>,
+    /// Graceful shutdown: stop accepting work, drain, flush, exit.
+    pub(crate) shutting_down: AtomicBool,
+    /// Crash (fault injection): drop everything on the floor, exit.
+    pub(crate) crashed: AtomicBool,
+    /// Worker liveness, so the event loop knows when the drain is over.
+    pub(crate) batcher_done: AtomicBool,
+    pub(crate) tuner_done: AtomicBool,
+    pub(crate) requests: AtomicUsize,
+    pub(crate) batches: AtomicUsize,
+    /// Queued schedule/autotune responses, daemon-wide — the counter
+    /// the `drop_response` fault indexes.
+    pub(crate) responses: AtomicUsize,
+    pub(crate) solver: SolverCounters,
 }
 
 impl Shared {
-    /// Flips the shutdown flag and wakes the accept loop (which may be
-    /// blocked in `accept`) with a throwaway connection.
-    fn begin_shutdown(&self) {
+    pub(crate) fn begin_shutdown(&self) {
         self.shutting_down.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
     }
 
-    fn is_shutting_down(&self) -> bool {
+    pub(crate) fn is_shutting_down(&self) -> bool {
         self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// The `stats` response for the current counters.
+    pub(crate) fn stats_line(&self) -> String {
+        protocol::stats_response(
+            self.registry.stats(),
+            self.batches.load(Ordering::Relaxed),
+            self.requests.load(Ordering::Relaxed),
+            self.solver.totals(),
+            self.persist.as_ref().map(Persister::totals).as_ref(),
+        )
     }
 }
 
-/// The write half of a connection, shared by reader and batcher.
-type Reply = Arc<Mutex<TcpStream>>;
-
 /// One admitted schedule request awaiting its batch.
-struct Admitted {
-    req: ScheduleRequest,
-    reply: Reply,
+pub(crate) struct Admitted {
+    pub(crate) req: ScheduleRequest,
+    pub(crate) conn: u64,
+}
+
+/// One autotune request on its way to the tuner worker.
+pub(crate) struct TuneJob {
+    pub(crate) req: AutotuneRequest,
+    pub(crate) conn: u64,
 }
 
 /// The daemon entry point.
 pub struct Server;
 
-/// A running daemon: its bound address plus the accept/batcher threads
-/// to join. Reader threads are detached (they exit when their client
-/// disconnects or the process ends).
+/// A running daemon: its bound address plus the event-loop, batcher and
+/// tuner threads to join.
 pub struct ServerHandle {
     shared: Arc<Shared>,
-    accept: JoinHandle<()>,
+    event: JoinHandle<()>,
     batcher: JoinHandle<()>,
+    tuner: JoinHandle<()>,
 }
 
 impl Server {
@@ -155,35 +229,76 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Returns the I/O error if the address cannot be bound.
+    /// Returns the I/O error if the address cannot be bound, or an
+    /// invalid-input error if the snapshot directory cannot be opened.
     pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
+        Server::start_on(listener, config)
+    }
+
+    /// Spawns the daemon on an already-bound listener (`config.addr` is
+    /// ignored). This is the socket-activation-style handoff the
+    /// restart tests and benches use: std's `TcpListener::bind` does
+    /// not set `SO_REUSEADDR`, so a crashed daemon's lingering
+    /// `TIME_WAIT` sockets would block rebinding its port for a minute
+    /// — instead the supervisor binds once and hands each daemon
+    /// generation a [`try_clone`](TcpListener::try_clone) of the same
+    /// listener.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the listener cannot be inspected or
+    /// made nonblocking, or an invalid-input error if the snapshot
+    /// directory cannot be opened.
+    pub fn start_on(listener: TcpListener, config: ServerConfig) -> std::io::Result<ServerHandle> {
         let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let registry = ScopRegistry::new(config.registry_capacity);
+        let persist = match &config.snapshot_dir {
+            Some(dir) => Some(
+                Persister::open(std::path::Path::new(dir), config.rotate_every, &registry)
+                    .map_err(std::io::Error::other)?,
+            ),
+            None => None,
+        };
         let shared = Arc::new(Shared {
-            registry: ScopRegistry::new(config.registry_capacity),
+            registry,
+            persist,
             config,
             addr,
             shutting_down: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
+            batcher_done: AtomicBool::new(false),
+            tuner_done: AtomicBool::new(false),
             requests: AtomicUsize::new(0),
             batches: AtomicUsize::new(0),
+            responses: AtomicUsize::new(0),
             solver: SolverCounters::default(),
-            autotune: Mutex::new(()),
         });
-        // A bounded queue so a flood of requests applies backpressure to
-        // readers instead of growing without bound.
-        let (tx, rx) = mpsc::sync_channel::<Admitted>(1024);
+        // Admission is bounded so a flood applies backpressure at the
+        // event loop; responses and tune jobs are unbounded (their
+        // volume is bounded by admitted work).
+        let (admit_tx, admit_rx) = mpsc::sync_channel::<Admitted>(1024);
+        let (tune_tx, tune_rx) = mpsc::channel::<TuneJob>();
+        let (out_tx, out_rx) = mpsc::channel::<Outbound>();
         let batcher = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || batch_loop(&shared, &rx))
+            let out = out_tx.clone();
+            std::thread::spawn(move || batch_loop(&shared, &admit_rx, &out))
         };
-        let accept = {
+        let tuner = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(&listener, &shared, &tx))
+            std::thread::spawn(move || tune_loop(&shared, &tune_rx, &out_tx))
+        };
+        let event = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || event_loop(listener, &shared, &admit_tx, &tune_tx, &out_rx))
         };
         Ok(ServerHandle {
             shared,
-            accept,
+            event,
             batcher,
+            tuner,
         })
     }
 }
@@ -201,6 +316,16 @@ impl ServerHandle {
         self.shared.registry.stats()
     }
 
+    /// Persistence counters, when persistence is enabled.
+    pub fn persist_totals(&self) -> Option<protocol::PersistTotals> {
+        self.shared.persist.as_ref().map(Persister::totals)
+    }
+
+    /// Whether a scripted fault crashed this daemon.
+    pub fn crashed(&self) -> bool {
+        self.shared.is_crashed()
+    }
+
     /// Requests a graceful shutdown (equivalent to the `shutdown` op)
     /// and waits for in-flight batches to finish.
     pub fn shutdown(self) {
@@ -208,144 +333,93 @@ impl ServerHandle {
         self.join();
     }
 
-    /// Waits for the daemon to stop (after a `shutdown` op or
-    /// [`shutdown`](ServerHandle::shutdown) call).
+    /// Waits for the daemon to stop (after a `shutdown` op, a
+    /// [`shutdown`](ServerHandle::shutdown) call, or a scripted crash).
     pub fn join(self) {
-        let _ = self.accept.join();
+        let _ = self.event.join();
         let _ = self.batcher.join();
+        let _ = self.tuner.join();
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, tx: &SyncSender<Admitted>) {
-    for stream in listener.incoming() {
-        if shared.is_shutting_down() {
+/// Crashes the daemon: every thread observes the flag and exits without
+/// flushing. Applies the [`FaultPlan::torn_snapshot_bytes`] truncation
+/// first, so the "snapshot rotation torn by the kill" scenario is
+/// already on disk when the next generation boots.
+fn crash(shared: &Shared) {
+    if let (Some(bytes), Some(dir)) = (
+        shared.config.faults.torn_snapshot_bytes,
+        shared.config.snapshot_dir.as_ref(),
+    ) {
+        let path = std::path::Path::new(dir).join("snapshot");
+        if let Ok(file) = std::fs::OpenOptions::new().write(true).open(path) {
+            let _ = file.set_len(bytes);
+        }
+    }
+    shared.crashed.store(true, Ordering::SeqCst);
+}
+
+/// The tuner worker: autotune explorations run here, one at a time, so
+/// the daemon's parallelism stays bounded by one batch pool plus one
+/// tuner pool no matter how many clients tune concurrently.
+fn tune_loop(shared: &Arc<Shared>, rx: &Receiver<TuneJob>, out: &Sender<Outbound>) {
+    loop {
+        let job = match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.is_shutting_down() || shared.is_crashed() {
+                    break;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        if shared.is_crashed() {
             break;
         }
-        let Ok(stream) = stream else { continue };
-        let shared = Arc::clone(shared);
-        let tx = tx.clone();
-        std::thread::spawn(move || serve_connection(stream, &shared, &tx));
-    }
-    // Dropping the last admission sender lets the batcher drain and
-    // exit; readers hold clones that die with their connections.
-}
-
-/// Writes one response line under the connection's write lock. One
-/// `write_all` per line (payload + `\n` together): a trailing 1-byte
-/// write would trip Nagle against the client's delayed ACK and stall
-/// fast responses by tens of milliseconds.
-fn send_line(reply: &Reply, line: &str) {
-    let mut framed = Vec::with_capacity(line.len() + 1);
-    framed.extend_from_slice(line.as_bytes());
-    framed.push(b'\n');
-    let mut stream = reply.lock().expect("reply lock");
-    // A vanished client is not a daemon error; drop the response.
-    let _ = stream.write_all(&framed).and_then(|()| stream.flush());
-}
-
-fn serve_connection(stream: TcpStream, shared: &Arc<Shared>, tx: &SyncSender<Admitted>) {
-    // Responses are complete lines; never hold them back for coalescing.
-    let _ = stream.set_nodelay(true);
-    // Responses are written from the single batcher thread: a client
-    // that stops reading (full TCP send buffer) must not wedge every
-    // other client's batches behind a blocked write_all. On timeout the
-    // response is dropped — the client was not consuming it anyway.
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let reply: Reply = Arc::new(Mutex::new(write_half));
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        match protocol::parse_request(&line) {
-            Err(e) => send_line(
-                &reply,
-                &protocol::error_response(&polytops_core::json::Json::Null, &e),
+        let req = job.req;
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        let budget = polytops_core::tune::TuneBudget {
+            max_candidates: req.max_candidates,
+            threads: shared.config.threads,
+            param_estimate: req.param_estimate,
+        };
+        // Repeated tuning of a known SCoP rides the same registry
+        // residency as the schedule op: the entry's dependence analysis
+        // and Farkas caches persist across autotune requests/clients.
+        let (entry, _) = shared.registry.resolve(&req.scop.name, &req.scop);
+        let line = match polytops_core::tune::explore_entry(&entry, &req.machine, &budget) {
+            Ok(outcome) if outcome.certified => protocol::autotune_response(&req.id, &outcome),
+            Ok(_) => protocol::error_response(
+                &req.id,
+                "internal error: tuned schedule failed oracle certification",
             ),
-            Ok(Request::Ping) => send_line(&reply, r#"{"ok":true,"pong":true}"#),
-            Ok(Request::Stats) => send_line(
-                &reply,
-                &protocol::stats_response(
-                    shared.registry.stats(),
-                    shared.batches.load(Ordering::Relaxed),
-                    shared.requests.load(Ordering::Relaxed),
-                    shared.solver.totals(),
-                ),
-            ),
-            Ok(Request::Shutdown) => {
-                send_line(&reply, r#"{"ok":true,"shutting_down":true}"#);
-                shared.begin_shutdown();
-            }
-            Ok(Request::Autotune(req)) => {
-                if shared.is_shutting_down() {
-                    send_line(&reply, &protocol::error_response(&req.id, "shutting down"));
-                } else {
-                    // The tuner is its own batch: it synthesizes a whole
-                    // candidate lattice and runs it on the engine pool,
-                    // so it bypasses the admission window and answers
-                    // from the reader thread — one exploration at a
-                    // time (see `Shared::autotune`).
-                    shared.requests.fetch_add(1, Ordering::Relaxed);
-                    shared.batches.fetch_add(1, Ordering::Relaxed);
-                    let budget = polytops_core::tune::TuneBudget {
-                        max_candidates: req.max_candidates,
-                        threads: shared.config.threads,
-                        param_estimate: req.param_estimate,
-                    };
-                    // Repeated tuning of a known SCoP rides the same
-                    // registry residency as the schedule op: the entry's
-                    // dependence analysis and Farkas caches persist
-                    // across autotune requests and clients.
-                    let (entry, _) = shared.registry.resolve(&req.scop.name, &req.scop);
-                    // The guard protects no data, so a panic inside a
-                    // previous exploration must not poison the op for
-                    // the daemon's remaining lifetime.
-                    let _one_at_a_time = shared
-                        .autotune
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    let line =
-                        match polytops_core::tune::explore_entry(&entry, &req.machine, &budget) {
-                            Ok(outcome) if outcome.certified => {
-                                protocol::autotune_response(&req.id, &outcome)
-                            }
-                            Ok(_) => protocol::error_response(
-                                &req.id,
-                                "internal error: tuned schedule failed oracle certification",
-                            ),
-                            Err(e) => protocol::error_response(&req.id, &e.to_string()),
-                        };
-                    send_line(&reply, &line);
-                }
-            }
-            Ok(Request::Schedule(req)) => {
-                if shared.is_shutting_down() {
-                    send_line(&reply, &protocol::error_response(&req.id, "shutting down"));
-                } else if let Err(e) = tx.send(Admitted {
-                    req: *req,
-                    reply: Arc::clone(&reply),
-                }) {
-                    let Admitted { req, reply } = e.0;
-                    send_line(&reply, &protocol::error_response(&req.id, "shutting down"));
-                }
-            }
+            Err(e) => protocol::error_response(&req.id, &e.to_string()),
+        };
+        if let Some(persist) = &shared.persist {
+            persist.record(
+                &shared.registry,
+                &[(req.scop.name.clone(), req.scop.clone())],
+            );
         }
+        let _ = out.send(Outbound {
+            conn: job.conn,
+            line,
+        });
     }
+    shared.tuner_done.store(true, Ordering::SeqCst);
 }
 
-fn batch_loop(shared: &Arc<Shared>, rx: &Receiver<Admitted>) {
+fn batch_loop(shared: &Arc<Shared>, rx: &Receiver<Admitted>, out: &Sender<Outbound>) {
     loop {
         // Wait for the request that opens the next window, polling the
-        // shutdown flag so a quiet daemon can stop.
+        // shutdown flags so a quiet daemon can stop.
         let first = loop {
             match rx.recv_timeout(Duration::from_millis(50)) {
                 Ok(admitted) => break Some(admitted),
                 Err(RecvTimeoutError::Timeout) => {
-                    if shared.is_shutting_down() {
+                    if shared.is_shutting_down() || shared.is_crashed() {
                         break None;
                     }
                 }
@@ -353,6 +427,9 @@ fn batch_loop(shared: &Arc<Shared>, rx: &Receiver<Admitted>) {
             }
         };
         let Some(first) = first else { break };
+        if shared.is_crashed() {
+            break;
+        }
         let mut batch = vec![first];
         let deadline = Instant::now() + Duration::from_millis(shared.config.window_ms);
         while batch.len() < shared.config.max_batch {
@@ -365,24 +442,57 @@ fn batch_loop(shared: &Arc<Shared>, rx: &Receiver<Admitted>) {
                 Err(_) => break,
             }
         }
-        shared.batches.fetch_add(1, Ordering::Relaxed);
+        let windows = shared.batches.fetch_add(1, Ordering::Relaxed) + 1;
         shared.requests.fetch_add(batch.len(), Ordering::Relaxed);
         // `split_components` changes scenario semantics per request, so
         // a mixed batch runs as two sets (responses still correlate by
         // id; cross-request state lives in the registry either way).
         let (plain, split): (Vec<_>, Vec<_>) =
             batch.into_iter().partition(|a| !a.req.split_components);
+        let mut responses = Vec::new();
+        let mut touched = Vec::new();
         for (group, split_flag) in [(plain, false), (split, true)] {
             if !group.is_empty() {
-                process_group(shared, group, split_flag);
+                process_group(shared, group, split_flag, &mut responses, &mut touched);
             }
         }
+        // Durability before delivery: the journal records this window's
+        // admissions (fsynced) before any client can observe a
+        // response, so an acknowledged answer is always replayable.
+        if let Some(persist) = &shared.persist {
+            persist.record(&shared.registry, &touched);
+        }
+        // The kill fault fires between durability and delivery — the
+        // worst crash point: clients must retry, and the retry must
+        // find the registry warm.
+        if shared.config.faults.kill_after_batches == Some(windows) {
+            crash(shared);
+            break;
+        }
+        for (conn, line) in responses {
+            let _ = out.send(Outbound { conn, line });
+        }
     }
+    // A graceful exit snapshots the final registry state so the next
+    // generation boots warm without journal replay.
+    if !shared.is_crashed() {
+        if let Some(persist) = &shared.persist {
+            persist.rotate(&shared.registry);
+        }
+    }
+    shared.batcher_done.store(true, Ordering::SeqCst);
 }
 
-/// Executes one admission group as a single `ScenarioSet` and answers
-/// every request in it.
-fn process_group(shared: &Arc<Shared>, group: Vec<Admitted>, split: bool) {
+/// Executes one admission group as a single `ScenarioSet`, pushing one
+/// response line per request and recording which SCoPs were touched
+/// (for the persistence journal).
+fn process_group(
+    shared: &Arc<Shared>,
+    group: Vec<Admitted>,
+    split: bool,
+    responses: &mut Vec<(u64, String)>,
+    touched: &mut Vec<(String, Scop)>,
+) {
     struct Slot {
         admitted: Admitted,
         entry: Arc<ScopEntry>,
@@ -406,6 +516,7 @@ fn process_group(shared: &Arc<Shared>, group: Vec<Admitted>, split: bool) {
         let scop_idx = match slot_of_entry.iter().find(|(k, _)| *k == key) {
             Some(&(_, idx)) => idx,
             None => {
+                touched.push((admitted.req.name.clone(), admitted.req.scop.clone()));
                 let idx = set.add_resident_scop(Arc::clone(&entry));
                 slot_of_entry.push((key, idx));
                 idx
@@ -484,6 +595,6 @@ fn process_group(shared: &Arc<Shared>, group: Vec<Admitted>, split: bool) {
                 slot.entry.fingerprint(),
             )
         };
-        send_line(&slot.admitted.reply, &line);
+        responses.push((slot.admitted.conn, line));
     }
 }

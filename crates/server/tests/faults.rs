@@ -1,0 +1,361 @@
+//! The deterministic fault-injection harness: scripted [`FaultPlan`]s
+//! drive kill/restart, dropped-connection and torn-snapshot scenarios
+//! over real TCP, asserting the fleet invariants end to end:
+//!
+//! * responses that survive a fault are **byte-identical** to the
+//!   offline scenario engine (the never-killed golden path);
+//! * a restarted daemon serves **warm** — replayed requests report
+//!   `farkas_misses == 0`;
+//! * a torn snapshot on disk is detected and recovered from the
+//!   previous rotation.
+//!
+//! Restarts use the listener-handoff pattern ([`Server::start_on`]):
+//! the test binds the port once and hands each daemon generation a
+//! clone, exactly like a socket-activation supervisor — std's
+//! `TcpListener` takes no `SO_REUSEADDR`, so rebinding a just-killed
+//! port would otherwise hit `TIME_WAIT`. The kill scenario runs at 1, 2
+//! and 4 worker threads: determinism must not depend on the pool shape.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use polytops_core::json::Json;
+use polytops_server::protocol::{self, Request};
+use polytops_server::{FaultPlan, RetryClient, RetryPolicy, Server, ServerConfig, ServerHandle};
+use polytops_workloads::requests::fleet_request_streams;
+
+/// A fresh scratch directory under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("polytops-faults-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A retry policy generous enough to ride a restart window that
+/// includes registry restore + prewarm.
+fn patient() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 60,
+        base_delay: Duration::from_millis(10),
+        max_delay: Duration::from_millis(250),
+    }
+}
+
+/// The offline-engine golden `results` text for one request line.
+fn golden(line: &str) -> String {
+    match protocol::parse_request(line).expect("request parses") {
+        Request::Schedule(req) => protocol::offline_results(&req).compact(),
+        other => panic!("fleet stream line must be a schedule request, got {other:?}"),
+    }
+}
+
+/// Parses a schedule response into (ok, registry_hit, results text,
+/// max farkas_misses across its scenarios).
+fn unpack(response: &str) -> (bool, bool, String, i64) {
+    let parsed = polytops_core::json::parse(response).expect("response parses");
+    let obj = parsed.as_object().expect("response object");
+    let ok = obj["ok"].as_bool().expect("ok flag");
+    let hit = obj
+        .get("registry")
+        .and_then(Json::as_object)
+        .and_then(|r| r.get("hit"))
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    let results = obj.get("results").map(Json::compact).unwrap_or_default();
+    let misses = obj
+        .get("stats")
+        .and_then(Json::as_array)
+        .map(|stats| {
+            stats
+                .iter()
+                .filter_map(|entry| {
+                    entry
+                        .as_object()?
+                        .get("pipeline")?
+                        .as_object()?
+                        .get("farkas_misses")?
+                        .as_int()
+                })
+                .max()
+                .unwrap_or(0)
+        })
+        .unwrap_or(0);
+    (ok, hit, results, misses)
+}
+
+fn fleet_config(threads: usize, dir: &std::path::Path) -> ServerConfig {
+    ServerConfig {
+        window_ms: 0, // one batch per request: the kill point is exact
+        threads,
+        snapshot_dir: Some(dir.display().to_string()),
+        rotate_every: 4,
+        ..ServerConfig::default()
+    }
+}
+
+/// Kill-after-N-batches at 1, 2 and 4 worker threads: every client's
+/// final answer is bit-identical to the offline engine, and the
+/// restarted daemon replays journaled work with zero fresh Farkas
+/// eliminations.
+#[test]
+fn kill_restart_is_bit_identical_and_warm() {
+    for threads in [1usize, 2, 4] {
+        let dir = scratch(&format!("kill-t{threads}"));
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind supervisor port");
+        let addr = listener.local_addr().unwrap().to_string();
+
+        let first = Server::start_on(
+            listener.try_clone().expect("clone listener"),
+            ServerConfig {
+                faults: FaultPlan {
+                    kill_after_batches: Some(2),
+                    ..FaultPlan::default()
+                },
+                ..fleet_config(threads, &dir)
+            },
+        )
+        .expect("start first generation");
+
+        // Concurrent clients, overlapping kernels, rotated presets.
+        let streams = fleet_request_streams(6, 2);
+        let addr_ref: &str = &addr;
+        let outcomes: Vec<Vec<(String, String)>> = std::thread::scope(|s| {
+            let workers: Vec<_> = streams
+                .iter()
+                .map(|stream| {
+                    s.spawn(move || {
+                        let mut client = RetryClient::new(addr_ref, patient());
+                        stream
+                            .iter()
+                            .map(|line| {
+                                let response =
+                                    client.roundtrip(line).expect("retry rides the restart");
+                                (line.clone(), response)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+
+            // Meanwhile: wait for the scripted crash, then hand the
+            // listener to the second generation (no fault plan).
+            while !first.crashed() {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let crashed = first.crashed();
+            first.join();
+            assert!(crashed, "fault plan must have fired");
+            let second = Server::start_on(
+                listener.try_clone().expect("clone listener"),
+                fleet_config(threads, &dir),
+            )
+            .expect("start second generation");
+            let totals = second.persist_totals().expect("persistence enabled");
+            assert!(
+                totals.restored_entries > 0,
+                "threads={threads}: the restart must restore journaled admissions, got {totals:?}"
+            );
+
+            let collected = workers
+                .into_iter()
+                .map(|w| w.join().expect("client thread"))
+                .collect();
+            finish(second);
+            collected
+        });
+
+        for outcome in &outcomes {
+            for (line, response) in outcome {
+                let (ok, _, results, _) = unpack(response);
+                assert!(ok, "threads={threads}: {response}");
+                assert_eq!(
+                    results,
+                    golden(line),
+                    "threads={threads}: survivor response must be bit-identical to offline"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Drains a daemon through a warm re-sweep before shutting it down:
+/// every request must be a registry hit with zero Farkas misses and
+/// bit-identical results — the "serves warm" guarantee.
+fn finish(handle: ServerHandle) {
+    let mut client = RetryClient::new(handle.addr().to_string(), patient());
+    for stream in fleet_request_streams(6, 2) {
+        for line in stream {
+            let response = client.roundtrip(&line).expect("warm replay");
+            let (ok, hit, results, misses) = unpack(&response);
+            assert!(ok, "{response}");
+            assert!(hit, "warm replay must hit the registry: {response}");
+            assert_eq!(misses, 0, "warm replay must not re-eliminate: {response}");
+            assert_eq!(
+                results,
+                golden(&line),
+                "warm replay must stay bit-identical"
+            );
+        }
+    }
+    handle.shutdown();
+}
+
+/// The `drop_response` fault: the daemon truncates a response mid-line
+/// and drops the connection; the retrying client reconnects, resends,
+/// and still ends with the bit-identical answer.
+#[test]
+fn dropped_connection_mid_response_is_retried_transparently() {
+    let handle = Server::start(ServerConfig {
+        window_ms: 0,
+        faults: FaultPlan {
+            drop_response: Some(2),
+            ..FaultPlan::default()
+        },
+        ..ServerConfig::default()
+    })
+    .expect("start daemon");
+
+    let mut client = RetryClient::new(handle.addr().to_string(), patient());
+    let stream = &fleet_request_streams(1, 3)[0];
+    for (i, line) in stream.iter().enumerate() {
+        let response = client
+            .roundtrip(line)
+            .expect("retry absorbs the torn response");
+        let (ok, _, results, _) = unpack(&response);
+        assert!(ok, "request {i}: {response}");
+        assert_eq!(
+            results,
+            golden(line),
+            "request {i}: the resent answer must be bit-identical"
+        );
+    }
+    handle.shutdown();
+}
+
+/// The torn-snapshot fault: the kill truncates the freshly rotated
+/// snapshot; the next generation detects the bad checksum, falls back
+/// to the previous rotation plus both journal generations, and serves
+/// the full state warm.
+#[test]
+fn torn_snapshot_recovers_from_previous_rotation() {
+    let dir = scratch("torn");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind supervisor port");
+    let addr = listener.local_addr().unwrap().to_string();
+
+    let first = Server::start_on(
+        listener.try_clone().expect("clone listener"),
+        ServerConfig {
+            window_ms: 0,
+            rotate_every: 1, // rotate after every batch: .prev exists fast
+            snapshot_dir: Some(dir.display().to_string()),
+            faults: FaultPlan {
+                kill_after_batches: Some(3),
+                torn_snapshot_bytes: Some(10),
+                ..FaultPlan::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start first generation");
+
+    let stream = &fleet_request_streams(1, 3)[0];
+    let addr_ref: &str = &addr;
+    std::thread::scope(|s| {
+        let worker = s.spawn(move || {
+            let mut client = RetryClient::new(addr_ref, patient());
+            stream
+                .iter()
+                .map(|line| client.roundtrip(line).expect("retry rides the restart"))
+                .collect::<Vec<_>>()
+        });
+
+        while !first.crashed() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        first.join();
+        let snapshot = std::fs::metadata(dir.join("snapshot")).expect("snapshot exists");
+        assert_eq!(snapshot.len(), 10, "the kill must have torn the snapshot");
+
+        let second = Server::start_on(
+            listener.try_clone().expect("clone listener"),
+            ServerConfig {
+                window_ms: 0,
+                rotate_every: 1,
+                snapshot_dir: Some(dir.display().to_string()),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("start second generation");
+        let totals = second.persist_totals().expect("persistence enabled");
+        assert!(
+            totals.recovered_from_prev,
+            "the bad checksum must trigger the .prev fallback: {totals:?}"
+        );
+        assert!(totals.restored_entries > 0, "{totals:?}");
+
+        let responses = worker.join().expect("client thread");
+        for (line, response) in stream.iter().zip(&responses) {
+            let (ok, _, results, _) = unpack(response);
+            assert!(ok, "{response}");
+            assert_eq!(results, golden(line), "recovery must stay bit-identical");
+        }
+
+        // The recovered state is warm: journaled kernels replay without
+        // fresh eliminations.
+        let mut probe = RetryClient::new(second.addr().to_string(), patient());
+        for line in stream {
+            let (ok, hit, results, misses) = unpack(&probe.roundtrip(line).unwrap());
+            assert!(ok && hit, "recovered entries must be registry hits");
+            assert_eq!(misses, 0, "recovered entries must replay warm");
+            assert_eq!(results, golden(line));
+        }
+        second.shutdown();
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The `Client` hard-failure regression: a request submitted while the
+/// daemon is *down* (connection refused, nothing listening) must still
+/// get its bit-identical answer once the daemon comes up.
+#[test]
+fn client_submitted_during_restart_window_gets_its_answer() {
+    // Learn a free port, then close the listener: a never-accepted
+    // listener leaves no TIME_WAIT state, so the port is immediately
+    // rebindable — and until then, connects are refused.
+    let probe = TcpListener::bind("127.0.0.1:0").expect("bind probe");
+    let addr = probe.local_addr().unwrap().to_string();
+    drop(probe);
+
+    let stream = &fleet_request_streams(1, 1)[0];
+    let line = stream[0].clone();
+    let addr_clone = addr.clone();
+    let worker = std::thread::spawn(move || {
+        let mut client = RetryClient::new(addr_clone, patient());
+        client
+            .roundtrip(&line)
+            .expect("retry spans the down window")
+    });
+
+    // Let the client burn a few refused attempts before the daemon
+    // appears.
+    std::thread::sleep(Duration::from_millis(150));
+    let handle = Server::start(ServerConfig {
+        addr,
+        window_ms: 0,
+        ..ServerConfig::default()
+    })
+    .expect("rebind the drained port");
+
+    let response = worker.join().expect("client thread");
+    let (ok, _, results, _) = unpack(&response);
+    assert!(ok, "{response}");
+    assert_eq!(
+        results,
+        golden(&stream[0]),
+        "the delayed answer must be bit-identical"
+    );
+    handle.shutdown();
+}

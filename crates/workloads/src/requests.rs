@@ -61,9 +61,71 @@ pub fn sweep_request_streams(clients: usize) -> Vec<Vec<String>> {
         .collect()
 }
 
+/// The presets the fleet harness rotates through — a diverse slice of
+/// the grid (distinct cost functions and cache layouts), kept small so
+/// 100-client runs stay fast.
+const FLEET_PRESETS: [&str; 4] = ["pluto", "feautrier", "isl_like", "wavefront"];
+
+/// Request streams for the fleet harness: `clients` streams of
+/// `per_client` single-preset requests each, kernels and presets
+/// rotated so concurrent clients hit overlapping SCoPs under different
+/// configurations (the registry-sharing worst case for bit-identity).
+/// Ids are `c<client>/r<i>/<kernel>/<preset>`, so a response correlates
+/// back to its exact (kernel, preset) golden run.
+pub fn fleet_request_streams(clients: usize, per_client: usize) -> Vec<Vec<String>> {
+    let kernels = all_kernels();
+    (0..clients)
+        .map(|c| {
+            (0..per_client)
+                .map(|i| {
+                    let (kernel, scop) = &kernels[(c + i) % kernels.len()];
+                    let preset = FLEET_PRESETS[(c * 7 + i) % FLEET_PRESETS.len()];
+                    request_line(
+                        &format!("c{c}/r{i}/{kernel}/{preset}"),
+                        kernel,
+                        scop,
+                        &[preset],
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fleet_streams_rotate_kernels_and_presets() {
+        let streams = fleet_request_streams(5, 3);
+        assert_eq!(streams.len(), 5);
+        let mut distinct = std::collections::BTreeSet::new();
+        for (c, stream) in streams.iter().enumerate() {
+            assert_eq!(stream.len(), 3);
+            for (i, line) in stream.iter().enumerate() {
+                let parsed = polytops_core::json::parse(line).unwrap();
+                let obj = parsed.as_object().unwrap();
+                assert_eq!(obj["op"].as_str(), Some("schedule"));
+                let id = obj["id"].as_str().unwrap();
+                assert!(id.starts_with(&format!("c{c}/r{i}/")));
+                assert_eq!(obj["scenarios"].as_array().unwrap().len(), 1);
+                // The id's kernel/preset suffix is the golden-run key.
+                let mut parts = id.splitn(4, '/');
+                let (_, _, kernel, preset) = (
+                    parts.next().unwrap(),
+                    parts.next().unwrap(),
+                    parts.next().unwrap(),
+                    parts.next().unwrap(),
+                );
+                assert_eq!(obj["name"].as_str(), Some(kernel));
+                assert!(FLEET_PRESETS.contains(&preset));
+                distinct.insert((kernel.to_string(), preset.to_string()));
+            }
+        }
+        // Rotation actually diversifies the mix.
+        assert!(distinct.len() > 4, "kernels × presets should vary");
+    }
 
     #[test]
     fn streams_cover_clients_and_kernels() {
