@@ -1,0 +1,176 @@
+//! Learning-loop benchmark: what closing the model-reality loop buys.
+//!
+//! Three measurements, each with its contract **asserted** before any
+//! number is reported:
+//!
+//! 1. **Cold vs remembered-winner latency.** For every reference kernel
+//!    the first registry-backed exploration pays the full candidate
+//!    sweep; the re-submission must be served from the learned store
+//!    (`learned == true`, `explored_scenarios == 0`) with a
+//!    byte-identical winner — and the bench reports how much cheaper
+//!    that warm serve is.
+//! 2. **Calibrated vs uncalibrated winner quality.** A ground-truth
+//!    machine with a deliberately expensive memory system prices both
+//!    tuners' picks: tuning under the calibration-fitted model must
+//!    match or beat tuning under the stock constants (same candidate
+//!    lattice, so the calibrated pick is the lattice optimum under
+//!    ground truth).
+//! 3. **Calibration determinism.** Two synthetic-timer calibration
+//!    passes must be bit-identical and recover the ground-truth
+//!    constants exactly.
+//!
+//! Results land in the `"learning"` section of `BENCH_schedule.json`
+//! (other sections are preserved).
+
+use std::time::Instant;
+
+use polytops_bench::report::{int, object, ratio};
+use polytops_bench::{bench_ns, report};
+use polytops_core::json::Json;
+use polytops_core::registry::ScopRegistry;
+use polytops_core::tune::{self, MachineModel, TuneBudget};
+use polytops_machine::calibrate::{calibrate, SyntheticTimer};
+use polytops_workloads::all_kernels;
+
+fn main() {
+    let budget = TuneBudget::default();
+
+    // --- Calibration: determinism, exact recovery, and cost. --------
+    let truth = MachineModel {
+        miss_penalty_cycles: 240, // a 10x pricier memory system than stock
+        sync_cycles: 9000,
+        ..MachineModel::default()
+    };
+    let timer = SyntheticTimer {
+        ground_truth: truth.clone(),
+    };
+    let base = MachineModel::default();
+    let first_pass = calibrate(&base, &timer).expect("synthetic timing never fails");
+    let second_pass = calibrate(&base, &timer).expect("synthetic timing never fails");
+    assert_eq!(
+        first_pass, second_pass,
+        "synthetic calibration must be bit-deterministic"
+    );
+    assert_eq!(
+        first_pass.miss_penalty_cycles, truth.miss_penalty_cycles,
+        "the fit must recover the ground-truth miss penalty exactly"
+    );
+    assert_eq!(
+        first_pass.sync_cycles, truth.sync_cycles,
+        "the fit must recover the ground-truth sync cost exactly"
+    );
+    let calibrated = first_pass.machine.clone();
+    let calibrate_ns = bench_ns(|| calibrate(&base, &timer));
+    println!(
+        "calibration: recovered miss={} sync={} ({calibrate_ns} ns/pass)",
+        first_pass.miss_penalty_cycles, first_pass.sync_cycles
+    );
+
+    // --- Per kernel: cold vs warm latency, calibrated vs stock pick. -
+    let kernels = all_kernels();
+    let registry = ScopRegistry::new(kernels.len());
+    let mut entries: Vec<Json> = Vec::new();
+    let mut total_cold_ns: u128 = 0;
+    let mut total_warm_ns: u128 = 0;
+    let mut calibration_wins = 0usize;
+    for (kernel, scop) in &kernels {
+        let (entry, _) = registry.resolve(kernel, scop);
+
+        // Cold: the full exploration, learning the winner as it goes.
+        let t0 = Instant::now();
+        let cold = tune::explore_entry(&entry, &calibrated, &budget).expect("kernel tunes");
+        let cold_ns = t0.elapsed().as_nanos();
+        assert!(cold.certified, "{kernel}: winner must be oracle-legal");
+        assert!(!cold.learned, "{kernel}: first sight cannot be warm");
+        assert!(cold.explored_scenarios > 0, "{kernel}");
+
+        // Warm: served from the learned store, byte-identically.
+        let warm_ns = bench_ns(|| {
+            let warm = tune::explore_entry(&entry, &calibrated, &budget).expect("warm serve");
+            assert!(warm.learned, "{kernel}: re-submission must be warm");
+            assert_eq!(warm.explored_scenarios, 0, "{kernel}");
+            assert_eq!(warm.winner.name, cold.winner.name, "{kernel}");
+            assert_eq!(
+                warm.winner.schedule, cold.winner.schedule,
+                "{kernel}: the remembered winner must be byte-identical"
+            );
+            assert_eq!(warm.score, cold.score, "{kernel}");
+            warm
+        });
+        total_cold_ns += cold_ns;
+        total_warm_ns += warm_ns;
+
+        // Quality: price both tuners' picks under the ground truth.
+        let stock = tune::explore(scop, &base, &budget).expect("stock tune");
+        let (_, stock_gt) =
+            tune::score_schedule(scop, &stock.winner.schedule, &truth, budget.param_estimate);
+        let (_, calibrated_gt) =
+            tune::score_schedule(scop, &cold.winner.schedule, &truth, budget.param_estimate);
+        assert!(
+            calibrated_gt >= stock_gt,
+            "{kernel}: the calibrated pick ({calibrated_gt}) must match or beat \
+             the stock pick ({stock_gt}) under ground truth"
+        );
+        if calibrated_gt > stock_gt {
+            calibration_wins += 1;
+        }
+
+        let speedup = cold_ns as f64 / warm_ns.max(1) as f64;
+        println!(
+            "{kernel:<20} cold {:>10.2} ms  warm {:>10.3} ms  ({speedup:>6.1}x)  winner {}",
+            cold_ns as f64 / 1e6,
+            warm_ns as f64 / 1e6,
+            cold.winner.name
+        );
+        entries.push(object([
+            ("kernel", Json::Str((*kernel).to_string())),
+            ("cold_ns", int(cold_ns as i64)),
+            ("warm_ns", int(warm_ns as i64)),
+            ("warm_speedup", ratio(speedup)),
+            ("winner", Json::Str(cold.winner.name.clone())),
+            ("explored_cold", int(cold.explored_scenarios as i64)),
+            ("stock_gt_score", int(stock_gt)),
+            ("calibrated_gt_score", int(calibrated_gt)),
+            ("calibration_improved", Json::Bool(calibrated_gt > stock_gt)),
+        ]));
+    }
+
+    let count = kernels.len();
+    let overall_speedup = total_cold_ns as f64 / total_warm_ns.max(1) as f64;
+    println!(
+        "learning: warm serves {overall_speedup:.1}x cheaper than cold across {count} kernels; \
+         calibration improved the pick on {calibration_wins}/{count}"
+    );
+
+    let out = report::default_path();
+    report::update_section(
+        &out,
+        "learning",
+        object([
+            (
+                "calibration",
+                object([
+                    ("deterministic", Json::Bool(true)),
+                    ("exact_recovery", Json::Bool(true)),
+                    (
+                        "miss_penalty_cycles",
+                        int(i64::from(first_pass.miss_penalty_cycles)),
+                    ),
+                    ("sync_cycles", int(i64::from(first_pass.sync_cycles))),
+                    ("calibrate_ns", int(calibrate_ns as i64)),
+                ]),
+            ),
+            ("kernels", int(count as i64)),
+            ("cold_ns_total", int(total_cold_ns as i64)),
+            ("warm_ns_total", int(total_warm_ns as i64)),
+            ("warm_speedup", ratio(overall_speedup)),
+            ("calibration_wins", int(calibration_wins as i64)),
+            (
+                "calibration_win_rate",
+                ratio(calibration_wins as f64 / count.max(1) as f64),
+            ),
+            ("entries", Json::Array(entries)),
+        ]),
+    );
+    println!("-> {out}");
+}

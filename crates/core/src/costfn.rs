@@ -108,32 +108,37 @@ pub fn feautrier_rows(
     Ok(farkas_nonneg(&dep.poly, &template, space.total())?)
 }
 
+/// Nominal parameter value for the contiguity stride analysis: big
+/// enough that any inner-dimension walk is obviously not stride-1,
+/// irrelevant otherwise (only |stride| == 1 changes a coefficient).
+const CONTIGUITY_ESTIMATE: i64 = 64;
+
 /// Per-iterator contiguity support coefficients `c_{S,i}` (Eq. 5).
 ///
-/// Iterators whose uses are stride-1 (appearing with ±1 in the **last**
-/// subscript of accesses) receive a *high* coefficient so that
-/// minimization schedules them last (innermost) — exactly the paper's
-/// Listing 1 example where `c_{S0} = (10, 1)` forces the interchange.
-pub fn contiguity_coeffs(stmt: &Statement) -> Vec<i64> {
+/// Iterators whose uses are genuinely stride-1 — the *linearized
+/// element stride* of the access per unit step of the iterator
+/// ([`polytops_machine::model::access_stride`], array extents at a
+/// nominal parameter estimate) is ±1 — receive a *high* coefficient so
+/// that minimization schedules them last (innermost) — exactly the
+/// paper's Listing 1 example where `c_{S0} = (10, 1)` forces the
+/// interchange. A transposed use like `A[j][i]` stepped by `j` strides
+/// a full row, and non-affine (`⌊·/k⌋` / `mod`) uses have no constant
+/// stride; both count as ordinary strided uses.
+pub fn contiguity_coeffs(scop: &Scop, stmt: &Statement) -> Vec<i64> {
     let d = stmt.depth();
     let mut desire = vec![0i64; d]; // how much we want the iterator innermost
     for acc in &stmt.accesses {
-        let n = acc.subscripts.len();
-        for (pos, sub) in acc.subscripts.iter().enumerate() {
-            let e = match sub {
-                Subscript::Aff(e) => e,
-                // div/mod subscripts still reference the expression.
-                Subscript::FloorDiv(e, _) | Subscript::Mod(e, _) => e,
-            };
-            for (k, &c) in e.iter_coeffs().iter().enumerate() {
-                if c == 0 {
-                    continue;
-                }
-                if pos == n - 1 && c.abs() == 1 && sub.is_affine() {
-                    desire[k] += 10; // stride-1 use
-                } else {
-                    desire[k] += 1; // strided / outer-dimension use
-                }
+        for (k, want) in desire.iter_mut().enumerate() {
+            let involved = acc
+                .subscripts
+                .iter()
+                .any(|s: &Subscript| s.expr().iter_coeffs().get(k).copied().unwrap_or(0) != 0);
+            if !involved {
+                continue;
+            }
+            match polytops_machine::model::access_stride(scop, stmt, acc, k, CONTIGUITY_ESTIMATE) {
+                Some(s) if s.abs() == 1 => *want += 10, // stride-1 use
+                _ => *want += 1,                        // strided / transposed / non-affine use
             }
         }
     }
@@ -142,35 +147,13 @@ pub fn contiguity_coeffs(stmt: &Statement) -> Vec<i64> {
 }
 
 /// Per-iterator BigLoopsFirst coefficients: larger iteration extents get
-/// smaller costs so they are scheduled outermost.
+/// smaller costs so they are scheduled outermost. Extents are the exact
+/// per-iterator domain extents with parameters fixed at
+/// `param_estimate` ([`polytops_machine::model::iterator_extents`] —
+/// the same inference the performance model's trip counts use).
 pub fn big_loops_first_coeffs(scop: &Scop, stmt: &Statement, param_estimate: i64) -> Vec<i64> {
     let d = stmt.depth();
-    let np = scop.nparams();
-    let params = vec![param_estimate; np];
-    let mut extents = vec![1i64; d];
-    for k in 0..d {
-        // Min/max of iterator k over the domain with params fixed.
-        let mut sys = stmt.domain.clone();
-        // Fix parameters.
-        for (j, &pv) in params.iter().enumerate() {
-            let mut row = vec![0i64; sys.num_vars() + 1];
-            row[d + j] = 1;
-            row[sys.num_vars()] = -pv;
-            sys.add_eq(row);
-        }
-        let mut obj = vec![0i64; sys.num_vars()];
-        obj[k] = 1;
-        let lo = match polytops_math::ilp_minimize(&sys, &obj) {
-            polytops_math::IlpOutcome::Optimal { value, .. } => value,
-            _ => 0,
-        };
-        obj[k] = -1;
-        let hi = match polytops_math::ilp_minimize(&sys, &obj) {
-            polytops_math::IlpOutcome::Optimal { value, .. } => -value,
-            _ => param_estimate,
-        };
-        extents[k] = (hi - lo + 1).max(1);
-    }
+    let extents = polytops_machine::model::iterator_extents(stmt, scop.nparams(), param_estimate);
     // Rank extents: biggest extent -> cost 1, next -> 2, ...
     let mut order: Vec<usize> = (0..d).collect();
     order.sort_by_key(|&k| std::cmp::Reverse(extents[k]));
@@ -274,8 +257,8 @@ mod tests {
         b.close_loop();
         b.close_loop();
         let scop = b.build().unwrap();
-        let c0 = contiguity_coeffs(&scop.statements[0]);
-        let c1 = contiguity_coeffs(&scop.statements[1]);
+        let c0 = contiguity_coeffs(&scop, &scop.statements[0]);
+        let c1 = contiguity_coeffs(&scop, &scop.statements[1]);
         // S0: i is stride-1 (last subscript) -> larger cost than j.
         assert!(c0[0] > c0[1], "S0 coeffs {c0:?}");
         // S1: j is stride-1 -> larger cost than i.

@@ -114,7 +114,7 @@ pub fn build_costs(
             CostFn::Contiguity => {
                 let mut row = vec![0i64; space.total() + 1];
                 for (sid, stmt) in ctx.scop.statements.iter().enumerate() {
-                    let coeffs = contiguity_coeffs(stmt);
+                    let coeffs = contiguity_coeffs(ctx.scop, stmt);
                     for (k, &c) in coeffs.iter().enumerate() {
                         space.add_iter_coeff(&mut row, sid, k, c);
                     }

@@ -59,6 +59,21 @@ pub fn layout_of(config: &SchedulerConfig) -> CacheLayout {
     )
 }
 
+/// A tuning winner remembered for one SCoP under one tuning key
+/// (machine model + budget; see `tune::learned_key`): the name of the
+/// winning candidate in the deterministic candidate lattice, plus the
+/// model score it won with. The full configuration is *not* stored —
+/// the lattice is a pure function of (SCoP, machine, budget), so the
+/// name alone re-derives it exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LearnedConfig {
+    /// Candidate name in the tuner's lattice (e.g. `"pluto/t64+wave"`).
+    pub winner: String,
+    /// The model score ([`estimate_cycles`](polytops_machine::model))
+    /// the winner was selected with.
+    pub score: i64,
+}
+
 /// A registry-resident SCoP with its shared scheduling state.
 #[derive(Debug)]
 pub struct ScopEntry {
@@ -68,6 +83,8 @@ pub struct ScopEntry {
     deps: Arc<Vec<Dependence>>,
     /// One Farkas cache per ILP variable layout, created on first use.
     caches: Mutex<BTreeMap<CacheLayout, Arc<FarkasCache>>>,
+    /// Remembered tuning winners, keyed by tuning key.
+    learned: Mutex<BTreeMap<String, LearnedConfig>>,
 }
 
 impl ScopEntry {
@@ -79,6 +96,7 @@ impl ScopEntry {
             scop,
             deps,
             caches: Mutex::new(BTreeMap::new()),
+            learned: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -169,6 +187,44 @@ impl ScopEntry {
         }
         Ok(())
     }
+
+    /// The remembered tuning winner for `key`, if any.
+    pub fn learned_for(&self, key: &str) -> Option<LearnedConfig> {
+        self.learned
+            .lock()
+            .expect("learned map lock")
+            .get(key)
+            .cloned()
+    }
+
+    /// Remembers `config` as the tuning winner for `key`. Returns
+    /// whether the map changed (an identical re-record is a no-op, so
+    /// the persistence layer can diff cheaply and journal replay is
+    /// idempotent).
+    pub fn learn(&self, key: &str, config: LearnedConfig) -> bool {
+        let mut learned = self.learned.lock().expect("learned map lock");
+        if learned.get(key) == Some(&config) {
+            return false;
+        }
+        learned.insert(key.to_string(), config);
+        true
+    }
+
+    /// Every remembered winner, in deterministic (`BTreeMap`) key order
+    /// — what a snapshot records.
+    pub fn learned_snapshot(&self) -> Vec<(String, LearnedConfig)> {
+        self.learned
+            .lock()
+            .expect("learned map lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// How many tuning winners are remembered on this entry.
+    pub fn learned_count(&self) -> usize {
+        self.learned.lock().expect("learned map lock").len()
+    }
 }
 
 /// One registry entry as captured by [`ScopRegistry::snapshot`]: the
@@ -184,6 +240,8 @@ pub struct SnapshotEntry {
     pub scop_text: String,
     /// Resident cache layouts, in deterministic order.
     pub layouts: Vec<CacheLayout>,
+    /// Remembered tuning winners, in deterministic key order.
+    pub learned: Vec<(String, LearnedConfig)>,
 }
 
 /// A point-in-time, self-contained image of a [`ScopRegistry`]:
@@ -207,6 +265,8 @@ pub struct RestoreReport {
     /// Cache layouts prewarmed (every Farkas elimination re-run
     /// eagerly, off the serving path).
     pub layouts: usize,
+    /// Tuning winners re-learned from the snapshot.
+    pub learned: usize,
 }
 
 /// Registry counters, taken with [`ScopRegistry::stats`].
@@ -222,6 +282,8 @@ pub struct RegistryStats {
     pub misses: usize,
     /// Entries dropped by the LRU bound.
     pub evictions: usize,
+    /// Remembered tuning winners across all resident entries.
+    pub learned: usize,
 }
 
 /// A bounded, thread-safe pool of [`ScopEntry`]s, keyed by canonical
@@ -345,6 +407,7 @@ impl ScopRegistry {
                     name: entry.name().to_string(),
                     scop_text: print_scop(entry.scop()),
                     layouts: entry.layout_keys(),
+                    learned: entry.learned_snapshot(),
                 })
                 .collect(),
         }
@@ -385,6 +448,10 @@ impl ScopRegistry {
                     .map_err(|e| format!("prewarm `{}`: {e}", entry.name))?;
                 report.layouts += 1;
             }
+            for (key, config) in &entry.learned {
+                resident.learn(key, config.clone());
+                report.learned += 1;
+            }
         }
         Ok(report)
     }
@@ -413,12 +480,17 @@ impl ScopRegistry {
 
     /// A snapshot of the counters.
     pub fn stats(&self) -> RegistryStats {
+        let learned = {
+            let lru = self.lru.lock().expect("registry lock");
+            lru.iter().map(|(_, e)| e.learned_count()).sum()
+        };
         RegistryStats {
             entries: self.len(),
             capacity: self.capacity,
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            learned,
         }
     }
 }

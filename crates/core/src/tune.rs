@@ -30,7 +30,7 @@ pub use polytops_machine::MachineModel;
 use crate::config::{PostProcess, SchedulerConfig};
 use crate::error::ScheduleError;
 use crate::presets;
-use crate::registry::ScopRegistry;
+use crate::registry::{LearnedConfig, ScopRegistry};
 use crate::scenario::{ScenarioReport, ScenarioSet};
 
 /// How much exploration [`explore`] may spend.
@@ -90,8 +90,36 @@ pub struct TuneOutcome {
     /// bench) refuse to act on an uncertified winner.
     pub certified: bool,
     /// Every candidate with its model score (`None` when scheduling
-    /// failed), in lattice order.
+    /// failed), in lattice order. On a learned (warm) serve only the
+    /// winner appears — the loser scores were not persisted.
     pub candidates: Vec<(String, Option<i64>)>,
+    /// How many candidate scenarios were actually scheduled. A learned
+    /// serve reports the single winner re-derivation as `0` explored
+    /// scenarios — nothing was *explored*, the answer was remembered.
+    pub explored_scenarios: usize,
+    /// Whether the winner came from the registry's learned store
+    /// instead of a fresh exploration.
+    pub learned: bool,
+}
+
+/// The deterministic tuning key a learned winner is remembered under:
+/// every input that shapes the candidate lattice or the scoring —
+/// machine fields, the candidate budget and the parameter estimate.
+/// The engine's *thread count* is deliberately excluded: exploration is
+/// bit-identical on every thread count (the PR 3 contract), so a
+/// winner learned on 1 thread serves requests tuned on 8.
+pub fn learned_key(machine: &MachineModel, budget: &TuneBudget) -> String {
+    format!(
+        "line{}:cache{}:vec{}:cores{}:miss{}:sync{}:max{}:est{}",
+        machine.cache_line_bytes,
+        machine.cache_bytes,
+        machine.vector_bytes,
+        machine.num_cores,
+        machine.miss_penalty_cycles,
+        machine.sync_cycles,
+        budget.max_candidates,
+        budget.param_estimate,
+    )
 }
 
 /// Largest power of two `≤ v`, clamped into `lo..=hi` (all powers).
@@ -224,6 +252,79 @@ pub fn explore_entry(
     machine: &MachineModel,
     budget: &TuneBudget,
 ) -> Result<TuneOutcome, ScheduleError> {
+    let key = learned_key(machine, budget);
+    if let Some(remembered) = entry.learned_for(&key) {
+        if let Some(outcome) = serve_learned(entry, machine, budget, &remembered) {
+            return Ok(outcome);
+        }
+        // A remembered winner that no longer re-derives (it should:
+        // the lattice is pure) falls through to a fresh exploration,
+        // which re-learns whatever wins now.
+    }
+    let outcome = explore_candidates(entry, machine, budget)?;
+    entry.learn(
+        &key,
+        LearnedConfig {
+            winner: outcome.winner.name.clone(),
+            score: outcome.score,
+        },
+    );
+    Ok(outcome)
+}
+
+/// Serves a remembered winner without exploration: re-derive the named
+/// candidate from the (pure) lattice, schedule just that one scenario,
+/// and certify it. Because scenario results are independent of batch
+/// composition (the engine's bit-identity contract), the schedule —
+/// and therefore the features and score — is byte-identical to what
+/// the original full exploration produced. Returns `None` when the
+/// name no longer resolves or the single run fails or scores
+/// differently (stale memory: the caller re-explores).
+fn serve_learned(
+    entry: &std::sync::Arc<crate::registry::ScopEntry>,
+    machine: &MachineModel,
+    budget: &TuneBudget,
+    remembered: &LearnedConfig,
+) -> Option<TuneOutcome> {
+    let scop = entry.scop();
+    let candidates = candidate_lattice(scop, machine, budget.max_candidates);
+    let candidate = candidates.iter().find(|c| c.name == remembered.winner)?;
+    let deps = entry.deps();
+    let mut set = ScenarioSet::new();
+    let id = set.add_resident_scop(std::sync::Arc::clone(entry));
+    set.add_scenario(id, candidate.name.clone(), candidate.config.clone());
+    let results = set.run_sequential();
+    let winner = results.into_iter().next()?.ok()?;
+    let features = extract_features(scop, &winner.schedule, &deps, budget.param_estimate);
+    let score = model_score(machine, &features);
+    if score != remembered.score {
+        return None;
+    }
+    let certified = deps.iter().all(|d| {
+        schedule_respects_dependence(
+            d,
+            winner.schedule.stmt(d.src).rows(),
+            winner.schedule.stmt(d.dst).rows(),
+        )
+    });
+    Some(TuneOutcome {
+        config: candidate.config.clone(),
+        winner,
+        score,
+        features,
+        certified,
+        candidates: vec![(remembered.winner.clone(), Some(score))],
+        explored_scenarios: 0,
+        learned: true,
+    })
+}
+
+/// The cold path of [`explore_entry`]: run the full lattice.
+fn explore_candidates(
+    entry: &std::sync::Arc<crate::registry::ScopEntry>,
+    machine: &MachineModel,
+    budget: &TuneBudget,
+) -> Result<TuneOutcome, ScheduleError> {
     let scop = entry.scop();
     let candidates = candidate_lattice(scop, machine, budget.max_candidates);
     let deps = entry.deps();
@@ -265,6 +366,7 @@ pub fn explore_entry(
             winner.schedule.stmt(d.dst).rows(),
         )
     });
+    let explored_scenarios = results.len();
     Ok(TuneOutcome {
         config: candidates[idx].config.clone(),
         winner,
@@ -272,6 +374,8 @@ pub fn explore_entry(
         features,
         certified,
         candidates: scored,
+        explored_scenarios,
+        learned: false,
     })
 }
 
@@ -308,6 +412,43 @@ mod tests {
         let small = candidate_lattice(&scop, &machine, 2);
         assert_eq!(small.len(), 2);
         assert_eq!(small[0].name, "pluto");
+    }
+
+    #[test]
+    fn second_exploration_is_served_from_the_learned_store() {
+        let scop = polytops_workloads::jacobi_1d();
+        let machine = MachineModel::default();
+        let budget = TuneBudget {
+            max_candidates: 6,
+            threads: 2,
+            ..TuneBudget::default()
+        };
+        let registry = ScopRegistry::new(4);
+        let (entry, _) = registry.resolve(&scop.name, &scop);
+        let cold = explore_entry(&entry, &machine, &budget).unwrap();
+        assert!(!cold.learned);
+        assert_eq!(cold.explored_scenarios, 6);
+        assert_eq!(entry.learned_count(), 1);
+        let warm = explore_entry(&entry, &machine, &budget).unwrap();
+        assert!(warm.learned && warm.certified);
+        assert_eq!(warm.explored_scenarios, 0);
+        // The warm serve is byte-identical to the cold winner.
+        assert_eq!(warm.winner.name, cold.winner.name);
+        assert_eq!(warm.winner.schedule, cold.winner.schedule);
+        assert_eq!(warm.score, cold.score);
+        assert_eq!(warm.features, cold.features);
+        assert_eq!(
+            warm.candidates,
+            vec![(cold.winner.name.clone(), Some(cold.score))]
+        );
+        // A different budget is a different key: cold again.
+        let other = TuneBudget {
+            max_candidates: 4,
+            ..budget.clone()
+        };
+        let again = explore_entry(&entry, &machine, &other).unwrap();
+        assert!(!again.learned);
+        assert_eq!(entry.learned_count(), 2);
     }
 
     #[test]

@@ -2,13 +2,14 @@
 //! proptest shim): for arbitrary admission sequences over the
 //! reference kernels — with arbitrary Farkas-cache layouts resident —
 //! snapshot → restore → snapshot round-trips the registry *exactly*:
-//! canonical SCoP text, LRU order, fingerprints, and layout sets.
+//! canonical SCoP text, LRU order, fingerprints, layout sets, and
+//! learned tuning winners.
 //!
 //! This is the invariant the `polytopsd` persistence layer is built
 //! on: what a snapshot captures is sufficient to rebuild a registry
 //! that is indistinguishable from the one that wrote it.
 
-use polytops_core::registry::{fingerprint, CacheLayout, ScopRegistry};
+use polytops_core::registry::{fingerprint, CacheLayout, LearnedConfig, ScopRegistry};
 use polytops_workloads::all_kernels;
 use proptest::prelude::*;
 
@@ -28,17 +29,24 @@ proptest! {
 
     #[test]
     fn snapshot_restore_snapshot_is_identity(
-        admissions in collection::vec((0usize..7, 0usize..4), 1..10),
+        admissions in collection::vec((0usize..7, 0usize..4, 0i64..3), 1..10),
         capacity in 2usize..5,
     ) {
         let kernels = all_kernels();
         let registry = ScopRegistry::new(capacity);
-        for &(k, l) in &admissions {
+        for &(k, l, w) in &admissions {
             let (name, scop) = &kernels[k % kernels.len()];
             let (entry, _) = registry.resolve(name, scop);
             // Materialize a Farkas cache under this layout, as a
             // scheduling run with the matching config would.
             entry.prewarm_layout(&layout(l)).expect("prewarm");
+            // Remember a tuning winner under a per-variant key, as an
+            // autotune exploration would; re-learning an identical
+            // winner must be a no-op, a changed one an overwrite.
+            entry.learn(&format!("key{w}"), LearnedConfig {
+                winner: format!("pluto/tile{}", 16 << w),
+                score: -1000 - w,
+            });
         }
 
         let snap_a = registry.snapshot();
@@ -50,6 +58,10 @@ proptest! {
         prop_assert_eq!(
             report.layouts,
             snap_a.entries.iter().map(|e| e.layouts.len()).sum::<usize>()
+        );
+        prop_assert_eq!(
+            report.learned,
+            snap_a.entries.iter().map(|e| e.learned.len()).sum::<usize>()
         );
 
         // The round-trip: canonical text, LRU order and layout sets are

@@ -13,26 +13,36 @@
 //!    [`ScheduleFeatures`] vector:
 //!    outermost parallelism, per-dependence reuse distances (iterations
 //!    between a value's definition and its reuse under the schedule),
-//!    tile footprints, vectorizable statements and estimated dynamic
-//!    work.
+//!    memory-stream strides against the innermost executed loop, tile
+//!    footprints, vectorizable statements and estimated dynamic work.
 //! 2. [`estimate_cycles`] folds a feature vector with a
 //!    [`MachineModel`] into an estimated cycle count; [`model_score`]
 //!    negates it into the "higher is better" orientation the scenario
 //!    engine's `winner_by` expects.
 //!
+//! # Extents and strides
+//!
+//! Trip counts are *inferred from the statement domains*: every
+//! parameter is fixed at `param_estimate` and the exact integer min/max
+//! of each schedule row over the domain is computed with the ILP solver
+//! ([`iterator_extents`]), so a loop `for i in 1..N-1` contributes
+//! `N - 2` iterations, not a uniform guess. Memory streams are priced
+//! by their *linearized element stride* against the innermost executed
+//! loop ([`access_stride`] / [`stream_stride`]): a transposed access
+//! like `A[j][i]` stepped by `j` pays a full row length per iteration
+//! instead of riding cache-line amortization.
+//!
 //! # Determinism
 //!
 //! Everything here is exact integer arithmetic (saturating `i128`
-//! intermediates clamped into `i64`): the same schedule and machine
-//! always produce bit-identical features and scores, on any thread
-//! count — the property the autotuner's winner selection is built on.
-//! Iteration counts are *estimates* (every parametric loop is assumed
-//! to run [`extract_features`]'s `param_estimate` iterations), which is
-//! all a static model needs to rank transformations of one kernel
-//! against each other.
+//! intermediates clamped into `i64`, exact branch-and-bound ILP for the
+//! extents): the same schedule and machine always produce bit-identical
+//! features and scores, on any thread count — the property the
+//! autotuner's winner selection is built on.
 
 use polytops_deps::{strongly_satisfies, Dependence};
-use polytops_ir::{MarkKind, Schedule, Scop, StmtId, TreeNode};
+use polytops_ir::{Access, AffineExpr, MarkKind, Schedule, Scop, Statement, StmtId, TreeNode};
+use polytops_math::{ilp_minimize, IlpOutcome};
 
 use crate::MachineModel;
 
@@ -122,12 +132,181 @@ fn ceil_div(a: i128, b: i128) -> i128 {
     (a + b - 1) / b
 }
 
+/// Largest parameter estimate the extent ILP is asked to reason about.
+/// Beyond it (a stress-test regime, not a tuning one) extent inference
+/// falls back to the estimate itself so solver arithmetic stays in
+/// range; every result is still exact saturating integer math.
+const EXTENT_ILP_CAP: i64 = 1 << 20;
+
+/// Exact extent (`max − min + 1`, at least 1) of an affine expression
+/// over a statement's domain with every parameter fixed at
+/// `param_estimate`, by integer min/max ILP. `None` when the domain is
+/// empty/unbounded under that fixing or the estimate exceeds
+/// [`EXTENT_ILP_CAP`].
+fn expr_extent(
+    stmt: &Statement,
+    nparams: usize,
+    expr: &AffineExpr,
+    param_estimate: i64,
+) -> Option<i64> {
+    if param_estimate > EXTENT_ILP_CAP {
+        return None;
+    }
+    let depth = stmt.depth();
+    let mut sys = stmt.domain.clone();
+    let nv = sys.num_vars();
+    for j in 0..nparams {
+        let mut row = vec![0i64; nv + 1];
+        row[depth + j] = 1;
+        row[nv] = -param_estimate;
+        sys.add_eq(row);
+    }
+    let mut obj = vec![0i64; nv];
+    obj[..depth].copy_from_slice(expr.iter_coeffs());
+    obj[depth..depth + nparams.min(expr.nparams())]
+        .copy_from_slice(&expr.param_coeffs()[..nparams.min(expr.nparams())]);
+    let lo = match ilp_minimize(&sys, &obj) {
+        IlpOutcome::Optimal { value, .. } => value,
+        _ => return None,
+    };
+    for v in obj.iter_mut() {
+        *v = -*v;
+    }
+    let hi = match ilp_minimize(&sys, &obj) {
+        IlpOutcome::Optimal { value, .. } => -value,
+        _ => return None,
+    };
+    Some((hi - lo + 1).max(1))
+}
+
+/// Per-iterator extents of a statement's domain with every parameter
+/// fixed at `param_estimate`: entry `k` is the exact number of distinct
+/// values iterator `k` takes (`max − min + 1` over the domain), the
+/// trip count of the corresponding source loop. Falls back to
+/// `param_estimate` per iterator when the ILP cannot bound the domain.
+pub fn iterator_extents(stmt: &Statement, nparams: usize, param_estimate: i64) -> Vec<i64> {
+    let est = param_estimate.max(2);
+    let depth = stmt.depth();
+    (0..depth)
+        .map(|k| {
+            let expr = AffineExpr::iter(depth, nparams, k);
+            expr_extent(stmt, nparams, &expr, est).unwrap_or(est)
+        })
+        .collect()
+}
+
+/// Evaluates an array-dimension expression (affine in the parameters)
+/// with every parameter fixed at `est`, saturating, clamped to ≥ 1.
+fn eval_dim(expr: &AffineExpr, est: i64) -> i128 {
+    let mut v = i128::from(expr.constant_term());
+    // Array dims carry no iterators by construction; treat any stray
+    // iterator coefficient like a parameter, conservatively.
+    for &c in expr.param_coeffs().iter().chain(expr.iter_coeffs()) {
+        v = (v + i128::from(c) * i128::from(est)).min(CLAMP);
+    }
+    v.clamp(1, CLAMP)
+}
+
+/// Linearized element stride of `access` per unit step of iterator
+/// `iter`, with array extents evaluated at `param_estimate`: the sum
+/// over subscripts of the iterator's coefficient times the row-major
+/// size of the inner array dimensions. `Some(0)` means the access does
+/// not move with the iterator (temporal reuse); `±1` is a contiguous
+/// stream; a transposed access like `A[j][i]` stepped by `j` yields the
+/// row length. `None` when a non-affine (`⌊·/k⌋` / `mod`) subscript
+/// involves the iterator — the stride is not a constant.
+pub fn access_stride(
+    scop: &Scop,
+    stmt: &Statement,
+    access: &Access,
+    iter: usize,
+    param_estimate: i64,
+) -> Option<i64> {
+    let est = param_estimate.clamp(2, EXTENT_ILP_CAP);
+    let info = scop.array(access.array);
+    let _ = stmt; // the access's iterator space is the statement's
+    let mut stride: i128 = 0;
+    let mut inner: i128 = 1;
+    for (k, sub) in access.subscripts.iter().enumerate().rev() {
+        let c = sub.expr().iter_coeffs().get(iter).copied().unwrap_or(0);
+        if c != 0 {
+            if !sub.is_affine() {
+                return None;
+            }
+            stride = (stride + i128::from(c) * inner).clamp(-CLAMP, CLAMP);
+        }
+        let dim = info.dims.get(k).map_or(1, |e| eval_dim(e, est));
+        inner = (inner * dim).min(CLAMP);
+    }
+    Some(clamp(stride))
+}
+
+/// The innermost *executed* scheduling dimension of statement `s`: the
+/// last flat dimension with a non-constant row — or, when that
+/// dimension sits in a tiled band, the source dimension of the
+/// innermost point-band member (post-processing may rotate a coincident
+/// member innermost).
+fn innermost_executed_dim(sched: &Schedule, facts: &[TileFact], s: StmtId) -> Option<usize> {
+    let ss = sched.stmt(s);
+    let flat = (0..sched.dims()).rev().find(|&d| !ss.row_is_constant(d))?;
+    for f in facts {
+        if f.point_dims.contains(&flat) {
+            // Innermost executed member of the nest whose rows move `s`.
+            return f
+                .point_dims
+                .iter()
+                .rev()
+                .find(|&&d| !ss.row_is_constant(d))
+                .copied()
+                .or(Some(flat));
+        }
+    }
+    Some(flat)
+}
+
+/// Element stride of `access` against the innermost executed loop of
+/// statement `s` under `sched`: the stepping iterator is read off the
+/// innermost executed row (the row's single source iterator in the
+/// common unit-row case; the largest-coefficient iterator as a
+/// documented approximation for skewed rows), and the stride is
+/// [`access_stride`] for that iterator. `None` when the stride is not a
+/// constant (non-affine subscripts) or the statement has no loops.
+pub fn stream_stride(
+    scop: &Scop,
+    sched: &Schedule,
+    s: StmtId,
+    access: &Access,
+    param_estimate: i64,
+) -> Option<i64> {
+    let facts: Vec<TileFact> = match sched.tree() {
+        Some(tree) => {
+            let mut v = Vec::new();
+            collect_tile_facts(&tree.root, &mut v);
+            v
+        }
+        None => Vec::new(),
+    };
+    let d = innermost_executed_dim(sched, &facts, s)?;
+    let row = sched.stmt(s).row_expr(d);
+    // The iterator that advances when the innermost loop steps: the
+    // largest-|coefficient| one, ties toward the innermost source
+    // iterator.
+    let iter = row
+        .iter_coeffs()
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c != 0)
+        .max_by_key(|&(k, &c)| (c.abs(), k))
+        .map(|(k, _)| k)?;
+    access_stride(scop, scop.stmt(s), access, iter, param_estimate)
+}
+
 /// The machine-independent feature vector of one scheduled SCoP.
 ///
 /// Produced by [`extract_features`]; consumed by [`estimate_cycles`].
-/// All counts are estimates under the uniform trip-count assumption
-/// (see the module docs) and are exact integers, so feature vectors are
-/// bit-reproducible.
+/// All counts are estimates with every parameter fixed at the
+/// extraction's `param_estimate` (see the module docs) and are exact
+/// integers, so feature vectors are bit-reproducible.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScheduleFeatures {
     /// Scheduling dimensions (including constant splitting levels).
@@ -146,16 +325,23 @@ pub struct ScheduleFeatures {
     /// Statements with a dimension marked for vectorization.
     pub vectorized_stmts: usize,
     /// Estimated dynamic arithmetic operations: Σ per statement of
-    /// `compute_ops × param_estimate^depth`.
+    /// `compute_ops × ∏ inferred iterator extents`.
     pub total_ops: i64,
-    /// Estimated dynamic statement instances: Σ `param_estimate^depth`.
+    /// Estimated dynamic statement instances: Σ ∏ inferred extents.
     pub total_instances: i64,
     /// Whether post-processing recorded any tiled band.
     pub tiled: bool,
     /// Estimated bytes a tile touches (first tiled band: distinct
     /// arrays × element size × ∏ tile sizes) — or, untiled, the whole
-    /// working set (Σ arrays element size × ∏ estimated extents).
+    /// working set (Σ arrays element size × ∏ declared extents at the
+    /// parameter estimate).
     pub footprint_bytes: i64,
+    /// Per scheduling dimension: the inferred trip count — the exact
+    /// max − min + 1 of the dimension's rows over the statement domains
+    /// with parameters fixed at the estimate (max across statements),
+    /// capped at the tile size for tiled point loops, 1 for constant
+    /// splitting levels.
+    pub trip_counts: Vec<i64>,
     /// Per dependence: estimated iterations executed between the source
     /// access and its dependent reuse — the schedule-induced reuse
     /// distance. A dependence carried at dimension `c` waits for one
@@ -163,6 +349,13 @@ pub struct ScheduleFeatures {
     /// tiling caps those inner trip counts at the tile sizes, which is
     /// exactly how it improves locality in this model.
     pub reuse_distances: Vec<i64>,
+    /// Per dependence: the absolute element stride of the destination
+    /// statement's accesses to the dependence's array against its
+    /// innermost executed loop (worst across those accesses): 0 is
+    /// loop-invariant, 1 a contiguous stream, the row length a
+    /// transposed walk; `-1` when no constant stride exists (non-affine
+    /// subscripts).
+    pub stream_strides: Vec<i64>,
     /// Dominant (maximum) element size of the SCoP's arrays, bytes.
     pub element_size: u32,
     /// Synchronization events: iterations of the sequential *executed*
@@ -178,21 +371,13 @@ fn is_loop_dim(sched: &Schedule, d: usize) -> bool {
     (0..sched.num_statements()).any(|s| !sched.stmt(StmtId(s)).row_is_constant(d))
 }
 
-/// `base^exp` saturating into the model clamp.
-fn pow_est(base: i64, exp: usize) -> i128 {
-    let mut acc: i128 = 1;
-    for _ in 0..exp {
-        acc = (acc * i128::from(base.max(1))).min(CLAMP);
-    }
-    acc
-}
-
 /// Extracts the feature vector of `sched` over `scop`.
 ///
 /// `deps` must be the dependence analysis of `scop` (the reuse features
-/// walk it); `param_estimate` is the assumed trip count of every
-/// parametric loop (the scheduler's configs carry the same knob as
-/// `parameter_estimate`, default 64).
+/// walk it); `param_estimate` is the value every symbolic parameter is
+/// fixed at while inferring loop extents from the statement domains
+/// (the scheduler's configs carry the same knob as `parameter_estimate`,
+/// default 64).
 ///
 /// # Panics
 ///
@@ -211,6 +396,7 @@ pub fn extract_features(
     );
     let dims = sched.dims();
     let est = param_estimate.max(2);
+    let np = scop.nparams();
 
     // Tiling and vectorization facts live on the schedule tree; a
     // schedule that never went through post-processing has no tree and
@@ -224,11 +410,52 @@ pub fn extract_features(
         None => Vec::new(),
     };
 
-    // Per-dimension trip estimates: parametric for loop dims, 1 for
-    // constant levels, capped at the tile size for tiled point loops.
-    let mut trips: Vec<i64> = (0..dims)
-        .map(|d| if is_loop_dim(sched, d) { est } else { 1 })
+    // Exact per-iterator extents of every statement domain (params
+    // fixed at the estimate): the basis of every trip-count product.
+    let extents: Vec<Vec<i64>> = scop
+        .statements
+        .iter()
+        .map(|s| iterator_extents(s, np, est))
         .collect();
+
+    // Per-dimension trip counts, inferred from the domains: the extent
+    // of the dimension's row over each statement's domain (a unit row
+    // reuses the iterator extent; a skewed row gets its own exact
+    // min/max), max across statements; 1 for constant levels.
+    let raw_trips: Vec<i64> = (0..dims)
+        .map(|d| {
+            let mut trip = 1i64;
+            for (idx, s) in scop.statements.iter().enumerate() {
+                let ss = sched.stmt(StmtId(idx));
+                if ss.row_is_constant(d) {
+                    continue;
+                }
+                let row = ss.row_expr(d);
+                let unit = {
+                    let nz: Vec<(usize, i64)> = row
+                        .iter_coeffs()
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &c)| c != 0)
+                        .map(|(k, &c)| (k, c))
+                        .collect();
+                    match nz.as_slice() {
+                        [(k, c)] if c.abs() == 1 => Some(*k),
+                        _ => None,
+                    }
+                };
+                let e = match unit {
+                    Some(k) => extents[idx][k],
+                    None => expr_extent(s, np, &row, est).unwrap_or(est),
+                };
+                trip = trip.max(e);
+            }
+            trip
+        })
+        .collect();
+
+    // Tile caps: a tiled point loop runs at most its tile size.
+    let mut trips = raw_trips.clone();
     for f in &facts {
         for (&d, &size) in f.point_dims.iter().zip(&f.sizes) {
             trips[d] = trips[d].min(size.max(1));
@@ -248,18 +475,22 @@ pub fn extract_features(
     }
 
     // The *executed* loop sequence, outermost first: a tiled band runs
-    // its tile loops (trip ≈ est / size, parallelism from the stricter
-    // tile-member coincidence flags) before its point loops, so outer
-    // parallelism and barrier counts must both be read off this
-    // sequence, not off the scheduling dimensions alone. Constant
+    // its tile loops (trip = ⌈extent / size⌉, parallelism from the
+    // stricter tile-member coincidence flags) before its point loops,
+    // so outer parallelism and barrier counts must both be read off
+    // this sequence, not off the scheduling dimensions alone. Constant
     // (splitting) levels contribute trip-1 sequential entries, harmless
     // in every product.
     let mut executed: Vec<(bool, i64)> = Vec::with_capacity(2 * dims);
     let mut d = 0;
     while d < dims {
         if let Some(f) = fact_at[d] {
-            for (k, &size) in f.sizes.iter().enumerate() {
-                let tile_trip = clamp(ceil_div(i128::from(est), i128::from(size.max(1)))).max(1);
+            for (k, (&p, &size)) in f.point_dims.iter().zip(&f.sizes).enumerate() {
+                let tile_trip = clamp(ceil_div(
+                    i128::from(raw_trips[p].max(1)),
+                    i128::from(size.max(1)),
+                ))
+                .max(1);
                 executed.push((f.tile_parallel[k], tile_trip));
             }
             for (k, &p) in f.point_dims.iter().enumerate() {
@@ -299,10 +530,14 @@ pub fn extract_features(
         marked.len()
     };
 
+    // Dynamic work: the product of each statement's own inferred
+    // iterator extents — schedule-independent, domain-exact.
     let mut total_ops: i128 = 0;
     let mut total_instances: i128 = 0;
-    for s in &scop.statements {
-        let inst = pow_est(est, s.depth());
+    for (idx, s) in scop.statements.iter().enumerate() {
+        let inst = extents[idx]
+            .iter()
+            .fold(1i128, |acc, &e| (acc * i128::from(e.max(1))).min(CLAMP));
         total_instances = (total_instances + inst).min(CLAMP);
         total_ops = (total_ops + inst * i128::from(s.compute_ops.max(1))).min(CLAMP);
     }
@@ -322,10 +557,14 @@ pub fn extract_features(
             .fold(1i128, |acc, &s| (acc * i128::from(s.max(1))).min(CLAMP));
         clamp(i128::from(scop.arrays.len().max(1) as i64) * i128::from(element_size) * tile_iters)
     } else {
+        // Untiled working set: each array's declared extents evaluated
+        // at the parameter estimate.
         let mut bytes: i128 = 0;
         for a in &scop.arrays {
-            bytes =
-                (bytes + i128::from(a.element_size.max(1)) * pow_est(est, a.dims.len())).min(CLAMP);
+            let cells = a.dims.iter().fold(1i128, |acc, e| {
+                (acc * eval_dim(e, est.min(EXTENT_ILP_CAP))).min(CLAMP)
+            });
+            bytes = (bytes + i128::from(a.element_size.max(1)) * cells).min(CLAMP);
         }
         clamp(bytes)
     };
@@ -348,6 +587,25 @@ pub fn extract_features(
                 .map(|d| i128::from(trips[d]))
                 .fold(1, |acc, t| (acc * t).min(CLAMP));
             clamp(inner)
+        })
+        .collect();
+
+    // Stream stride per dependence: the worst (largest-|stride|)
+    // constant stride among the destination statement's accesses to the
+    // dependence's array, against its innermost executed loop; -1 when
+    // any of those accesses has no constant stride.
+    let stream_strides: Vec<i64> = deps
+        .iter()
+        .map(|dep| {
+            let stmt = scop.stmt(dep.dst);
+            let mut worst: i64 = 0;
+            for acc in stmt.accesses.iter().filter(|a| a.array == dep.array) {
+                match stream_stride(scop, sched, dep.dst, acc, est) {
+                    Some(s) => worst = worst.max(s.saturating_abs()),
+                    None => return -1,
+                }
+            }
+            worst
         })
         .collect();
 
@@ -378,7 +636,9 @@ pub fn extract_features(
         total_instances: clamp(total_instances),
         tiled,
         footprint_bytes,
+        trip_counts: trips,
         reuse_distances,
+        stream_strides,
         element_size,
         sync_events,
     }
@@ -393,16 +653,21 @@ pub fn extract_features(
 ///           divided by the SIMD lane count
 /// compute /= num_cores          when any dimension is parallel
 /// sync    = sync_events × sync_cycles
-/// memory  = spilled_streams × total_instances × miss_penalty_cycles
-///                             / elements_per_line
+/// memory  = Σ over spilled streams of
+///           stride_factor × total_instances × miss_penalty_cycles
+///                         / elements_per_line
 /// cycles  = compute + sync + memory
 /// ```
 ///
 /// A dependence *spills* when its reuse distance times the element size
 /// exceeds the cache capacity (the value is evicted before its reuse);
 /// an overflowing tile (`footprint_bytes > cache_bytes` while tiled)
-/// counts as one more spilled stream. Misses are amortized over a cache
-/// line (unit-stride streaming assumption).
+/// counts as one more spilled unit-stride stream. `stride_factor` is
+/// the stream's element stride clamped into `[1, elements_per_line]`:
+/// a unit-stride stream amortizes its misses over a cache line exactly
+/// as before, while a transposed or unknown-stride stream
+/// (`stream_strides[e]` at least the line, or `-1`) pays the full miss
+/// penalty per instance.
 ///
 /// The result is strictly positive, finite, and — for a fixed feature
 /// vector — **monotonically non-increasing in
@@ -425,18 +690,24 @@ pub fn estimate_cycles(machine: &MachineModel, f: &ScheduleFeatures) -> i64 {
     let sync = i128::from(f.sync_events) * i128::from(machine.sync_cycles);
 
     let cache = i128::from(machine.cache_bytes.max(1));
-    let mut spilled = f
-        .reuse_distances
-        .iter()
-        .filter(|&&r| i128::from(r) * i128::from(f.element_size) > cache)
-        .count() as i128;
-    if f.tiled && i128::from(f.footprint_bytes) > cache {
-        spilled += 1;
-    }
     let line = i128::from(machine.elements_per_line(f.element_size).max(1));
-    let memory =
-        spilled * i128::from(f.total_instances.max(1)) * i128::from(machine.miss_penalty_cycles)
-            / line;
+    let miss_unit = i128::from(f.total_instances.max(1)) * i128::from(machine.miss_penalty_cycles);
+    let mut memory: i128 = 0;
+    for (e, &r) in f.reuse_distances.iter().enumerate() {
+        if i128::from(r) * i128::from(f.element_size) <= cache {
+            continue;
+        }
+        let stride = f.stream_strides.get(e).copied().unwrap_or(1);
+        let factor = if stride < 0 {
+            line // unknown stride: assume every instance misses
+        } else {
+            i128::from(stride).clamp(1, line)
+        };
+        memory = (memory + miss_unit * factor / line).min(CLAMP);
+    }
+    if f.tiled && i128::from(f.footprint_bytes) > cache {
+        memory = (memory + miss_unit / line).min(CLAMP);
+    }
 
     clamp((compute + sync + memory).max(1))
 }
@@ -531,6 +802,35 @@ mod tests {
     }
 
     #[test]
+    fn extents_are_inferred_from_the_domain() {
+        let scop = stencil();
+        // t in [0, T-1] runs est times; i in [1, N-2] runs est-2 times.
+        let ext = iterator_extents(&scop.statements[0], scop.nparams(), 64);
+        assert_eq!(ext, vec![64, 62]);
+
+        let deps = polytops_deps::analyze(&scop);
+        let f = extract_features(&scop, &identity_schedule(None), &deps, 64);
+        assert_eq!(f.trip_counts, vec![64, 62]);
+        assert_eq!(f.total_instances, 64 * 62, "instances use real bounds");
+    }
+
+    #[test]
+    fn strides_follow_the_innermost_executed_loop() {
+        let scop = stencil();
+        let sched = identity_schedule(None);
+        let stmt = &scop.statements[0];
+        // Every access of A[i±k] is stride 1 in i, stride 0 in t.
+        for acc in &stmt.accesses {
+            assert_eq!(access_stride(&scop, stmt, acc, 1, 64), Some(1));
+            assert_eq!(access_stride(&scop, stmt, acc, 0, 64), Some(0));
+            assert_eq!(stream_stride(&scop, &sched, StmtId(0), acc, 64), Some(1));
+        }
+        let deps = polytops_deps::analyze(&scop);
+        let f = extract_features(&scop, &sched, &deps, 64);
+        assert!(f.stream_strides.iter().all(|&s| s == 1), "{f:?}");
+    }
+
+    #[test]
     fn tiled_stencil_has_bounded_footprint_and_reuse() {
         let scop = stencil();
         let deps = polytops_deps::analyze(&scop);
@@ -543,9 +843,10 @@ mod tests {
         // one 16×16 tile of it, independent of the parameter estimate.
         assert_eq!(tiled.footprint_bytes, 8 * 16 * 16);
         assert!(plain.footprint_bytes > tiled.footprint_bytes);
-        // Time-carried reuse waits a full row sweep untiled (1024
-        // iterations) but at most a tile row (16) tiled.
-        assert_eq!(plain.reuse_distances.iter().max(), Some(&1024));
+        // Time-carried reuse waits a full row sweep untiled (the i
+        // loop's inferred 1022 iterations) but at most a tile row (16)
+        // tiled.
+        assert_eq!(plain.reuse_distances.iter().max(), Some(&1022));
         assert!(tiled.reuse_distances.iter().all(|&r| r <= 16));
 
         // On a machine whose cache holds a tile but not a row sweep,
@@ -620,6 +921,61 @@ mod tests {
         assert_eq!(vec.vectorized_stmts, 1);
         let m = MachineModel::default();
         assert!(estimate_cycles(&m, &vec) < estimate_cycles(&m, &base));
+    }
+
+    #[test]
+    fn transposed_streams_pay_full_misses() {
+        // for i for j: B[j][i] = A[i][j]; under the identity schedule
+        // the B walk is a column sweep — stride N — while A streams.
+        let mut b = ScopBuilder::new("transpose");
+        let n = b.param("N");
+        let a = b.array("A", &[n.clone(), n.clone()], 8);
+        let bb = b.array("B", &[n.clone(), n.clone()], 8);
+        b.open_loop("i", Aff::val(0), n.clone() - 1);
+        b.open_loop("j", Aff::val(0), n - 1);
+        b.stmt("S0")
+            .read(a, &[Aff::var("i"), Aff::var("j")])
+            .write(bb, &[Aff::var("j"), Aff::var("i")])
+            .add(&mut b);
+        b.close_loop();
+        b.close_loop();
+        let scop = b.build().unwrap();
+        let stmt = &scop.statements[0];
+        let read = &stmt.accesses[0];
+        let write = stmt.accesses.iter().find(|a| a.array.0 == 1).unwrap();
+        // Stepping j: A[i][j] is contiguous, B[j][i] jumps a whole row.
+        assert_eq!(access_stride(&scop, stmt, read, 1, 64), Some(1));
+        assert_eq!(access_stride(&scop, stmt, write, 1, 64), Some(64));
+
+        // A spilled transposed stream must cost more than a contiguous
+        // one at equal reuse.
+        let m = MachineModel::default();
+        let mk = |stride: i64| ScheduleFeatures {
+            dims: 2,
+            num_stmts: 1,
+            outer_parallel: false,
+            parallel_dims: 0,
+            max_band_width: 2,
+            vectorized_stmts: 0,
+            total_ops: 1 << 20,
+            total_instances: 1 << 20,
+            tiled: false,
+            footprint_bytes: 1 << 24,
+            trip_counts: vec![1 << 10, 1 << 10],
+            reuse_distances: vec![i64::MAX / 16],
+            stream_strides: vec![stride],
+            element_size: 8,
+            sync_events: 0,
+        };
+        assert!(
+            estimate_cycles(&m, &mk(4096)) > estimate_cycles(&m, &mk(1)),
+            "a transposed spill must out-cost a contiguous one"
+        );
+        assert_eq!(
+            estimate_cycles(&m, &mk(-1)),
+            estimate_cycles(&m, &mk(i64::MAX / 4)),
+            "unknown stride is priced as line-breaking"
+        );
     }
 
     #[test]

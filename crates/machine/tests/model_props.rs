@@ -1,9 +1,15 @@
 //! Property tests for the static performance model (vendored proptest
-//! shim): scores stay finite under arbitrary feature vectors, and for
-//! parallel schedules the estimated cycle count is monotonically
-//! non-increasing in the machine's core count.
+//! shim): scores stay finite under arbitrary feature vectors, estimated
+//! cycles are monotonically non-increasing in the machine's core count
+//! for parallel schedules (with the stride-aware memory term in play),
+//! transposed accesses extract the row length — not 1 — as their
+//! stride, and the inferred per-iterator extents agree with exhaustive
+//! domain enumeration on every reference kernel.
 
-use polytops_machine::model::{estimate_cycles, model_score, ScheduleFeatures};
+use polytops_ir::{Aff, ScopBuilder, StmtId};
+use polytops_machine::model::{
+    access_stride, estimate_cycles, iterator_extents, model_score, ScheduleFeatures,
+};
 use polytops_machine::MachineModel;
 use proptest::prelude::*;
 
@@ -17,6 +23,7 @@ fn features(
     num_stmts: usize,
     total_ops: i64,
     reuse: Vec<i64>,
+    strides: Vec<i64>,
     footprint_bytes: i64,
     sync_events: i64,
 ) -> ScheduleFeatures {
@@ -31,10 +38,29 @@ fn features(
         total_instances: total_ops,
         tiled: footprint_bytes > 0,
         footprint_bytes,
+        trip_counts: vec![1, total_ops.clamp(1, 1 << 20), 1],
         reuse_distances: reuse,
+        stream_strides: strides,
         element_size: 8,
         sync_events,
     }
+}
+
+/// The transposed-walk fixture: `A[j][i]` (and a straight `B[i][j]`)
+/// inside `for i in 0..rows, j in 0..cols` over `A[rows][cols]`.
+fn transposed(rows: i64, cols: i64) -> polytops_ir::Scop {
+    let mut b = ScopBuilder::new("transposed");
+    let a = b.array("A", &[Aff::val(rows), Aff::val(cols)], 8);
+    let bb = b.array("B", &[Aff::val(rows), Aff::val(cols)], 8);
+    b.open_loop("i", Aff::val(0), Aff::val(rows - 1));
+    b.open_loop("j", Aff::val(0), Aff::val(cols - 1));
+    b.stmt("S0")
+        .read(a, &[Aff::var("j"), Aff::var("i")])
+        .write(bb, &[Aff::var("i"), Aff::var("j")])
+        .add(&mut b);
+    b.close_loop();
+    b.close_loop();
+    b.build().unwrap()
 }
 
 proptest! {
@@ -44,11 +70,12 @@ proptest! {
     fn scores_are_finite_and_negative_cycles(
         (ops, sync) in (1i64..=i64::MAX / 16, 0i64..=1 << 40),
         reuse in collection::vec(0i64..=i64::MAX / 16, 0..6),
+        strides in collection::vec(-1i64..=i64::MAX / 16, 0..6),
         footprint in 0i64..=i64::MAX / 16,
         (outer, pdims, vstmts) in (0u8..=1, 0usize..=3, 0usize..=4),
         cores in 1u32..=1024,
     ) {
-        let f = features(outer == 1, pdims, vstmts, 4, ops, reuse, footprint, sync);
+        let f = features(outer == 1, pdims, vstmts, 4, ops, reuse, strides, footprint, sync);
         let machine = MachineModel { num_cores: cores, ..MachineModel::default() };
         let cycles = estimate_cycles(&machine, &f);
         prop_assert!(cycles > 0, "cycles must be positive, got {cycles}");
@@ -60,13 +87,14 @@ proptest! {
     fn parallel_schedules_are_monotone_in_num_cores(
         ops in 1i64..=1 << 50,
         reuse in collection::vec(0i64..=1 << 50, 0..6),
+        strides in collection::vec(-1i64..=1 << 20, 0..6),
         (footprint, sync) in (0i64..=1 << 50, 0i64..=1 << 20),
         (outer, extra_pdims, vstmts) in (0u8..=1, 0usize..=3, 0usize..=4),
         (lo, hi) in (1u32..=512, 1u32..=512),
     ) {
         // Ensure the schedule is parallel one way or the other.
         let pdims = if outer == 1 { extra_pdims } else { extra_pdims + 1 };
-        let f = features(outer == 1, pdims, vstmts, 4, ops, reuse, footprint, sync);
+        let f = features(outer == 1, pdims, vstmts, 4, ops, reuse, strides, footprint, sync);
         let (lo, hi) = (lo.min(hi), lo.max(hi));
         let few = MachineModel { num_cores: lo, ..MachineModel::default() };
         let many = MachineModel { num_cores: hi, ..MachineModel::default() };
@@ -74,5 +102,58 @@ proptest! {
             estimate_cycles(&many, &f) <= estimate_cycles(&few, &f),
             "more cores must never slow a parallel schedule: {lo} -> {hi} cores"
         );
+    }
+
+    #[test]
+    fn transposed_access_stride_is_the_row_length(
+        rows in 2i64..=128,
+        cols in 2i64..=128,
+    ) {
+        let scop = transposed(rows, cols);
+        let stmt = &scop.statements[0];
+        let read = &stmt.accesses[0]; // A[j][i]
+        let write = &stmt.accesses[1]; // B[i][j]
+        // Stepping j in A[j][i] jumps a whole row of `cols` elements —
+        // the classic transposed walk the model must not mistake for a
+        // contiguous stream.
+        prop_assert_eq!(access_stride(&scop, stmt, read, 1, 64), Some(cols));
+        prop_assert_eq!(access_stride(&scop, stmt, read, 0, 64), Some(1));
+        // The straight walk is the mirror image.
+        prop_assert_eq!(access_stride(&scop, stmt, write, 1, 64), Some(1));
+        prop_assert_eq!(access_stride(&scop, stmt, write, 0, 64), Some(cols));
+    }
+}
+
+proptest! {
+    // Enumeration is exhaustive, so a handful of parameter values
+    // already sweeps every kernel × statement × iterator combination.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn inferred_extents_match_the_enumeration_oracle(est in 4i64..=8) {
+        let mut kernels = polytops_workloads::all_kernels();
+        kernels.push(("long_chain_12", polytops_workloads::synthetic::long_chain(12)));
+        for (name, scop) in &kernels {
+            let params = vec![est; scop.nparams()];
+            for (s, stmt) in scop.statements.iter().enumerate() {
+                let extents = iterator_extents(stmt, scop.nparams(), est);
+                prop_assert_eq!(extents.len(), stmt.depth());
+                let points = scop.enumerate_domain(StmtId(s), &params);
+                if points.is_empty() {
+                    continue;
+                }
+                for k in 0..stmt.depth() {
+                    let lo = points.iter().map(|p| p[k]).min().unwrap();
+                    let hi = points.iter().map(|p| p[k]).max().unwrap();
+                    prop_assert!(
+                        extents[k] == hi - lo + 1,
+                        "{name}/{}: iterator {k} at estimate {est}: inferred {} vs oracle {}",
+                        stmt.name,
+                        extents[k],
+                        hi - lo + 1
+                    );
+                }
+            }
+        }
     }
 }

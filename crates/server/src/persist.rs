@@ -50,7 +50,7 @@
 //! missing `snapshot` falls back to `snapshot.prev` + both journals
 //! (replay idempotency makes the over-approximation harmless).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -58,7 +58,7 @@ use std::sync::Mutex;
 
 use polytops_core::json::{parse, Json};
 use polytops_core::registry::{
-    fingerprint, fnv1a, CacheLayout, RegistrySnapshot, ScopRegistry, SnapshotEntry,
+    fingerprint, fnv1a, CacheLayout, LearnedConfig, RegistrySnapshot, ScopRegistry, SnapshotEntry,
 };
 use polytops_ir::{parse_scop, print_scop, Scop};
 
@@ -81,6 +81,8 @@ pub struct LoadOutcome {
     pub replayed_events: usize,
     /// Malformed journal lines skipped (a torn tail counts as one).
     pub torn_events: usize,
+    /// Learned tuning winners restored (snapshot plus journal replay).
+    pub relearned_configs: usize,
 }
 
 /// Journal/rotation state behind the persister's lock.
@@ -96,6 +98,11 @@ struct PersistState {
     /// Per-fingerprint layouts already journaled or snapshotted, so the
     /// post-batch diff appends each `layout` event exactly once.
     known: HashMap<u64, BTreeSet<CacheLayout>>,
+    /// Per-fingerprint learned winners already journaled or
+    /// snapshotted, keyed by tuning key — the same diff discipline as
+    /// `known`, so each `learned` event is appended exactly once (and
+    /// again if a re-exploration changes the winner).
+    known_learned: HashMap<u64, BTreeMap<String, LearnedConfig>>,
 }
 
 /// The daemon's persistence engine: owns the snapshot directory, the
@@ -134,10 +141,13 @@ impl Persister {
         // Journal replay re-admitted the journal's own events; seed the
         // diff state from the registry so they are not re-appended.
         let mut known: HashMap<u64, BTreeSet<CacheLayout>> = HashMap::new();
+        let mut known_learned: HashMap<u64, BTreeMap<String, LearnedConfig>> = HashMap::new();
         for entry in &registry.snapshot().entries {
             let scop = parse_scop(&entry.scop_text)
                 .expect("snapshot of a live registry always round-trips");
-            known.insert(fingerprint(&scop), entry.layouts.iter().cloned().collect());
+            let fp = fingerprint(&scop);
+            known.insert(fp, entry.layouts.iter().cloned().collect());
+            known_learned.insert(fp, entry.learned.iter().cloned().collect());
         }
         let journal = OpenOptions::new()
             .create(true)
@@ -153,6 +163,7 @@ impl Persister {
                 events_total: 0,
                 rotations: 0,
                 known,
+                known_learned,
             }),
             loaded,
         })
@@ -171,6 +182,7 @@ impl Persister {
             prewarmed_layouts: self.loaded.prewarmed_layouts,
             recovered_from_prev: self.loaded.recovered_from_prev,
             replayed_events: self.loaded.replayed_events,
+            relearned_configs: self.loaded.relearned_configs,
             journal_events: state.events_total,
             rotations: state.rotations,
             dir: self.dir.display().to_string(),
@@ -216,6 +228,23 @@ impl Persister {
                 append(&mut state, &event);
             }
             state.known.insert(fp, resident);
+            let learned: BTreeMap<String, LearnedConfig> =
+                entry.learned_snapshot().into_iter().collect();
+            let seen = state.known_learned.get(&fp).cloned().unwrap_or_default();
+            for (key, config) in &learned {
+                if seen.get(key) == Some(config) {
+                    continue;
+                }
+                let event = Json::Object(std::collections::BTreeMap::from([
+                    ("event".to_string(), Json::Str("learned".to_string())),
+                    ("fp".to_string(), Json::Str(format!("{fp:016x}"))),
+                    ("key".to_string(), Json::Str(key.clone())),
+                    ("winner".to_string(), Json::Str(config.winner.clone())),
+                    ("score".to_string(), Json::Int(config.score)),
+                ]));
+                append(&mut state, &event);
+            }
+            state.known_learned.insert(fp, learned);
         }
         if state.events >= self.rotate_every {
             drop(state);
@@ -257,11 +286,16 @@ impl Persister {
         // Everything resident is now in the snapshot; reset the diff
         // baseline to match.
         state.known.clear();
+        state.known_learned.clear();
         for entry in &snap.entries {
             if let Ok(scop) = parse_scop(&entry.scop_text) {
+                let fp = fingerprint(&scop);
                 state
                     .known
-                    .insert(fingerprint(&scop), entry.layouts.iter().cloned().collect());
+                    .insert(fp, entry.layouts.iter().cloned().collect());
+                state
+                    .known_learned
+                    .insert(fp, entry.learned.iter().cloned().collect());
             }
         }
     }
@@ -292,6 +326,22 @@ fn snapshot_payload(snap: &RegistrySnapshot) -> String {
                     "layouts".to_string(),
                     Json::Array(entry.layouts.iter().map(layout_to_json).collect()),
                 ),
+                (
+                    "learned".to_string(),
+                    Json::Array(
+                        entry
+                            .learned
+                            .iter()
+                            .map(|(key, config)| {
+                                Json::Object(std::collections::BTreeMap::from([
+                                    ("key".to_string(), Json::Str(key.clone())),
+                                    ("winner".to_string(), Json::Str(config.winner.clone())),
+                                    ("score".to_string(), Json::Int(config.score)),
+                                ]))
+                            })
+                            .collect(),
+                    ),
+                ),
             ]))
         })
         .collect();
@@ -312,6 +362,17 @@ fn layout_to_json(layout: &CacheLayout) -> Json {
             Json::Array(vars.iter().map(|v| Json::Str(v.clone())).collect()),
         ),
     ]))
+}
+
+fn learned_from_json(json: &Json) -> Option<(String, LearnedConfig)> {
+    let obj = json.as_object()?;
+    Some((
+        obj.get("key")?.as_str()?.to_string(),
+        LearnedConfig {
+            winner: obj.get("winner")?.as_str()?.to_string(),
+            score: obj.get("score")?.as_int()?,
+        },
+    ))
 }
 
 fn layout_from_json(json: &Json) -> Option<CacheLayout> {
@@ -359,6 +420,16 @@ fn read_snapshot_file(path: &Path) -> Option<RegistrySnapshot> {
     let mut entries = Vec::new();
     for item in root.as_object()?.get("entries")?.as_array()? {
         let obj = item.as_object()?;
+        // Snapshots from before the learned store lack the key; treat
+        // them as having learned nothing rather than as corrupt.
+        let learned = match obj.get("learned") {
+            Some(list) => list
+                .as_array()?
+                .iter()
+                .map(learned_from_json)
+                .collect::<Option<Vec<(String, LearnedConfig)>>>()?,
+            None => Vec::new(),
+        };
         entries.push(SnapshotEntry {
             name: obj.get("name")?.as_str()?.to_string(),
             scop_text: obj.get("scop")?.as_str()?.to_string(),
@@ -368,47 +439,55 @@ fn read_snapshot_file(path: &Path) -> Option<RegistrySnapshot> {
                 .iter()
                 .map(layout_from_json)
                 .collect::<Option<Vec<CacheLayout>>>()?,
+            learned,
         });
     }
     Some(RegistrySnapshot { entries })
 }
 
-/// Replays one journal file into the registry. Returns
-/// `(events_applied, torn_lines, layouts_prewarmed)`; malformed lines
+/// What replaying one journal file applied:
+/// `(events_applied, torn_lines, layouts_prewarmed, configs_relearned)`.
+type ReplayCounts = (usize, usize, usize, usize);
+
+/// Replays one journal file into the registry. Malformed lines
 /// (the torn tail of a killed daemon, at most one per file) are
 /// skipped, and events that fail to apply (unparseable SCoP from a
 /// corrupted disk) are counted as torn rather than fatal.
-fn replay_journal(path: &Path, registry: &ScopRegistry) -> (usize, usize, usize) {
+fn replay_journal(path: &Path, registry: &ScopRegistry) -> ReplayCounts {
     let Ok(text) = fs::read_to_string(path) else {
-        return (0, 0, 0);
+        return (0, 0, 0, 0);
     };
-    let (mut applied, mut torn, mut layouts) = (0, 0, 0);
+    let (mut applied, mut torn, mut layouts, mut relearned) = (0, 0, 0, 0);
     for line in text.lines() {
         if line.trim().is_empty() {
             continue;
         }
         match parse(line).ok().and_then(|e| apply_event(&e, registry)) {
-            Some(prewarmed) => {
+            Some((prewarmed, learned)) => {
                 applied += 1;
                 layouts += usize::from(prewarmed);
+                relearned += usize::from(learned);
             }
             None => torn += 1,
         }
     }
-    (applied, torn, layouts)
+    (applied, torn, layouts, relearned)
 }
 
-/// Applies one journal event, returning whether it prewarmed a cache
-/// layout. Idempotent: `admit` rides the registry's dedupe, `layout`
-/// rides prewarm's replay-from-cache no-op.
-fn apply_event(event: &Json, registry: &ScopRegistry) -> Option<bool> {
+/// Applies one journal event, returning
+/// `(prewarmed_a_layout, relearned_a_config)`. Idempotent: `admit`
+/// rides the registry's dedupe, `layout` rides prewarm's
+/// replay-from-cache no-op, `learned` rides the learned map's
+/// last-write-wins insert (replaying the same event twice is the same
+/// write).
+fn apply_event(event: &Json, registry: &ScopRegistry) -> Option<(bool, bool)> {
     let obj = event.as_object()?;
     match obj.get("event")?.as_str()? {
         "admit" => {
             let name = obj.get("name")?.as_str()?;
             let scop = parse_scop(obj.get("scop")?.as_str()?).ok()?;
             registry.resolve(name, &scop);
-            Some(false)
+            Some((false, false))
         }
         "layout" => {
             let fp = u64::from_str_radix(obj.get("fp")?.as_str()?, 16).ok()?;
@@ -417,9 +496,22 @@ fn apply_event(event: &Json, registry: &ScopRegistry) -> Option<bool> {
             // admissions; a missing target is not corruption.
             if let Some(entry) = registry.find_by_fingerprint(fp) {
                 entry.prewarm_layout(&layout).ok()?;
-                return Some(true);
+                return Some((true, false));
             }
-            Some(false)
+            Some((false, false))
+        }
+        "learned" => {
+            let fp = u64::from_str_radix(obj.get("fp")?.as_str()?, 16).ok()?;
+            let key = obj.get("key")?.as_str()?;
+            let config = LearnedConfig {
+                winner: obj.get("winner")?.as_str()?.to_string(),
+                score: obj.get("score")?.as_int()?,
+            };
+            if let Some(entry) = registry.find_by_fingerprint(fp) {
+                entry.learn(key, config);
+                return Some((false, true));
+            }
+            Some((false, false))
         }
         _ => None,
     }
@@ -450,16 +542,18 @@ fn load(dir: &Path, registry: &ScopRegistry) -> LoadOutcome {
             Ok(report) => {
                 outcome.restored_entries = report.entries;
                 outcome.prewarmed_layouts = report.layouts;
+                outcome.relearned_configs = report.learned;
             }
             Err(_) => outcome.torn_events += 1,
         }
     }
     let before = registry.stats().misses;
     for journal in journals {
-        let (applied, torn, layouts) = replay_journal(&journal, registry);
+        let (applied, torn, layouts, relearned) = replay_journal(&journal, registry);
         outcome.replayed_events += applied;
         outcome.torn_events += torn;
         outcome.prewarmed_layouts += layouts;
+        outcome.relearned_configs += relearned;
     }
     // Journal admissions of SCoPs the snapshot missed count as restored
     // entries too (they show up as fresh registry misses).
@@ -481,6 +575,13 @@ mod tests {
                 name: "k".to_string(),
                 scop_text: "<polyscop>\n".to_string(),
                 layouts: vec![(false, false, vec![]), (true, true, vec!["x".to_string()])],
+                learned: vec![(
+                    "line64:max16:est256".to_string(),
+                    LearnedConfig {
+                        winner: "pluto/tile32+wave".to_string(),
+                        score: -123_456,
+                    },
+                )],
             }],
         };
         write_snapshot_file(&path, &snap).unwrap();

@@ -489,6 +489,14 @@ pub fn features_to_json(f: &ScheduleFeatures) -> Json {
         ),
         ("element_size", Json::Int(i64::from(f.element_size))),
         ("sync_events", Json::Int(f.sync_events)),
+        (
+            "trip_counts",
+            Json::Array(f.trip_counts.iter().map(|&t| Json::Int(t)).collect()),
+        ),
+        (
+            "stream_strides",
+            Json::Array(f.stream_strides.iter().map(|&s| Json::Int(s)).collect()),
+        ),
     ])
 }
 
@@ -497,6 +505,12 @@ pub fn features_to_json(f: &ScheduleFeatures) -> Json {
 /// candidate's score (`null` when that configuration failed to
 /// schedule), in lattice order. Deterministic byte-for-byte for a given
 /// (SCoP, machine, budget), like every other response.
+///
+/// `explored_scenarios` and `learned` expose the learned-registry
+/// path: a warm serve reports `"learned":true,"explored_scenarios":0`
+/// and lists only the winner under `candidates` (loser scores are not
+/// persisted) — but its `winner` object is byte-identical to the cold
+/// exploration's.
 pub fn autotune_response(id: &Json, outcome: &TuneOutcome) -> String {
     let candidates: Vec<Json> = outcome
         .candidates
@@ -522,6 +536,11 @@ pub fn autotune_response(id: &Json, outcome: &TuneOutcome) -> String {
             ]),
         ),
         ("candidates", Json::Array(candidates)),
+        (
+            "explored_scenarios",
+            Json::Int(outcome.explored_scenarios as i64),
+        ),
+        ("learned", Json::Bool(outcome.learned)),
     ])
     .compact()
 }
@@ -558,6 +577,18 @@ pub struct SolverTotals {
     pub fast_path_fallbacks: usize,
 }
 
+/// Autotuner counters surfaced by the `stats` op's `tuner` object: how
+/// many autotune requests the daemon has served, and how many of them
+/// were answered from the learned registry (zero exploration
+/// scenarios) instead of a full lattice sweep.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TunerTotals {
+    /// Autotune requests processed by the tuner worker.
+    pub requests: usize,
+    /// Requests answered from a remembered winner.
+    pub learned_hits: usize,
+}
+
 /// Persistence counters surfaced by the `stats` op's `persist` object
 /// (absent/`null` when the daemon runs without `--snapshot-dir`).
 ///
@@ -576,6 +607,10 @@ pub struct PersistTotals {
     pub recovered_from_prev: bool,
     /// Journal events replayed on top of the snapshot at startup.
     pub replayed_events: usize,
+    /// Learned tuning winners restored at startup (snapshot entries
+    /// plus `learned` journal replays) — proves remembered winners
+    /// survive a restart.
+    pub relearned_configs: usize,
     /// Journal events appended since startup.
     pub journal_events: usize,
     /// Snapshot rotations performed since startup.
@@ -595,6 +630,10 @@ impl PersistTotals {
             ),
             ("recovered_from_prev", Json::Bool(self.recovered_from_prev)),
             ("replayed_events", Json::Int(self.replayed_events as i64)),
+            (
+                "relearned_configs",
+                Json::Int(self.relearned_configs as i64),
+            ),
             ("journal_events", Json::Int(self.journal_events as i64)),
             ("rotations", Json::Int(self.rotations as i64)),
             ("dir", Json::Str(self.dir.clone())),
@@ -608,6 +647,7 @@ pub fn stats_response(
     batches: usize,
     requests: usize,
     solver: SolverTotals,
+    tuner: TunerTotals,
     persist: Option<&PersistTotals>,
 ) -> String {
     object(vec![
@@ -620,6 +660,14 @@ pub fn stats_response(
                 ("hits", Json::Int(registry.hits as i64)),
                 ("misses", Json::Int(registry.misses as i64)),
                 ("evictions", Json::Int(registry.evictions as i64)),
+                ("learned", Json::Int(registry.learned as i64)),
+            ]),
+        ),
+        (
+            "tuner",
+            object(vec![
+                ("requests", Json::Int(tuner.requests as i64)),
+                ("learned_hits", Json::Int(tuner.learned_hits as i64)),
             ]),
         ),
         (
@@ -793,10 +841,13 @@ mod tests {
         let winner = obj["winner"].as_object().unwrap();
         assert_eq!(winner["certified"].as_bool(), Some(true));
         assert_eq!(winner["score"].as_int(), Some(outcome.score));
-        assert!(winner["features"].as_object().unwrap()["total_ops"]
-            .as_int()
-            .is_some());
+        let features = winner["features"].as_object().unwrap();
+        assert!(features["total_ops"].as_int().is_some());
+        assert!(!features["trip_counts"].as_array().unwrap().is_empty());
+        assert!(features.contains_key("stream_strides"));
         assert_eq!(obj["candidates"].as_array().unwrap().len(), 3);
+        assert_eq!(obj["explored_scenarios"].as_int(), Some(3));
+        assert_eq!(obj["learned"].as_bool(), Some(false));
     }
 
     #[test]

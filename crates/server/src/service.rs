@@ -173,6 +173,10 @@ pub(crate) struct Shared {
     /// the `drop_response` fault indexes.
     pub(crate) responses: AtomicUsize,
     pub(crate) solver: SolverCounters,
+    /// Autotune requests served by the tuner worker.
+    pub(crate) tune_requests: AtomicUsize,
+    /// Autotune requests answered from a remembered winner.
+    pub(crate) tune_learned_hits: AtomicUsize,
 }
 
 impl Shared {
@@ -195,6 +199,10 @@ impl Shared {
             self.batches.load(Ordering::Relaxed),
             self.requests.load(Ordering::Relaxed),
             self.solver.totals(),
+            protocol::TunerTotals {
+                requests: self.tune_requests.load(Ordering::Relaxed),
+                learned_hits: self.tune_learned_hits.load(Ordering::Relaxed),
+            },
             self.persist.as_ref().map(Persister::totals).as_ref(),
         )
     }
@@ -274,6 +282,8 @@ impl Server {
             batches: AtomicUsize::new(0),
             responses: AtomicUsize::new(0),
             solver: SolverCounters::default(),
+            tune_requests: AtomicUsize::new(0),
+            tune_learned_hits: AtomicUsize::new(0),
         });
         // Admission is bounded so a flood applies backpressure at the
         // event loop; responses and tune jobs are unbounded (their
@@ -389,8 +399,14 @@ fn tune_loop(shared: &Arc<Shared>, rx: &Receiver<TuneJob>, out: &Sender<Outbound
         // residency as the schedule op: the entry's dependence analysis
         // and Farkas caches persist across autotune requests/clients.
         let (entry, _) = shared.registry.resolve(&req.scop.name, &req.scop);
+        shared.tune_requests.fetch_add(1, Ordering::Relaxed);
         let line = match polytops_core::tune::explore_entry(&entry, &req.machine, &budget) {
-            Ok(outcome) if outcome.certified => protocol::autotune_response(&req.id, &outcome),
+            Ok(outcome) if outcome.certified => {
+                if outcome.learned {
+                    shared.tune_learned_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                protocol::autotune_response(&req.id, &outcome)
+            }
             Ok(_) => protocol::error_response(
                 &req.id,
                 "internal error: tuned schedule failed oracle certification",

@@ -23,7 +23,7 @@ use std::time::Duration;
 use polytops_core::json::Json;
 use polytops_server::protocol::{self, Request};
 use polytops_server::{FaultPlan, RetryClient, RetryPolicy, Server, ServerConfig, ServerHandle};
-use polytops_workloads::requests::fleet_request_streams;
+use polytops_workloads::requests::{autotune_request_line, fleet_request_streams};
 
 /// A fresh scratch directory under the system temp dir.
 fn scratch(tag: &str) -> PathBuf {
@@ -201,6 +201,176 @@ fn finish(handle: ServerHandle) {
         }
     }
     handle.shutdown();
+}
+
+/// Parses an autotune response into (ok, learned, explored_scenarios,
+/// winner-object text).
+fn unpack_tune(response: &str) -> (bool, bool, i64, String) {
+    let parsed = polytops_core::json::parse(response).expect("tune response parses");
+    let obj = parsed.as_object().expect("tune response object");
+    (
+        obj["ok"].as_bool().expect("ok flag"),
+        obj["learned"].as_bool().expect("learned flag"),
+        obj["explored_scenarios"].as_int().expect("explored count"),
+        obj["winner"].compact(),
+    )
+}
+
+/// A learned tuning winner survives a kill/restart: the second
+/// generation relearns it from the journal, and re-submitting the same
+/// autotune request is served warm (`explored_scenarios == 0`) with a
+/// byte-identical winner.
+#[test]
+fn learned_winner_survives_kill_restart() {
+    let dir = scratch("learned-kill");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind supervisor port");
+    let addr = listener.local_addr().unwrap().to_string();
+
+    let first = Server::start_on(
+        listener.try_clone().expect("clone listener"),
+        ServerConfig {
+            faults: FaultPlan {
+                kill_after_batches: Some(2),
+                ..FaultPlan::default()
+            },
+            ..fleet_config(2, &dir)
+        },
+    )
+    .expect("start first generation");
+
+    // Pay the cold exploration before the crash: the winner goes into
+    // the journal as a `learned` event.
+    let tune_line = autotune_request_line("survivor", &polytops_workloads::jacobi_1d(), 6, 64);
+    let mut client = RetryClient::new(addr.clone(), patient());
+    let (ok, learned, explored, cold_winner) =
+        unpack_tune(&client.roundtrip(&tune_line).expect("cold autotune"));
+    assert!(ok && !learned && explored > 0, "cold run must explore");
+
+    // Drive the batcher past the scripted kill point while the
+    // supervisor hands the port to the second generation.
+    let stream = &fleet_request_streams(1, 3)[0];
+    let addr_ref: &str = &addr;
+    std::thread::scope(|s| {
+        let worker = s.spawn(move || {
+            let mut client = RetryClient::new(addr_ref, patient());
+            for line in stream {
+                client.roundtrip(line).expect("retry rides the restart");
+            }
+        });
+
+        while !first.crashed() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        first.join();
+        let second = Server::start_on(
+            listener.try_clone().expect("clone listener"),
+            fleet_config(2, &dir),
+        )
+        .expect("start second generation");
+        let totals = second.persist_totals().expect("persistence enabled");
+        assert!(
+            totals.relearned_configs > 0,
+            "the restart must relearn the journaled winner: {totals:?}"
+        );
+        worker.join().expect("client thread");
+
+        // The re-submission is served from the relearned store: no
+        // exploration, and the winner is byte-identical.
+        let mut probe = RetryClient::new(second.addr().to_string(), patient());
+        let (ok, learned, explored, warm_winner) =
+            unpack_tune(&probe.roundtrip(&tune_line).expect("warm autotune"));
+        assert!(ok, "warm autotune must succeed after restart");
+        assert!(learned, "the relearned winner must serve the re-submission");
+        assert_eq!(explored, 0, "the warm serve must explore nothing");
+        assert_eq!(
+            warm_winner, cold_winner,
+            "the winner must survive the restart byte-identically"
+        );
+        second.shutdown();
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A learned winner survives even a *torn* snapshot: the second
+/// generation falls back to the previous rotation plus the journals,
+/// and still serves the remembered winner warm.
+#[test]
+fn learned_winner_survives_torn_snapshot() {
+    let dir = scratch("learned-torn");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind supervisor port");
+    let addr = listener.local_addr().unwrap().to_string();
+
+    let first = Server::start_on(
+        listener.try_clone().expect("clone listener"),
+        ServerConfig {
+            window_ms: 0,
+            rotate_every: 1,
+            snapshot_dir: Some(dir.display().to_string()),
+            faults: FaultPlan {
+                kill_after_batches: Some(3),
+                torn_snapshot_bytes: Some(10),
+                ..FaultPlan::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start first generation");
+
+    let tune_line = autotune_request_line("survivor", &polytops_workloads::stencil_chain(), 5, 64);
+    let mut client = RetryClient::new(addr.clone(), patient());
+    let (ok, learned, explored, cold_winner) =
+        unpack_tune(&client.roundtrip(&tune_line).expect("cold autotune"));
+    assert!(ok && !learned && explored > 0, "cold run must explore");
+
+    let stream = &fleet_request_streams(1, 4)[0];
+    let addr_ref: &str = &addr;
+    std::thread::scope(|s| {
+        let worker = s.spawn(move || {
+            let mut client = RetryClient::new(addr_ref, patient());
+            for line in stream {
+                client.roundtrip(line).expect("retry rides the restart");
+            }
+        });
+
+        while !first.crashed() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        first.join();
+        let snapshot = std::fs::metadata(dir.join("snapshot")).expect("snapshot exists");
+        assert_eq!(snapshot.len(), 10, "the kill must have torn the snapshot");
+
+        let second = Server::start_on(
+            listener.try_clone().expect("clone listener"),
+            ServerConfig {
+                window_ms: 0,
+                rotate_every: 1,
+                snapshot_dir: Some(dir.display().to_string()),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("start second generation");
+        let totals = second.persist_totals().expect("persistence enabled");
+        assert!(
+            totals.recovered_from_prev,
+            "the bad checksum must trigger the .prev fallback: {totals:?}"
+        );
+        assert!(
+            totals.relearned_configs > 0,
+            "the fallback must still relearn the winner: {totals:?}"
+        );
+        worker.join().expect("client thread");
+
+        let mut probe = RetryClient::new(second.addr().to_string(), patient());
+        let (ok, learned, explored, warm_winner) =
+            unpack_tune(&probe.roundtrip(&tune_line).expect("warm autotune"));
+        assert!(ok && learned && explored == 0, "recovery must serve warm");
+        assert_eq!(
+            warm_winner, cold_winner,
+            "the winner must survive the torn snapshot byte-identically"
+        );
+        second.shutdown();
+    });
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The `drop_response` fault: the daemon truncates a response mid-line

@@ -38,6 +38,32 @@ pub fn request_line(id: &str, kernel: &str, scop: &polytops_ir::Scop, presets: &
     .compact()
 }
 
+/// Builds one autotune-request line: `kernel` explored under at most
+/// `max_candidates` lattice candidates at `param_estimate`, tagged
+/// `id`. Submitting the same line twice is the learned-registry
+/// regression scenario: the first request pays a full exploration, the
+/// second must be served from the remembered winner
+/// (`"learned":true,"explored_scenarios":0`) with a byte-identical
+/// `winner` object.
+pub fn autotune_request_line(
+    id: &str,
+    scop: &polytops_ir::Scop,
+    max_candidates: usize,
+    param_estimate: i64,
+) -> String {
+    Json::Object(BTreeMap::from([
+        ("op".to_string(), Json::Str("autotune".to_string())),
+        ("id".to_string(), Json::Str(id.to_string())),
+        ("scop".to_string(), Json::Str(print_scop(scop))),
+        (
+            "max_candidates".to_string(),
+            Json::Int(max_candidates as i64),
+        ),
+        ("param_estimate".to_string(), Json::Int(param_estimate)),
+    ]))
+    .compact()
+}
+
 /// [`request_line`] over the full standard preset grid.
 pub fn sweep_request_line(id: &str, kernel: &str, scop: &polytops_ir::Scop) -> String {
     let grid = preset_grid();
@@ -125,6 +151,19 @@ mod tests {
         }
         // Rotation actually diversifies the mix.
         assert!(distinct.len() > 4, "kernels × presets should vary");
+    }
+
+    #[test]
+    fn autotune_lines_are_single_line_and_deterministic() {
+        let scop = crate::matmul();
+        let a = autotune_request_line("t0", &scop, 6, 256);
+        assert!(!a.contains('\n'));
+        assert_eq!(a, autotune_request_line("t0", &scop, 6, 256));
+        let parsed = polytops_core::json::parse(&a).unwrap();
+        let obj = parsed.as_object().unwrap();
+        assert_eq!(obj["op"].as_str(), Some("autotune"));
+        assert_eq!(obj["max_candidates"].as_int(), Some(6));
+        assert_eq!(obj["param_estimate"].as_int(), Some(256));
     }
 
     #[test]
