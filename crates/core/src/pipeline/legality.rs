@@ -207,6 +207,7 @@ impl FarkasCache {
         let matches = self.space.get_or_init(|| space.clone()) == space;
         if matches {
             if let Some(sys) = slot.get() {
+                let _timing = polytops_obs::time("farkas.replay_ns");
                 debug_assert_eq!(sys.num_vars(), out.num_vars(), "layout drift");
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 out.extend(sys);
@@ -215,7 +216,10 @@ impl FarkasCache {
         }
         // Empty slot, or a mis-grouped share: eliminate fresh, leaving
         // any stored entry (and the pinned layout) alone.
-        let sys = build()?;
+        let sys = {
+            let _timing = polytops_obs::time("farkas.eliminate_ns");
+            build()?
+        };
         self.misses.fetch_add(1, Ordering::Relaxed);
         out.extend(&sys);
         if self.enabled && matches {

@@ -164,8 +164,11 @@ pub fn assemble(
 
     // 1. Legality: Farkas-linearized Δ ≥ 0 per live dependence and per
     //    dependence carried earlier in the (still open) current band.
-    for &(e, dep) in ctx.legality {
-        ctx.cache.extend_with_validity(e, dep, space, &mut sys)?;
+    {
+        let _span = polytops_obs::span("legality");
+        for &(e, dep) in ctx.legality {
+            ctx.cache.extend_with_validity(e, dep, space, &mut sys)?;
+        }
     }
 
     // 2. Progression (Eq. 3).

@@ -100,6 +100,11 @@ pub struct EngineOptions {
     /// keeps results independent of whichever sibling donated the seed.
     /// `None` (the default) keeps warm starts private to the run.
     pub shared_seeds: Option<Arc<SeedStore>>,
+    /// Observability context: when set, the run binds this link on its
+    /// executing thread and records pipeline/dimension/solver spans
+    /// under it. `None` (the default) makes every span call inert —
+    /// tracing can never perturb a schedule, only watch it.
+    pub trace: Option<polytops_obs::SpanLink>,
 }
 
 impl Default for EngineOptions {
@@ -108,6 +113,7 @@ impl Default for EngineOptions {
             farkas_cache: true,
             warm_start: true,
             shared_seeds: None,
+            trace: None,
         }
     }
 }
@@ -167,6 +173,37 @@ impl PipelineStats {
     /// kernel.
     pub fn phase1_passes(&self) -> usize {
         self.ilp.phase1_passes
+    }
+
+    /// Folds this run's counters into a recorder's `solver.*` counters
+    /// — the single accumulation path shared by the daemon's `stats`
+    /// op, the tuner and the benches (replacing the per-layer counter
+    /// structs that used to mirror these fields).
+    pub fn accumulate_into(&self, recorder: &polytops_obs::Recorder) {
+        recorder
+            .counter("solver.dual_pivots")
+            .add(self.dual_pivots() as u64);
+        recorder
+            .counter("solver.phase1_passes")
+            .add(self.phase1_passes() as u64);
+        recorder
+            .counter("solver.shared_seed_hits")
+            .add(self.shared_seed_hits as u64);
+        recorder
+            .counter("solver.fast_path_dims")
+            .add(self.fast_path_dims as u64);
+        recorder
+            .counter("solver.fast_path_fallbacks")
+            .add(self.fast_path_fallbacks as u64);
+        recorder
+            .counter("solver.dimensions")
+            .add(self.dimensions as u64);
+        recorder
+            .counter("solver.farkas_hits")
+            .add(self.farkas_hits as u64);
+        recorder
+            .counter("solver.farkas_misses")
+            .add(self.farkas_misses as u64);
     }
 }
 
@@ -335,6 +372,11 @@ impl<'a> Engine<'a> {
         mut self,
         strategy: &mut dyn Strategy,
     ) -> Result<(Schedule, PipelineStats), ScheduleError> {
+        // Bind the caller's span context for the duration of the run:
+        // every scoped span below (and in the stages this thread calls
+        // into — objectives, simplex, postprocess) nests under it.
+        let _ctx = self.options.trace.clone().map(|link| link.bind());
+        let _pipeline = polytops_obs::span("pipeline");
         let max_depth = self.scop.max_depth();
         let nstmts = self.scop.statements.len();
         // Every dimension either grows a statement's rank or is a
@@ -347,6 +389,7 @@ impl<'a> Engine<'a> {
             if dim >= budget {
                 return Err(ScheduleError::DimensionBudgetExceeded);
             }
+            let _dim_span = polytops_obs::span_arg("dimension", dim as i64);
             let ranks = self.ranks();
             let mut plan = strategy.plan(&StrategyState {
                 dimension: dim,
@@ -418,13 +461,17 @@ impl<'a> Engine<'a> {
         {
             let legality = self.legality_deps();
             let live = self.live_deps();
-            if let Some(solution) = fastpath::propose(
-                self.scop,
-                &self.basis,
-                &legality,
-                &live,
-                self.config.constant_bound,
-            ) {
+            let proposed = {
+                let _span = polytops_obs::span("fast_path");
+                fastpath::propose(
+                    self.scop,
+                    &self.basis,
+                    &legality,
+                    &live,
+                    self.config.constant_bound,
+                )
+            };
+            if let Some(solution) = proposed {
                 stats.fast_path_dims += 1;
                 return Ok((solution, false));
             }
@@ -487,24 +534,31 @@ impl<'a> Engine<'a> {
             live: &live,
             basis: &self.basis,
         };
-        let (sys, objectives) = objectives::assemble(&ctx, plan)?;
+        let (sys, objectives) = {
+            let _span = polytops_obs::span("objectives");
+            objectives::assemble(&ctx, plan)?
+        };
 
         let mut ilp_stats = IlpStats::default();
-        let point = if let Some(store) = &self.options.shared_seeds {
-            // Prefer a sibling run's same-dimension optimum over this
-            // run's previous-dimension point; the canonical tie-break
-            // keeps the answer identical whichever seed (or none) is
-            // used, so sharing never perturbs a schedule.
-            let donated = store.seed_for(dim);
-            if donated.is_some() {
-                stats.shared_seed_hits += 1;
+        let point = {
+            let _span = polytops_obs::span("ilp_solve");
+            if let Some(store) = &self.options.shared_seeds {
+                // Prefer a sibling run's same-dimension optimum over
+                // this run's previous-dimension point; the canonical
+                // tie-break keeps the answer identical whichever seed
+                // (or none) is used, so sharing never perturbs a
+                // schedule.
+                let donated = store.seed_for(dim);
+                if donated.is_some() {
+                    stats.shared_seed_hits += 1;
+                }
+                let hint = donated.as_deref().or(warm.as_deref());
+                ilp_lexmin_canonical(&sys, &objectives, hint, &mut ilp_stats)
+            } else if self.options.warm_start {
+                ilp_lexmin_warm(&sys, &objectives, warm.as_deref(), &mut ilp_stats)
+            } else {
+                ilp_lexmin_stats(&sys, &objectives, &mut ilp_stats)
             }
-            let hint = donated.as_deref().or(warm.as_deref());
-            ilp_lexmin_canonical(&sys, &objectives, hint, &mut ilp_stats)
-        } else if self.options.warm_start {
-            ilp_lexmin_warm(&sys, &objectives, warm.as_deref(), &mut ilp_stats)
-        } else {
-            ilp_lexmin_stats(&sys, &objectives, &mut ilp_stats)
         };
         stats.ilp.absorb(&ilp_stats);
         let Some(point) = point else {
@@ -806,7 +860,10 @@ impl<'a> Engine<'a> {
         // vectorization and vectorize marks as tree-to-tree transforms,
         // each verified against the dependence oracle before being
         // committed.
-        postprocess::apply(&self.deps, &mut sched, self.config);
+        {
+            let _span = polytops_obs::span("postprocess");
+            postprocess::apply(&self.deps, &mut sched, self.config);
+        }
 
         stats.dimensions = sched.dims();
         stats.farkas_hits = self.cache.hits();

@@ -76,6 +76,7 @@
 use std::collections::BTreeMap;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use polytops_deps::{analyze, Dependence};
 use polytops_ir::{Schedule, ScheduleTree, Scop, StmtId, StmtSchedule, TreeNode};
@@ -433,6 +434,9 @@ enum Job {
         deps: Arc<Vec<Dependence>>,
         cache: Arc<FarkasCache>,
         seeds: Option<Arc<SeedStore>>,
+        /// When the job was enqueued, for the pool's queue-wait
+        /// histogram (recorded only for traced scenarios).
+        queued: Instant,
     },
     /// Solve one dependence component of a split scenario.
     Component {
@@ -441,6 +445,8 @@ enum Job {
         deps: Arc<Vec<Dependence>>,
         cache: Arc<FarkasCache>,
         seeds: Option<Arc<SeedStore>>,
+        /// See [`Job::Whole::queued`].
+        queued: Instant,
     },
 }
 
@@ -593,6 +599,7 @@ impl<'a> Runner<'a> {
                         deps,
                         cache,
                         seeds: seeds_for(Some(c)),
+                        queued: Instant::now(),
                     });
                 }
             } else {
@@ -602,6 +609,7 @@ impl<'a> Runner<'a> {
                     deps,
                     cache,
                     seeds: seeds_for(None),
+                    queued: Instant::now(),
                 });
             }
         }
@@ -615,10 +623,12 @@ impl<'a> Runner<'a> {
                 deps,
                 cache,
                 seeds,
+                queued,
             } => {
                 let sc = &self.set.scenarios[scenario];
                 let scop = &self.set.scops[sc.scop].1;
-                let outcome = solve_one(scop, &sc.config, &sc.options, deps, cache, seeds);
+                let (options, _job_span) = traced_options(&sc.options, scenario, queued);
+                let outcome = solve_one(scop, &sc.config, &options, deps, cache, seeds);
                 let _ = slots.whole[scenario].set(outcome);
             }
             Job::Component {
@@ -627,10 +637,12 @@ impl<'a> Runner<'a> {
                 deps,
                 cache,
                 seeds,
+                queued,
             } => {
                 let sc = &self.set.scenarios[scenario];
                 let plan = &self.comp_sets[sc.scop].as_ref().expect("split has comps")[comp];
-                let outcome = solve_one(&plan.scop, &sc.config, &sc.options, deps, cache, seeds);
+                let (options, _job_span) = traced_options(&sc.options, scenario, queued);
+                let outcome = solve_one(&plan.scop, &sc.config, &options, deps, cache, seeds);
                 let _ = slots.comps[scenario][comp].set(outcome);
             }
         }
@@ -679,6 +691,26 @@ impl<'a> Runner<'a> {
         }
         out
     }
+}
+
+/// When the scenario carries a span link, records the job's queue wait
+/// into the pool histogram and opens a per-job span (arg = scenario
+/// index) that the engine's pipeline spans nest under on whichever
+/// worker thread runs it. Untraced scenarios pay one `Option` check.
+fn traced_options(
+    options: &EngineOptions,
+    scenario: usize,
+    queued: Instant,
+) -> (EngineOptions, Option<polytops_obs::SpanHandle>) {
+    let Some(link) = &options.trace else {
+        return (options.clone(), None);
+    };
+    let wait = u64::try_from(queued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    link.recorder().histogram("pool.queue_wait_ns").record(wait);
+    let span = link.span_arg("job", scenario as i64);
+    let mut options = options.clone();
+    options.trace = span.link();
+    (options, Some(span))
 }
 
 /// Runs one engine job under shared analysis, cache and (optional)

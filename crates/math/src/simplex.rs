@@ -278,6 +278,7 @@ impl Tableau {
     /// restricted phase-1 pass drives the artificials back to zero. The
     /// guarded fallback of [`dual_reoptimize`](Tableau::dual_reoptimize).
     fn restore_feasibility_phase1(&mut self) -> bool {
+        let _timing = polytops_obs::time("simplex.phase1_ns");
         let width = self.ncols + self.nart;
         let bad: Vec<usize> = (0..self.rows.len())
             .filter(|&i| self.rhs[i].is_negative())
@@ -506,6 +507,7 @@ impl IncrementalLp {
         if !self.feasible {
             return false;
         }
+        let _timing = polytops_obs::time("simplex.pin_eq_ns");
         self.feasible = self.tab.add_eq_row(row);
         self.feasible
     }

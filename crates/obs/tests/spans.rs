@@ -1,0 +1,118 @@
+//! Property tests for span-tree well-formedness under concurrency.
+//!
+//! Random per-worker nesting programs run at 1, 2 and 4 threads; the
+//! resulting trace must always be a closed forest: every opened span is
+//! in the ring with a sane interval, every non-root parent exists, and
+//! a parent's interval contains each child's (one recorder clock makes
+//! intervals comparable across threads).
+
+use proptest::prelude::*;
+
+use polytops_obs::{Recorder, SpanLink, SpanRecord};
+
+/// Executes one program on the current thread: each entry opens a chain
+/// of scoped spans nested to that depth, all under `link`'s span.
+fn run_program(link: &SpanLink, depths: &[usize]) {
+    let _guard = link.bind();
+    for &depth in depths {
+        nest(depth);
+    }
+}
+
+fn nest(depth: usize) {
+    let _span = polytops_obs::span_arg("work", depth as i64);
+    if depth > 1 {
+        nest(depth - 1);
+    }
+}
+
+/// Runs `programs` distributed round-robin over `threads` workers under
+/// one root span and returns the finished trace.
+fn run_traced(programs: &[Vec<usize>], threads: usize) -> Vec<SpanRecord> {
+    let recorder = Recorder::new(true);
+    let root = recorder.root_span("root");
+    let trace = root.trace_id();
+    std::thread::scope(|s| {
+        for worker in 0..threads {
+            let assigned: Vec<&Vec<usize>> =
+                programs.iter().skip(worker).step_by(threads).collect();
+            if assigned.is_empty() {
+                continue;
+            }
+            let handle = root.child_arg("worker", worker as i64);
+            s.spawn(move || {
+                let link = handle.link().expect("worker span is armed");
+                for program in assigned {
+                    let job = link.span("job");
+                    let job_link = job.link().expect("job span is armed");
+                    run_program(&job_link, program);
+                    job.finish();
+                }
+                handle.finish();
+            });
+        }
+    });
+    root.finish();
+    recorder.spans_for(trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn span_forest_stays_well_formed(
+        programs in proptest::collection::vec(
+            proptest::collection::vec(1usize..=3, 1..5),
+            1..7,
+        ),
+    ) {
+        for &threads in &[1usize, 2, 4] {
+            let spans = run_traced(&programs, threads);
+
+            // Every opened span closed into the ring: the root, one
+            // span per non-empty worker, one "job" per program, and one
+            // "work" span per unit of nesting depth.
+            let workers = threads.min(programs.len());
+            let work: usize = programs.iter().flatten().sum();
+            prop_assert_eq!(spans.len(), 1 + workers + programs.len() + work);
+
+            let by_id: std::collections::BTreeMap<u64, &SpanRecord> =
+                spans.iter().map(|s| (s.id, s)).collect();
+            prop_assert_eq!(by_id.len(), spans.len());
+            for span in &spans {
+                prop_assert!(span.end_ns >= span.start_ns, "span {} closed sanely", span.id);
+                if span.name == "root" {
+                    prop_assert_eq!(span.parent, 0);
+                    continue;
+                }
+                // Parents outlive children: the parent exists in the
+                // same trace and its interval contains the child's.
+                let parent = by_id.get(&span.parent);
+                prop_assert!(parent.is_some(), "span {} has live parent", span.id);
+                let parent = parent.unwrap();
+                prop_assert!(parent.start_ns <= span.start_ns);
+                prop_assert!(parent.end_ns >= span.end_ns);
+            }
+
+            // Single-threaded runs keep every span on one timeline lane.
+            if threads == 1 {
+                let tids: std::collections::BTreeSet<u64> =
+                    spans.iter().filter(|s| s.name == "work").map(|s| s.tid).collect();
+                prop_assert_eq!(tids.len(), 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn chrome_export_of_concurrent_trace_is_valid_json() {
+    let programs = vec![vec![2, 3], vec![1], vec![3, 1, 2]];
+    let spans = run_traced(&programs, 2);
+    let events: Vec<polytops_obs::ChromeEvent> = spans.iter().map(Into::into).collect();
+    let chrome = polytops_obs::chrome_trace(&events);
+    // The export parses as JSON and carries every span as a complete
+    // ("ph":"X") event.
+    assert_eq!(chrome.matches("\"ph\":\"X\"").count(), spans.len());
+    assert!(chrome.starts_with("{\"traceEvents\":["));
+    assert!(chrome.ends_with("]}"));
+}

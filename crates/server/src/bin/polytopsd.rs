@@ -4,16 +4,19 @@
 //! polytopsd serve  [--addr A] [--window-ms W] [--max-batch B]
 //!                  [--threads T] [--registry-capacity C]
 //!                  [--snapshot-dir D] [--rotate-every E]
-//!                  [--max-connections M]
+//!                  [--max-connections M] [--no-trace]
 //! polytopsd replay [--addr A] [--clients N] [--connect-timeout-ms T]
 //!                  [--shutdown]
+//! polytopsd trace-dump [--addr A] [--out F]
 //! ```
 //!
 //! `serve` runs the daemon until a `shutdown` op arrives. `replay` is
 //! the end-to-end smoke client used by CI: it replays the standard
 //! sweep as N concurrent clients, diffs every response bit-for-bit
 //! against the offline scenario-engine golden path, prints the registry
-//! statistics, and exits non-zero on any mismatch.
+//! statistics, and exits non-zero on any mismatch. `trace-dump` fetches
+//! the most recent request's span tree via the `trace` op and converts
+//! it to Chrome trace-event JSON (load in `chrome://tracing` or Perfetto).
 
 use std::time::Duration;
 
@@ -27,11 +30,13 @@ USAGE:
   polytopsd serve  [--addr A] [--window-ms W] [--max-batch B]
                    [--threads T] [--registry-capacity C]
                    [--snapshot-dir D] [--rotate-every E]
-                   [--max-connections M]
+                   [--max-connections M] [--no-trace]
       Run the daemon (default addr 127.0.0.1:7225) until it receives a
       {\"op\":\"shutdown\"} request. --snapshot-dir enables registry
       persistence: the daemon restores (and prewarms) its registry from
       D at startup and journals admissions into D while serving.
+      --no-trace disables span recording (counters and histograms stay
+      on); responses are bit-identical either way.
       Protocol: docs/SERVICE.md.
 
   polytopsd replay [--addr A] [--clients N] [--connect-timeout-ms T]
@@ -40,6 +45,12 @@ USAGE:
       running daemon, diff every response against the offline scenario
       engine bit for bit, and exit non-zero on mismatch. --shutdown
       stops the daemon afterwards.
+
+  polytopsd trace-dump [--addr A] [--out F]
+      Fetch the daemon's most recent traced request (the `trace` op)
+      and print it as Chrome trace-event JSON — load the output in
+      chrome://tracing or https://ui.perfetto.dev. --out writes to a
+      file instead of stdout.
 
   polytopsd help
       Print this text.
@@ -50,6 +61,7 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("serve") => serve(&args[1..]),
         Some("replay") => replay(&args[1..]),
+        Some("trace-dump") => trace_dump(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => {
             print!("{USAGE}");
             0
@@ -77,8 +89,8 @@ fn check_flags(args: &[String], known: &[&str]) -> Result<(), String> {
         if !known.contains(&args[i].as_str()) {
             return Err(format!("unknown option `{}`", args[i]));
         }
-        // Every option takes a value except the --shutdown switch.
-        if args[i] == "--shutdown" {
+        // Every option takes a value except the boolean switches.
+        if args[i] == "--shutdown" || args[i] == "--no-trace" {
             i += 1;
         } else {
             if i + 1 >= args.len() {
@@ -112,6 +124,7 @@ fn serve(args: &[String]) -> i32 {
                 "--snapshot-dir",
                 "--rotate-every",
                 "--max-connections",
+                "--no-trace",
             ],
         )?;
         let defaults = ServerConfig::default();
@@ -126,6 +139,7 @@ fn serve(args: &[String]) -> i32 {
             snapshot_dir: flag_value(args, "--snapshot-dir").map(str::to_string),
             rotate_every: parse(args, "--rotate-every", defaults.rotate_every)?,
             max_connections: parse(args, "--max-connections", defaults.max_connections)?,
+            trace: !args.iter().any(|a| a == "--no-trace"),
             ..defaults
         })
     })();
@@ -150,6 +164,67 @@ fn serve(args: &[String]) -> i32 {
         }
         Err(e) => {
             eprintln!("polytopsd serve: bind failed: {e}");
+            1
+        }
+    }
+}
+
+/// Fetches the daemon's most recent traced request and prints (or
+/// writes) it as Chrome trace-event JSON.
+fn trace_dump(args: &[String]) -> i32 {
+    let parsed = (|| -> Result<(String, Option<String>), String> {
+        check_flags(args, &["--addr", "--out"])?;
+        Ok((
+            flag_value(args, "--addr")
+                .unwrap_or("127.0.0.1:7225")
+                .to_string(),
+            flag_value(args, "--out").map(str::to_string),
+        ))
+    })();
+    let (addr, out) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("polytopsd trace-dump: {e}");
+            return 2;
+        }
+    };
+    let fetched = (|| -> Result<String, String> {
+        let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        client
+            .send_line(r#"{"op":"trace"}"#)
+            .map_err(|e| e.to_string())?;
+        let response = client.recv_line().map_err(|e| e.to_string())?;
+        let parsed = polytops_core::json::parse(&response)?;
+        let obj = parsed.as_object().ok_or("response is not an object")?;
+        if obj.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("daemon error response: {response}"));
+        }
+        let trace = obj.get("trace").ok_or("response missing `trace`")?;
+        if matches!(trace, Json::Null) {
+            return Err(
+                "daemon has no completed traced request yet (or runs with --no-trace)".to_string(),
+            );
+        }
+        let events = protocol::chrome_events_from_trace(trace)?;
+        Ok(polytops_obs::chrome_trace(&events))
+    })();
+    match fetched {
+        Ok(chrome) => match out {
+            Some(path) => {
+                if let Err(e) = std::fs::write(&path, &chrome) {
+                    eprintln!("polytopsd trace-dump: write {path}: {e}");
+                    return 1;
+                }
+                println!("wrote Chrome trace to {path}");
+                0
+            }
+            None => {
+                println!("{chrome}");
+                0
+            }
+        },
+        Err(e) => {
+            eprintln!("polytopsd trace-dump: {e}");
             1
         }
     }

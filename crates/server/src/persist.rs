@@ -116,6 +116,10 @@ pub struct Persister {
     state: Mutex<PersistState>,
     /// What `load` found, echoed in stats.
     loaded: LoadOutcome,
+    /// Durability telemetry sink (journal-append/fsync/rotation
+    /// histograms), attached by the daemon after it builds its
+    /// recorder. Never affects persistence behavior.
+    recorder: std::sync::OnceLock<std::sync::Arc<polytops_obs::Recorder>>,
 }
 
 impl Persister {
@@ -166,7 +170,14 @@ impl Persister {
                 known_learned,
             }),
             loaded,
+            recorder: std::sync::OnceLock::new(),
         })
+    }
+
+    /// Attaches the daemon's recorder so journal appends, fsyncs and
+    /// rotations report their durations. Only the first attach wins.
+    pub fn attach_recorder(&self, recorder: std::sync::Arc<polytops_obs::Recorder>) {
+        let _ = self.recorder.set(recorder);
     }
 
     /// What startup restored (for stats and the fault suite).
@@ -196,6 +207,7 @@ impl Persister {
     /// past `rotate_every`. I/O errors are swallowed (persistence is
     /// best-effort; serving must not depend on the disk).
     pub fn record(&self, registry: &ScopRegistry, touched: &[(String, Scop)]) {
+        let recorder = self.recorder.get().map(std::sync::Arc::as_ref);
         let mut state = self.state.lock().expect("persist lock");
         for (name, scop) in touched {
             let fp = fingerprint(scop);
@@ -205,7 +217,7 @@ impl Persister {
                     ("name".to_string(), Json::Str(name.clone())),
                     ("scop".to_string(), Json::Str(print_scop(scop))),
                 ]));
-                append(&mut state, &event);
+                append(&mut state, &event, recorder);
                 state.known.insert(fp, BTreeSet::new());
             }
             let Some(entry) = registry.find_by_fingerprint(fp) else {
@@ -225,7 +237,7 @@ impl Persister {
                         Json::Array(vars.iter().map(|v| Json::Str(v.clone())).collect()),
                     ),
                 ]));
-                append(&mut state, &event);
+                append(&mut state, &event, recorder);
             }
             state.known.insert(fp, resident);
             let learned: BTreeMap<String, LearnedConfig> =
@@ -242,7 +254,7 @@ impl Persister {
                     ("winner".to_string(), Json::Str(config.winner.clone())),
                     ("score".to_string(), Json::Int(config.score)),
                 ]));
-                append(&mut state, &event);
+                append(&mut state, &event, recorder);
             }
             state.known_learned.insert(fp, learned);
         }
@@ -259,6 +271,10 @@ impl Persister {
     /// rotation leaves the previous snapshot + journal, which still
     /// restore correctly.
     pub fn rotate(&self, registry: &ScopRegistry) {
+        let _timing = self
+            .recorder
+            .get()
+            .map(|rec| RotateTimer::new(rec.histogram("persist.rotate_ns")));
         let mut state = self.state.lock().expect("persist lock");
         let snap = registry.snapshot();
         let tmp = self.dir.join("snapshot.tmp");
@@ -301,15 +317,49 @@ impl Persister {
     }
 }
 
+/// Records the wall time of one snapshot rotation on drop, so every
+/// early-out path in `rotate` still reports its duration.
+struct RotateTimer {
+    histogram: std::sync::Arc<polytops_obs::Histogram>,
+    started: std::time::Instant,
+}
+
+impl RotateTimer {
+    fn new(histogram: std::sync::Arc<polytops_obs::Histogram>) -> Self {
+        RotateTimer {
+            histogram,
+            started: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Drop for RotateTimer {
+    fn drop(&mut self) {
+        self.histogram
+            .record(u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+}
+
 /// Appends one journal event line, fsyncing so a subsequent daemon kill
-/// cannot lose an acknowledged batch's admissions.
-fn append(state: &mut PersistState, event: &Json) {
+/// cannot lose an acknowledged batch's admissions. Reports the total
+/// append and fsync-only durations when a recorder is attached.
+fn append(state: &mut PersistState, event: &Json, recorder: Option<&polytops_obs::Recorder>) {
+    let started = std::time::Instant::now();
     let mut line = event.compact();
     line.push('\n');
     if state.journal.write_all(line.as_bytes()).is_ok() {
+        let fsync_started = std::time::Instant::now();
         let _ = state.journal.sync_data();
+        if let Some(rec) = recorder {
+            rec.histogram("persist.fsync_ns")
+                .record(u64::try_from(fsync_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
         state.events += 1;
         state.events_total += 1;
+    }
+    if let Some(rec) = recorder {
+        rec.histogram("persist.append_ns")
+            .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
     }
 }
 

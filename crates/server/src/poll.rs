@@ -26,7 +26,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::protocol::{self, Request};
-use crate::service::{Admitted, Shared, TuneJob};
+use crate::service::{Admitted, RequestTrace, Shared, TuneJob};
 
 /// How long a no-progress sweep parks on the response channel.
 const IDLE_PARK: Duration = Duration::from_micros(500);
@@ -42,6 +42,10 @@ pub(crate) struct Outbound {
     pub(crate) conn: u64,
     /// The response line, without the trailing newline.
     pub(crate) line: String,
+    /// The request's still-open "request" span, when traced; the event
+    /// loop finishes it (under a "write" child) once the line's last
+    /// byte reaches the socket.
+    pub(crate) trace: Option<polytops_obs::SpanHandle>,
 }
 
 /// One live connection's state.
@@ -57,6 +61,18 @@ struct Conn {
     close_after_flush: bool,
     /// Remove this connection at the end of the sweep.
     dead: bool,
+    /// When the first bytes of the request currently being assembled
+    /// arrived — the start of its "read"/"request" spans. Cleared after
+    /// each complete line so pipelined requests get fresh stamps.
+    read_started: Option<Instant>,
+    /// Cumulative bytes ever queued to / written from `wbuf`, so a
+    /// traced response's completion point survives partial writes.
+    queued_bytes: u64,
+    written_bytes: u64,
+    /// Traced responses in `wbuf` order: (cumulative offset of the
+    /// response's final byte, open "write" span, open "request" root).
+    /// Both spans finish when `written_bytes` passes the offset.
+    pending_traces: Vec<(u64, polytops_obs::SpanHandle, polytops_obs::SpanHandle)>,
 }
 
 impl Conn {
@@ -65,6 +81,7 @@ impl Conn {
         self.wbuf.reserve(line.len() + 1);
         self.wbuf.extend_from_slice(line.as_bytes());
         self.wbuf.push(b'\n');
+        self.queued_bytes += line.len() as u64 + 1;
     }
 }
 
@@ -119,6 +136,10 @@ pub(crate) fn event_loop(
                             wbuf: Vec::new(),
                             close_after_flush: false,
                             dead: false,
+                            read_started: None,
+                            queued_bytes: 0,
+                            written_bytes: 0,
+                            pending_traces: Vec::new(),
                         },
                     );
                 }
@@ -164,10 +185,30 @@ pub(crate) fn event_loop(
                         tune,
                     );
                 }
+                // The next pipelined line's read time starts fresh.
+                conns.get_mut(&id).expect("swept conn").read_started = None;
             }
             let conn = conns.get_mut(&id).expect("swept conn exists");
-            if write_ready(conn) {
+            let written = write_ready(conn);
+            if written > 0 {
                 progress = true;
+            }
+            conn.written_bytes += written as u64;
+            // Finish the write+request spans of every traced response
+            // whose final byte just reached the socket, and publish its
+            // trace id as "most recent" for the `trace` op.
+            while conn
+                .pending_traces
+                .first()
+                .is_some_and(|&(end, _, _)| conn.written_bytes >= end)
+            {
+                let (_, write_span, root) = conn.pending_traces.remove(0);
+                write_span.finish();
+                let trace = root.trace_id();
+                root.finish();
+                if trace != 0 {
+                    shared.obs.last_trace.store(trace, Ordering::Relaxed);
+                }
             }
             if conn.close_after_flush && conn.wbuf.is_empty() {
                 conn.dead = true;
@@ -210,14 +251,22 @@ fn queue_response(shared: &Arc<Shared>, conns: &mut HashMap<u64, Conn>, outbound
     let Some(conn) = conns.get_mut(&outbound.conn) else {
         return; // client vanished; drop the response as always
     };
-    let nth = shared.responses.fetch_add(1, Ordering::Relaxed) + 1;
+    let nth = usize::try_from(shared.obs.responses.inc()).unwrap_or(usize::MAX);
     if shared.config.faults.drop_response == Some(nth) {
+        let torn = outbound.line.len() / 2;
         conn.wbuf
-            .extend_from_slice(&outbound.line.as_bytes()[..outbound.line.len() / 2]);
+            .extend_from_slice(&outbound.line.as_bytes()[..torn]);
+        conn.queued_bytes += torn as u64;
+        // The dropped response's spans auto-finish with `outbound`.
         conn.close_after_flush = true;
         return;
     }
     conn.push_line(&outbound.line);
+    if let Some(root) = outbound.trace {
+        let write_span = root.child("write");
+        conn.pending_traces
+            .push((conn.queued_bytes, write_span, root));
+    }
 }
 
 /// Reads everything the socket has ready into `rbuf`. Returns whether
@@ -234,6 +283,11 @@ fn read_ready(conn: &mut Conn, max_line_bytes: usize) -> bool {
                 break;
             }
             Ok(n) => {
+                if !any && conn.rbuf.is_empty() {
+                    // First bytes of a new request: the lifecycle's
+                    // "read" phase starts here.
+                    conn.read_started = Some(Instant::now());
+                }
                 any = true;
                 conn.rbuf.extend_from_slice(&chunk[..n]);
                 if conn.rbuf.len() > max_line_bytes && !conn.rbuf.contains(&b'\n') {
@@ -258,9 +312,9 @@ fn read_ready(conn: &mut Conn, max_line_bytes: usize) -> bool {
 }
 
 /// Writes as much buffered response data as the socket accepts.
-/// Returns whether any bytes left. A hard write error marks the
+/// Returns how many bytes left. A hard write error marks the
 /// connection dead (the response was undeliverable anyway).
-fn write_ready(conn: &mut Conn) -> bool {
+fn write_ready(conn: &mut Conn) -> usize {
     let mut written = 0;
     while written < conn.wbuf.len() {
         match conn.stream.write(&conn.wbuf[written..]) {
@@ -278,7 +332,7 @@ fn write_ready(conn: &mut Conn) -> bool {
         }
     }
     conn.wbuf.drain(..written);
-    written > 0
+    written
 }
 
 /// Handles one complete request line: immediate ops are answered into
@@ -299,6 +353,7 @@ fn handle_line(
         )),
         Ok(Request::Ping) => conn.push_line(r#"{"ok":true,"pong":true}"#),
         Ok(Request::Stats) => conn.push_line(&shared.stats_line()),
+        Ok(Request::Trace) => conn.push_line(&shared.trace_line()),
         Ok(Request::Shutdown) => {
             conn.push_line(r#"{"ok":true,"shutting_down":true}"#);
             shared.begin_shutdown();
@@ -318,9 +373,30 @@ fn handle_line(
                 conn.push_line(&protocol::error_response(&req.id, "shutting down"));
                 return;
             }
+            // Open the request's lifecycle spans: the "read" phase ran
+            // from the first byte's arrival to now; "admission" stays
+            // open until the batcher's window closes. The root adopts
+            // the envelope's trace id when the router stamped one.
+            let recorder = &shared.obs.recorder;
+            let trace = if recorder.spans_enabled() {
+                let start_ns = conn
+                    .read_started
+                    .take()
+                    .map_or_else(|| recorder.now_ns(), |at| recorder.ns_of(at));
+                let root = recorder.root_span_at("request", req.trace, start_ns);
+                root.child_at("read", start_ns).finish();
+                let admission = root.child("admission");
+                Some(RequestTrace {
+                    root,
+                    admission: Some(admission),
+                })
+            } else {
+                None
+            };
             let mut admitted = Admitted {
                 req: *req,
                 conn: id,
+                trace,
             };
             // The admission channel is bounded; brief full intervals
             // apply backpressure to this one connection's request,

@@ -41,6 +41,11 @@ pub struct ScheduleRequest {
     /// Whether disconnected dependence components may be solved as
     /// parallel sub-jobs (the scenario engine's explicit sweep axis).
     pub split_components: bool,
+    /// Request-scoped trace id, propagated in the request envelope (the
+    /// router stamps one before forwarding so router and shard agree).
+    /// Never echoed in responses: responses stay byte-identical whether
+    /// or not a request was traced.
+    pub trace: Option<u64>,
 }
 
 /// A parsed `"op": "autotune"` request.
@@ -70,6 +75,9 @@ pub enum Request {
     Autotune(Box<AutotuneRequest>),
     /// Report registry and service counters (immediate).
     Stats,
+    /// Return the span tree of the most recently completed traced
+    /// request (immediate).
+    Trace,
     /// Liveness probe (immediate).
     Ping,
     /// Finish in-flight batches, then stop the daemon (immediate ack).
@@ -93,11 +101,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     match op {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
+        "trace" => Ok(Request::Trace),
         "shutdown" => Ok(Request::Shutdown),
         "schedule" => parse_schedule(obj).map(|r| Request::Schedule(Box::new(r))),
         "autotune" => parse_autotune(obj).map(|r| Request::Autotune(Box::new(r))),
         other => Err(format!(
-            "unknown op `{other}` (expected schedule, autotune, stats, ping or shutdown)"
+            "unknown op `{other}` (expected schedule, autotune, stats, trace, ping or shutdown)"
         )),
     }
 }
@@ -117,6 +126,15 @@ fn parse_schedule(obj: &BTreeMap<String, Json>) -> Result<ScheduleRequest, Strin
     let split_components = match obj.get("split_components") {
         None => false,
         Some(v) => v.as_bool().ok_or("`split_components` must be a boolean")?,
+    };
+    let trace = match obj.get("trace") {
+        None => None,
+        Some(v) => Some(
+            v.as_int()
+                .and_then(|t| u64::try_from(t).ok())
+                .filter(|&t| t != 0)
+                .ok_or("`trace` must be a positive integer")?,
+        ),
     };
     let specs = obj
         .get("scenarios")
@@ -161,6 +179,7 @@ fn parse_schedule(obj: &BTreeMap<String, Json>) -> Result<ScheduleRequest, Strin
         scop,
         scenarios,
         split_components,
+        trace,
     })
 }
 
@@ -641,6 +660,171 @@ impl PersistTotals {
     }
 }
 
+/// Clamps an observability value (nanoseconds or a count) into the
+/// JSON integer range.
+fn obs_int(v: u64) -> Json {
+    Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+/// Serializes one histogram snapshot: count, sum, mean and bucket-
+/// ceiling quantile estimates (see `docs/OBSERVABILITY.md` for the
+/// bucket layout and estimate semantics).
+fn histogram_to_json(h: &polytops_obs::HistogramSnapshot) -> Json {
+    object(vec![
+        ("count", obs_int(h.count)),
+        ("sum_ns", obs_int(h.sum_ns)),
+        ("mean_ns", obs_int(h.mean_ns())),
+        ("p50_ns", obs_int(h.quantile(0.5))),
+        ("p90_ns", obs_int(h.quantile(0.9))),
+        ("p99_ns", obs_int(h.quantile(0.99))),
+        ("max_ns", obs_int(h.quantile(1.0))),
+    ])
+}
+
+/// The `stats` op's `obs` object: every named counter and every latency
+/// histogram of a recorder, in deterministic (sorted) order.
+pub fn obs_to_json(recorder: &polytops_obs::Recorder) -> Json {
+    let counters = Json::Object(
+        recorder
+            .counters()
+            .into_iter()
+            .map(|(k, v)| (k, obs_int(v)))
+            .collect::<BTreeMap<_, _>>(),
+    );
+    let histograms = Json::Object(
+        recorder
+            .histograms()
+            .into_iter()
+            .map(|(k, h)| (k, histogram_to_json(&h)))
+            .collect::<BTreeMap<_, _>>(),
+    );
+    object(vec![
+        ("counters", counters),
+        ("histograms", histograms),
+        ("spans_enabled", Json::Bool(recorder.spans_enabled())),
+    ])
+}
+
+/// One span as a flat JSON object (the `trace` response's `spans`
+/// entries; ids are included so clients can rebuild parentage).
+fn span_to_json(s: &polytops_obs::SpanRecord) -> Json {
+    object(vec![
+        ("id", obs_int(s.id)),
+        ("parent", obs_int(s.parent)),
+        ("name", Json::Str(s.name.to_string())),
+        ("arg", s.arg.map_or(Json::Null, Json::Int)),
+        ("start_ns", obs_int(s.start_ns)),
+        ("dur_ns", obs_int(s.end_ns - s.start_ns)),
+        ("tid", obs_int(s.tid)),
+    ])
+}
+
+/// Builds the nested `tree` form of a span set: roots (parent absent
+/// from the set) at the top, children ordered by start time then id.
+fn span_tree_json(spans: &[polytops_obs::SpanRecord]) -> Json {
+    fn node(
+        s: &polytops_obs::SpanRecord,
+        kids: &BTreeMap<u64, Vec<usize>>,
+        all: &[polytops_obs::SpanRecord],
+    ) -> Json {
+        let children: Vec<Json> = kids
+            .get(&s.id)
+            .map(|ix| ix.iter().map(|&i| node(&all[i], kids, all)).collect())
+            .unwrap_or_default();
+        object(vec![
+            ("name", Json::Str(s.name.to_string())),
+            ("arg", s.arg.map_or(Json::Null, Json::Int)),
+            ("start_ns", obs_int(s.start_ns)),
+            ("dur_ns", obs_int(s.end_ns - s.start_ns)),
+            ("tid", obs_int(s.tid)),
+            ("children", Json::Array(children)),
+        ])
+    }
+    let ids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.id).collect();
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.sort_by_key(|&i| (spans[i].start_ns, spans[i].id));
+    let mut kids: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for &i in &order {
+        let s = &spans[i];
+        if s.parent != 0 && ids.contains(&s.parent) {
+            kids.entry(s.parent).or_default().push(i);
+        } else {
+            roots.push(i);
+        }
+    }
+    Json::Array(
+        roots
+            .iter()
+            .map(|&i| node(&spans[i], &kids, spans))
+            .collect(),
+    )
+}
+
+/// The `trace` response line: the span set of the most recently
+/// completed traced request, both flat (`spans`) and nested (`tree`).
+/// `None` (no traced request yet, or tracing disabled) answers
+/// `"trace": null`.
+pub fn trace_response(trace: Option<(u64, Vec<polytops_obs::SpanRecord>)>) -> String {
+    let body = match trace {
+        None => Json::Null,
+        Some((id, spans)) => object(vec![
+            ("id", obs_int(id)),
+            (
+                "spans",
+                Json::Array(spans.iter().map(span_to_json).collect()),
+            ),
+            ("tree", span_tree_json(&spans)),
+        ]),
+    };
+    object(vec![("ok", Json::Bool(true)), ("trace", body)]).compact()
+}
+
+/// Rebuilds Chrome trace events from a `trace` response's `trace`
+/// object (as produced by [`trace_response`]) — the client-side half of
+/// the Chrome export: `polytopsd trace-dump` feeds the result to
+/// [`polytops_obs::chrome_trace`].
+///
+/// # Errors
+///
+/// Returns a message when the object or any span entry is malformed.
+pub fn chrome_events_from_trace(trace: &Json) -> Result<Vec<polytops_obs::ChromeEvent>, String> {
+    let obj = trace
+        .as_object()
+        .ok_or("`trace` is not an object (no traced request yet?)")?;
+    let id = obj
+        .get("id")
+        .and_then(Json::as_int)
+        .ok_or("`trace.id` missing")?;
+    let spans = obj
+        .get("spans")
+        .and_then(Json::as_array)
+        .ok_or("`trace.spans` missing")?;
+    let mut events = Vec::with_capacity(spans.len());
+    for span in spans {
+        let span = span.as_object().ok_or("span entry is not an object")?;
+        let int = |key: &str| -> Result<u64, String> {
+            span.get(key)
+                .and_then(Json::as_int)
+                .and_then(|v| u64::try_from(v).ok())
+                .ok_or_else(|| format!("span `{key}` missing or negative"))
+        };
+        let name = span
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("span `name` missing")?;
+        events.push(polytops_obs::ChromeEvent {
+            name: name.to_string(),
+            tid: int("tid")?,
+            trace: u64::try_from(id).unwrap_or(0),
+            arg: span.get("arg").and_then(Json::as_int),
+            start_ns: int("start_ns")?,
+            dur_ns: int("dur_ns")?,
+        });
+    }
+    Ok(events)
+}
+
 /// The `stats` response line.
 pub fn stats_response(
     registry: RegistryStats,
@@ -649,6 +833,7 @@ pub fn stats_response(
     solver: SolverTotals,
     tuner: TunerTotals,
     persist: Option<&PersistTotals>,
+    obs: Json,
 ) -> String {
     object(vec![
         ("ok", Json::Bool(true)),
@@ -690,6 +875,7 @@ pub fn stats_response(
             "persist",
             persist.map_or(Json::Null, PersistTotals::to_json),
         ),
+        ("obs", obs),
         ("batches", Json::Int(batches as i64)),
         ("requests", Json::Int(requests as i64)),
     ])

@@ -120,6 +120,11 @@ struct RouterShared {
     ring: HashRing,
     addr: SocketAddr,
     stopping: AtomicBool,
+    /// Router telemetry: fleet-wide and per-shard forward counters and
+    /// latency histograms, plus the trace-id allocator for stamping
+    /// forwarded envelopes. Spans stay disabled — the router is a
+    /// line-shuffler; its story is counters, the shards' is spans.
+    obs: Arc<polytops_obs::Recorder>,
 }
 
 impl RouterShared {
@@ -161,6 +166,7 @@ impl Router {
             ring,
             addr,
             stopping: AtomicBool::new(false),
+            obs: polytops_obs::Recorder::new(false),
         });
         let accept = {
             let shared = Arc::clone(&shared);
@@ -242,8 +248,28 @@ fn serve_client(stream: TcpStream, shared: &Arc<RouterShared>) {
                 shared.begin_stop();
                 return;
             }
+            Ok(Request::Trace) => {
+                // Span rings are shard-local and `trace` carries no
+                // SCoP to route by; query the owning shard directly.
+                send_line(
+                    &mut write_half,
+                    &protocol::error_response(
+                        &Json::Null,
+                        "trace is shard-local: send it to a shard daemon directly",
+                    ),
+                );
+            }
             Ok(Request::Schedule(req)) => {
                 let shard = shared.ring.shard_of(fingerprint(&req.scop));
+                // Stamp a request-scoped trace id into the envelope
+                // (when the client did not send one), so the shard's
+                // span tree is correlatable with this hop. Responses
+                // are still relayed byte-for-byte.
+                let line = if req.trace.is_none() {
+                    stamp_trace(&line, shared.obs.begin_trace())
+                } else {
+                    line.clone()
+                };
                 forward(
                     shared,
                     &mut upstreams,
@@ -282,8 +308,25 @@ fn upstream<'a>(
     })
 }
 
-/// Forwards one request line to `shard` verbatim and relays the
-/// response bytes unchanged (the bit-identity pass-through).
+/// Inserts `"trace":id` as the first member of a request envelope (the
+/// line is known-parsed JSON whose top level is an object). Pure string
+/// surgery so every other byte of the request survives verbatim.
+fn stamp_trace(line: &str, trace: u64) -> String {
+    match line.find('{') {
+        Some(at) => {
+            let mut stamped = String::with_capacity(line.len() + 24);
+            stamped.push_str(&line[..=at]);
+            stamped.push_str(&format!("\"trace\":{trace},"));
+            stamped.push_str(&line[at + 1..]);
+            stamped
+        }
+        None => line.to_string(),
+    }
+}
+
+/// Forwards one request line to `shard` and relays the response bytes
+/// unchanged (the bit-identity pass-through), recording fleet-wide and
+/// per-shard forward counts and latency.
 fn forward(
     shared: &Arc<RouterShared>,
     upstreams: &mut [Option<RetryClient>],
@@ -292,7 +335,19 @@ fn forward(
     id: &Json,
     write_half: &mut TcpStream,
 ) {
-    match upstream(shared, upstreams, shard).roundtrip(line) {
+    shared
+        .obs
+        .counter(&format!("router.shard{shard}.requests"))
+        .inc();
+    let started = std::time::Instant::now();
+    let outcome = upstream(shared, upstreams, shard).roundtrip(line);
+    let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    shared.obs.histogram("router.forward_ns").record(elapsed);
+    shared
+        .obs
+        .histogram(&format!("router.shard{shard}.forward_ns"))
+        .record(elapsed);
+    match outcome {
         Ok(response) => send_line(write_half, &response),
         Err(e) => send_line(
             write_half,
@@ -302,7 +357,8 @@ fn forward(
 }
 
 /// The router's `stats` op: every shard's stats response, in shard
-/// order, under one envelope.
+/// order, under one envelope, plus the router's own telemetry (fleet
+/// and per-shard forward counts and latency histograms).
 fn merged_stats(shared: &Arc<RouterShared>, upstreams: &mut [Option<RetryClient>]) -> String {
     let mut shards = Vec::with_capacity(upstreams.len());
     for shard in 0..upstreams.len() {
@@ -318,6 +374,7 @@ fn merged_stats(shared: &Arc<RouterShared>, upstreams: &mut [Option<RetryClient>
     Json::Object(std::collections::BTreeMap::from([
         ("ok".to_string(), Json::Bool(true)),
         ("router".to_string(), Json::Bool(true)),
+        ("obs".to_string(), protocol::obs_to_json(&shared.obs)),
         ("shards".to_string(), Json::Array(shards)),
     ]))
     .compact()

@@ -23,7 +23,7 @@
 //! The batcher and tuner communicate with it only through channels.
 
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -94,6 +94,11 @@ pub struct ServerConfig {
     /// Maximum bytes of one request line before the connection is
     /// dropped as malformed (protects the event loop's read buffers).
     pub max_line_bytes: usize,
+    /// Record request-lifecycle and pipeline spans (the `trace` op and
+    /// Chrome export). Counters and histograms accumulate either way;
+    /// with tracing off every span site is inert. Tracing never changes
+    /// response bytes — schedules are bit-identical on or off.
+    pub trace: bool,
     /// Scripted faults (tests only).
     pub faults: FaultPlan,
 }
@@ -110,45 +115,66 @@ impl Default for ServerConfig {
             rotate_every: 64,
             max_connections: 1024,
             max_line_bytes: 16 << 20,
+            trace: true,
             faults: FaultPlan::default(),
         }
     }
 }
 
-/// Cumulative solver counters across every batch (the `stats` op's
-/// `solver` object). Relaxed atomics: these are diagnostic sums, never
-/// part of the bit-identity contract.
-#[derive(Default)]
-pub(crate) struct SolverCounters {
-    dual_pivots: AtomicUsize,
-    phase1_passes: AtomicUsize,
-    shared_seed_hits: AtomicUsize,
-    fast_path_dims: AtomicUsize,
-    fast_path_fallbacks: AtomicUsize,
+/// The daemon's telemetry: one [`polytops_obs::Recorder`] shared by
+/// every thread, with the hot service counters cached as `Arc`s so the
+/// request path never takes the registry lock. All former hand-rolled
+/// counter structs (`SolverCounters`, tuner atomics) now accumulate
+/// through this registry; the `stats` wire shapes are rebuilt from it.
+/// Relaxed counters: diagnostic sums, never part of the bit-identity
+/// contract.
+pub(crate) struct ServerObs {
+    /// Span ring, counter and histogram registry for the whole daemon.
+    pub(crate) recorder: Arc<polytops_obs::Recorder>,
+    /// Schedule + autotune requests admitted (`service.requests`).
+    pub(crate) requests: Arc<polytops_obs::Counter>,
+    /// Admission windows executed (`service.batches`).
+    pub(crate) batches: Arc<polytops_obs::Counter>,
+    /// Queued schedule/autotune responses, daemon-wide
+    /// (`service.responses`) — the counter the `drop_response` fault
+    /// indexes (`Counter::inc` returns the new value, preserving the
+    /// 1-based ordinal the fault plan scripts against).
+    pub(crate) responses: Arc<polytops_obs::Counter>,
+    /// Autotune requests served by the tuner worker (`tuner.requests`).
+    pub(crate) tune_requests: Arc<polytops_obs::Counter>,
+    /// Autotune requests answered from a remembered winner
+    /// (`tuner.learned_hits`).
+    pub(crate) tune_learned_hits: Arc<polytops_obs::Counter>,
+    /// Trace id of the most recent fully-written schedule response —
+    /// what the `trace` op returns.
+    pub(crate) last_trace: AtomicU64,
 }
 
-impl SolverCounters {
-    /// Folds one scenario's pipeline statistics into the totals.
-    fn accumulate(&self, stats: &polytops_core::PipelineStats) {
-        self.dual_pivots
-            .fetch_add(stats.dual_pivots(), Ordering::Relaxed);
-        self.phase1_passes
-            .fetch_add(stats.phase1_passes(), Ordering::Relaxed);
-        self.shared_seed_hits
-            .fetch_add(stats.shared_seed_hits, Ordering::Relaxed);
-        self.fast_path_dims
-            .fetch_add(stats.fast_path_dims, Ordering::Relaxed);
-        self.fast_path_fallbacks
-            .fetch_add(stats.fast_path_fallbacks, Ordering::Relaxed);
+impl ServerObs {
+    fn new(trace: bool) -> ServerObs {
+        let recorder = polytops_obs::Recorder::new(trace);
+        ServerObs {
+            requests: recorder.counter("service.requests"),
+            batches: recorder.counter("service.batches"),
+            responses: recorder.counter("service.responses"),
+            tune_requests: recorder.counter("tuner.requests"),
+            tune_learned_hits: recorder.counter("tuner.learned_hits"),
+            last_trace: AtomicU64::new(0),
+            recorder,
+        }
     }
 
-    pub(crate) fn totals(&self) -> protocol::SolverTotals {
+    /// The `stats` op's `solver` object, rebuilt from the unified
+    /// counter registry (the pipeline folds into `solver.*` via
+    /// [`polytops_core::PipelineStats::accumulate_into`]).
+    pub(crate) fn solver_totals(&self) -> protocol::SolverTotals {
+        let get = |name: &str| self.recorder.counter(name).get() as usize;
         protocol::SolverTotals {
-            dual_pivots: self.dual_pivots.load(Ordering::Relaxed),
-            phase1_passes: self.phase1_passes.load(Ordering::Relaxed),
-            shared_seed_hits: self.shared_seed_hits.load(Ordering::Relaxed),
-            fast_path_dims: self.fast_path_dims.load(Ordering::Relaxed),
-            fast_path_fallbacks: self.fast_path_fallbacks.load(Ordering::Relaxed),
+            dual_pivots: get("solver.dual_pivots"),
+            phase1_passes: get("solver.phase1_passes"),
+            shared_seed_hits: get("solver.shared_seed_hits"),
+            fast_path_dims: get("solver.fast_path_dims"),
+            fast_path_fallbacks: get("solver.fast_path_fallbacks"),
         }
     }
 }
@@ -167,16 +193,8 @@ pub(crate) struct Shared {
     /// Worker liveness, so the event loop knows when the drain is over.
     pub(crate) batcher_done: AtomicBool,
     pub(crate) tuner_done: AtomicBool,
-    pub(crate) requests: AtomicUsize,
-    pub(crate) batches: AtomicUsize,
-    /// Queued schedule/autotune responses, daemon-wide — the counter
-    /// the `drop_response` fault indexes.
-    pub(crate) responses: AtomicUsize,
-    pub(crate) solver: SolverCounters,
-    /// Autotune requests served by the tuner worker.
-    pub(crate) tune_requests: AtomicUsize,
-    /// Autotune requests answered from a remembered winner.
-    pub(crate) tune_learned_hits: AtomicUsize,
+    /// Telemetry: spans, counters, histograms.
+    pub(crate) obs: ServerObs,
 }
 
 impl Shared {
@@ -196,22 +214,53 @@ impl Shared {
     pub(crate) fn stats_line(&self) -> String {
         protocol::stats_response(
             self.registry.stats(),
-            self.batches.load(Ordering::Relaxed),
-            self.requests.load(Ordering::Relaxed),
-            self.solver.totals(),
+            self.obs.batches.get() as usize,
+            self.obs.requests.get() as usize,
+            self.obs.solver_totals(),
             protocol::TunerTotals {
-                requests: self.tune_requests.load(Ordering::Relaxed),
-                learned_hits: self.tune_learned_hits.load(Ordering::Relaxed),
+                requests: self.obs.tune_requests.get() as usize,
+                learned_hits: self.obs.tune_learned_hits.get() as usize,
             },
             self.persist.as_ref().map(Persister::totals).as_ref(),
+            protocol::obs_to_json(&self.obs.recorder),
         )
     }
+
+    /// The `trace` response: the span tree of the most recent
+    /// fully-written schedule response, or `null` when none exists yet
+    /// (or tracing is disabled).
+    pub(crate) fn trace_line(&self) -> String {
+        let trace = self.obs.last_trace.load(Ordering::Relaxed);
+        if trace == 0 {
+            return protocol::trace_response(None);
+        }
+        let spans = self.obs.recorder.spans_for(trace);
+        if spans.is_empty() {
+            return protocol::trace_response(None);
+        }
+        protocol::trace_response(Some((trace, spans)))
+    }
+}
+
+/// The open telemetry spans of one in-flight schedule request. The
+/// lifecycle children ("read", "admission", "solve", "serialize",
+/// "write") hang off `root`; whoever owns a handle finishes it at the
+/// matching lifecycle edge.
+pub(crate) struct RequestTrace {
+    /// The whole-lifecycle "request" span; finished when the response's
+    /// last byte reaches the socket.
+    pub(crate) root: polytops_obs::SpanHandle,
+    /// The open "admission" child; finished when the batch window
+    /// closes around this request.
+    pub(crate) admission: Option<polytops_obs::SpanHandle>,
 }
 
 /// One admitted schedule request awaiting its batch.
 pub(crate) struct Admitted {
     pub(crate) req: ScheduleRequest,
     pub(crate) conn: u64,
+    /// Lifecycle spans, when tracing is enabled.
+    pub(crate) trace: Option<RequestTrace>,
 }
 
 /// One autotune request on its way to the tuner worker.
@@ -262,6 +311,7 @@ impl Server {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let registry = ScopRegistry::new(config.registry_capacity);
+        let obs = ServerObs::new(config.trace);
         let persist = match &config.snapshot_dir {
             Some(dir) => Some(
                 Persister::open(std::path::Path::new(dir), config.rotate_every, &registry)
@@ -269,6 +319,9 @@ impl Server {
             ),
             None => None,
         };
+        if let Some(persist) = &persist {
+            persist.attach_recorder(Arc::clone(&obs.recorder));
+        }
         let shared = Arc::new(Shared {
             registry,
             persist,
@@ -278,12 +331,7 @@ impl Server {
             crashed: AtomicBool::new(false),
             batcher_done: AtomicBool::new(false),
             tuner_done: AtomicBool::new(false),
-            requests: AtomicUsize::new(0),
-            batches: AtomicUsize::new(0),
-            responses: AtomicUsize::new(0),
-            solver: SolverCounters::default(),
-            tune_requests: AtomicUsize::new(0),
-            tune_learned_hits: AtomicUsize::new(0),
+            obs,
         });
         // Admission is bounded so a flood applies backpressure at the
         // event loop; responses and tune jobs are unbounded (their
@@ -388,8 +436,8 @@ fn tune_loop(shared: &Arc<Shared>, rx: &Receiver<TuneJob>, out: &Sender<Outbound
             break;
         }
         let req = job.req;
-        shared.requests.fetch_add(1, Ordering::Relaxed);
-        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared.obs.requests.inc();
+        shared.obs.batches.inc();
         let budget = polytops_core::tune::TuneBudget {
             max_candidates: req.max_candidates,
             threads: shared.config.threads,
@@ -399,11 +447,11 @@ fn tune_loop(shared: &Arc<Shared>, rx: &Receiver<TuneJob>, out: &Sender<Outbound
         // residency as the schedule op: the entry's dependence analysis
         // and Farkas caches persist across autotune requests/clients.
         let (entry, _) = shared.registry.resolve(&req.scop.name, &req.scop);
-        shared.tune_requests.fetch_add(1, Ordering::Relaxed);
+        shared.obs.tune_requests.inc();
         let line = match polytops_core::tune::explore_entry(&entry, &req.machine, &budget) {
             Ok(outcome) if outcome.certified => {
                 if outcome.learned {
-                    shared.tune_learned_hits.fetch_add(1, Ordering::Relaxed);
+                    shared.obs.tune_learned_hits.inc();
                 }
                 protocol::autotune_response(&req.id, &outcome)
             }
@@ -422,6 +470,7 @@ fn tune_loop(shared: &Arc<Shared>, rx: &Receiver<TuneJob>, out: &Sender<Outbound
         let _ = out.send(Outbound {
             conn: job.conn,
             line,
+            trace: None,
         });
     }
     shared.tuner_done.store(true, Ordering::SeqCst);
@@ -458,8 +507,17 @@ fn batch_loop(shared: &Arc<Shared>, rx: &Receiver<Admitted>, out: &Sender<Outbou
                 Err(_) => break,
             }
         }
-        let windows = shared.batches.fetch_add(1, Ordering::Relaxed) + 1;
-        shared.requests.fetch_add(batch.len(), Ordering::Relaxed);
+        // The window just closed: every member's admission wait ends
+        // here, where the batch is committed to execution.
+        for admitted in &mut batch {
+            if let Some(trace) = &mut admitted.trace {
+                if let Some(admission) = trace.admission.take() {
+                    admission.finish();
+                }
+            }
+        }
+        let windows = shared.obs.batches.inc() as usize;
+        shared.obs.requests.add(batch.len() as u64);
         // `split_components` changes scenario semantics per request, so
         // a mixed batch runs as two sets (responses still correlate by
         // id; cross-request state lives in the registry either way).
@@ -485,8 +543,8 @@ fn batch_loop(shared: &Arc<Shared>, rx: &Receiver<Admitted>, out: &Sender<Outbou
             crash(shared);
             break;
         }
-        for (conn, line) in responses {
-            let _ = out.send(Outbound { conn, line });
+        for (conn, line, trace) in responses {
+            let _ = out.send(Outbound { conn, line, trace });
         }
     }
     // A graceful exit snapshots the final registry state so the next
@@ -500,13 +558,14 @@ fn batch_loop(shared: &Arc<Shared>, rx: &Receiver<Admitted>, out: &Sender<Outbou
 }
 
 /// Executes one admission group as a single `ScenarioSet`, pushing one
-/// response line per request and recording which SCoPs were touched
-/// (for the persistence journal).
+/// response line per request (with its still-open "request" span, when
+/// traced) and recording which SCoPs were touched (for the persistence
+/// journal).
 fn process_group(
     shared: &Arc<Shared>,
     group: Vec<Admitted>,
     split: bool,
-    responses: &mut Vec<(u64, String)>,
+    responses: &mut Vec<(u64, String, Option<polytops_obs::SpanHandle>)>,
     touched: &mut Vec<(String, Scop)>,
 ) {
     struct Slot {
@@ -515,6 +574,9 @@ fn process_group(
         hit: bool,
         /// Scenario indices of this request inside the shared set.
         scenarios: Vec<usize>,
+        /// The open "solve" span covering this request's share of the
+        /// batch execution; finished right after `run_sharded` returns.
+        solve: Option<polytops_obs::SpanHandle>,
     }
 
     let mut set = ScenarioSet::new();
@@ -538,26 +600,57 @@ fn process_group(
                 idx
             }
         };
+        // Each scenario's engine run links back under this request's
+        // "solve" span, so the trace tree shows per-job queue wait and
+        // per-dimension pipeline work no matter which pool thread
+        // executes it.
+        let solve = admitted
+            .trace
+            .as_ref()
+            .map(|trace| trace.root.child("solve"));
+        let link = solve.as_ref().and_then(polytops_obs::SpanHandle::link);
         let scenarios = admitted
             .req
             .scenarios
             .iter()
-            .map(|spec| set.add_scenario(scop_idx, spec.name.clone(), spec.config.clone()))
+            .map(|spec| {
+                let options = polytops_core::EngineOptions {
+                    trace: link.clone(),
+                    ..Default::default()
+                };
+                set.add_scenario_with_options(
+                    scop_idx,
+                    spec.name.clone(),
+                    spec.config.clone(),
+                    options,
+                )
+            })
             .collect();
         slots.push(Slot {
             admitted,
             entry,
             hit,
             scenarios,
+            solve,
         });
     }
 
     let results = set.run_sharded(shared.config.threads);
+    for slot in &mut slots {
+        if let Some(solve) = slot.solve.take() {
+            solve.finish();
+        }
+    }
     for result in results.iter().flatten() {
-        shared.solver.accumulate(&result.stats);
+        result.stats.accumulate_into(&shared.obs.recorder);
     }
 
-    for slot in slots {
+    for mut slot in slots {
+        let serialize = slot
+            .admitted
+            .trace
+            .as_ref()
+            .map(|trace| trace.root.child("serialize"));
         let deps = slot.entry.deps();
         let reports: Vec<_> = slot
             .admitted
@@ -611,6 +704,10 @@ fn process_group(
                 slot.entry.fingerprint(),
             )
         };
-        responses.push((slot.admitted.conn, line));
+        if let Some(serialize) = serialize {
+            serialize.finish();
+        }
+        let root = slot.admitted.trace.take().map(|trace| trace.root);
+        responses.push((slot.admitted.conn, line, root));
     }
 }
